@@ -1,0 +1,233 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! asynchronous fine-grain scheduling, partial reduce, locality-aware
+//! routing, contention modes, flow-control window, memory budget, and
+//! the combiner flowlet.
+//!
+//! Each ablation runs at a scale where its mechanism is actually load-
+//! bearing: volume effects (locality, combiner) need the timed
+//! substrates near harness scale; scheduling/contention effects use
+//! purpose-built probes on instant substrates so engine behaviour is
+//! isolated from the network model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hamr_core::{
+    typed, Cluster, ClusterConfig, ContentionMode, Emitter, Exchange, JobBuilder, RuntimeConfig,
+};
+use hamr_workloads::{
+    histogram_ratings::HistogramRatings, kmeans::KMeans, wordcount::WordCount, Benchmark, Env,
+    SimParams,
+};
+
+/// Modeled per-batch latency standing in for stage work (an external
+/// lookup, a device wait). Sleeps release the CPU, so fine-grain
+/// scheduling can overlap stages even on a single-core host.
+fn stage_wait() {
+    std::thread::sleep(std::time::Duration::from_micros(600));
+}
+
+/// Fine-grain asynchronous scheduling vs coarse stage barriers, on a
+/// two-stage pipeline whose stages each carry modeled latency: async
+/// overlaps stage 2 with stage 1, barrier mode serializes them (the
+/// map-waits-for-nothing vs reduce-waits-for-everything contrast of
+/// §3.2).
+fn ablation_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/async-vs-barrier");
+    group.sample_size(10);
+    for barrier in [false, true] {
+        // 4 workers but only 2 concurrent loader splits: two workers
+        // are always free to run stage-2 tasks as bins arrive.
+        let mut config = ClusterConfig::local(4, 4);
+        config.runtime.barrier_mode = barrier;
+        config.runtime.loader_concurrency = 2;
+        config.runtime.bin_capacity = 50;
+        let cluster = Cluster::new(config);
+        let label = if barrier { "barrier" } else { "async" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut job = JobBuilder::new("pipeline");
+                let loader = job.add_loader(
+                    "gen",
+                    typed::gen_loader(
+                        |_ctx| 4,
+                        |ctx, split, out: &mut Emitter| {
+                            for i in 0..500u64 {
+                                if i % 10 == 0 {
+                                    stage_wait(); // stage-1 latency
+                                }
+                                out.emit_t(
+                                    0,
+                                    &(i + split as u64 * 10_000 + ctx.node as u64 * 100_000),
+                                    &i,
+                                );
+                            }
+                        },
+                    ),
+                );
+                let work = job.add_map(
+                    "stage2",
+                    typed::map_fn(|k: u64, v: u64, out: &mut Emitter| {
+                        if v % 10 == 0 {
+                            stage_wait(); // stage-2 latency
+                        }
+                        out.emit_t(0, &k, &v);
+                    }),
+                );
+                let sink = job.add_partial_reduce("sink", typed::sum_reducer::<u64>());
+                job.connect(loader, work, Exchange::Hash);
+                job.connect(work, sink, Exchange::Hash);
+                job.capture_output(sink);
+                cluster.run(job.build().unwrap()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Partial reduce vs full reduce under a small memory budget: the full
+/// reduce must materialize every record (spilling past the budget),
+/// the partial reduce keeps one accumulator per key (§3.1/§3.2).
+fn ablation_partial_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/partial-vs-full-reduce");
+    group.sample_size(10);
+    let runtime = RuntimeConfig {
+        memory_budget: 128 << 10,
+        ..Default::default()
+    };
+    let env = Env::with_hamr_runtime(SimParams::paper_scaled().with_scale(0.4), runtime);
+    let wc = WordCount::default();
+    wc.seed(&env).expect("seed");
+    group.bench_function("partial-reduce", |b| {
+        b.iter(|| wc.run_hamr_with(&env, true).expect("run"));
+    });
+    group.bench_function("full-reduce", |b| {
+        b.iter(|| wc.run_hamr_with(&env, false).expect("run"));
+    });
+    group.finish();
+}
+
+/// Locality-aware K-Means (ship references, route back to the data)
+/// vs shipping the full movie vectors — run near harness scale where
+/// shuffle volume is the dominant cost.
+fn ablation_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/locality");
+    group.sample_size(10);
+    let km = KMeans::default();
+    let env = Env::new(SimParams::paper_scaled().with_scale(0.5));
+    km.seed(&env).expect("seed");
+    group.bench_function("ship-references", |b| {
+        b.iter(|| km.run_hamr(&env).expect("run"));
+    });
+    group.bench_function("ship-data", |b| {
+        b.iter(|| km.run_hamr_ship_data(&env).expect("run"));
+    });
+    group.finish();
+}
+
+/// Shared lock-striped accumulators (paper-faithful) vs per-worker
+/// sharded accumulators, isolated from the network model: every record
+/// updates ONE hot key, so the shared map serializes all folds (§5.2's
+/// "all threads atomically update only one variable").
+fn ablation_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/contention");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("shared-locked", ContentionMode::SharedLocked),
+        ("sharded", ContentionMode::Sharded),
+    ] {
+        let mut config = ClusterConfig::local(2, 4);
+        config.runtime.contention = mode;
+        config.runtime.bin_capacity = 1024;
+        let cluster = Cluster::new(config);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut job = JobBuilder::new("hot-key");
+                let loader = job.add_loader(
+                    "gen",
+                    typed::gen_loader(
+                        |_ctx| 4,
+                        |_ctx, _split, out: &mut Emitter| {
+                            for _ in 0..150_000u64 {
+                                out.emit_t(0, &1u64, &1u64); // one hot key
+                            }
+                        },
+                    ),
+                );
+                let sum = job.add_partial_reduce("sum", typed::sum_reducer::<u64>());
+                job.connect(loader, sum, Exchange::Hash);
+                job.capture_output(sum);
+                cluster.run(job.build().unwrap()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Flow-control window sweep on the skewed workload: measures how much
+/// the window bounds matter once the hot nodes' ingress saturates.
+fn ablation_flowcontrol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/flow-control-window");
+    group.sample_size(10);
+    let hr = HistogramRatings::default();
+    for window in [1usize, 4, 32, 256] {
+        let runtime = RuntimeConfig {
+            out_window_bins: window,
+            ..Default::default()
+        };
+        let env = Env::with_hamr_runtime(SimParams::paper_scaled().with_scale(0.25), runtime);
+        hr.seed(&env).expect("seed");
+        group.bench_function(BenchmarkId::from_parameter(window), |b| {
+            b.iter(|| hr.run_hamr(&env).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+/// Memory budget sweep on a reduce-heavy job at harness scale: small
+/// budgets force reduce spills through the modeled disk (§3.1).
+fn ablation_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/memory-budget");
+    group.sample_size(10);
+    let wc = WordCount::default();
+    for (label, budget) in [("32KiB-spill", 32 << 10), ("64MiB-inmem", 64 << 20)] {
+        let runtime = RuntimeConfig {
+            memory_budget: budget,
+            ..Default::default()
+        };
+        let env = Env::with_hamr_runtime(SimParams::paper_scaled().with_scale(0.4), runtime);
+        wc.seed(&env).expect("seed");
+        group.bench_function(label, |b| {
+            // Full reduce so the memory budget is actually exercised.
+            b.iter(|| wc.run_hamr_with(&env, false).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+/// Combiner flowlet on/off (the Table 3 knob) near harness scale,
+/// where the skewed shuffle it removes is expensive.
+fn ablation_combiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/combiner");
+    group.sample_size(10);
+    let hr = HistogramRatings::default();
+    let env = Env::new(SimParams::paper_scaled().with_scale(0.4));
+    hr.seed(&env).expect("seed");
+    group.bench_function("without", |b| {
+        b.iter(|| hr.run_hamr_with(&env, false).expect("run"));
+    });
+    group.bench_function("with", |b| {
+        b.iter(|| hr.run_hamr_with(&env, true).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_async,
+    ablation_partial_reduce,
+    ablation_locality,
+    ablation_contention,
+    ablation_flowcontrol,
+    ablation_memory,
+    ablation_combiner
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches mirroring Table 2 / Figure 3: every paper
+//! benchmark on both engines, at a reduced scale so Criterion's
+//! repeated sampling stays tractable. The `table2` binary runs the
+//! full-scale single-shot comparison; these give statistically
+//! meaningful per-engine timings and catch regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hamr_workloads::{all_benchmarks, Env, SimParams};
+
+fn bench_params() -> SimParams {
+    // Timed substrates at a fraction of the harness scale.
+    SimParams::paper_scaled().with_scale(0.08)
+}
+
+fn table2_benches(c: &mut Criterion) {
+    for bench in all_benchmarks() {
+        let mut group = c.benchmark_group(format!("table2/{}", bench.name()));
+        group.sample_size(10);
+        // Seed once per engine measurement in a persistent env.
+        let env = Env::new(bench_params());
+        bench.seed(&env).expect("seed");
+        group.bench_function("hamr", |b| {
+            b.iter(|| bench.run_hamr(&env).expect("hamr"));
+        });
+        group.bench_function("mapred", |b| {
+            b.iter(|| bench.run_mapred(&env).expect("mapred"));
+        });
+        group.finish();
+    }
+}
+
+fn table3_benches(c: &mut Criterion) {
+    use hamr_workloads::{histogram_movies::HistogramMovies, histogram_ratings::HistogramRatings, Benchmark};
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let env = Env::new(bench_params());
+    let hm = HistogramMovies::default();
+    let hr = HistogramRatings::default();
+    hm.seed(&env).expect("seed");
+    hr.seed(&env).expect("seed");
+    group.bench_function("HistogramMovies/hamr-combiner", |b| {
+        b.iter(|| hm.run_hamr_with(&env, true).expect("run"));
+    });
+    group.bench_function("HistogramRatings/hamr-combiner", |b| {
+        b.iter(|| hr.run_hamr_with(&env, true).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2_benches, table3_benches);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates Figure 3: the two speedup bar series — (a) the four
+//! complex/iterative benchmarks that exploit HAMR's features, and (b)
+//! the four simple IO-intensive benchmarks where Hadoop is
+//! competitive. Prints ASCII bars with paper values alongside.
+
+use hamr_bench::{paper_row, parse_args, run_table2, MeasuredRow};
+
+fn bar(x: f64, per_unit: f64) -> String {
+    let n = ((x * per_unit).round() as usize).min(60);
+    "#".repeat(n.max(1))
+}
+
+fn print_series(title: &str, rows: &[&MeasuredRow], per_unit: f64) {
+    println!("{title}");
+    println!("  baseline (mapred = 1x)");
+    for row in rows {
+        let paper = paper_row(&row.name).map(|p| p.speedup()).unwrap_or(f64::NAN);
+        println!(
+            "  {:<18} {:<60} {:>5.2}x (paper {:>5.2}x)",
+            row.name,
+            bar(row.speedup(), per_unit),
+            row.speedup(),
+            paper
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let (params, filter) = parse_args();
+    let rows = run_table2(&params, filter.as_deref());
+    let find = |n: &str| rows.iter().find(|r| r.name == n);
+    let a: Vec<&MeasuredRow> = ["K-Means", "Classification", "PageRank", "KCliques"]
+        .iter()
+        .filter_map(|n| find(n))
+        .collect();
+    let b: Vec<&MeasuredRow> = ["WordCount", "HistogramMovies", "HistogramRatings", "NaiveBayes"]
+        .iter()
+        .filter_map(|n| find(n))
+        .collect();
+    if !a.is_empty() {
+        print_series(
+            "== Fig 3(a): benchmarks exploiting the dataflow engine's features ==",
+            &a,
+            4.0,
+        );
+    }
+    if !b.is_empty() {
+        print_series(
+            "== Fig 3(b): simple IO-intensive benchmarks ==",
+            &b,
+            20.0,
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 1: cluster configuration — the paper's physical
+//! testbed next to the scaled simulation this reproduction runs on.
+
+use hamr_core::{PAPER_CLUSTER, SCALED_CLUSTER};
+
+fn main() {
+    for spec in [&PAPER_CLUSTER, &SCALED_CLUSTER] {
+        println!("== Table 1: Cluster Information ({}) ==", spec.name);
+        for (key, value) in spec.table_rows() {
+            println!("  {key:<24} {value}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 2: execution time and speedup for the eight
+//! benchmarks, MapReduce baseline vs HAMR, on the scaled simulated
+//! cluster. Flags: --scale F, --nodes N, --filter NAME, --quick.
+
+use hamr_bench::{format_row, header, paper_row, parse_args, run_table2};
+
+fn main() {
+    let (params, filter) = parse_args();
+    println!(
+        "== Table 2: performance comparison (nodes={} threads={} scale={}) ==",
+        params.nodes, params.threads_per_node, params.scale
+    );
+    println!("{}", header());
+    let rows = run_table2(&params, filter.as_deref());
+    let mut all_ok = true;
+    for row in &rows {
+        println!("{}", format_row(row, paper_row(&row.name)));
+        all_ok &= row.checksums_match;
+    }
+    if !all_ok {
+        eprintln!("WARNING: engines disagreed on at least one benchmark");
+        std::process::exit(1);
+    }
+}

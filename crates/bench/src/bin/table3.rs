@@ -1,0 +1,47 @@
+//! Regenerates Table 3: HAMR with a combiner flowlet on the two
+//! histogram benchmarks, against the plain-HAMR and MapReduce numbers.
+
+use hamr_bench::{parse_args, PAPER_TABLE3};
+use hamr_workloads::{histogram_movies::HistogramMovies, histogram_ratings::HistogramRatings, Benchmark, Env};
+
+fn main() {
+    let (params, _) = parse_args();
+    println!(
+        "== Table 3: HAMR using Combiner (nodes={} scale={}) ==",
+        params.nodes, params.scale
+    );
+    println!(
+        "{:<18} {:>10} {:>12} {:>14} {:>9} {:>12}",
+        "benchmark", "mapred", "hamr-plain", "hamr-combiner", "speedup", "paper-speedup"
+    );
+    let hm = HistogramMovies::default();
+    let hr = HistogramRatings::default();
+    let runs: Vec<(&str, &dyn Benchmark)> = vec![("HistogramMovies", &hm), ("HistogramRatings", &hr)];
+    for (name, bench) in runs {
+        let env = Env::new(params.clone());
+        bench.seed(&env).expect("seed");
+        let mr = bench.run_mapred(&env).expect("mapred");
+        let (plain, combined) = match name {
+            "HistogramMovies" => (
+                hm.run_hamr_with(&env, false).expect("plain"),
+                hm.run_hamr_with(&env, true).expect("combined"),
+            ),
+            _ => (
+                hr.run_hamr_with(&env, false).expect("plain"),
+                hr.run_hamr_with(&env, true).expect("combined"),
+            ),
+        };
+        let paper = PAPER_TABLE3.iter().find(|(n, _, _)| *n == name).unwrap();
+        assert_eq!(plain.checksum, combined.checksum, "{name}: combiner changed the answer");
+        assert_eq!(plain.checksum, mr.checksum, "{name}: engines disagree");
+        println!(
+            "{:<18} {:>9.3}s {:>11.3}s {:>13.3}s {:>8.2}x {:>11.2}x",
+            name,
+            mr.elapsed.as_secs_f64(),
+            plain.elapsed.as_secs_f64(),
+            combined.elapsed.as_secs_f64(),
+            mr.elapsed.as_secs_f64() / combined.elapsed.as_secs_f64(),
+            paper.2,
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Stable byte-string hashing for key partitioning.
+//!
+//! Every node must route a key to the same partition, so the hash must
+//! be deterministic and independent of `std`'s randomized `SipHash`.
+//! This is the FxHash word-at-a-time multiply-xor construction — very
+//! fast on short keys (word counts, vertex ids), quality good enough
+//! for load-spreading, and identical everywhere.
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Deterministic 64-bit hash of a byte string.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(chunk);
+        hash = mix(hash, u64::from_le_bytes(arr));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut arr = [0u8; 8];
+        arr[..rem.len()].copy_from_slice(rem);
+        // Fold the length in so "a" and "a\0" differ.
+        hash = mix(hash, u64::from_le_bytes(arr) ^ ((rem.len() as u64) << 56));
+    }
+    // Final avalanche so low bits (used for `% partitions`) are well mixed.
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash
+}
+
+/// Partition a key into `n` buckets.
+#[inline]
+pub fn partition(bytes: &[u8], n: usize) -> usize {
+    debug_assert!(n > 0);
+    (stable_hash(bytes) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(stable_hash(b"hello"), stable_hash(b"hello"));
+        assert_eq!(stable_hash(b""), stable_hash(b""));
+    }
+
+    #[test]
+    fn distinguishes_similar_inputs() {
+        assert_ne!(stable_hash(b"a"), stable_hash(b"b"));
+        assert_ne!(stable_hash(b"a"), stable_hash(b"a\0"));
+        assert_ne!(stable_hash(b"ab"), stable_hash(b"ba"));
+        assert_ne!(stable_hash(b"12345678"), stable_hash(b"123456789"));
+    }
+
+    #[test]
+    fn partition_in_range() {
+        for n in 1..10 {
+            for key in [&b"x"[..], b"yy", b"zzzzzzzzzz", b""] {
+                assert!(partition(key, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_spread_reasonably() {
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for i in 0..8000u64 {
+            let key = i.to_le_bytes();
+            counts[partition(&key, n)] += 1;
+        }
+        for (p, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "partition {p} got {c} of 8000 keys: {counts:?}"
+            );
+        }
+    }
+}

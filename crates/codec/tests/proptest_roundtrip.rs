@@ -1,0 +1,109 @@
+//! Property tests: every Codec impl must round-trip exactly and consume
+//! exactly the bytes it produced, even when concatenated with noise.
+
+use bytes::Bytes;
+use hamr_codec::{read_varint, write_varint, zigzag_decode, zigzag_encode, Codec};
+use proptest::prelude::*;
+
+fn assert_roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T, tail: &[u8]) {
+    let mut buf = Vec::new();
+    v.encode(&mut buf);
+    let produced = buf.len();
+    buf.extend_from_slice(tail);
+    let mut input = buf.as_slice();
+    let decoded = T::decode(&mut input).expect("decode");
+    assert_eq!(&decoded, v);
+    assert_eq!(input.len(), tail.len(), "must consume exactly {produced} bytes");
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v: u64, tail: Vec<u8>) {
+        let mut buf = Vec::new();
+        write_varint(v, &mut buf);
+        buf.extend_from_slice(&tail);
+        let mut input = buf.as_slice();
+        prop_assert_eq!(read_varint(&mut input).unwrap(), v);
+        prop_assert_eq!(input.len(), tail.len());
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v: i64) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn zigzag_is_monotone_in_magnitude(a: i32, b: i32) {
+        // smaller |v| never encodes to a longer varint
+        let enc_len = |v: i64| {
+            let mut buf = Vec::new();
+            write_varint(zigzag_encode(v), &mut buf);
+            buf.len()
+        };
+        let (a, b) = (i64::from(a), i64::from(b));
+        if a.unsigned_abs() <= b.unsigned_abs() {
+            prop_assert!(enc_len(a) <= enc_len(b));
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip(v: u64, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn i64_roundtrip(v: i64, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn u32_roundtrip(v: u32, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn f64_roundtrip(v in prop::num::f64::ANY.prop_filter("nan", |v| !v.is_nan()), tail: Vec<u8>) {
+        assert_roundtrip(&v, &tail);
+    }
+
+    #[test]
+    fn string_roundtrip(v: String, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn bytes_roundtrip(v: Vec<u8>, tail: Vec<u8>) {
+        assert_roundtrip(&Bytes::from(v), &tail);
+    }
+
+    #[test]
+    fn vec_u64_roundtrip(v: Vec<u64>, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn vec_string_roundtrip(v: Vec<String>, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn vec_f64_roundtrip(v in prop::collection::vec(prop::num::f64::NORMAL, 0..64), tail: Vec<u8>) {
+        assert_roundtrip(&v, &tail);
+    }
+
+    #[test]
+    fn pair_roundtrip(k: String, v: u64, tail: Vec<u8>) {
+        assert_roundtrip(&(k, v), &tail);
+    }
+
+    #[test]
+    fn triple_roundtrip(a: u64, b in prop::num::f64::NORMAL, c: bool, tail: Vec<u8>) {
+        assert_roundtrip(&(a, b, c), &tail);
+    }
+
+    #[test]
+    fn option_roundtrip(v: Option<String>, tail: Vec<u8>) { assert_roundtrip(&v, &tail); }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes: Vec<u8>) {
+        // Decoding garbage may error but must not panic or OOM.
+        let mut i = bytes.as_slice();
+        let _ = u64::decode(&mut i);
+        let mut i = bytes.as_slice();
+        let _ = String::decode(&mut i);
+        let mut i = bytes.as_slice();
+        let _ = Vec::<u64>::decode(&mut i);
+        let mut i = bytes.as_slice();
+        let _ = <(String, u64)>::decode(&mut i);
+        let mut i = bytes.as_slice();
+        let _ = Option::<Vec<String>>::decode(&mut i);
+    }
+}

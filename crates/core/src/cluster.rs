@@ -1,0 +1,201 @@
+//! The cluster driver: owns the substrates, launches node runtimes,
+//! and collects results.
+//!
+//! A [`Cluster`] persists across jobs: its disks, DFS namespace and
+//! key-value store survive `run` calls, which is exactly how iterative
+//! workloads (PageRank, K-Means) keep intermediate state in memory
+//! between jobs instead of round-tripping through the file system.
+
+use crate::config::ClusterConfig;
+use crate::error::RunError;
+use crate::flowlet::TaskContext;
+use crate::graph::{FlowletId, JobGraph};
+use crate::metrics::JobMetrics;
+use crate::node::{run_node, NetMsg};
+use crate::record::Record;
+use hamr_codec::Codec;
+use hamr_dfs::Dfs;
+use hamr_kvstore::KvStore;
+use hamr_simdisk::Disk;
+use hamr_simnet::Fabric;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A simulated HAMR cluster: N node runtimes over shared substrates.
+pub struct Cluster {
+    config: ClusterConfig,
+    disks: Vec<Disk>,
+    dfs: Dfs,
+    kv: KvStore,
+}
+
+impl Cluster {
+    /// Build a cluster (disks, DFS, KV store) from a configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        let disks: Vec<Disk> = (0..config.nodes)
+            .map(|_| Disk::new(config.disk.clone()))
+            .collect();
+        let dfs = Dfs::new(disks.clone(), config.dfs.clone());
+        Cluster::with_substrates(config, disks, dfs)
+    }
+
+    /// Build a cluster over *existing* substrates — used by the
+    /// benchmark harness so HAMR and the Hadoop baseline read the same
+    /// disks and DFS namespace.
+    pub fn with_substrates(config: ClusterConfig, disks: Vec<Disk>, dfs: Dfs) -> Self {
+        assert!(config.nodes > 0, "cluster needs at least one node");
+        assert!(config.threads_per_node > 0, "need at least one worker");
+        assert_eq!(disks.len(), config.nodes, "one disk per node");
+        let kv = KvStore::new(config.nodes);
+        Cluster {
+            config,
+            disks,
+            dfs,
+            kv,
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.config.nodes
+    }
+
+    /// The cluster's distributed file system.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The cluster's distributed key-value store (persists across jobs).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// A node's local disk.
+    pub fn disk(&self, node: usize) -> &Disk {
+        &self.disks[node]
+    }
+
+    /// Run one job to completion.
+    pub fn run(&self, graph: JobGraph) -> Result<JobResult, RunError> {
+        let graph = Arc::new(graph);
+        let n = self.config.nodes;
+        let fabric = Fabric::<NetMsg>::new(n, self.config.net.clone());
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for node in 0..n {
+            let inbox = fabric.receiver(node)?;
+            let endpoint = fabric.endpoint(node)?;
+            let graph = Arc::clone(&graph);
+            let cfg = self.config.runtime.clone();
+            let threads = self.config.threads_per_node;
+            let ctx = TaskContext {
+                node,
+                nodes: n,
+                disk: self.disks[node].clone(),
+                dfs: self.dfs.clone(),
+                kv: self.kv.shard(node),
+                kv_store: self.kv.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("hamr-node-{node}"))
+                .spawn(move || run_node(node, graph, cfg, threads, ctx, endpoint, inbox))
+                .expect("spawn node runtime");
+            handles.push(handle);
+        }
+        let mut outputs: HashMap<FlowletId, Vec<Record>> = HashMap::new();
+        let mut metrics = JobMetrics::default();
+        let mut first_error: Option<RunError> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(outcome) => {
+                    if let Some(msg) = outcome.error {
+                        first_error.get_or_insert(RunError::NodePanic {
+                            node: outcome.node,
+                            message: msg,
+                        });
+                    }
+                    for (f, recs) in outcome.captured {
+                        outputs.entry(f).or_default().extend(recs);
+                    }
+                    for (f, fm) in outcome.flowlets.into_iter().enumerate() {
+                        let agg = metrics.flowlets.entry(f).or_default();
+                        if agg.name.is_empty() {
+                            agg.name = fm.name.clone();
+                            agg.kind = fm.kind;
+                        }
+                        agg.tasks += fm.tasks;
+                        agg.records_in += fm.records_in;
+                        agg.records_out += fm.records_out;
+                        agg.bins_out += fm.bins_out;
+                        agg.flow_control_stalls += fm.flow_control_stalls;
+                        agg.spilled_bytes += fm.spilled_bytes;
+                        agg.busy += fm.busy;
+                    }
+                    metrics.nodes.push(outcome.node_metrics);
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "node runtime panicked".to_string());
+                    first_error.get_or_insert(RunError::NodePanic {
+                        node: usize::MAX,
+                        message: msg,
+                    });
+                }
+            }
+        }
+        let net = fabric.metrics();
+        metrics.shuffled_bytes = net.remote_bytes();
+        metrics.shuffled_messages = net.remote_messages();
+        fabric.shutdown();
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+        Ok(JobResult {
+            outputs,
+            metrics,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// A completed job's captured outputs and metrics.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Captured `Emitter::output` records per flowlet, merged across
+    /// nodes (unordered).
+    pub outputs: HashMap<FlowletId, Vec<Record>>,
+    pub metrics: JobMetrics,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl JobResult {
+    /// Raw captured records for a flowlet (empty slice if none).
+    pub fn output(&self, flowlet: FlowletId) -> &[Record] {
+        self.outputs.get(&flowlet).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Decode a flowlet's captured output with [`Codec`].
+    ///
+    /// # Panics
+    /// Panics if the records do not decode as `(K, V)` — a type error
+    /// in the job wiring, not a data condition.
+    pub fn typed_output<K: Codec, V: Codec>(&self, flowlet: FlowletId) -> Vec<(K, V)> {
+        self.output(flowlet)
+            .iter()
+            .map(|rec| {
+                (
+                    K::from_bytes(&rec.key).expect("output key decodes"),
+                    V::from_bytes(&rec.value).expect("output value decodes"),
+                )
+            })
+            .collect()
+    }
+}

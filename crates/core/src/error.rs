@@ -1,0 +1,107 @@
+//! Error types for graph construction and job execution.
+
+use crate::graph::FlowletId;
+use std::fmt;
+
+/// Errors detected while validating a flowlet graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no flowlets.
+    Empty,
+    /// The edge set contains a cycle (flowlet graphs must be DAGs).
+    Cycle,
+    /// A non-loader flowlet has no incoming edge, so it could never fire.
+    Unreachable(FlowletId),
+    /// A loader has an incoming edge; loaders are pure sources.
+    LoaderWithInput(FlowletId),
+    /// An edge references a flowlet id that does not exist.
+    UnknownFlowlet(FlowletId),
+    /// Duplicate edge between the same pair of flowlets.
+    DuplicateEdge { src: FlowletId, dst: FlowletId },
+    /// A full `Reduce` is downstream of a stream source; reduce needs
+    /// total input completion, which a stream never provides.
+    ReduceOnStream(FlowletId),
+    /// `capture_output` named a flowlet that does not exist.
+    UnknownOutput(FlowletId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "flowlet graph is empty"),
+            GraphError::Cycle => write!(f, "flowlet graph contains a cycle"),
+            GraphError::Unreachable(id) => {
+                write!(f, "flowlet {id} has no input edge and is not a loader")
+            }
+            GraphError::LoaderWithInput(id) => write!(f, "loader flowlet {id} has an input edge"),
+            GraphError::UnknownFlowlet(id) => write!(f, "edge references unknown flowlet {id}"),
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            GraphError::ReduceOnStream(id) => write!(
+                f,
+                "reduce flowlet {id} is downstream of a stream source; use a partial reduce"
+            ),
+            GraphError::UnknownOutput(id) => {
+                write!(f, "capture_output names unknown flowlet {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Errors surfaced while running a job.
+#[derive(Debug)]
+pub enum RunError {
+    /// The graph failed validation (should have been caught at build).
+    Graph(GraphError),
+    /// A node runtime panicked; the message carries the panic payload.
+    NodePanic { node: usize, message: String },
+    /// The network fabric failed.
+    Net(hamr_simnet::NetError),
+    /// A substrate disk failed.
+    Disk(hamr_simdisk::DiskError),
+    /// The DFS failed (loaders reading splits, sinks writing output).
+    Dfs(hamr_dfs::DfsError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Graph(e) => write!(f, "invalid graph: {e}"),
+            RunError::NodePanic { node, message } => {
+                write!(f, "node {node} runtime panicked: {message}")
+            }
+            RunError::Net(e) => write!(f, "network error: {e}"),
+            RunError::Disk(e) => write!(f, "disk error: {e}"),
+            RunError::Dfs(e) => write!(f, "dfs error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<GraphError> for RunError {
+    fn from(e: GraphError) -> Self {
+        RunError::Graph(e)
+    }
+}
+
+impl From<hamr_simnet::NetError> for RunError {
+    fn from(e: hamr_simnet::NetError) -> Self {
+        RunError::Net(e)
+    }
+}
+
+impl From<hamr_simdisk::DiskError> for RunError {
+    fn from(e: hamr_simdisk::DiskError) -> Self {
+        RunError::Disk(e)
+    }
+}
+
+impl From<hamr_dfs::DfsError> for RunError {
+    fn from(e: hamr_dfs::DfsError) -> Self {
+        RunError::Dfs(e)
+    }
+}

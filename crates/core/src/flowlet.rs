@@ -1,0 +1,184 @@
+//! Flowlet traits: the user-facing computation hooks.
+//!
+//! These are the erased (byte-level) interfaces the runtime drives.
+//! Most users write typed closures via [`crate::typed`] instead of
+//! implementing these directly.
+
+use crate::outbuf::TaskOutput;
+use crate::NodeId;
+use bytes::Bytes;
+use hamr_codec::Codec;
+use hamr_dfs::Dfs;
+use hamr_kvstore::{KvStore, Shard};
+use hamr_simdisk::Disk;
+use std::sync::Arc;
+
+/// Everything a flowlet task may touch besides its records.
+///
+/// Cheap to clone: all fields are shared handles. `disk` is the node's
+/// local disk (the paper's locality feature: flowlets may read/write
+/// node-local files directly and pass only indices downstream); `kv`
+/// is the node's shard of the distributed key-value store.
+#[derive(Clone)]
+pub struct TaskContext {
+    pub node: NodeId,
+    pub nodes: usize,
+    pub disk: Disk,
+    pub dfs: Dfs,
+    pub kv: Arc<Shard>,
+    pub kv_store: KvStore,
+}
+
+/// Identifies one loader split task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitSpec {
+    pub node: NodeId,
+    pub index: usize,
+}
+
+/// Collects a task's emissions, routing each record to an output port.
+///
+/// Port `p` is the flowlet's `p`-th outgoing connection, in
+/// [`crate::JobBuilder::connect`] call order. [`Emitter::output`] sends
+/// to the job's captured output for this flowlet (enabled with
+/// [`crate::JobBuilder::capture_output`]).
+pub struct Emitter<'a> {
+    out: &'a mut TaskOutput,
+}
+
+impl<'a> Emitter<'a> {
+    pub(crate) fn new(out: &'a mut TaskOutput) -> Self {
+        Emitter { out }
+    }
+
+    /// Emit a record on output port `port`.
+    ///
+    /// # Panics
+    /// Panics if `port` is not a connected output of this flowlet —
+    /// that is a wiring bug in the job graph, not a data condition.
+    #[inline]
+    pub fn emit(&mut self, port: usize, key: Bytes, value: Bytes) {
+        self.out.emit(port, key, value);
+    }
+
+    /// Emit a record into the job's captured output for this flowlet.
+    #[inline]
+    pub fn output(&mut self, key: Bytes, value: Bytes) {
+        self.out.capture(key, value);
+    }
+
+    /// Number of connected output ports.
+    pub fn ports(&self) -> usize {
+        self.out.ports()
+    }
+
+    /// Typed emit: encode `key`/`value` with [`Codec`] and send on `port`.
+    #[inline]
+    pub fn emit_t<K: Codec, V: Codec>(&mut self, port: usize, key: &K, value: &V) {
+        self.emit(port, key.to_bytes(), value.to_bytes());
+    }
+
+    /// Emit one record to *every* connected output port — the
+    /// data-reuse pattern where one loaded dataset feeds several
+    /// downstream flowlets (paper §3.2).
+    #[inline]
+    pub fn emit_all(&mut self, key: Bytes, value: Bytes) {
+        for port in 0..self.ports() {
+            self.emit(port, key.clone(), value.clone());
+        }
+    }
+
+    /// Typed [`Emitter::emit_all`].
+    #[inline]
+    pub fn emit_all_t<K: Codec, V: Codec>(&mut self, key: &K, value: &V) {
+        self.emit_all(key.to_bytes(), value.to_bytes());
+    }
+
+    /// Typed captured-output emit.
+    #[inline]
+    pub fn output_t<K: Codec, V: Codec>(&mut self, key: &K, value: &V) {
+        self.output(key.to_bytes(), value.to_bytes());
+    }
+}
+
+/// A source flowlet: pulls records from storage or a generator.
+///
+/// The runtime asks each node how many split tasks it should run
+/// (`split_count`), then schedules `load` once per split, subject to
+/// the loader-concurrency throttle.
+pub trait Loader: Send + Sync {
+    /// Number of split tasks to run on `ctx.node`.
+    fn split_count(&self, ctx: &TaskContext) -> usize;
+
+    /// Produce the records of split `index` (node-local numbering).
+    fn load(&self, ctx: &TaskContext, index: usize, out: &mut Emitter);
+}
+
+/// A map flowlet: per-record transformation, any fan-out.
+pub trait MapFn: Send + Sync {
+    fn map(&self, ctx: &TaskContext, key: &[u8], value: &[u8], out: &mut Emitter);
+}
+
+/// A reduce flowlet: sees every value for a key, grouped, after all
+/// upstream flowlets complete (the one semantic barrier in HAMR).
+pub trait ReduceFn: Send + Sync {
+    fn reduce(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = Bytes>,
+        out: &mut Emitter,
+    );
+}
+
+/// An opaque in-memory accumulator. Kept as native Rust state (no
+/// serialization round trip per record) because accumulators can be
+/// large — a per-label term vector, a member list — and re-encoding
+/// them on every fold would be quadratic.
+pub type AccBox = Box<dyn std::any::Any + Send>;
+
+/// A partial-reduce flowlet: folds commutative+associative updates into
+/// a per-key accumulator as soon as bins arrive. Emits only at upstream
+/// completion (batch) or epoch boundary (streaming), per the paper.
+pub trait PartialReduceFn: Send + Sync {
+    /// Seed an accumulator from the first value for a key.
+    fn init(&self, key: &[u8], value: &[u8]) -> AccBox;
+
+    /// Fold one more value into an accumulator, in place.
+    fn fold(&self, key: &[u8], acc: &mut AccBox, value: &[u8]);
+
+    /// Merge another accumulator into `acc` (used by sharded contention
+    /// mode and by map-side combiners). Must agree with repeated `fold`.
+    fn merge(&self, key: &[u8], acc: &mut AccBox, other: AccBox);
+
+    /// Emit the final records for a key at completion/epoch flush.
+    fn finish(&self, ctx: &TaskContext, key: &[u8], acc: AccBox, out: &mut Emitter);
+}
+
+/// A streaming source: emits one epoch of records per call.
+///
+/// Returning `false` ends the stream on this node. Downstream partial
+/// reduces flush their windows at each epoch boundary, which is how
+/// HAMR serves the "speed layer" of a Lambda architecture with the same
+/// programming model as batch.
+pub trait StreamSource: Send + Sync {
+    /// Emit records for `epoch`; return `true` if more epochs follow.
+    fn epoch(&self, ctx: &TaskContext, epoch: u64, out: &mut Emitter) -> bool;
+}
+
+// Blanket impls so `Arc<dyn ...>` wrappers and plain functions compose.
+
+impl<T: Loader + ?Sized> Loader for Arc<T> {
+    fn split_count(&self, ctx: &TaskContext) -> usize {
+        (**self).split_count(ctx)
+    }
+    fn load(&self, ctx: &TaskContext, index: usize, out: &mut Emitter) {
+        (**self).load(ctx, index, out)
+    }
+}
+
+impl<T: MapFn + ?Sized> MapFn for Arc<T> {
+    fn map(&self, ctx: &TaskContext, key: &[u8], value: &[u8], out: &mut Emitter) {
+        (**self).map(ctx, key, value, out)
+    }
+}

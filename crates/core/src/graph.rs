@@ -1,0 +1,549 @@
+//! Flowlet graph construction and validation.
+//!
+//! A HAMR job is a DAG of flowlets. Unlike MapReduce's fixed
+//! map→reduce shape, any flowlet may connect to any other (the paper's
+//! "multi-phase support"), multiple flowlets may feed one, and one may
+//! feed many — which is how chains of Hadoop jobs collapse into a
+//! single in-memory job.
+
+use crate::error::GraphError;
+use crate::flowlet::{Loader, MapFn, PartialReduceFn, ReduceFn, StreamSource};
+use std::sync::Arc;
+
+/// Index of a flowlet within its job graph.
+pub type FlowletId = usize;
+
+/// Index of an edge within its job graph.
+pub type EdgeId = usize;
+
+/// How records are routed along an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exchange {
+    /// Partition by `stable_hash(key) % nodes` — each node owns a key
+    /// slice (the shuffle).
+    Hash,
+    /// Deliver every record to every node.
+    Broadcast,
+    /// Stay on the producing node (no network).
+    Local,
+    /// Explicit partitioner: the key is a `Codec`-encoded `u64` node
+    /// index; the record goes to node `key % nodes`. Used by
+    /// locality-aware algorithms that route work back to the node
+    /// where the data lives (paper §3.3, K-Means Alg. 1 step 4).
+    KeyNode,
+}
+
+/// A flowlet's computation, type-erased.
+pub enum FlowletKind {
+    Loader(Arc<dyn Loader>),
+    Stream(Arc<dyn StreamSource>),
+    Map(Arc<dyn MapFn>),
+    Reduce(Arc<dyn ReduceFn>),
+    PartialReduce(Arc<dyn PartialReduceFn>),
+}
+
+impl FlowletKind {
+    /// Sources have no inputs: loaders and stream sources.
+    pub fn is_source(&self) -> bool {
+        matches!(self, FlowletKind::Loader(_) | FlowletKind::Stream(_))
+    }
+
+    /// Human-readable kind name for metrics and errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FlowletKind::Loader(_) => "loader",
+            FlowletKind::Stream(_) => "stream",
+            FlowletKind::Map(_) => "map",
+            FlowletKind::Reduce(_) => "reduce",
+            FlowletKind::PartialReduce(_) => "partial-reduce",
+        }
+    }
+}
+
+impl std::fmt::Debug for FlowletKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind_name())
+    }
+}
+
+/// One flowlet in a built graph.
+#[derive(Debug)]
+pub struct FlowletDef {
+    pub name: String,
+    pub kind: FlowletKind,
+    /// When true, `Emitter::output` records are collected into the
+    /// job result for this flowlet.
+    pub capture: bool,
+    /// Outgoing edges in port order (port p == out_edges[p]).
+    pub out_edges: Vec<EdgeId>,
+    /// Incoming edges, unordered.
+    pub in_edges: Vec<EdgeId>,
+}
+
+/// One edge in a built graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeDef {
+    pub src: FlowletId,
+    pub dst: FlowletId,
+    pub exchange: Exchange,
+    /// Position among `src`'s outputs (== the emitter port).
+    pub src_port: usize,
+}
+
+/// Incrementally builds a [`JobGraph`].
+pub struct JobBuilder {
+    name: String,
+    flowlets: Vec<FlowletDef>,
+    edges: Vec<EdgeDef>,
+}
+
+impl JobBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder {
+            name: name.into(),
+            flowlets: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, name: impl Into<String>, kind: FlowletKind) -> FlowletId {
+        let id = self.flowlets.len();
+        self.flowlets.push(FlowletDef {
+            name: name.into(),
+            kind,
+            capture: false,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a loader (batch source) flowlet.
+    pub fn add_loader(&mut self, name: impl Into<String>, l: impl Loader + 'static) -> FlowletId {
+        self.add(name, FlowletKind::Loader(Arc::new(l)))
+    }
+
+    /// Add a streaming source flowlet.
+    pub fn add_stream(
+        &mut self,
+        name: impl Into<String>,
+        s: impl StreamSource + 'static,
+    ) -> FlowletId {
+        self.add(name, FlowletKind::Stream(Arc::new(s)))
+    }
+
+    /// Add a map flowlet.
+    pub fn add_map(&mut self, name: impl Into<String>, m: impl MapFn + 'static) -> FlowletId {
+        self.add(name, FlowletKind::Map(Arc::new(m)))
+    }
+
+    /// Add a full reduce flowlet.
+    pub fn add_reduce(&mut self, name: impl Into<String>, r: impl ReduceFn + 'static) -> FlowletId {
+        self.add(name, FlowletKind::Reduce(Arc::new(r)))
+    }
+
+    /// Add a partial-reduce flowlet.
+    pub fn add_partial_reduce(
+        &mut self,
+        name: impl Into<String>,
+        r: impl PartialReduceFn + 'static,
+    ) -> FlowletId {
+        self.add(name, FlowletKind::PartialReduce(Arc::new(r)))
+    }
+
+    /// Connect `src` to `dst`. The returned value is `src`'s output
+    /// port for this connection (its n-th `connect` as a source).
+    pub fn connect(&mut self, src: FlowletId, dst: FlowletId, exchange: Exchange) -> usize {
+        let edge_id = self.edges.len();
+        let src_port = self
+            .flowlets
+            .get(src)
+            .map(|f| f.out_edges.len())
+            .unwrap_or(0);
+        self.edges.push(EdgeDef {
+            src,
+            dst,
+            exchange,
+            src_port,
+        });
+        if let Some(f) = self.flowlets.get_mut(src) {
+            f.out_edges.push(edge_id);
+        }
+        if let Some(f) = self.flowlets.get_mut(dst) {
+            f.in_edges.push(edge_id);
+        }
+        src_port
+    }
+
+    /// Collect `Emitter::output` records of `flowlet` into the job result.
+    pub fn capture_output(&mut self, flowlet: FlowletId) {
+        if let Some(f) = self.flowlets.get_mut(flowlet) {
+            f.capture = true;
+        } else {
+            // Remember the bad id so build() reports it.
+            self.edges.push(EdgeDef {
+                src: flowlet,
+                dst: flowlet,
+                exchange: Exchange::Local,
+                src_port: usize::MAX,
+            });
+        }
+    }
+
+    /// Validate and freeze the graph.
+    pub fn build(self) -> Result<JobGraph, GraphError> {
+        let JobBuilder {
+            name,
+            flowlets,
+            edges,
+        } = self;
+        if flowlets.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        // Ids in range (including the capture_output sentinel).
+        for e in &edges {
+            if e.src_port == usize::MAX {
+                return Err(GraphError::UnknownOutput(e.src));
+            }
+            if e.src >= flowlets.len() || e.dst >= flowlets.len() {
+                return Err(GraphError::UnknownFlowlet(e.src.max(e.dst)));
+            }
+        }
+        // Duplicate edges between the same ordered pair.
+        let mut seen = std::collections::HashSet::new();
+        for e in &edges {
+            if !seen.insert((e.src, e.dst)) {
+                return Err(GraphError::DuplicateEdge {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+        }
+        // Sources have no inputs; non-sources have at least one.
+        for (id, f) in flowlets.iter().enumerate() {
+            if f.kind.is_source() {
+                if !f.in_edges.is_empty() {
+                    return Err(GraphError::LoaderWithInput(id));
+                }
+            } else if f.in_edges.is_empty() {
+                return Err(GraphError::Unreachable(id));
+            }
+        }
+        // Kahn topological sort (cycle check).
+        let mut indegree: Vec<usize> = flowlets.iter().map(|f| f.in_edges.len()).collect();
+        let mut queue: Vec<FlowletId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut topo = Vec::with_capacity(flowlets.len());
+        while let Some(id) = queue.pop() {
+            topo.push(id);
+            for &e in &flowlets[id].out_edges {
+                let dst = edges[e].dst;
+                indegree[dst] -= 1;
+                if indegree[dst] == 0 {
+                    queue.push(dst);
+                }
+            }
+        }
+        if topo.len() != flowlets.len() {
+            return Err(GraphError::Cycle);
+        }
+        // Streaming jobs cannot contain a full Reduce downstream of a
+        // stream source (it would wait forever).
+        let has_stream = flowlets
+            .iter()
+            .any(|f| matches!(f.kind, FlowletKind::Stream(_)));
+        if has_stream {
+            let mut reach_stream = vec![false; flowlets.len()];
+            for (id, f) in flowlets.iter().enumerate() {
+                if matches!(f.kind, FlowletKind::Stream(_)) {
+                    reach_stream[id] = true;
+                }
+            }
+            for &id in &topo {
+                if reach_stream[id] {
+                    for &e in &flowlets[id].out_edges {
+                        reach_stream[edges[e].dst] = true;
+                    }
+                }
+            }
+            for (id, f) in flowlets.iter().enumerate() {
+                if reach_stream[id] && matches!(f.kind, FlowletKind::Reduce(_)) {
+                    return Err(GraphError::ReduceOnStream(id));
+                }
+            }
+        }
+        Ok(JobGraph {
+            name,
+            flowlets,
+            edges,
+            topo,
+            has_stream,
+        })
+    }
+}
+
+/// A validated, immutable flowlet DAG ready to run.
+#[derive(Debug)]
+pub struct JobGraph {
+    pub name: String,
+    pub flowlets: Vec<FlowletDef>,
+    pub edges: Vec<EdgeDef>,
+    /// Topological order of flowlet ids.
+    pub topo: Vec<FlowletId>,
+    /// True when the graph contains a stream source (streaming job).
+    pub has_stream: bool,
+}
+
+impl JobGraph {
+    pub fn flowlet_count(&self) -> usize {
+        self.flowlets.len()
+    }
+
+    /// Render the DAG in Graphviz DOT format (for debugging and docs).
+    ///
+    /// Nodes are labelled `name\n(kind)`; edges carry their exchange.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name.replace('"', "'"));
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, f) in self.flowlets.iter().enumerate() {
+            let shape = match f.kind {
+                FlowletKind::Loader(_) | FlowletKind::Stream(_) => "invhouse",
+                FlowletKind::Reduce(_) => "box",
+                FlowletKind::PartialReduce(_) => "box3d",
+                FlowletKind::Map(_) => "ellipse",
+            };
+            let capture = if f.capture { "\\n[captured]" } else { "" };
+            let _ = writeln!(
+                out,
+                "  f{id} [label=\"{}\\n({}){}\" shape={shape}];",
+                f.name.replace('"', "'"),
+                f.kind.kind_name(),
+                capture
+            );
+        }
+        for e in &self.edges {
+            let style = match e.exchange {
+                Exchange::Hash => "label=\"hash\"",
+                Exchange::Broadcast => "label=\"broadcast\" style=dashed",
+                Exchange::Local => "label=\"local\" style=dotted",
+                Exchange::KeyNode => "label=\"key-node\"",
+            };
+            let _ = writeln!(out, "  f{} -> f{} [{style}];", e.src, e.dst);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// (edge id, exchange) pairs for a flowlet's outputs, port order.
+    pub fn out_ports(&self, flowlet: FlowletId) -> Vec<(EdgeId, Exchange)> {
+        self.flowlets[flowlet]
+            .out_edges
+            .iter()
+            .map(|&e| (e, self.edges[e].exchange))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowlet::{Emitter, TaskContext};
+    use bytes::Bytes;
+
+    struct NullLoader;
+    impl Loader for NullLoader {
+        fn split_count(&self, _ctx: &TaskContext) -> usize {
+            0
+        }
+        fn load(&self, _ctx: &TaskContext, _index: usize, _out: &mut Emitter) {}
+    }
+
+    struct IdMap;
+    impl MapFn for IdMap {
+        fn map(&self, _ctx: &TaskContext, _k: &[u8], _v: &[u8], _out: &mut Emitter) {}
+    }
+
+    struct NullReduce;
+    impl ReduceFn for NullReduce {
+        fn reduce(
+            &self,
+            _ctx: &TaskContext,
+            _key: &[u8],
+            _values: &mut dyn Iterator<Item = Bytes>,
+            _out: &mut Emitter,
+        ) {
+        }
+    }
+
+    struct NullStream;
+    impl StreamSource for NullStream {
+        fn epoch(&self, _ctx: &TaskContext, _epoch: u64, _out: &mut Emitter) -> bool {
+            false
+        }
+    }
+
+    fn two_stage() -> JobBuilder {
+        let mut b = JobBuilder::new("t");
+        let l = b.add_loader("l", NullLoader);
+        let m = b.add_map("m", IdMap);
+        b.connect(l, m, Exchange::Hash);
+        b
+    }
+
+    #[test]
+    fn valid_graph_builds() {
+        let g = two_stage().build().unwrap();
+        assert_eq!(g.flowlet_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.topo, vec![0, 1]);
+        assert!(!g.has_stream);
+        assert_eq!(g.out_ports(0), vec![(0, Exchange::Hash)]);
+        assert!(g.out_ports(1).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(JobBuilder::new("e").build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = JobBuilder::new("c");
+        let l = b.add_loader("l", NullLoader);
+        let m1 = b.add_map("m1", IdMap);
+        let m2 = b.add_map("m2", IdMap);
+        b.connect(l, m1, Exchange::Local);
+        b.connect(m1, m2, Exchange::Local);
+        b.connect(m2, m1, Exchange::Local);
+        assert_eq!(b.build().unwrap_err(), GraphError::Cycle);
+    }
+
+    #[test]
+    fn orphan_map_rejected() {
+        let mut b = JobBuilder::new("o");
+        b.add_loader("l", NullLoader);
+        b.add_map("m", IdMap);
+        assert_eq!(b.build().unwrap_err(), GraphError::Unreachable(1));
+    }
+
+    #[test]
+    fn loader_with_input_rejected() {
+        let mut b = JobBuilder::new("li");
+        let l1 = b.add_loader("l1", NullLoader);
+        let l2 = b.add_loader("l2", NullLoader);
+        b.connect(l1, l2, Exchange::Local);
+        assert_eq!(b.build().unwrap_err(), GraphError::LoaderWithInput(l2));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = two_stage();
+        b.connect(0, 1, Exchange::Local);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateEdge { src: 0, dst: 1 }
+        );
+    }
+
+    #[test]
+    fn unknown_flowlet_in_edge_rejected() {
+        let mut b = JobBuilder::new("u");
+        let l = b.add_loader("l", NullLoader);
+        b.connect(l, 99, Exchange::Local);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownFlowlet(99));
+    }
+
+    #[test]
+    fn reduce_downstream_of_stream_rejected() {
+        let mut b = JobBuilder::new("s");
+        let s = b.add_stream("s", NullStream);
+        let m = b.add_map("m", IdMap);
+        let r = b.add_reduce("r", NullReduce);
+        b.connect(s, m, Exchange::Local);
+        b.connect(m, r, Exchange::Hash);
+        assert_eq!(b.build().unwrap_err(), GraphError::ReduceOnStream(r));
+    }
+
+    #[test]
+    fn reduce_beside_stream_allowed() {
+        // A reduce fed only by a batch loader coexists with a stream
+        // elsewhere in the graph.
+        let mut b = JobBuilder::new("s2");
+        let s = b.add_stream("s", NullStream);
+        let m = b.add_map("m", IdMap);
+        let l = b.add_loader("l", NullLoader);
+        let r = b.add_reduce("r", NullReduce);
+        b.connect(s, m, Exchange::Local);
+        b.connect(l, r, Exchange::Hash);
+        let g = b.build().unwrap();
+        assert!(g.has_stream);
+    }
+
+    #[test]
+    fn capture_unknown_output_rejected() {
+        let mut b = two_stage();
+        b.capture_output(42);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownOutput(42));
+    }
+
+    #[test]
+    fn ports_assigned_in_connect_order() {
+        let mut b = JobBuilder::new("p");
+        let l = b.add_loader("l", NullLoader);
+        let m1 = b.add_map("m1", IdMap);
+        let m2 = b.add_map("m2", IdMap);
+        let p0 = b.connect(l, m1, Exchange::Local);
+        let p1 = b.connect(l, m2, Exchange::Broadcast);
+        assert_eq!((p0, p1), (0, 1));
+        let g = b.build().unwrap();
+        assert_eq!(
+            g.out_ports(l),
+            vec![(0, Exchange::Local), (1, Exchange::Broadcast)]
+        );
+    }
+
+    #[test]
+    fn dot_export_mentions_every_flowlet_and_edge() {
+        let mut b = JobBuilder::new("viz");
+        let l = b.add_loader("src", NullLoader);
+        let m = b.add_map("xform", IdMap);
+        let r = b.add_reduce("agg", NullReduce);
+        b.connect(l, m, Exchange::Local);
+        b.connect(m, r, Exchange::Hash);
+        b.capture_output(r);
+        let dot = b.build().unwrap().to_dot();
+        assert!(dot.starts_with("digraph"));
+        for needle in ["src", "xform", "agg", "f0 -> f1", "f1 -> f2", "hash", "local", "[captured]"] {
+            assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
+        }
+    }
+
+    #[test]
+    fn diamond_topology_sorts() {
+        let mut b = JobBuilder::new("d");
+        let l = b.add_loader("l", NullLoader);
+        let m1 = b.add_map("m1", IdMap);
+        let m2 = b.add_map("m2", IdMap);
+        let r = b.add_reduce("r", NullReduce);
+        b.connect(l, m1, Exchange::Local);
+        b.connect(l, m2, Exchange::Local);
+        b.connect(m1, r, Exchange::Hash);
+        b.connect(m2, r, Exchange::Hash);
+        let g = b.build().unwrap();
+        let pos = |id: FlowletId| g.topo.iter().position(|&x| x == id).unwrap();
+        assert!(pos(l) < pos(m1));
+        assert!(pos(l) < pos(m2));
+        assert!(pos(m1) < pos(r));
+        assert!(pos(m2) < pos(r));
+    }
+}

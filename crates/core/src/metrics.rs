@@ -1,0 +1,169 @@
+//! Execution metrics: what the evaluation chapters read off a run.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Counters for one flowlet aggregated across nodes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowletMetrics {
+    pub name: String,
+    pub kind: &'static str,
+    /// Flowlet tasks executed (splits, bins, fire shards).
+    pub tasks: u64,
+    /// Records consumed from bins.
+    pub records_in: u64,
+    /// Records emitted to downstream edges.
+    pub records_out: u64,
+    /// Bins shipped downstream.
+    pub bins_out: u64,
+    /// Bins whose shipment was deferred by flow control at least once.
+    pub flow_control_stalls: u64,
+    /// Bytes spilled to local disk (reduce overflow).
+    pub spilled_bytes: u64,
+    /// Total time workers spent inside this flowlet's tasks.
+    pub busy: Duration,
+}
+
+/// Per-node rollup.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Total worker busy time on this node.
+    pub busy: Duration,
+    /// Wall-clock from job start to this node finishing.
+    pub elapsed: Duration,
+    /// Bins received from the fabric.
+    pub bins_in: u64,
+    /// Records received from the fabric.
+    pub records_in: u64,
+}
+
+impl NodeMetrics {
+    /// Fraction of `threads * elapsed` spent busy; the paper's
+    /// "computation resource usage".
+    pub fn utilization(&self, threads: usize) -> f64 {
+        let capacity = self.elapsed.as_secs_f64() * threads as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / capacity).min(1.0)
+    }
+}
+
+/// Whole-job metrics, merged across nodes by the driver.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    pub flowlets: BTreeMap<usize, FlowletMetrics>,
+    pub nodes: Vec<NodeMetrics>,
+    /// Bytes that crossed node boundaries (from the fabric snapshot).
+    pub shuffled_bytes: u64,
+    /// Messages that crossed node boundaries.
+    pub shuffled_messages: u64,
+}
+
+impl JobMetrics {
+    /// Sum of spilled bytes over all flowlets.
+    pub fn total_spilled(&self) -> u64 {
+        self.flowlets.values().map(|f| f.spilled_bytes).sum()
+    }
+
+    /// Sum of flow-control stall events.
+    pub fn total_stalls(&self) -> u64 {
+        self.flowlets.values().map(|f| f.flow_control_stalls).sum()
+    }
+
+    /// Mean node utilization.
+    pub fn mean_utilization(&self, threads: usize) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.utilization(threads)).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Coefficient of variation of per-node busy time — the workload
+    /// balance measure (0 = perfectly balanced).
+    pub fn busy_imbalance(&self) -> f64 {
+        if self.nodes.len() < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.nodes.iter().map(|n| n.busy.as_secs_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let m = NodeMetrics {
+            busy: Duration::from_secs(2),
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        // busy can exceed elapsed with multiple threads; clamp at 1.0
+        assert_eq!(m.utilization(1), 1.0);
+        assert!((m.utilization(4) - 0.5).abs() < 1e-9);
+        let zero = NodeMetrics::default();
+        assert_eq!(zero.utilization(4), 0.0);
+    }
+
+    #[test]
+    fn imbalance_zero_when_balanced() {
+        let mut jm = JobMetrics::default();
+        for _ in 0..4 {
+            jm.nodes.push(NodeMetrics {
+                busy: Duration::from_secs(3),
+                elapsed: Duration::from_secs(4),
+                ..Default::default()
+            });
+        }
+        assert!(jm.busy_imbalance() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_positive_when_skewed() {
+        let mut jm = JobMetrics::default();
+        jm.nodes.push(NodeMetrics {
+            busy: Duration::from_secs(8),
+            elapsed: Duration::from_secs(8),
+            ..Default::default()
+        });
+        for _ in 0..3 {
+            jm.nodes.push(NodeMetrics {
+                busy: Duration::from_millis(100),
+                elapsed: Duration::from_secs(8),
+                ..Default::default()
+            });
+        }
+        assert!(jm.busy_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn totals_aggregate_flowlets() {
+        let mut jm = JobMetrics::default();
+        jm.flowlets.insert(
+            0,
+            FlowletMetrics {
+                spilled_bytes: 100,
+                flow_control_stalls: 2,
+                ..Default::default()
+            },
+        );
+        jm.flowlets.insert(
+            1,
+            FlowletMetrics {
+                spilled_bytes: 50,
+                flow_control_stalls: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(jm.total_spilled(), 150);
+        assert_eq!(jm.total_stalls(), 3);
+    }
+}

@@ -1,0 +1,1090 @@
+//! The per-node flowlet runtime.
+//!
+//! Every cluster node runs one of these. It owns the whole flowlet
+//! graph (per the paper — unlike Dryad's per-node subgraphs), a bin
+//! queue fed by the network fabric, and a worker thread pool. A single
+//! runtime thread owns all scheduling state; workers only execute user
+//! flowlet code and report results back over a channel, so the
+//! scheduler itself needs no locks.
+//!
+//! ## Scheduling (paper §2, Fig. 2)
+//! * A flowlet **task** is the finest unit: one loader split, one bin
+//!   through a map/partial-reduce, one reduce ingest, or one fire shard.
+//! * Map and partial-reduce tasks become ready per-bin — downstream
+//!   work starts long before upstream completes (fine-grain async).
+//! * Reduce fires only after *all* in-edges complete; completion
+//!   messages propagate from the loaders downstream, one per
+//!   (edge, upstream-node) pair, ordered behind that node's bins by the
+//!   fabric's per-link FIFO.
+//!
+//! ## Flow control (paper §2 last ¶)
+//! A sliding window of `out_window_bins` unacknowledged bins per
+//! destination node. When the window is full, finished bins are
+//! *deferred* and the producing flowlet is suspended (no new bins are
+//! admitted for it) until acknowledgements drain the backlog — "the
+//! flowlet stops the current execution immediately and will be
+//! scheduled in a later time". Loader concurrency is additionally
+//! throttled. Progress is deadlock-free because the graph is acyclic:
+//! sinks never defer, so windows always eventually drain.
+
+use crate::config::RuntimeConfig;
+use crate::flowlet::{AccBox, TaskContext};
+use crate::graph::{EdgeId, FlowletId, FlowletKind, JobGraph};
+use crate::metrics::{FlowletMetrics, NodeMetrics};
+use crate::outbuf::{PortSpec, TaskOutput};
+use crate::record::{Bin, Record};
+use crate::reduce_state::{FireShard, PartialState, ReduceState};
+use crate::NodeId;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hamr_simnet::{Endpoint, Envelope, Payload};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Messages exchanged between node runtimes over the fabric.
+pub(crate) enum NetMsg {
+    /// A bin of records for `bin.edge`'s destination flowlet.
+    Bin(Bin),
+    /// The sender's instance of `edge`'s source flowlet has finished
+    /// producing on `edge`.
+    EdgeComplete { edge: EdgeId },
+    /// Streaming punctuation: the sender finished `epoch` on `edge`.
+    Marker { edge: EdgeId, epoch: u64 },
+    /// The receiver finished processing one bin the addressee sent on
+    /// `edge`.
+    Ack { edge: EdgeId },
+    /// A node hit a fatal error; everyone stops.
+    Abort { reason: Arc<String> },
+}
+
+impl Payload for NetMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Bin(b) => b.wire_size(),
+            _ => 24,
+        }
+    }
+}
+
+/// Work delivered to a flowlet instance, kept in arrival order so
+/// completion/epoch sentinels stay behind the bins they cover.
+enum Work {
+    Bin {
+        from: NodeId,
+        /// True when the receipt was already acknowledged (barrier-mode
+        /// holds ack on arrival so upstream windows keep moving).
+        acked: bool,
+        bin: Bin,
+    },
+    Complete,
+    Marker { epoch: u64 },
+}
+
+/// A task handed to a worker thread.
+enum Task {
+    LoaderSplit { flowlet: FlowletId, index: usize },
+    StreamEpoch { flowlet: FlowletId, epoch: u64 },
+    MapBin { flowlet: FlowletId, ack: Option<(NodeId, EdgeId)>, bin: Bin },
+    PartialFold { flowlet: FlowletId, ack: Option<(NodeId, EdgeId)>, bin: Bin },
+    ReduceIngest { flowlet: FlowletId, ack: Option<(NodeId, EdgeId)>, bin: Bin },
+    FireReduce { flowlet: FlowletId, shard: FireShard },
+    FirePartial { flowlet: FlowletId, entries: Vec<(Bytes, AccBox)> },
+}
+
+impl Task {
+    fn flowlet(&self) -> FlowletId {
+        match self {
+            Task::LoaderSplit { flowlet, .. }
+            | Task::StreamEpoch { flowlet, .. }
+            | Task::MapBin { flowlet, .. }
+            | Task::PartialFold { flowlet, .. }
+            | Task::ReduceIngest { flowlet, .. }
+            | Task::FireReduce { flowlet, .. }
+            | Task::FirePartial { flowlet, .. } => *flowlet,
+        }
+    }
+}
+
+/// A worker's report after executing one task.
+struct TaskDone {
+    flowlet: FlowletId,
+    bins: Vec<(NodeId, Bin)>,
+    captured: Vec<Record>,
+    ack_to: Option<(NodeId, EdgeId)>,
+    /// For stream tasks: (epoch, more-epochs-follow).
+    stream: Option<(u64, bool)>,
+    is_loader_split: bool,
+    is_fire: bool,
+    records_in: u64,
+    records_out: u64,
+    duration: Duration,
+    panic: Option<String>,
+}
+
+/// State shared with worker threads.
+struct WorkerShared {
+    graph: Arc<JobGraph>,
+    ctx: TaskContext,
+    bin_capacity: usize,
+    partial: Vec<Option<Arc<PartialState>>>,
+    reduce: Vec<Mutex<Option<Arc<ReduceState>>>>,
+}
+
+impl WorkerShared {
+    fn make_output(&self, flowlet: FlowletId) -> TaskOutput {
+        let def = &self.graph.flowlets[flowlet];
+        let ports = self
+            .graph
+            .out_ports(flowlet)
+            .into_iter()
+            .map(|(edge, exchange)| PortSpec { edge, exchange })
+            .collect();
+        TaskOutput::new(
+            ports,
+            self.ctx.node,
+            self.ctx.nodes,
+            self.bin_capacity,
+            def.capture,
+            def.name.clone(),
+        )
+    }
+}
+
+fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone {
+    let start = Instant::now();
+    let flowlet = task.flowlet();
+    let is_loader_split = matches!(task, Task::LoaderSplit { .. });
+    let is_fire = matches!(task, Task::FireReduce { .. } | Task::FirePartial { .. });
+    let mut done = TaskDone {
+        flowlet,
+        bins: Vec::new(),
+        captured: Vec::new(),
+        ack_to: None,
+        stream: None,
+        is_loader_split,
+        is_fire,
+        records_in: 0,
+        records_out: 0,
+        duration: Duration::ZERO,
+        panic: None,
+    };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut out = shared.make_output(flowlet);
+        let kind = &shared.graph.flowlets[flowlet].kind;
+        let mut records_in = 0u64;
+        let mut ack_to = None;
+        let mut stream = None;
+        match task {
+            Task::LoaderSplit { index, .. } => {
+                let FlowletKind::Loader(l) = kind else {
+                    unreachable!("loader task for non-loader")
+                };
+                let mut em = crate::flowlet::Emitter::new(&mut out);
+                l.load(&shared.ctx, index, &mut em);
+            }
+            Task::StreamEpoch { epoch, .. } => {
+                let FlowletKind::Stream(s) = kind else {
+                    unreachable!("stream task for non-stream")
+                };
+                let mut em = crate::flowlet::Emitter::new(&mut out);
+                let more = s.epoch(&shared.ctx, epoch, &mut em);
+                stream = Some((epoch, more));
+            }
+            Task::MapBin { ack, bin, .. } => {
+                let FlowletKind::Map(m) = kind else {
+                    unreachable!("map task for non-map")
+                };
+                records_in = bin.len() as u64;
+                let mut em = crate::flowlet::Emitter::new(&mut out);
+                for rec in &bin.records {
+                    m.map(&shared.ctx, &rec.key, &rec.value, &mut em);
+                }
+                ack_to = ack;
+            }
+            Task::PartialFold { ack, bin, .. } => {
+                let FlowletKind::PartialReduce(r) = kind else {
+                    unreachable!("partial task for non-partial")
+                };
+                records_in = bin.len() as u64;
+                let state = shared.partial[flowlet]
+                    .as_ref()
+                    .expect("partial state exists");
+                state.fold_bin(worker_id, r.as_ref(), bin.records);
+                ack_to = ack;
+            }
+            Task::ReduceIngest { ack, bin, .. } => {
+                records_in = bin.len() as u64;
+                let state = shared.reduce[flowlet]
+                    .lock()
+                    .clone()
+                    .expect("reduce state exists");
+                state.ingest(bin.records).expect("spill failed");
+                ack_to = ack;
+            }
+            Task::FireReduce { mut shard, .. } => {
+                let FlowletKind::Reduce(r) = kind else {
+                    unreachable!("fire task for non-reduce")
+                };
+                while let Some((key, values)) = shard.next_group() {
+                    // Not counted as records_in: these records were
+                    // already counted when their bins were ingested.
+                    let mut em = crate::flowlet::Emitter::new(&mut out);
+                    let mut iter = values.into_iter();
+                    r.reduce(&shared.ctx, &key, &mut iter, &mut em);
+                }
+            }
+            Task::FirePartial { entries, .. } => {
+                let FlowletKind::PartialReduce(r) = kind else {
+                    unreachable!("fire task for non-partial")
+                };
+                for (key, acc) in entries {
+                    // Accumulators, not input records; skip records_in.
+                    let mut em = crate::flowlet::Emitter::new(&mut out);
+                    r.finish(&shared.ctx, &key, acc, &mut em);
+                }
+            }
+        }
+        let (bins, captured) = out.into_parts();
+        (bins, captured, records_in, ack_to, stream)
+    }));
+    match result {
+        Ok((bins, captured, records_in, ack_to, stream)) => {
+            done.records_out = bins.iter().map(|(_, b)| b.len() as u64).sum();
+            done.bins = bins;
+            done.captured = captured;
+            done.records_in = records_in;
+            done.ack_to = ack_to;
+            done.stream = stream;
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "flowlet task panicked".to_string());
+            done.panic = Some(msg);
+        }
+    }
+    done.duration = start.elapsed();
+    done
+}
+
+fn worker_loop(
+    worker_id: usize,
+    shared: Arc<WorkerShared>,
+    rx: Receiver<Task>,
+    done_tx: Sender<TaskDone>,
+) {
+    while let Ok(task) = rx.recv() {
+        let done = execute_task(&shared, worker_id, task);
+        if done_tx.send(done).is_err() {
+            return;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Active,
+    FiringReduce,
+    FiringPartial,
+    FlushingEpoch(u64),
+    Complete,
+}
+
+/// Per-flowlet scheduling state on this node.
+struct Instance {
+    pending: VecDeque<Work>,
+    /// Barrier-mode holding pen for bins that arrived before input
+    /// completion.
+    held: Vec<Work>,
+    complete_seen: usize,
+    input_expected: usize,
+    markers: HashMap<u64, usize>,
+    running: usize,
+    deferred: usize,
+    phase: Phase,
+    // loader
+    splits_total: usize,
+    splits_next: usize,
+    splits_done: usize,
+    loader_running: usize,
+    // stream
+    stream_epoch: u64,
+    stream_task_out: bool,
+    marker_owed: Option<u64>,
+    stream_finished: bool,
+    fire_left: usize,
+}
+
+impl Instance {
+    fn input_done(&self) -> bool {
+        self.complete_seen == self.input_expected
+    }
+}
+
+/// What a node hands back to the driver.
+pub(crate) struct NodeOutcome {
+    pub node: NodeId,
+    pub captured: HashMap<FlowletId, Vec<Record>>,
+    pub flowlets: Vec<FlowletMetrics>,
+    pub node_metrics: NodeMetrics,
+    pub error: Option<String>,
+}
+
+/// Runs one node's runtime to completion. Called on its own thread.
+pub(crate) fn run_node(
+    node: NodeId,
+    graph: Arc<JobGraph>,
+    cfg: RuntimeConfig,
+    threads: usize,
+    ctx: TaskContext,
+    endpoint: Endpoint<NetMsg>,
+    inbox: Receiver<Envelope<NetMsg>>,
+) -> NodeOutcome {
+    NodeRuntime::new(node, graph, cfg, threads, ctx, endpoint, inbox).run()
+}
+
+struct NodeRuntime {
+    node: NodeId,
+    nodes: usize,
+    graph: Arc<JobGraph>,
+    cfg: RuntimeConfig,
+    threads: usize,
+    endpoint: Endpoint<NetMsg>,
+    inbox: Receiver<Envelope<NetMsg>>,
+    task_tx: Option<Sender<Task>>,
+    done_rx: Receiver<TaskDone>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<WorkerShared>,
+    instances: Vec<Instance>,
+    /// In-flight (unacked) bins per (edge, destination node).
+    inflight: Vec<usize>,
+    deferred: VecDeque<(FlowletId, NodeId, Bin)>,
+    outstanding: usize,
+    captured: HashMap<FlowletId, Vec<Record>>,
+    fmetrics: Vec<FlowletMetrics>,
+    nmetrics: NodeMetrics,
+    busy: Duration,
+    start: Instant,
+    error: Option<String>,
+}
+
+impl NodeRuntime {
+    fn new(
+        node: NodeId,
+        graph: Arc<JobGraph>,
+        cfg: RuntimeConfig,
+        threads: usize,
+        ctx: TaskContext,
+        endpoint: Endpoint<NetMsg>,
+        inbox: Receiver<Envelope<NetMsg>>,
+    ) -> Self {
+        let nodes = ctx.nodes;
+        let fire_shards = if cfg.fire_shards == 0 {
+            threads
+        } else {
+            cfg.fire_shards
+        };
+        // Per-flowlet worker-visible state.
+        let mut partial = Vec::with_capacity(graph.flowlets.len());
+        let mut reduce = Vec::with_capacity(graph.flowlets.len());
+        for (id, def) in graph.flowlets.iter().enumerate() {
+            partial.push(match def.kind {
+                FlowletKind::PartialReduce(_) => {
+                    Some(Arc::new(PartialState::new(cfg.contention, threads)))
+                }
+                _ => None,
+            });
+            reduce.push(Mutex::new(match def.kind {
+                FlowletKind::Reduce(_) => Some(Arc::new(ReduceState::new(
+                    fire_shards,
+                    cfg.memory_budget,
+                    ctx.disk.clone(),
+                    format!("hamr.spill.f{id}"),
+                ))),
+                _ => None,
+            }));
+        }
+        let shared = Arc::new(WorkerShared {
+            graph: Arc::clone(&graph),
+            ctx: ctx.clone(),
+            bin_capacity: cfg.bin_capacity,
+            partial,
+            reduce,
+        });
+        let (task_tx, task_rx) = unbounded::<Task>();
+        let (done_tx, done_rx) = unbounded::<TaskDone>();
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let rx = task_rx.clone();
+                let tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("hamr-n{node}-w{w}"))
+                    .spawn(move || worker_loop(w, shared, rx, tx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        // Build per-flowlet instances.
+        let instances = graph
+            .flowlets
+            .iter()
+            .map(|def| {
+                let splits_total = match &def.kind {
+                    FlowletKind::Loader(l) => l.split_count(&ctx),
+                    _ => 0,
+                };
+                Instance {
+                    pending: VecDeque::new(),
+                    held: Vec::new(),
+                    complete_seen: 0,
+                    input_expected: def.in_edges.len() * nodes,
+                    markers: HashMap::new(),
+                    running: 0,
+                    deferred: 0,
+                    phase: Phase::Active,
+                    splits_total,
+                    splits_next: 0,
+                    splits_done: 0,
+                    loader_running: 0,
+                    stream_epoch: 0,
+                    stream_task_out: false,
+                    marker_owed: None,
+                    stream_finished: false,
+                    fire_left: 0,
+                }
+            })
+            .collect();
+        let fmetrics = graph
+            .flowlets
+            .iter()
+            .map(|def| FlowletMetrics {
+                name: def.name.clone(),
+                kind: def.kind.kind_name(),
+                ..Default::default()
+            })
+            .collect();
+        let inflight = vec![0; graph.edges.len() * nodes];
+        NodeRuntime {
+            node,
+            nodes,
+            graph,
+            cfg,
+            threads,
+            endpoint,
+            inbox,
+            task_tx: Some(task_tx),
+            done_rx,
+            workers,
+            shared,
+            instances,
+            inflight,
+            deferred: VecDeque::new(),
+            outstanding: 0,
+            captured: HashMap::new(),
+            fmetrics,
+            nmetrics: NodeMetrics::default(),
+            busy: Duration::ZERO,
+            start: Instant::now(),
+            error: None,
+        }
+    }
+
+    fn run(mut self) -> NodeOutcome {
+        let done_rx = self.done_rx.clone();
+        let inbox = self.inbox.clone();
+        let mut last_progress = Instant::now();
+        loop {
+            let mut progressed = false;
+            while let Ok(done) = done_rx.try_recv() {
+                self.handle_done(done);
+                progressed = true;
+            }
+            while let Ok(env) = inbox.try_recv() {
+                self.handle_msg(env);
+                progressed = true;
+            }
+            if self.error.is_some() {
+                break;
+            }
+            self.pump();
+            if self.all_complete() {
+                break;
+            }
+            if progressed {
+                last_progress = Instant::now();
+                continue;
+            }
+            if last_progress.elapsed() > Duration::from_secs(300) {
+                self.error = Some(format!(
+                    "node {} runtime stalled for 300s (scheduler bug or deadlock): {}",
+                    self.node,
+                    self.stall_report()
+                ));
+                break;
+            }
+            // Nothing to do right now: block for the next event.
+            crossbeam::channel::select! {
+                recv(done_rx) -> d => {
+                    if let Ok(done) = d { self.handle_done(done); last_progress = Instant::now(); }
+                }
+                recv(inbox) -> m => {
+                    if let Ok(env) = m { self.handle_msg(env); last_progress = Instant::now(); }
+                }
+                default(Duration::from_millis(20)) => {}
+            }
+        }
+        // Tear down workers.
+        self.task_tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.nmetrics.busy = self.busy;
+        self.nmetrics.elapsed = self.start.elapsed();
+        NodeOutcome {
+            node: self.node,
+            captured: std::mem::take(&mut self.captured),
+            flowlets: std::mem::take(&mut self.fmetrics),
+            node_metrics: std::mem::take(&mut self.nmetrics),
+            error: self.error.take(),
+        }
+    }
+
+    fn stall_report(&self) -> String {
+        let mut parts = Vec::new();
+        for (id, inst) in self.instances.iter().enumerate() {
+            if inst.phase != Phase::Complete {
+                parts.push(format!(
+                    "f{id}({}) phase={:?} pending={} running={} deferred={} complete_seen={}/{}",
+                    self.graph.flowlets[id].name,
+                    inst.phase,
+                    inst.pending.len(),
+                    inst.running,
+                    inst.deferred,
+                    inst.complete_seen,
+                    inst.input_expected,
+                ));
+            }
+        }
+        format!(
+            "outstanding={} inflight_nonzero={:?} deferred={} [{}]",
+            self.outstanding,
+            self.inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 0)
+                .map(|(i, &v)| (i / self.nodes, i % self.nodes, v))
+                .collect::<Vec<_>>(),
+            self.deferred.len(),
+            parts.join("; ")
+        )
+    }
+
+    fn all_complete(&self) -> bool {
+        self.instances.iter().all(|i| i.phase == Phase::Complete)
+    }
+
+    fn handle_msg(&mut self, env: Envelope<NetMsg>) {
+        match env.msg {
+            NetMsg::Bin(bin) => {
+                let dst = self.graph.edges[bin.edge].dst;
+                self.nmetrics.bins_in += 1;
+                self.nmetrics.records_in += bin.len() as u64;
+                self.instances[dst].pending.push_back(Work::Bin {
+                    from: env.from,
+                    acked: false,
+                    bin,
+                });
+            }
+            NetMsg::EdgeComplete { edge } => {
+                let dst = self.graph.edges[edge].dst;
+                self.instances[dst].pending.push_back(Work::Complete);
+            }
+            NetMsg::Marker { edge, epoch } => {
+                let dst = self.graph.edges[edge].dst;
+                self.instances[dst].pending.push_back(Work::Marker { epoch });
+            }
+            NetMsg::Ack { edge } => {
+                let slot = edge * self.nodes + env.from;
+                debug_assert!(self.inflight[slot] > 0);
+                self.inflight[slot] = self.inflight[slot].saturating_sub(1);
+                self.drain_deferred();
+            }
+            NetMsg::Abort { reason } => {
+                self.error = Some(format!("aborted: {reason}"));
+            }
+        }
+    }
+
+    fn handle_done(&mut self, done: TaskDone) {
+        self.outstanding -= 1;
+        self.busy += done.duration;
+        if let Some(msg) = done.panic {
+            let reason = Arc::new(format!(
+                "flowlet '{}' on node {}: {}",
+                self.graph.flowlets[done.flowlet].name, self.node, msg
+            ));
+            // Tell everyone. Our own loopback Abort is harmless — we
+            // already stop via `error` below.
+            for dst in 0..self.nodes {
+                let _ = self.endpoint.send(
+                    dst,
+                    NetMsg::Abort {
+                        reason: Arc::clone(&reason),
+                    },
+                );
+            }
+            self.error = Some(reason.to_string());
+            return;
+        }
+        let f = done.flowlet;
+        {
+            let inst = &mut self.instances[f];
+            inst.running -= 1;
+            if done.is_loader_split {
+                inst.loader_running -= 1;
+                inst.splits_done += 1;
+            }
+            if done.is_fire {
+                inst.fire_left -= 1;
+            }
+            if let Some((epoch, more)) = done.stream {
+                inst.stream_task_out = false;
+                inst.marker_owed = Some(epoch);
+                if !more {
+                    inst.stream_finished = true;
+                }
+            }
+        }
+        let fm = &mut self.fmetrics[f];
+        fm.tasks += 1;
+        fm.records_in += done.records_in;
+        fm.records_out += done.records_out;
+        fm.busy += done.duration;
+        if !done.captured.is_empty() {
+            self.captured.entry(f).or_default().extend(done.captured);
+        }
+        if let Some((origin, edge)) = done.ack_to {
+            let _ = self.endpoint.send(origin, NetMsg::Ack { edge });
+        }
+        // Let older deferred bins go first if windows have opened.
+        self.drain_deferred();
+        for (dst, bin) in done.bins {
+            self.ship_or_defer(f, dst, bin);
+        }
+    }
+
+    fn ship_or_defer(&mut self, f: FlowletId, dst: NodeId, bin: Bin) {
+        let slot = bin.edge * self.nodes + dst;
+        if self.inflight[slot] < self.cfg.out_window_bins {
+            self.inflight[slot] += 1;
+            self.fmetrics[f].bins_out += 1;
+            let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
+        } else {
+            self.fmetrics[f].flow_control_stalls += 1;
+            self.instances[f].deferred += 1;
+            self.deferred.push_back((f, dst, bin));
+        }
+    }
+
+    fn drain_deferred(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut still = VecDeque::with_capacity(self.deferred.len());
+        while let Some((f, dst, bin)) = self.deferred.pop_front() {
+            let slot = bin.edge * self.nodes + dst;
+            if self.inflight[slot] < self.cfg.out_window_bins {
+                self.inflight[slot] += 1;
+                self.fmetrics[f].bins_out += 1;
+                self.instances[f].deferred -= 1;
+                let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
+            } else {
+                still.push_back((f, dst, bin));
+            }
+        }
+        self.deferred = still;
+    }
+
+    fn dispatch(&mut self, task: Task) {
+        let f = task.flowlet();
+        self.instances[f].running += 1;
+        self.outstanding += 1;
+        if let Some(tx) = &self.task_tx {
+            let _ = tx.send(task);
+        }
+    }
+
+    /// Capacity for dispatching more tasks right now. Twice the worker
+    /// count keeps workers fed without hoarding scheduling decisions.
+    fn has_capacity(&self) -> bool {
+        self.outstanding < self.threads * 2
+    }
+
+    fn pump(&mut self) {
+        // Walk flowlets in topological order so upstream work is
+        // admitted first within one pass.
+        for i in 0..self.graph.topo.len() {
+            let f = self.graph.topo[i];
+            if self.instances[f].phase == Phase::Complete {
+                continue;
+            }
+            let graph = Arc::clone(&self.graph);
+            match graph.flowlets[f].kind {
+                FlowletKind::Loader(_) => self.pump_loader(f),
+                FlowletKind::Stream(_) => self.pump_stream(f),
+                _ => self.pump_inner(f),
+            }
+            self.check_transition(f);
+        }
+    }
+
+    fn pump_loader(&mut self, f: FlowletId) {
+        loop {
+            let inst = &self.instances[f];
+            if inst.phase != Phase::Active
+                || inst.splits_next >= inst.splits_total
+                || inst.loader_running >= self.cfg.loader_concurrency
+                || inst.deferred > 0
+                || self.deferred.len() >= self.cfg.defer_high_water
+                || !self.has_capacity()
+            {
+                return;
+            }
+            let index = self.instances[f].splits_next;
+            self.instances[f].splits_next += 1;
+            self.instances[f].loader_running += 1;
+            self.dispatch(Task::LoaderSplit { flowlet: f, index });
+        }
+    }
+
+    fn pump_stream(&mut self, f: FlowletId) {
+        // An owed marker goes out once the epoch's bins have all shipped.
+        let owed = {
+            let inst = &self.instances[f];
+            match inst.marker_owed {
+                Some(epoch) if inst.running == 0 && inst.deferred == 0 => Some(epoch),
+                Some(_) => return, // still flushing the epoch
+                None => None,
+            }
+        };
+        if let Some(epoch) = owed {
+            self.broadcast_markers(f, epoch);
+            let inst = &mut self.instances[f];
+            inst.marker_owed = None;
+            inst.stream_epoch = epoch + 1;
+        }
+        let can_start = {
+            let inst = &self.instances[f];
+            inst.phase == Phase::Active
+                && !inst.stream_finished
+                && !inst.stream_task_out
+                && inst.deferred == 0
+                && self.has_capacity()
+        };
+        if can_start {
+            let epoch = self.instances[f].stream_epoch;
+            self.instances[f].stream_task_out = true;
+            self.dispatch(Task::StreamEpoch { flowlet: f, epoch });
+        }
+    }
+
+    fn pump_inner(&mut self, f: FlowletId) {
+        if self.instances[f].phase != Phase::Active {
+            return;
+        }
+        enum Action {
+            Stop,
+            PopComplete,
+            HoldBin,
+            RunBin,
+            CountMarker,
+        }
+        loop {
+            let action = {
+                let inst = &self.instances[f];
+                let barrier_hold = self.cfg.barrier_mode && !inst.input_done();
+                match inst.pending.front() {
+                    None => Action::Stop,
+                    Some(Work::Complete) => Action::PopComplete,
+                    Some(Work::Bin { .. }) => {
+                        if barrier_hold {
+                            Action::HoldBin
+                        } else if inst.deferred > 0 || !self.has_capacity() {
+                            // Suspended by flow control, or pool full.
+                            Action::Stop
+                        } else {
+                            Action::RunBin
+                        }
+                    }
+                    Some(Work::Marker { .. }) => {
+                        // Epoch boundary: every earlier bin must be fully
+                        // processed and shipped before it can act.
+                        if inst.running > 0 || inst.deferred > 0 {
+                            Action::Stop
+                        } else {
+                            Action::CountMarker
+                        }
+                    }
+                }
+            };
+            match action {
+                Action::Stop => break,
+                Action::PopComplete => {
+                    let inst = &mut self.instances[f];
+                    inst.pending.pop_front();
+                    inst.complete_seen += 1;
+                    if inst.input_done() && !inst.held.is_empty() {
+                        // Barrier mode: release the held bins now.
+                        for w in inst.held.drain(..).rev() {
+                            inst.pending.push_front(w);
+                        }
+                    }
+                }
+                Action::HoldBin => {
+                    // Acknowledge on receipt so upstream windows keep
+                    // moving while the barrier holds the data.
+                    let work = self.instances[f].pending.pop_front().expect("peeked");
+                    let work = if let Work::Bin { from, acked: false, bin } = work {
+                        let _ = self.endpoint.send(from, NetMsg::Ack { edge: bin.edge });
+                        Work::Bin { from, acked: true, bin }
+                    } else {
+                        work
+                    };
+                    self.instances[f].held.push(work);
+                }
+                Action::RunBin => {
+                    let Some(Work::Bin { from, acked, bin }) =
+                        self.instances[f].pending.pop_front()
+                    else {
+                        unreachable!()
+                    };
+                    let ack = if acked { None } else { Some((from, bin.edge)) };
+                    let task = match self.flowlet_tag(f) {
+                        Tag::Map => Task::MapBin {
+                            flowlet: f,
+                            ack,
+                            bin,
+                        },
+                        Tag::Partial => Task::PartialFold {
+                            flowlet: f,
+                            ack,
+                            bin,
+                        },
+                        Tag::Reduce => Task::ReduceIngest {
+                            flowlet: f,
+                            ack,
+                            bin,
+                        },
+                        Tag::Source => unreachable!("sources have no inputs"),
+                    };
+                    self.dispatch(task);
+                }
+                Action::CountMarker => {
+                    let Some(Work::Marker { epoch }) = self.instances[f].pending.pop_front()
+                    else {
+                        unreachable!()
+                    };
+                    let full = {
+                        let inst = &mut self.instances[f];
+                        let seen = inst.markers.entry(epoch).or_insert(0);
+                        *seen += 1;
+                        *seen == inst.input_expected
+                    };
+                    if full {
+                        self.instances[f].markers.remove(&epoch);
+                        self.begin_epoch_flush(f, epoch);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn flowlet_tag(&self, f: FlowletId) -> Tag {
+        match self.graph.flowlets[f].kind {
+            FlowletKind::Map(_) => Tag::Map,
+            FlowletKind::PartialReduce(_) => Tag::Partial,
+            FlowletKind::Reduce(_) => Tag::Reduce,
+            FlowletKind::Loader(_) | FlowletKind::Stream(_) => Tag::Source,
+        }
+    }
+
+    /// Flush a partial reduce's window at an epoch boundary, or simply
+    /// forward the marker for stateless flowlets.
+    fn begin_epoch_flush(&mut self, f: FlowletId, epoch: u64) {
+        let reducer = match &self.graph.flowlets[f].kind {
+            FlowletKind::PartialReduce(r) => Some(Arc::clone(r)),
+            _ => None,
+        };
+        match reducer {
+            Some(reducer) => {
+                let state = self.shared.partial[f].as_ref().expect("state").clone();
+                let entries = state.drain(reducer.as_ref());
+                let n = self.fire_entries(f, entries);
+                self.instances[f].phase = Phase::FlushingEpoch(epoch);
+                self.instances[f].fire_left = n;
+                if n == 0 {
+                    // Nothing buffered this epoch; forward immediately.
+                    self.finish_epoch_flush(f, epoch);
+                }
+            }
+            None => {
+                // Map (and anything stateless): bins already processed,
+                // forward punctuation downstream.
+                self.broadcast_markers(f, epoch);
+            }
+        }
+    }
+
+    fn finish_epoch_flush(&mut self, f: FlowletId, epoch: u64) {
+        self.broadcast_markers(f, epoch);
+        self.instances[f].phase = Phase::Active;
+    }
+
+    fn broadcast_markers(&mut self, f: FlowletId, epoch: u64) {
+        let graph = Arc::clone(&self.graph);
+        for &edge in &graph.flowlets[f].out_edges {
+            for dst in 0..self.nodes {
+                let _ = self.endpoint.send(dst, NetMsg::Marker { edge, epoch });
+            }
+        }
+    }
+
+    /// Chunk drained accumulator entries into parallel finish tasks.
+    /// Returns the number of tasks dispatched.
+    fn fire_entries(&mut self, f: FlowletId, mut entries: Vec<(Bytes, AccBox)>) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        let shards = if self.cfg.fire_shards == 0 {
+            self.threads
+        } else {
+            self.cfg.fire_shards
+        };
+        let chunk = entries.len().div_ceil(shards);
+        let mut n = 0;
+        while !entries.is_empty() {
+            let rest = entries.split_off(chunk.min(entries.len()));
+            let batch = std::mem::replace(&mut entries, rest);
+            self.dispatch(Task::FirePartial {
+                flowlet: f,
+                entries: batch,
+            });
+            n += 1;
+        }
+        n
+    }
+
+    /// Advance a flowlet's lifecycle when its current phase has run dry.
+    fn check_transition(&mut self, f: FlowletId) {
+        let (phase, idle, fire_left) = {
+            let inst = &self.instances[f];
+            (
+                inst.phase,
+                inst.running == 0 && inst.deferred == 0,
+                inst.fire_left,
+            )
+        };
+        match phase {
+            Phase::Complete => {}
+            Phase::Active => {
+                let ready = {
+                    let inst = &self.instances[f];
+                    match self.flowlet_tag(f) {
+                        Tag::Source => match self.graph.flowlets[f].kind {
+                            FlowletKind::Loader(_) => {
+                                inst.splits_done == inst.splits_total && idle
+                            }
+                            _ => inst.stream_finished && inst.marker_owed.is_none() && idle,
+                        },
+                        _ => inst.input_done() && inst.pending.is_empty() && idle,
+                    }
+                };
+                if !ready {
+                    return;
+                }
+                match self.flowlet_tag(f) {
+                    Tag::Reduce => self.fire_reduce(f),
+                    Tag::Partial => {
+                        let FlowletKind::PartialReduce(ref r) = self.graph.flowlets[f].kind
+                        else {
+                            unreachable!()
+                        };
+                        let reducer = Arc::clone(r);
+                        let state = self.shared.partial[f].as_ref().expect("state").clone();
+                        let entries = state.drain(reducer.as_ref());
+                        let n = self.fire_entries(f, entries);
+                        self.instances[f].phase = Phase::FiringPartial;
+                        self.instances[f].fire_left = n;
+                        if n == 0 {
+                            self.begin_complete(f);
+                        }
+                    }
+                    _ => self.begin_complete(f),
+                }
+            }
+            Phase::FiringReduce | Phase::FiringPartial => {
+                if fire_left == 0 && idle {
+                    self.begin_complete(f);
+                }
+            }
+            Phase::FlushingEpoch(epoch) => {
+                if fire_left == 0 && idle {
+                    self.finish_epoch_flush(f, epoch);
+                }
+            }
+        }
+    }
+
+    fn fire_reduce(&mut self, f: FlowletId) {
+        // Take exclusive ownership of the collected state; every ingest
+        // task has finished (running == 0), so ours is the last Arc.
+        let state_arc = self.shared.reduce[f]
+            .lock()
+            .take()
+            .expect("reduce state present at fire");
+        let state = Arc::try_unwrap(state_arc)
+            .unwrap_or_else(|_| panic!("reduce state still shared at fire"));
+        self.fmetrics[f].spilled_bytes += state.spilled_bytes();
+        match state.into_fire_shards() {
+            Ok(shards) => {
+                let n = shards.len();
+                for shard in shards {
+                    self.dispatch(Task::FireReduce { flowlet: f, shard });
+                }
+                self.instances[f].phase = Phase::FiringReduce;
+                self.instances[f].fire_left = n;
+                if n == 0 {
+                    self.begin_complete(f);
+                }
+            }
+            Err(e) => {
+                self.error = Some(format!("reduce fire failed: {e}"));
+            }
+        }
+    }
+
+    /// Broadcast completion on every out-edge and retire the flowlet.
+    fn begin_complete(&mut self, f: FlowletId) {
+        let graph = Arc::clone(&self.graph);
+        for &edge in &graph.flowlets[f].out_edges {
+            for dst in 0..self.nodes {
+                let _ = self.endpoint.send(dst, NetMsg::EdgeComplete { edge });
+            }
+        }
+        self.instances[f].phase = Phase::Complete;
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    Source,
+    Map,
+    Reduce,
+    Partial,
+}

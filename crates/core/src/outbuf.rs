@@ -1,0 +1,322 @@
+//! Task-side output buffering: partitioning emissions into bins.
+//!
+//! Each running task owns a [`TaskOutput`]. Emissions are routed by the
+//! port's [`Exchange`] to destination nodes and packed into [`Bin`]s of
+//! at most `bin_capacity` records; full bins move to the `finished`
+//! list, which the node runtime ships (or defers, under flow control)
+//! when the task ends. Buffering per task keeps workers lock-free while
+//! they run — the paper's "inside a flowlet task, instructions execute
+//! sequentially".
+
+use crate::graph::{EdgeId, Exchange};
+use crate::record::{Bin, Record};
+use crate::NodeId;
+use bytes::Bytes;
+use hamr_codec::partition;
+
+/// One output port as seen by a task.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PortSpec {
+    pub edge: EdgeId,
+    pub exchange: Exchange,
+}
+
+/// Buffers one task's emissions.
+pub(crate) struct TaskOutput {
+    ports: Vec<PortSpec>,
+    node: NodeId,
+    nodes: usize,
+    bin_capacity: usize,
+    /// Open (partially filled) bin per (port, destination node).
+    open: Vec<Option<Bin>>,
+    /// Packed bins ready to ship, with their destination.
+    finished: Vec<(NodeId, Bin)>,
+    /// Records captured as job output.
+    captured: Vec<Record>,
+    capture_enabled: bool,
+    flowlet_name: String,
+}
+
+impl TaskOutput {
+    pub(crate) fn new(
+        ports: Vec<PortSpec>,
+        node: NodeId,
+        nodes: usize,
+        bin_capacity: usize,
+        capture_enabled: bool,
+        flowlet_name: String,
+    ) -> Self {
+        let slots = ports.len() * nodes;
+        TaskOutput {
+            ports,
+            node,
+            nodes,
+            bin_capacity,
+            open: (0..slots).map(|_| None).collect(),
+            finished: Vec::new(),
+            captured: Vec::new(),
+            capture_enabled,
+            flowlet_name,
+        }
+    }
+
+    pub(crate) fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    #[inline]
+    fn push_to(&mut self, port: usize, dst: NodeId, record: Record) {
+        let slot = port * self.nodes + dst;
+        let bin = self.open[slot].get_or_insert_with(|| {
+            Bin::with_capacity(self.ports[port].edge, self.bin_capacity.min(1024))
+        });
+        bin.push(record);
+        if bin.len() >= self.bin_capacity {
+            let full = self.open[slot].take().expect("bin present");
+            self.finished.push((dst, full));
+        }
+    }
+
+    /// Route one record out of `port`.
+    #[inline]
+    pub(crate) fn emit(&mut self, port: usize, key: Bytes, value: Bytes) {
+        let spec = match self.ports.get(port) {
+            Some(s) => *s,
+            None => panic!(
+                "flowlet {} emitted on port {port} but has only {} connected output(s)",
+                self.flowlet_name,
+                self.ports.len()
+            ),
+        };
+        match spec.exchange {
+            Exchange::Hash => {
+                let dst = partition(&key, self.nodes);
+                self.push_to(port, dst, Record::new(key, value));
+            }
+            Exchange::Local => {
+                let node = self.node;
+                self.push_to(port, node, Record::new(key, value));
+            }
+            Exchange::Broadcast => {
+                for dst in 0..self.nodes {
+                    self.push_to(port, dst, Record::new(key.clone(), value.clone()));
+                }
+            }
+            Exchange::KeyNode => {
+                let mut input = &key[..];
+                let node = hamr_codec::read_varint(&mut input)
+                    .expect("Exchange::KeyNode requires a u64 node-id key")
+                    as usize;
+                let dst = node % self.nodes;
+                self.push_to(port, dst, Record::new(key, value));
+            }
+        }
+    }
+
+    /// Record a captured job-output pair.
+    pub(crate) fn capture(&mut self, key: Bytes, value: Bytes) {
+        if self.capture_enabled {
+            self.captured.push(Record::new(key, value));
+        }
+    }
+
+    /// Finish the task: flush partial bins and hand everything over.
+    pub(crate) fn into_parts(mut self) -> (Vec<(NodeId, Bin)>, Vec<Record>) {
+        for slot in 0..self.open.len() {
+            if let Some(bin) = self.open[slot].take() {
+                if !bin.is_empty() {
+                    let dst = slot % self.nodes;
+                    self.finished.push((dst, bin));
+                }
+            }
+        }
+        (self.finished, self.captured)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn out(ports: Vec<PortSpec>, node: NodeId, nodes: usize, cap: usize) -> TaskOutput {
+        TaskOutput::new(ports, node, nodes, cap, true, "test".into())
+    }
+
+    #[test]
+    fn local_exchange_stays_on_node() {
+        let mut o = out(
+            vec![PortSpec {
+                edge: 7,
+                exchange: Exchange::Local,
+            }],
+            2,
+            4,
+            100,
+        );
+        o.emit(0, b("k"), b("v"));
+        let (bins, _) = o.into_parts();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].0, 2);
+        assert_eq!(bins[0].1.edge, 7);
+        assert_eq!(bins[0].1.len(), 1);
+    }
+
+    #[test]
+    fn hash_exchange_routes_by_key() {
+        let nodes = 4;
+        let mut o = out(
+            vec![PortSpec {
+                edge: 0,
+                exchange: Exchange::Hash,
+            }],
+            0,
+            nodes,
+            1000,
+        );
+        for i in 0..100u64 {
+            o.emit(0, Bytes::from(format!("key{i}")), b("v"));
+        }
+        let (bins, _) = o.into_parts();
+        // Each key must be in the bin for its partition.
+        for (dst, bin) in &bins {
+            for r in &bin.records {
+                assert_eq!(partition(&r.key, nodes), *dst);
+            }
+        }
+        let total: usize = bins.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 100);
+        assert!(bins.len() >= 2, "keys should spread over nodes");
+    }
+
+    #[test]
+    fn key_node_routes_to_named_node() {
+        let nodes = 4;
+        let mut o = out(
+            vec![PortSpec {
+                edge: 0,
+                exchange: Exchange::KeyNode,
+            }],
+            0,
+            nodes,
+            100,
+        );
+        for node in 0..6u64 {
+            o.emit(0, hamr_codec::Codec::to_bytes(&node), b("v"));
+        }
+        let (bins, _) = o.into_parts();
+        for (dst, bin) in &bins {
+            for r in &bin.records {
+                let mut input = &r.key[..];
+                let node = hamr_codec::read_varint(&mut input).unwrap() as usize;
+                assert_eq!(node % nodes, *dst);
+            }
+        }
+        let total: usize = bins.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node() {
+        let mut o = out(
+            vec![PortSpec {
+                edge: 1,
+                exchange: Exchange::Broadcast,
+            }],
+            0,
+            3,
+            10,
+        );
+        o.emit(0, b("k"), b("v"));
+        let (bins, _) = o.into_parts();
+        let mut dsts: Vec<_> = bins.iter().map(|(d, _)| *d).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_bins_close_at_capacity() {
+        let mut o = out(
+            vec![PortSpec {
+                edge: 0,
+                exchange: Exchange::Local,
+            }],
+            0,
+            1,
+            3,
+        );
+        for i in 0..7u64 {
+            o.emit(0, Bytes::from(i.to_le_bytes().to_vec()), b("v"));
+        }
+        let (bins, _) = o.into_parts();
+        // 7 records at capacity 3 -> bins of 3, 3, 1.
+        let sizes: Vec<_> = bins.iter().map(|(_, b)| b.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn capture_collects_when_enabled() {
+        let mut o = out(vec![], 0, 1, 10);
+        o.capture(b("k"), b("v"));
+        let (bins, captured) = o.into_parts();
+        assert!(bins.is_empty());
+        assert_eq!(captured.len(), 1);
+        assert_eq!(captured[0].key, b("k"));
+    }
+
+    #[test]
+    fn capture_ignored_when_disabled() {
+        let mut o = TaskOutput::new(vec![], 0, 1, 10, false, "test".into());
+        o.capture(b("k"), b("v"));
+        let (_, captured) = o.into_parts();
+        assert!(captured.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "port 1")]
+    fn emitting_on_unconnected_port_panics() {
+        let mut o = out(
+            vec![PortSpec {
+                edge: 0,
+                exchange: Exchange::Local,
+            }],
+            0,
+            1,
+            10,
+        );
+        o.emit(1, b("k"), b("v"));
+    }
+
+    #[test]
+    fn multiple_ports_route_independently() {
+        let mut o = out(
+            vec![
+                PortSpec {
+                    edge: 10,
+                    exchange: Exchange::Local,
+                },
+                PortSpec {
+                    edge: 11,
+                    exchange: Exchange::Broadcast,
+                },
+            ],
+            1,
+            2,
+            100,
+        );
+        o.emit(0, b("a"), b("1"));
+        o.emit(1, b("b"), b("2"));
+        let (bins, _) = o.into_parts();
+        let edges: std::collections::BTreeSet<_> = bins.iter().map(|(_, b)| b.edge).collect();
+        assert_eq!(edges.into_iter().collect::<Vec<_>>(), vec![10, 11]);
+        let port1_count: usize = bins
+            .iter()
+            .filter(|(_, b)| b.edge == 11)
+            .map(|(_, b)| b.len())
+            .sum();
+        assert_eq!(port1_count, 2, "broadcast to both nodes");
+    }
+}

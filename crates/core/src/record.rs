@@ -1,0 +1,119 @@
+//! Records and bins: the engine's data units.
+//!
+//! A [`Record`] is an erased key-value pair. A [`Bin`] is a batch of
+//! records addressed to one edge of the flowlet graph — the paper's
+//! "minimum data required to enable a flowlet" and the unit the
+//! scheduler fires tasks against.
+
+use bytes::Bytes;
+
+/// One erased key-value pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    pub key: Bytes,
+    pub value: Bytes,
+}
+
+impl Record {
+    pub fn new(key: Bytes, value: Bytes) -> Self {
+        Record { key, value }
+    }
+
+    /// Serialized footprint: both payloads plus ~2 varint length bytes
+    /// each, matching what the shuffle actually ships.
+    #[inline]
+    pub fn wire_size(&self) -> usize {
+        self.key.len() + self.value.len() + 4
+    }
+}
+
+/// A batch of records flowing along one graph edge toward one node.
+#[derive(Debug, Clone)]
+pub struct Bin {
+    /// Which edge of the job graph this bin travels on.
+    pub edge: usize,
+    /// Records in arrival order.
+    pub records: Vec<Record>,
+    /// Cached sum of record wire sizes.
+    bytes: usize,
+}
+
+impl Bin {
+    pub fn new(edge: usize) -> Self {
+        Bin {
+            edge,
+            records: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    pub fn with_capacity(edge: usize, cap: usize) -> Self {
+        Bin {
+            edge,
+            records: Vec::with_capacity(cap),
+            bytes: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, record: Record) {
+        self.bytes += record.wire_size();
+        self.records.push(record);
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialized payload size (drives the network bandwidth model).
+    #[inline]
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Wire size including a small fixed header.
+    #[inline]
+    pub fn wire_size(&self) -> usize {
+        self.bytes + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: &str, v: &str) -> Record {
+        Record::new(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()))
+    }
+
+    #[test]
+    fn record_wire_size_counts_payload_and_overhead() {
+        assert_eq!(rec("ab", "cde").wire_size(), 2 + 3 + 4);
+        assert_eq!(rec("", "").wire_size(), 4);
+    }
+
+    #[test]
+    fn bin_accumulates_sizes() {
+        let mut bin = Bin::new(3);
+        assert!(bin.is_empty());
+        bin.push(rec("k1", "v1"));
+        bin.push(rec("k2", "value2"));
+        assert_eq!(bin.len(), 2);
+        assert_eq!(bin.edge, 3);
+        assert_eq!(bin.payload_bytes(), (2 + 2 + 4) + (2 + 6 + 4));
+        assert_eq!(bin.wire_size(), bin.payload_bytes() + 16);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let bin = Bin::with_capacity(0, 64);
+        assert!(bin.records.capacity() >= 64);
+        assert_eq!(bin.payload_bytes(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Reusable streaming sources.
+//!
+//! HAMR claims to serve both layers of a Lambda architecture with one
+//! programming model; these helpers make it easy to stand up epoch-
+//! punctuated sources for streaming jobs. Downstream partial reduces
+//! flush their windows at every epoch boundary (see `node.rs`), so a
+//! `partial_fn` becomes a tumbling-window aggregation with no code
+//! change.
+
+use crate::flowlet::{Emitter, StreamSource, TaskContext};
+
+/// A stream source driven by a closure: `f(ctx, epoch, out) -> more`.
+pub struct GenStream<F> {
+    f: F,
+}
+
+impl<F> StreamSource for GenStream<F>
+where
+    F: Fn(&TaskContext, u64, &mut Emitter) -> bool + Send + Sync,
+{
+    fn epoch(&self, ctx: &TaskContext, epoch: u64, out: &mut Emitter) -> bool {
+        (self.f)(ctx, epoch, out)
+    }
+}
+
+/// Build a stream source from a closure.
+pub fn gen_stream<F>(f: F) -> GenStream<F>
+where
+    F: Fn(&TaskContext, u64, &mut Emitter) -> bool + Send + Sync,
+{
+    GenStream { f }
+}
+
+/// A bounded stream source: runs `epochs` epochs then ends, calling
+/// `f(ctx, epoch, out)` for each.
+pub struct BoundedStream<F> {
+    epochs: u64,
+    f: F,
+}
+
+impl<F> StreamSource for BoundedStream<F>
+where
+    F: Fn(&TaskContext, u64, &mut Emitter) + Send + Sync,
+{
+    fn epoch(&self, ctx: &TaskContext, epoch: u64, out: &mut Emitter) -> bool {
+        if epoch < self.epochs {
+            (self.f)(ctx, epoch, out);
+        }
+        epoch + 1 < self.epochs
+    }
+}
+
+/// Build a stream source that runs exactly `epochs` epochs.
+pub fn bounded_stream<F>(epochs: u64, f: F) -> BoundedStream<F>
+where
+    F: Fn(&TaskContext, u64, &mut Emitter) + Send + Sync,
+{
+    BoundedStream { epochs, f }
+}

@@ -1,0 +1,446 @@
+//! Typed flowlet constructors over the byte-level engine.
+//!
+//! Users write closures over [`Codec`] types; these adapters erase them
+//! into the runtime's [`MapFn`]/[`ReduceFn`]/[`PartialReduceFn`]/
+//! [`Loader`] traits. Decode failures panic: they mean the job graph
+//! wired mismatched types together, which is a programming error.
+
+use crate::flowlet::{AccBox, Emitter, Loader, MapFn, PartialReduceFn, ReduceFn, TaskContext};
+use bytes::Bytes;
+use hamr_codec::Codec;
+use std::marker::PhantomData;
+
+fn dec<T: Codec>(what: &str, bytes: &[u8]) -> T {
+    T::from_bytes(bytes)
+        .unwrap_or_else(|e| panic!("typed flowlet: {what} failed to decode ({e}); wrong Exchange wiring or type mismatch"))
+}
+
+// ---------------------------------------------------------------- map
+
+/// A [`MapFn`] from a typed closure `(key, value, emitter)`.
+pub struct TypedMap<K, V, F> {
+    f: F,
+    _pd: PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> MapFn for TypedMap<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(K, V, &mut Emitter) + Send + Sync,
+{
+    fn map(&self, _ctx: &TaskContext, key: &[u8], value: &[u8], out: &mut Emitter) {
+        (self.f)(dec("map key", key), dec("map value", value), out);
+    }
+}
+
+/// Build a map flowlet from `Fn(K, V, &mut Emitter)`.
+pub fn map_fn<K, V, F>(f: F) -> TypedMap<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(K, V, &mut Emitter) + Send + Sync,
+{
+    TypedMap { f, _pd: PhantomData }
+}
+
+/// A [`MapFn`] whose closure also receives the [`TaskContext`] (for
+/// node-local disk, DFS and KV-store access — the locality feature).
+pub struct TypedCtxMap<K, V, F> {
+    f: F,
+    _pd: PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> MapFn for TypedCtxMap<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(&TaskContext, K, V, &mut Emitter) + Send + Sync,
+{
+    fn map(&self, ctx: &TaskContext, key: &[u8], value: &[u8], out: &mut Emitter) {
+        (self.f)(ctx, dec("map key", key), dec("map value", value), out);
+    }
+}
+
+/// Build a context-aware map flowlet.
+pub fn map_ctx_fn<K, V, F>(f: F) -> TypedCtxMap<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(&TaskContext, K, V, &mut Emitter) + Send + Sync,
+{
+    TypedCtxMap { f, _pd: PhantomData }
+}
+
+// ------------------------------------------------------------- reduce
+
+/// A [`ReduceFn`] from a typed closure `(key, values, emitter)`.
+pub struct TypedReduce<K, V, F> {
+    f: F,
+    _pd: PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> ReduceFn for TypedReduce<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(K, Vec<V>, &mut Emitter) + Send + Sync,
+{
+    fn reduce(
+        &self,
+        _ctx: &TaskContext,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = Bytes>,
+        out: &mut Emitter,
+    ) {
+        let typed: Vec<V> = values.map(|v| dec("reduce value", &v)).collect();
+        (self.f)(dec("reduce key", key), typed, out);
+    }
+}
+
+/// Build a reduce flowlet from `Fn(K, Vec<V>, &mut Emitter)`.
+pub fn reduce_fn<K, V, F>(f: F) -> TypedReduce<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(K, Vec<V>, &mut Emitter) + Send + Sync,
+{
+    TypedReduce { f, _pd: PhantomData }
+}
+
+/// Context-aware reduce.
+pub struct TypedCtxReduce<K, V, F> {
+    f: F,
+    _pd: PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> ReduceFn for TypedCtxReduce<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(&TaskContext, K, Vec<V>, &mut Emitter) + Send + Sync,
+{
+    fn reduce(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &mut dyn Iterator<Item = Bytes>,
+        out: &mut Emitter,
+    ) {
+        let typed: Vec<V> = values.map(|v| dec("reduce value", &v)).collect();
+        (self.f)(ctx, dec("reduce key", key), typed, out);
+    }
+}
+
+/// Build a context-aware reduce flowlet.
+pub fn reduce_ctx_fn<K, V, F>(f: F) -> TypedCtxReduce<K, V, F>
+where
+    K: Codec,
+    V: Codec,
+    F: Fn(&TaskContext, K, Vec<V>, &mut Emitter) + Send + Sync,
+{
+    TypedCtxReduce { f, _pd: PhantomData }
+}
+
+// ------------------------------------------------------ partial reduce
+
+/// A [`PartialReduceFn`] assembled from typed fold/merge/finish
+/// closures over value type `V` and accumulator type `Acc`.
+pub struct TypedPartial<K, V, Acc, FInit, FFold, FMerge, FFinish> {
+    init: FInit,
+    fold: FFold,
+    merge: FMerge,
+    finish: FFinish,
+    _pd: PhantomData<fn(K, V, Acc)>,
+}
+
+impl<K, V, Acc, FInit, FFold, FMerge, FFinish> PartialReduceFn
+    for TypedPartial<K, V, Acc, FInit, FFold, FMerge, FFinish>
+where
+    K: Codec,
+    V: Codec,
+    Acc: Send + 'static,
+    FInit: Fn(&K, V) -> Acc + Send + Sync,
+    FFold: Fn(&K, Acc, V) -> Acc + Send + Sync,
+    FMerge: Fn(&K, Acc, Acc) -> Acc + Send + Sync,
+    FFinish: Fn(&TaskContext, K, Acc, &mut Emitter) + Send + Sync,
+{
+    fn init(&self, key: &[u8], value: &[u8]) -> AccBox {
+        let k: K = dec("partial key", key);
+        // Accumulators live in an Option so fold can take ownership,
+        // apply the user's by-value closure, and put the result back
+        // without cloning.
+        Box::new(Some((self.init)(&k, dec("partial value", value))))
+    }
+
+    fn fold(&self, key: &[u8], acc: &mut AccBox, value: &[u8]) {
+        let k: K = dec("partial key", key);
+        let slot = acc
+            .downcast_mut::<Option<Acc>>()
+            .expect("accumulator type confusion");
+        let old = slot.take().expect("accumulator present");
+        *slot = Some((self.fold)(&k, old, dec("partial value", value)));
+    }
+
+    fn merge(&self, key: &[u8], acc: &mut AccBox, other: AccBox) {
+        let k: K = dec("partial key", key);
+        let other = other
+            .downcast::<Option<Acc>>()
+            .expect("accumulator type confusion")
+            .expect("accumulator present");
+        let slot = acc
+            .downcast_mut::<Option<Acc>>()
+            .expect("accumulator type confusion");
+        let old = slot.take().expect("accumulator present");
+        *slot = Some((self.merge)(&k, old, other));
+    }
+
+    fn finish(&self, ctx: &TaskContext, key: &[u8], acc: AccBox, out: &mut Emitter) {
+        let acc = acc
+            .downcast::<Option<Acc>>()
+            .expect("accumulator type confusion")
+            .expect("accumulator present");
+        (self.finish)(ctx, dec("partial key", key), acc, out);
+    }
+}
+
+/// Build a partial reduce from typed closures. `finish` decides where
+/// results go (a port, captured output, disk, KV store...).
+pub fn partial_fn<K, V, Acc, FInit, FFold, FMerge, FFinish>(
+    init: FInit,
+    fold: FFold,
+    merge: FMerge,
+    finish: FFinish,
+) -> TypedPartial<K, V, Acc, FInit, FFold, FMerge, FFinish>
+where
+    K: Codec,
+    V: Codec,
+    Acc: Send + 'static,
+    FInit: Fn(&K, V) -> Acc + Send + Sync,
+    FFold: Fn(&K, Acc, V) -> Acc + Send + Sync,
+    FMerge: Fn(&K, Acc, Acc) -> Acc + Send + Sync,
+    FFinish: Fn(&TaskContext, K, Acc, &mut Emitter) + Send + Sync,
+{
+    TypedPartial {
+        init,
+        fold,
+        merge,
+        finish,
+        _pd: PhantomData,
+    }
+}
+
+/// The workhorse: sum `u64` values per key. On finish, emits `(K, sum)`
+/// on port 0 when the flowlet has a downstream connection, otherwise
+/// into the captured job output.
+pub fn sum_reducer<K: Codec>(
+) -> impl PartialReduceFn {
+    partial_fn::<K, u64, u64, _, _, _, _>(
+        |_k, v| v,
+        |_k, acc, v| acc + v,
+        |_k, a, b| a + b,
+        |_ctx, k: K, acc, out: &mut Emitter| {
+            if out.ports() > 0 {
+                out.emit_t(0, &k, &acc);
+            } else {
+                out.output_t(&k, &acc);
+            }
+        },
+    )
+}
+
+/// Count occurrences per key (values ignored). Same output routing as
+/// [`sum_reducer`].
+pub fn count_reducer<K: Codec, V: Codec>() -> impl PartialReduceFn {
+    partial_fn::<K, V, u64, _, _, _, _>(
+        |_k, _v| 1,
+        |_k, acc, _v| acc + 1,
+        |_k, a, b| a + b,
+        |_ctx, k: K, acc, out: &mut Emitter| {
+            if out.ports() > 0 {
+                out.emit_t(0, &k, &acc);
+            } else {
+                out.output_t(&k, &acc);
+            }
+        },
+    )
+}
+
+/// Maximum `u64` value per key. Same output routing as [`sum_reducer`].
+pub fn max_reducer<K: Codec>() -> impl PartialReduceFn {
+    partial_fn::<K, u64, u64, _, _, _, _>(
+        |_k, v| v,
+        |_k, acc, v| acc.max(v),
+        |_k, a, b| a.max(b),
+        |_ctx, k: K, acc, out: &mut Emitter| {
+            if out.ports() > 0 {
+                out.emit_t(0, &k, &acc);
+            } else {
+                out.output_t(&k, &acc);
+            }
+        },
+    )
+}
+
+/// Minimum `u64` value per key. Same output routing as [`sum_reducer`].
+pub fn min_reducer<K: Codec>() -> impl PartialReduceFn {
+    partial_fn::<K, u64, u64, _, _, _, _>(
+        |_k, v| v,
+        |_k, acc, v| acc.min(v),
+        |_k, a, b| a.min(b),
+        |_ctx, k: K, acc, out: &mut Emitter| {
+            if out.ports() > 0 {
+                out.emit_t(0, &k, &acc);
+            } else {
+                out.output_t(&k, &acc);
+            }
+        },
+    )
+}
+
+/// Like [`sum_reducer`] but for `f64` values.
+pub fn sum_f64_reducer<K: Codec>() -> impl PartialReduceFn {
+    partial_fn::<K, f64, f64, _, _, _, _>(
+        |_k, v| v,
+        |_k, acc, v| acc + v,
+        |_k, a, b| a + b,
+        |_ctx, k: K, acc, out: &mut Emitter| {
+            if out.ports() > 0 {
+                out.emit_t(0, &k, &acc);
+            } else {
+                out.output_t(&k, &acc);
+            }
+        },
+    )
+}
+
+// ------------------------------------------------------------- loaders
+
+/// Loads an in-memory list of records, dealt round-robin across nodes.
+/// One split per node. Emits `(index as u64, item)`.
+pub struct VecLoader<K, V> {
+    items: Vec<(K, V)>,
+}
+
+impl<K: Codec + Send + Sync, V: Codec + Send + Sync> Loader for VecLoader<K, V> {
+    fn split_count(&self, ctx: &TaskContext) -> usize {
+        // One split on every node; empty shares just emit nothing.
+        usize::from(ctx.node < ctx.nodes)
+    }
+
+    fn load(&self, ctx: &TaskContext, _index: usize, out: &mut Emitter) {
+        for (i, (k, v)) in self.items.iter().enumerate() {
+            if i % ctx.nodes == ctx.node {
+                out.emit_all_t(k, v);
+            }
+        }
+    }
+}
+
+/// Loader over explicit `(K, V)` pairs (tests, small examples).
+pub fn pairs_loader<K, V>(items: Vec<(K, V)>) -> VecLoader<K, V>
+where
+    K: Codec + Send + Sync,
+    V: Codec + Send + Sync,
+{
+    VecLoader { items }
+}
+
+/// Loader over text lines; emits `(line_number as u64, line)`.
+pub fn vec_loader(lines: Vec<String>) -> VecLoader<u64, String> {
+    VecLoader {
+        items: lines
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (i as u64, l))
+            .collect(),
+    }
+}
+
+/// The paper's TextLoader: reads a DFS text file split-by-split with
+/// locality (each node loads the blocks whose primary replica it
+/// holds), emitting `(byte offset within file, line)`.
+pub struct DfsLineLoader {
+    path: String,
+}
+
+/// Build a [`DfsLineLoader`] for `path`.
+pub fn dfs_line_loader(path: impl Into<String>) -> DfsLineLoader {
+    DfsLineLoader { path: path.into() }
+}
+
+impl DfsLineLoader {
+    /// Block indexes (with their base byte offsets) this node loads.
+    fn local_blocks(&self, ctx: &TaskContext) -> Vec<(usize, u64)> {
+        let blocks = match ctx.dfs.blocks(&self.path) {
+            Ok(b) => b,
+            Err(e) => panic!("DfsLineLoader: cannot read {}: {e}", self.path),
+        };
+        let mut offset = 0u64;
+        let mut mine = Vec::new();
+        for (i, b) in blocks.iter().enumerate() {
+            if b.replicas.first() == Some(&ctx.node) {
+                mine.push((i, offset));
+            }
+            offset += b.len as u64;
+        }
+        mine
+    }
+}
+
+impl Loader for DfsLineLoader {
+    fn split_count(&self, ctx: &TaskContext) -> usize {
+        self.local_blocks(ctx).len()
+    }
+
+    fn load(&self, ctx: &TaskContext, index: usize, out: &mut Emitter) {
+        let (block, base) = self.local_blocks(ctx)[index];
+        let payload = ctx
+            .dfs
+            .read_block(&self.path, block, Some(ctx.node))
+            .expect("block readable");
+        let mut offset = base;
+        for line in payload.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                offset += 1;
+                continue;
+            }
+            let text = String::from_utf8_lossy(line).into_owned();
+            let len = line.len() as u64 + 1;
+            out.emit_all_t(&offset, &text);
+            offset += len;
+        }
+    }
+}
+
+/// A loader driven by a closure: `split_count` per node and a
+/// generator per split. The workhorse for synthetic benchmark inputs —
+/// data is generated in place instead of materialized, like PUMA's and
+/// HiBench's generators feeding the file system.
+pub struct GenLoader<FCount, FGen> {
+    count: FCount,
+    generate: FGen,
+}
+
+/// Build a generator loader.
+pub fn gen_loader<FCount, FGen>(count: FCount, generate: FGen) -> GenLoader<FCount, FGen>
+where
+    FCount: Fn(&TaskContext) -> usize + Send + Sync,
+    FGen: Fn(&TaskContext, usize, &mut Emitter) + Send + Sync,
+{
+    GenLoader { count, generate }
+}
+
+impl<FCount, FGen> Loader for GenLoader<FCount, FGen>
+where
+    FCount: Fn(&TaskContext) -> usize + Send + Sync,
+    FGen: Fn(&TaskContext, usize, &mut Emitter) + Send + Sync,
+{
+    fn split_count(&self, ctx: &TaskContext) -> usize {
+        (self.count)(ctx)
+    }
+
+    fn load(&self, ctx: &TaskContext, index: usize, out: &mut Emitter) {
+        (self.generate)(ctx, index, out);
+    }
+}

@@ -1,0 +1,534 @@
+//! A miniature distributed file system over [`hamr_simdisk`] disks.
+//!
+//! Stands in for HDFS in the reproduction. Files are sequences of
+//! fixed-capacity **blocks**; each block is replicated onto `replication`
+//! distinct node disks; readers and task schedulers can ask for a
+//! block's **locations** to exploit locality, exactly how Hadoop assigns
+//! map tasks to the node holding the split.
+//!
+//! One simplification relative to HDFS: block boundaries fall on
+//! *record* boundaries. [`DfsWriter::write_record`] never splits a
+//! record across blocks, so a split (= one block) is always a whole
+//! number of records and readers need no line-reassembly protocol. The
+//! locality and IO-volume behaviour — the things the evaluation depends
+//! on — are unaffected.
+
+mod reader;
+mod writer;
+
+pub use reader::DfsReader;
+pub use writer::DfsWriter;
+
+use hamr_simdisk::{Disk, DiskError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Node index within the cluster, matching `hamr_simnet::NodeId`.
+pub type NodeId = usize;
+
+/// DFS tuning parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Capacity of one block in bytes.
+    pub block_size: usize,
+    /// Number of replicas per block (clamped to cluster size).
+    pub replication: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            // Scaled-down stand-in for HDFS's 128 MB.
+            block_size: 1 << 20,
+            replication: 2,
+        }
+    }
+}
+
+/// Errors from namespace operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    NotFound(String),
+    AlreadyExists(String),
+    Disk(DiskError),
+    /// Block index out of range for the file.
+    NoSuchBlock { path: String, block: usize },
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "dfs file not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "dfs file already exists: {p}"),
+            DfsError::Disk(e) => write!(f, "disk error: {e}"),
+            DfsError::NoSuchBlock { path, block } => {
+                write!(f, "no block {block} in {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+impl From<DiskError> for DfsError {
+    fn from(e: DiskError) -> Self {
+        DfsError::Disk(e)
+    }
+}
+
+/// Metadata for one stored block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Globally unique block id; the backing disk file is
+    /// `dfs.blk.<id>` on every replica.
+    pub id: u64,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Number of whole records, when written via `write_record`.
+    pub records: usize,
+    /// Nodes holding a replica; first is the primary (write-local) one.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockMeta {
+    pub(crate) fn disk_name(id: u64) -> String {
+        format!("dfs.blk.{id}")
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileMeta {
+    blocks: Vec<BlockMeta>,
+}
+
+/// An input split: one block plus where it lives. What loaders and map
+/// tasks are scheduled against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    pub path: String,
+    pub block_index: usize,
+    pub len: usize,
+    pub records: usize,
+    pub locations: Vec<NodeId>,
+}
+
+struct DfsInner {
+    config: DfsConfig,
+    disks: Vec<Disk>,
+    namespace: RwLock<BTreeMap<String, FileMeta>>,
+    next_block: AtomicU64,
+    next_placement: AtomicU64,
+}
+
+/// Shared DFS handle. Clone freely.
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<DfsInner>,
+}
+
+impl Dfs {
+    /// Build a DFS over one disk per cluster node.
+    pub fn new(disks: Vec<Disk>, config: DfsConfig) -> Self {
+        assert!(!disks.is_empty(), "dfs needs at least one disk");
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(config.replication > 0, "replication must be positive");
+        Dfs {
+            inner: Arc::new(DfsInner {
+                config,
+                disks,
+                namespace: RwLock::new(BTreeMap::new()),
+                next_block: AtomicU64::new(0),
+                next_placement: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Convenience: a DFS over `n` fresh instant disks (tests).
+    pub fn in_memory(n: usize) -> Self {
+        Dfs::new(
+            (0..n).map(|_| Disk::new(Default::default())).collect(),
+            DfsConfig::default(),
+        )
+    }
+
+    pub fn cluster_size(&self) -> usize {
+        self.inner.disks.len()
+    }
+
+    pub fn config(&self) -> &DfsConfig {
+        &self.inner.config
+    }
+
+    /// Direct handle to a node's disk (loaders use this for node-local IO).
+    pub fn disk(&self, node: NodeId) -> &Disk {
+        &self.inner.disks[node]
+    }
+
+    /// Create a file, placing primary replicas round-robin.
+    pub fn create(&self, path: &str) -> Result<DfsWriter, DfsError> {
+        self.create_from(path, None)
+    }
+
+    /// Create a file whose primary replicas go to `local` (the HDFS
+    /// "writer's node gets the first replica" rule).
+    pub fn create_from(&self, path: &str, local: Option<NodeId>) -> Result<DfsWriter, DfsError> {
+        {
+            let mut ns = self.inner.namespace.write();
+            if ns.contains_key(path) {
+                return Err(DfsError::AlreadyExists(path.to_string()));
+            }
+            ns.insert(path.to_string(), FileMeta::default());
+        }
+        Ok(DfsWriter::new(self.clone(), path.to_string(), local))
+    }
+
+    /// Open an existing file for reading.
+    pub fn open(&self, path: &str) -> Result<DfsReader, DfsError> {
+        let blocks = self.blocks(path)?;
+        Ok(DfsReader::new(self.clone(), path.to_string(), blocks))
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.namespace.read().contains_key(path)
+    }
+
+    /// Total logical length of a file.
+    pub fn len(&self, path: &str) -> Result<usize, DfsError> {
+        Ok(self.blocks(path)?.iter().map(|b| b.len).sum())
+    }
+
+    /// True when the namespace has no files.
+    pub fn is_empty(&self) -> bool {
+        self.inner.namespace.read().is_empty()
+    }
+
+    /// Block metadata for a file.
+    pub fn blocks(&self, path: &str) -> Result<Vec<BlockMeta>, DfsError> {
+        self.inner
+            .namespace
+            .read()
+            .get(path)
+            .map(|m| m.blocks.clone())
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Input splits (one per block) with replica locations.
+    pub fn splits(&self, path: &str) -> Result<Vec<Split>, DfsError> {
+        Ok(self
+            .blocks(path)?
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Split {
+                path: path.to_string(),
+                block_index: i,
+                len: b.len,
+                records: b.records,
+                locations: b.replicas,
+            })
+            .collect())
+    }
+
+    /// Read one block's payload, preferring a replica on `prefer`.
+    /// Charges the chosen replica's disk.
+    pub fn read_block(
+        &self,
+        path: &str,
+        block_index: usize,
+        prefer: Option<NodeId>,
+    ) -> Result<Arc<Vec<u8>>, DfsError> {
+        let blocks = self.blocks(path)?;
+        let meta = blocks.get(block_index).ok_or(DfsError::NoSuchBlock {
+            path: path.to_string(),
+            block: block_index,
+        })?;
+        let node = match prefer {
+            Some(p) if meta.replicas.contains(&p) => p,
+            _ => meta.replicas[0],
+        };
+        Ok(self.inner.disks[node].read_all(&BlockMeta::disk_name(meta.id))?)
+    }
+
+    /// Delete a file and all its block replicas.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let meta = self
+            .inner
+            .namespace
+            .write()
+            .remove(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        for block in &meta.blocks {
+            let name = BlockMeta::disk_name(block.id);
+            for &node in &block.replicas {
+                self.inner.disks[node].delete(&name);
+            }
+        }
+        Ok(())
+    }
+
+    /// All paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .namespace
+            .read()
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Read an entire file's payload as one buffer (small files only).
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let blocks = self.blocks(path)?;
+        let mut out = Vec::with_capacity(blocks.iter().map(|b| b.len).sum());
+        for (i, _) in blocks.iter().enumerate() {
+            out.extend_from_slice(&self.read_block(path, i, None)?);
+        }
+        Ok(out)
+    }
+
+    /// Allocate an id and replica set for a new block.
+    pub(crate) fn place_block(&self, local: Option<NodeId>) -> (u64, Vec<NodeId>) {
+        let n = self.cluster_size();
+        let id = self.inner.next_block.fetch_add(1, Ordering::Relaxed);
+        let primary = match local {
+            Some(node) => node % n,
+            None => (self.inner.next_placement.fetch_add(1, Ordering::Relaxed) as usize) % n,
+        };
+        let replication = self.inner.config.replication.min(n);
+        let replicas = (0..replication).map(|k| (primary + k) % n).collect();
+        (id, replicas)
+    }
+
+    /// Store a sealed block's payload on every replica.
+    pub(crate) fn store_block(
+        &self,
+        path: &str,
+        id: u64,
+        replicas: &[NodeId],
+        records: usize,
+        payload: &[u8],
+    ) -> Result<(), DfsError> {
+        let name = BlockMeta::disk_name(id);
+        for &node in replicas {
+            self.inner.disks[node].write_all(&name, payload)?;
+        }
+        let mut ns = self.inner.namespace.write();
+        let meta = ns
+            .get_mut(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        meta.blocks.push(BlockMeta {
+            id,
+            len: payload.len(),
+            records,
+            replicas: replicas.to_vec(),
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dfs(n: usize, block_size: usize, replication: usize) -> Dfs {
+        Dfs::new(
+            (0..n).map(|_| Disk::new(Default::default())).collect(),
+            DfsConfig {
+                block_size,
+                replication,
+            },
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip_single_block() {
+        let dfs = Dfs::in_memory(3);
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"hello");
+        w.write_record(b" world");
+        w.seal().unwrap();
+        assert_eq!(dfs.read_all("f").unwrap(), b"hello world");
+        assert_eq!(dfs.len("f").unwrap(), 11);
+    }
+
+    #[test]
+    fn records_never_split_across_blocks() {
+        let dfs = small_dfs(3, 10, 1);
+        let mut w = dfs.create("f").unwrap();
+        for _ in 0..5 {
+            w.write_record(b"1234567"); // 7 bytes; only one fits per 10-byte block
+        }
+        w.seal().unwrap();
+        let blocks = dfs.blocks("f").unwrap();
+        assert_eq!(blocks.len(), 5);
+        for b in &blocks {
+            assert_eq!(b.len, 7);
+            assert_eq!(b.records, 1);
+        }
+        assert_eq!(dfs.read_all("f").unwrap().len(), 35);
+    }
+
+    #[test]
+    fn oversized_record_gets_own_block() {
+        let dfs = small_dfs(2, 4, 1);
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"ab");
+        w.write_record(b"0123456789"); // bigger than block size
+        w.write_record(b"cd");
+        w.seal().unwrap();
+        let blocks = dfs.blocks("f").unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[1].len, 10);
+        assert_eq!(dfs.read_all("f").unwrap(), b"ab0123456789cd");
+    }
+
+    #[test]
+    fn replication_places_on_distinct_nodes() {
+        let dfs = small_dfs(4, 1024, 3);
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"data");
+        w.seal().unwrap();
+        let blocks = dfs.blocks("f").unwrap();
+        assert_eq!(blocks[0].replicas.len(), 3);
+        let mut sorted = blocks[0].replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "replicas must be distinct nodes");
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let dfs = small_dfs(2, 1024, 5);
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"x");
+        w.seal().unwrap();
+        assert_eq!(dfs.blocks("f").unwrap()[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn local_writer_gets_primary_replica() {
+        let dfs = small_dfs(4, 16, 2);
+        let mut w = dfs.create_from("f", Some(2)).unwrap();
+        w.write_record(b"0123456789abcde"); // one block
+        w.write_record(b"0123456789abcde"); // second block
+        w.seal().unwrap();
+        for b in dfs.blocks("f").unwrap() {
+            assert_eq!(b.replicas[0], 2);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_primaries() {
+        let dfs = small_dfs(4, 8, 1);
+        let mut w = dfs.create("f").unwrap();
+        for _ in 0..8 {
+            w.write_record(b"1234567"); // one record per block
+        }
+        w.seal().unwrap();
+        let primaries: std::collections::BTreeSet<_> = dfs
+            .blocks("f")
+            .unwrap()
+            .iter()
+            .map(|b| b.replicas[0])
+            .collect();
+        assert!(primaries.len() >= 2, "primaries should spread: {primaries:?}");
+    }
+
+    #[test]
+    fn splits_report_locations_and_records() {
+        let dfs = small_dfs(3, 8, 2);
+        let mut w = dfs.create("f").unwrap();
+        for _ in 0..6 {
+            w.write_record(b"abc"); // two 3-byte records per 8-byte block
+        }
+        w.seal().unwrap();
+        let splits = dfs.splits("f").unwrap();
+        assert_eq!(splits.len(), 3);
+        for s in &splits {
+            assert_eq!(s.records, 2);
+            assert_eq!(s.len, 6);
+            assert_eq!(s.locations.len(), 2);
+        }
+    }
+
+    #[test]
+    fn read_block_prefers_local_replica() {
+        let dfs = small_dfs(3, 1024, 2);
+        let mut w = dfs.create_from("f", Some(0)).unwrap();
+        w.write_record(b"payload");
+        w.seal().unwrap();
+        let replicas = dfs.blocks("f").unwrap()[0].replicas.clone();
+        let other = replicas[1];
+        let before = dfs.disk(other).metrics().bytes_read;
+        let _ = dfs.read_block("f", 0, Some(other)).unwrap();
+        assert_eq!(
+            dfs.disk(other).metrics().bytes_read - before,
+            7,
+            "preferred replica's disk should serve the read"
+        );
+    }
+
+    #[test]
+    fn delete_removes_blocks_from_disks() {
+        let dfs = small_dfs(2, 16, 2);
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"0123456789");
+        w.seal().unwrap();
+        assert!(dfs.disk(0).used_bytes() + dfs.disk(1).used_bytes() > 0);
+        dfs.delete("f").unwrap();
+        assert!(!dfs.exists("f"));
+        assert_eq!(dfs.disk(0).used_bytes() + dfs.disk(1).used_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let dfs = Dfs::in_memory(2);
+        dfs.create("f").unwrap().seal().unwrap();
+        assert!(matches!(dfs.create("f"), Err(DfsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = Dfs::in_memory(2);
+        assert!(matches!(dfs.open("nope"), Err(DfsError::NotFound(_))));
+        assert!(matches!(dfs.delete("nope"), Err(DfsError::NotFound(_))));
+        assert!(matches!(
+            dfs.read_block("nope", 0, None),
+            Err(DfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_block_errors() {
+        let dfs = Dfs::in_memory(2);
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"x");
+        w.seal().unwrap();
+        assert!(matches!(
+            dfs.read_block("f", 5, None),
+            Err(DfsError::NoSuchBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let dfs = Dfs::in_memory(1);
+        for p in ["a/1", "a/2", "b/1"] {
+            dfs.create(p).unwrap().seal().unwrap();
+        }
+        assert_eq!(dfs.list("a/"), vec!["a/1", "a/2"]);
+        assert_eq!(dfs.list(""), vec!["a/1", "a/2", "b/1"]);
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let dfs = Dfs::in_memory(2);
+        dfs.create("f").unwrap().seal().unwrap();
+        assert!(dfs.blocks("f").unwrap().is_empty());
+        assert_eq!(dfs.read_all("f").unwrap(), Vec::<u8>::new());
+        assert!(dfs.splits("f").unwrap().is_empty());
+    }
+}

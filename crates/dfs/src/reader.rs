@@ -1,0 +1,135 @@
+//! Streaming reader over a DFS file's blocks.
+
+use crate::{BlockMeta, Dfs, DfsError, NodeId};
+use std::sync::Arc;
+
+/// Reads a DFS file block-by-block, optionally preferring replicas on a
+/// given node (locality-aware consumption).
+pub struct DfsReader {
+    dfs: Dfs,
+    path: String,
+    blocks: Vec<BlockMeta>,
+    next_block: usize,
+    prefer: Option<NodeId>,
+}
+
+impl DfsReader {
+    pub(crate) fn new(dfs: Dfs, path: String, blocks: Vec<BlockMeta>) -> Self {
+        DfsReader {
+            dfs,
+            path,
+            blocks,
+            next_block: 0,
+            prefer: None,
+        }
+    }
+
+    /// Prefer replicas on `node` for subsequent block reads.
+    pub fn prefer_node(mut self, node: NodeId) -> Self {
+        self.prefer = Some(node);
+        self
+    }
+
+    /// Number of blocks in the file.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total logical file length.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.len).sum()
+    }
+
+    /// True for a zero-block file.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Read the next block's payload, or `None` at end of file.
+    pub fn next_block(&mut self) -> Result<Option<Arc<Vec<u8>>>, DfsError> {
+        if self.next_block >= self.blocks.len() {
+            return Ok(None);
+        }
+        let idx = self.next_block;
+        self.next_block += 1;
+        self.dfs.read_block(&self.path, idx, self.prefer).map(Some)
+    }
+
+    /// Drain the remaining blocks into one buffer.
+    pub fn read_to_end(&mut self) -> Result<Vec<u8>, DfsError> {
+        let mut out = Vec::new();
+        while let Some(block) = self.next_block()? {
+            out.extend_from_slice(&block);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfsConfig;
+    use hamr_simdisk::Disk;
+
+    fn dfs3() -> Dfs {
+        Dfs::new(
+            (0..3).map(|_| Disk::new(Default::default())).collect(),
+            DfsConfig {
+                block_size: 8,
+                replication: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn reads_blocks_in_order() {
+        let dfs = dfs3();
+        let mut w = dfs.create("f").unwrap();
+        for i in 0..4u8 {
+            w.write_record(&[i; 6]);
+        }
+        w.seal().unwrap();
+        let mut r = dfs.open("f").unwrap();
+        assert_eq!(r.block_count(), 4);
+        assert_eq!(r.len(), 24);
+        let mut seen = Vec::new();
+        while let Some(b) = r.next_block().unwrap() {
+            seen.push(b[0]);
+            assert_eq!(b.len(), 6);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(r.next_block().unwrap().is_none());
+    }
+
+    #[test]
+    fn read_to_end_matches_read_all() {
+        let dfs = dfs3();
+        let mut w = dfs.create("f").unwrap();
+        for i in 0..10u8 {
+            w.write_record(&[i, i, i]);
+        }
+        w.seal().unwrap();
+        let via_reader = dfs.open("f").unwrap().read_to_end().unwrap();
+        let via_all = dfs.read_all("f").unwrap();
+        assert_eq!(via_reader, via_all);
+        assert_eq!(via_reader.len(), 30);
+    }
+
+    #[test]
+    fn prefer_node_charges_that_disk() {
+        let dfs = Dfs::new(
+            (0..2).map(|_| Disk::new(Default::default())).collect(),
+            DfsConfig {
+                block_size: 64,
+                replication: 2,
+            },
+        );
+        let mut w = dfs.create("f").unwrap();
+        w.write_record(b"0123456789");
+        w.seal().unwrap();
+        let before = dfs.disk(1).metrics().bytes_read;
+        let mut r = dfs.open("f").unwrap().prefer_node(1);
+        r.read_to_end().unwrap();
+        assert_eq!(dfs.disk(1).metrics().bytes_read - before, 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Block-building writer for DFS files.
+
+use crate::{Dfs, DfsError, NodeId};
+
+/// Streams records into a DFS file, sealing a block whenever the next
+/// record would overflow [`crate::DfsConfig::block_size`].
+///
+/// Call [`DfsWriter::seal`] to flush the final partial block and make
+/// the file durable; dropping without sealing *loses* the unfinished
+/// block (matching the visibility rules of real HDFS writers closely
+/// enough for our purposes).
+pub struct DfsWriter {
+    dfs: Dfs,
+    path: String,
+    local: Option<NodeId>,
+    buf: Vec<u8>,
+    records: usize,
+    sealed: bool,
+}
+
+impl DfsWriter {
+    pub(crate) fn new(dfs: Dfs, path: String, local: Option<NodeId>) -> Self {
+        let cap = dfs.config().block_size;
+        DfsWriter {
+            dfs,
+            path,
+            local,
+            buf: Vec::with_capacity(cap),
+            records: 0,
+            sealed: false,
+        }
+    }
+
+    /// Append one whole record; never split across blocks.
+    pub fn write_record(&mut self, record: &[u8]) {
+        let block_size = self.dfs.config().block_size;
+        if !self.buf.is_empty() && self.buf.len() + record.len() > block_size {
+            self.flush_block().expect("flush during write");
+        }
+        self.buf.extend_from_slice(record);
+        self.records += 1;
+        if self.buf.len() >= block_size {
+            self.flush_block().expect("flush during write");
+        }
+    }
+
+    /// Append a text line (adds the trailing newline) as one record.
+    pub fn write_line(&mut self, line: &str) {
+        let mut rec = Vec::with_capacity(line.len() + 1);
+        rec.extend_from_slice(line.as_bytes());
+        rec.push(b'\n');
+        self.write_record(&rec);
+    }
+
+    /// Bytes buffered in the unsealed block.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn flush_block(&mut self) -> Result<(), DfsError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let (id, replicas) = self.dfs.place_block(self.local);
+        let payload = std::mem::take(&mut self.buf);
+        let records = std::mem::take(&mut self.records);
+        self.dfs
+            .store_block(&self.path, id, &replicas, records, &payload)
+    }
+
+    /// Flush the final block and finish the file.
+    pub fn seal(mut self) -> Result<(), DfsError> {
+        self.sealed = true;
+        self.flush_block()
+    }
+}

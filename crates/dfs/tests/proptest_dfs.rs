@@ -1,0 +1,109 @@
+//! Property tests on the DFS block layer: arbitrary record sequences
+//! must round-trip intact, with block invariants holding throughout.
+
+use hamr_dfs::{Dfs, DfsConfig};
+use hamr_simdisk::Disk;
+use proptest::prelude::*;
+
+fn dfs(nodes: usize, block_size: usize, replication: usize) -> Dfs {
+    Dfs::new(
+        (0..nodes).map(|_| Disk::new(Default::default())).collect(),
+        DfsConfig {
+            block_size,
+            replication,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every written record sequence reads back byte-identical.
+    #[test]
+    fn records_roundtrip(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..40), 0..60),
+        nodes in 1usize..5,
+        block_size in 8usize..128,
+        replication in 1usize..4,
+    ) {
+        let dfs = dfs(nodes, block_size, replication);
+        let mut w = dfs.create("f").unwrap();
+        for r in &records {
+            w.write_record(r);
+        }
+        w.seal().unwrap();
+        let flat: Vec<u8> = records.iter().flatten().copied().collect();
+        prop_assert_eq!(dfs.read_all("f").unwrap(), flat);
+        prop_assert_eq!(dfs.len("f").unwrap(), records.iter().map(|r| r.len()).sum::<usize>());
+    }
+
+    /// Block invariants: per-block record counts sum to the total; no
+    /// block except single-record oversize ones exceeds block_size;
+    /// every block has min(replication, nodes) distinct replicas.
+    #[test]
+    fn block_invariants(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..30), 1..50),
+        nodes in 1usize..5,
+        block_size in 8usize..64,
+        replication in 1usize..4,
+    ) {
+        let dfs = dfs(nodes, block_size, replication);
+        let mut w = dfs.create("f").unwrap();
+        for r in &records {
+            w.write_record(r);
+        }
+        w.seal().unwrap();
+        let blocks = dfs.blocks("f").unwrap();
+        let total_records: usize = blocks.iter().map(|b| b.records).sum();
+        prop_assert_eq!(total_records, records.len());
+        let expected_replicas = replication.min(nodes);
+        for b in &blocks {
+            prop_assert!(b.len <= block_size || b.records == 1,
+                "multi-record block over capacity: {} > {}", b.len, block_size);
+            let mut reps = b.replicas.clone();
+            reps.sort_unstable();
+            reps.dedup();
+            prop_assert_eq!(reps.len(), expected_replicas);
+        }
+    }
+
+    /// Reading block-by-block with any preferred node equals read_all.
+    #[test]
+    fn preferred_reads_agree(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..20), 1..30),
+        prefer in 0usize..4,
+    ) {
+        let dfs = dfs(4, 32, 2);
+        let mut w = dfs.create("f").unwrap();
+        for r in &records {
+            w.write_record(r);
+        }
+        w.seal().unwrap();
+        let mut via_blocks = Vec::new();
+        for i in 0..dfs.blocks("f").unwrap().len() {
+            via_blocks.extend_from_slice(&dfs.read_block("f", i, Some(prefer)).unwrap());
+        }
+        prop_assert_eq!(via_blocks, dfs.read_all("f").unwrap());
+    }
+
+    /// Splits cover the file exactly once, in order.
+    #[test]
+    fn splits_partition_the_file(
+        records in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..20), 1..40),
+    ) {
+        let dfs = dfs(3, 24, 1);
+        let mut w = dfs.create("f").unwrap();
+        for r in &records {
+            w.write_record(r);
+        }
+        w.seal().unwrap();
+        let splits = dfs.splits("f").unwrap();
+        let total_len: usize = splits.iter().map(|s| s.len).sum();
+        let total_records: usize = splits.iter().map(|s| s.records).sum();
+        prop_assert_eq!(total_len, dfs.len("f").unwrap());
+        prop_assert_eq!(total_records, records.len());
+        for (i, s) in splits.iter().enumerate() {
+            prop_assert_eq!(s.block_index, i);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Chaining multiple jobs through the DFS — how Hadoop expresses
+//! multi-phase applications (and pays a barrier + disk round trip +
+//! job-startup cost per link, the overhead HAMR's multi-phase DAGs
+//! eliminate).
+
+use crate::job::{JobStats, MrCluster, MrError};
+use crate::JobConf;
+use std::time::Duration;
+
+/// A sequence of jobs where each consumes its predecessor's output.
+pub struct JobChain {
+    jobs: Vec<JobConf>,
+    cleanup_intermediates: bool,
+}
+
+impl JobChain {
+    pub fn new(jobs: Vec<JobConf>) -> Self {
+        JobChain {
+            jobs,
+            cleanup_intermediates: false,
+        }
+    }
+
+    /// Delete each job's output once its successor has consumed it.
+    pub fn cleanup_intermediates(mut self) -> Self {
+        self.cleanup_intermediates = true;
+        self
+    }
+
+    /// Run all jobs in order; fails fast on the first error.
+    pub fn run(&self, cluster: &MrCluster) -> Result<ChainStats, MrError> {
+        let mut stats = Vec::with_capacity(self.jobs.len());
+        for (i, job) in self.jobs.iter().enumerate() {
+            let s = cluster.run(job)?;
+            stats.push(s);
+            if self.cleanup_intermediates && i > 0 {
+                // The previous job's output has been fully consumed.
+                for part in cluster.dfs().list(&format!("{}/", self.jobs[i - 1].output)) {
+                    let _ = cluster.dfs().delete(&part);
+                }
+            }
+        }
+        Ok(ChainStats { jobs: stats })
+    }
+}
+
+/// Aggregated statistics for a chain run.
+#[derive(Debug, Clone)]
+pub struct ChainStats {
+    pub jobs: Vec<JobStats>,
+}
+
+impl ChainStats {
+    pub fn total_elapsed(&self) -> Duration {
+        self.jobs.iter().map(|j| j.elapsed).sum()
+    }
+
+    pub fn total_spilled(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spilled_bytes).sum()
+    }
+
+    pub fn total_shuffled(&self) -> u64 {
+        self.jobs.iter().map(|j| j.shuffled_bytes).sum()
+    }
+}

@@ -1,0 +1,451 @@
+//! The MapReduce job driver: scheduling, phases, and the shuffle.
+
+use crate::maptask::{run_map_task, MapTaskError};
+use crate::reducetask::run_reduce_task;
+use crate::JobConf;
+use crossbeam::channel::Receiver;
+use hamr_dfs::{Dfs, DfsError, Split};
+use hamr_simdisk::{Disk, DiskError};
+use hamr_simnet::{Envelope, Fabric, NetConfig, NetError, Payload};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Job and task launch overheads — the JVM/job-submission costs Hadoop
+/// pays and HAMR avoids by chaining flowlets in one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartupModel {
+    /// One-time cost when a job starts (submission, AM spin-up).
+    pub job: Duration,
+    /// Cost per task launch (container/JVM fork).
+    pub task: Duration,
+}
+
+impl StartupModel {
+    /// No startup costs (correctness tests).
+    pub fn instant() -> Self {
+        StartupModel {
+            job: Duration::ZERO,
+            task: Duration::ZERO,
+        }
+    }
+
+    /// Typical scaled-down costs.
+    pub fn modeled(job: Duration, task: Duration) -> Self {
+        StartupModel { job, task }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct MrConfig {
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots: usize,
+    /// Map-side sort buffer budget per task (io.sort.mb).
+    pub sort_buffer: usize,
+    pub net: NetConfig,
+    pub startup: StartupModel,
+}
+
+impl MrConfig {
+    /// Untimed config for correctness tests.
+    pub fn local(nodes: usize, slots: usize) -> Self {
+        MrConfig {
+            nodes,
+            map_slots: slots,
+            reduce_slots: slots,
+            sort_buffer: 4 << 20,
+            net: NetConfig::instant(),
+            startup: StartupModel::instant(),
+        }
+    }
+}
+
+/// Errors from running a job.
+#[derive(Debug)]
+pub enum MrError {
+    Dfs(DfsError),
+    Disk(DiskError),
+    Net(NetError),
+    TaskPanic(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Dfs(e) => write!(f, "dfs: {e}"),
+            MrError::Disk(e) => write!(f, "disk: {e}"),
+            MrError::Net(e) => write!(f, "net: {e}"),
+            MrError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<DfsError> for MrError {
+    fn from(e: DfsError) -> Self {
+        MrError::Dfs(e)
+    }
+}
+impl From<DiskError> for MrError {
+    fn from(e: DiskError) -> Self {
+        MrError::Disk(e)
+    }
+}
+impl From<NetError> for MrError {
+    fn from(e: NetError) -> Self {
+        MrError::Net(e)
+    }
+}
+impl From<MapTaskError> for MrError {
+    fn from(e: MapTaskError) -> Self {
+        match e {
+            MapTaskError::Dfs(e) => MrError::Dfs(e),
+            MapTaskError::Disk(e) => MrError::Disk(e),
+        }
+    }
+}
+
+/// Measurements from one job run.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    pub name: String,
+    pub elapsed: Duration,
+    pub map_phase: Duration,
+    pub reduce_phase: Duration,
+    pub map_tasks: usize,
+    /// Map tasks that ran on a node holding their split (locality hits).
+    pub local_map_tasks: usize,
+    pub reduce_tasks: usize,
+    pub map_records_in: u64,
+    pub map_records_out: u64,
+    pub spills: u64,
+    pub spilled_bytes: u64,
+    pub shuffled_bytes: u64,
+    pub reduce_records_in: u64,
+    pub reduce_records_out: u64,
+    pub groups: u64,
+    pub output_bytes: u64,
+}
+
+/// A chunk of map output traveling to a reducer's node.
+struct ShuffleMsg {
+    reducer: usize,
+    data: Arc<Vec<u8>>,
+}
+
+impl Payload for ShuffleMsg {
+    fn wire_size(&self) -> usize {
+        self.data.len() + 16
+    }
+}
+
+/// Simple work queue with locality: per-node deques plus stealing.
+struct Scheduler {
+    queues: Vec<VecDeque<usize>>,
+}
+
+impl Scheduler {
+    fn new(nodes: usize, tasks: &[Split]) -> Self {
+        let mut queues = vec![VecDeque::new(); nodes];
+        for (i, split) in tasks.iter().enumerate() {
+            let primary = split.locations.first().copied().unwrap_or(i % nodes);
+            queues[primary % nodes].push_back(i);
+        }
+        Scheduler { queues }
+    }
+
+    /// Take a local task if any, else steal the longest queue's tail.
+    /// Returns (task, was_local).
+    fn take(&mut self, node: usize) -> Option<(usize, bool)> {
+        if let Some(t) = self.queues[node].pop_front() {
+            return Some((t, true));
+        }
+        let victim = (0..self.queues.len()).max_by_key(|&n| self.queues[n].len())?;
+        self.queues[victim].pop_back().map(|t| (t, false))
+    }
+}
+
+/// The MapReduce engine bound to a cluster's substrates.
+pub struct MrCluster {
+    config: MrConfig,
+    disks: Vec<Disk>,
+    dfs: Dfs,
+    next_job: AtomicU64,
+}
+
+impl MrCluster {
+    /// Build over existing substrates (shared with the HAMR engine in
+    /// benchmarks).
+    pub fn new(config: MrConfig, disks: Vec<Disk>, dfs: Dfs) -> Self {
+        assert_eq!(disks.len(), config.nodes, "one disk per node");
+        assert!(config.map_slots > 0 && config.reduce_slots > 0);
+        MrCluster {
+            config,
+            disks,
+            dfs,
+            next_job: AtomicU64::new(1),
+        }
+    }
+
+    /// Standalone in-memory cluster (tests).
+    pub fn in_memory(nodes: usize, slots: usize) -> Self {
+        let disks: Vec<Disk> = (0..nodes).map(|_| Disk::new(Default::default())).collect();
+        let dfs = Dfs::new(disks.clone(), Default::default());
+        MrCluster::new(MrConfig::local(nodes, slots), disks, dfs)
+    }
+
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    pub fn config(&self) -> &MrConfig {
+        &self.config
+    }
+
+    /// Run one job to completion.
+    pub fn run(&self, conf: &JobConf) -> Result<JobStats, MrError> {
+        let start = Instant::now();
+        let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        if !self.config.startup.job.is_zero() {
+            std::thread::sleep(self.config.startup.job);
+        }
+        let nodes = self.config.nodes;
+        let reducers = if conf.reducers == 0 {
+            nodes
+        } else {
+            conf.reducers
+        };
+        // Gather splits across all input paths.
+        let mut splits: Vec<Split> = Vec::new();
+        for path in &conf.input {
+            splits.extend(self.dfs.splits(path)?);
+        }
+        let map_task_count = splits.len();
+        let fabric = Fabric::<ShuffleMsg>::new(nodes, self.config.net.clone());
+        let stats = Arc::new(Mutex::new(JobStats {
+            name: conf.name.clone(),
+            map_tasks: map_task_count,
+            reduce_tasks: reducers,
+            ..Default::default()
+        }));
+        let first_error: Arc<Mutex<Option<MrError>>> = Arc::new(Mutex::new(None));
+
+        // --- shuffle receivers (run concurrently with the map phase) --
+        let mut recv_handles = Vec::new();
+        for node in 0..nodes {
+            let local_reducers: Vec<usize> = (0..reducers).filter(|r| r % nodes == node).collect();
+            let expected = map_task_count * local_reducers.len();
+            let rx = fabric.receiver(node)?;
+            recv_handles.push(std::thread::spawn(move || {
+                collect_chunks(rx, &local_reducers, expected)
+            }));
+        }
+
+        // --- map phase ------------------------------------------------
+        let map_start = Instant::now();
+        let scheduler = Arc::new(Mutex::new(Scheduler::new(nodes, &splits)));
+        let splits = Arc::new(splits);
+        let conf_arc = Arc::new(conf.clone());
+        let mut map_handles = Vec::new();
+        for node in 0..nodes {
+            for _slot in 0..self.config.map_slots {
+                let scheduler = Arc::clone(&scheduler);
+                let splits = Arc::clone(&splits);
+                let conf = Arc::clone(&conf_arc);
+                let dfs = self.dfs.clone();
+                let disk = self.disks[node].clone();
+                let fabric = fabric.clone();
+                let stats = Arc::clone(&stats);
+                let first_error = Arc::clone(&first_error);
+                let startup = self.config.startup;
+                let sort_buffer = self.config.sort_buffer;
+                map_handles.push(std::thread::spawn(move || {
+                    loop {
+                        if first_error.lock().is_some() {
+                            return;
+                        }
+                        let Some((task, local)) = scheduler.lock().take(node) else {
+                            return;
+                        };
+                        if !startup.task.is_zero() {
+                            std::thread::sleep(startup.task);
+                        }
+                        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            run_map_task(
+                                &conf,
+                                job_id,
+                                task,
+                                &splits[task],
+                                node,
+                                &dfs,
+                                &disk,
+                                reducers,
+                                sort_buffer,
+                            )
+                        }));
+                        let res = match run {
+                            Ok(Ok(res)) => res,
+                            Ok(Err(e)) => {
+                                first_error.lock().get_or_insert(e.into());
+                                return;
+                            }
+                            Err(p) => {
+                                first_error
+                                    .lock()
+                                    .get_or_insert(MrError::TaskPanic(panic_msg(p)));
+                                return;
+                            }
+                        };
+                        // Serve the shuffle: read each partition file
+                        // back (disk) and push it to the reducer's node
+                        // (network), then drop the local copy.
+                        let mut shuffled = 0u64;
+                        for out in &res.outputs {
+                            let data = match disk.read_all(&out.file) {
+                                Ok(d) => d,
+                                Err(e) => {
+                                    first_error.lock().get_or_insert(e.into());
+                                    return;
+                                }
+                            };
+                            shuffled += out.bytes as u64;
+                            let dst = out.partition % fabric.len();
+                            let msg = ShuffleMsg {
+                                reducer: out.partition,
+                                data,
+                            };
+                            if let Err(e) = fabric.send(node, dst, msg) {
+                                first_error.lock().get_or_insert(e.into());
+                                return;
+                            }
+                            disk.delete(&out.file);
+                        }
+                        let mut s = stats.lock();
+                        s.map_records_in += res.records_in;
+                        s.map_records_out += res.records_out;
+                        s.spills += res.spills as u64;
+                        s.spilled_bytes += res.spilled_bytes;
+                        s.shuffled_bytes += shuffled;
+                        if local {
+                            s.local_map_tasks += 1;
+                        }
+                    }
+                }));
+            }
+        }
+        for h in map_handles {
+            let _ = h.join();
+        }
+        stats.lock().map_phase = map_start.elapsed();
+        if let Some(e) = first_error.lock().take() {
+            fabric.shutdown();
+            return Err(e);
+        }
+
+        // --- barrier: wait for every reducer's fetches ----------------
+        let mut per_node_chunks = Vec::with_capacity(nodes);
+        for h in recv_handles {
+            per_node_chunks.push(h.join().expect("receiver thread"));
+        }
+        fabric.shutdown();
+
+        // --- reduce phase ---------------------------------------------
+        let reduce_start = Instant::now();
+        let mut reduce_handles = Vec::new();
+        for (node, chunk_map) in per_node_chunks.into_iter().enumerate() {
+            // Queue of (reducer, chunks) for this node.
+            let queue = Arc::new(Mutex::new(chunk_map));
+            for _slot in 0..self.config.reduce_slots {
+                let queue = Arc::clone(&queue);
+                let conf = Arc::clone(&conf_arc);
+                let dfs = self.dfs.clone();
+                let stats = Arc::clone(&stats);
+                let first_error = Arc::clone(&first_error);
+                let startup = self.config.startup;
+                reduce_handles.push(std::thread::spawn(move || loop {
+                    if first_error.lock().is_some() {
+                        return;
+                    }
+                    let Some((r, chunks)) = queue.lock().pop_front() else {
+                        return;
+                    };
+                    if !startup.task.is_zero() {
+                        std::thread::sleep(startup.task);
+                    }
+                    let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_reduce_task(&conf, r, node, chunks, &dfs)
+                    }));
+                    match run {
+                        Ok(Ok(res)) => {
+                            let mut s = stats.lock();
+                            s.reduce_records_in += res.records_in;
+                            s.reduce_records_out += res.records_out;
+                            s.groups += res.groups;
+                            s.output_bytes += res.output_bytes;
+                        }
+                        Ok(Err(e)) => {
+                            first_error.lock().get_or_insert(e.into());
+                        }
+                        Err(p) => {
+                            first_error
+                                .lock()
+                                .get_or_insert(MrError::TaskPanic(panic_msg(p)));
+                        }
+                    }
+                }));
+            }
+        }
+        for h in reduce_handles {
+            let _ = h.join();
+        }
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
+        }
+        let mut final_stats = stats.lock().clone();
+        final_stats.reduce_phase = reduce_start.elapsed();
+        final_stats.elapsed = start.elapsed();
+        Ok(final_stats)
+    }
+}
+
+/// Receive `expected` shuffle chunks, bucketed per local reducer.
+fn collect_chunks(
+    rx: Receiver<Envelope<ShuffleMsg>>,
+    local_reducers: &[usize],
+    expected: usize,
+) -> VecDeque<(usize, Vec<Arc<Vec<u8>>>)> {
+    let mut buckets: std::collections::HashMap<usize, Vec<Arc<Vec<u8>>>> = local_reducers
+        .iter()
+        .map(|&r| (r, Vec::new()))
+        .collect();
+    let mut received = 0;
+    while received < expected {
+        let Ok(env) = rx.recv() else {
+            break; // fabric shut down early (error path)
+        };
+        if let Some(bucket) = buckets.get_mut(&env.msg.reducer) {
+            bucket.push(env.msg.data);
+            received += 1;
+        }
+    }
+    local_reducers
+        .iter()
+        .map(|&r| (r, buckets.remove(&r).unwrap_or_default()))
+        .collect()
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".into())
+}

@@ -1,0 +1,266 @@
+//! End-to-end MapReduce jobs: full map → shuffle → barrier → reduce
+//! through the simulated substrates.
+
+use hamr_codec::Codec;
+use hamr_mapred::{
+    decode_kv, line_map_fn, map_fn, reduce_fn, InputFormat, JobChain, JobConf, MrCluster, MrError,
+    ReduceOutput,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn read_outputs(cluster: &MrCluster, output: &str) -> BTreeMap<String, u64> {
+    let mut all = BTreeMap::new();
+    for part in cluster.dfs().list(&format!("{output}/")) {
+        let raw = cluster.dfs().read_all(&part).unwrap();
+        let mut input = raw.as_slice();
+        while let Some((k, v)) = decode_kv(&mut input) {
+            let key = String::from_bytes(&k).unwrap();
+            let val = u64::from_bytes(&v).unwrap();
+            assert!(all.insert(key, val).is_none(), "duplicate key across parts");
+        }
+    }
+    all
+}
+
+fn wordcount_job(input: &str, output: &str) -> JobConf {
+    JobConf::new(
+        "wordcount",
+        vec![input.to_string()],
+        output,
+        Arc::new(line_map_fn(|_off, line, out| {
+            for w in line.split_whitespace() {
+                out.emit_t(&w.to_string(), &1u64);
+            }
+        })),
+        Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+            out.emit_t(&k, &vs.iter().sum::<u64>());
+        })),
+    )
+}
+
+fn write_corpus(cluster: &MrCluster, path: &str, lines: &[&str]) {
+    let mut w = cluster.dfs().create(path).unwrap();
+    for line in lines {
+        w.write_line(line);
+    }
+    w.seal().unwrap();
+}
+
+#[test]
+fn wordcount_end_to_end() {
+    let cluster = MrCluster::in_memory(3, 2);
+    write_corpus(
+        &cluster,
+        "in.txt",
+        &["the quick brown fox", "the lazy dog", "the quick dog", "fox"],
+    );
+    let stats = cluster.run(&wordcount_job("in.txt", "out")).unwrap();
+    assert_eq!(stats.map_records_in, 4);
+    assert_eq!(stats.map_records_out, 11);
+    assert_eq!(stats.reduce_tasks, 3);
+    let counts = read_outputs(&cluster, "out");
+    assert_eq!(counts["the"], 3);
+    assert_eq!(counts["quick"], 2);
+    assert_eq!(counts["fox"], 2);
+    assert_eq!(counts["dog"], 2);
+    assert_eq!(counts["brown"], 1);
+    assert_eq!(counts["lazy"], 1);
+}
+
+#[test]
+fn multiple_blocks_mean_multiple_map_tasks_with_locality() {
+    let disks: Vec<hamr_simdisk::Disk> =
+        (0..4).map(|_| hamr_simdisk::Disk::new(Default::default())).collect();
+    let dfs = hamr_dfs::Dfs::new(
+        disks.clone(),
+        hamr_dfs::DfsConfig {
+            block_size: 256,
+            replication: 2,
+        },
+    );
+    let mut config = hamr_mapred::MrConfig::local(4, 2);
+    // A small per-task cost keeps every node's workers in play so
+    // locality reflects the scheduler, not thread-spawn racing.
+    config.startup.task = std::time::Duration::from_millis(3);
+    let cluster = MrCluster::new(config, disks, dfs);
+    let lines: Vec<String> = (0..200).map(|i| format!("word{} filler text", i % 10)).collect();
+    let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+    write_corpus(&cluster, "big.txt", &refs);
+    let stats = cluster.run(&wordcount_job("big.txt", "out")).unwrap();
+    assert!(stats.map_tasks > 4, "small blocks should give many splits");
+    assert!(
+        stats.local_map_tasks * 10 >= stats.map_tasks * 5,
+        "most map tasks should be local: {}/{}",
+        stats.local_map_tasks,
+        stats.map_tasks
+    );
+    let counts = read_outputs(&cluster, "out");
+    assert_eq!(counts.len(), 12); // word0..word9, filler, text
+    assert_eq!(counts["filler"], 200);
+}
+
+#[test]
+fn combiner_reduces_shuffle_volume() {
+    let cluster1 = MrCluster::in_memory(2, 2);
+    let cluster2 = MrCluster::in_memory(2, 2);
+    let lines: Vec<String> = (0..300).map(|_| "alpha beta".to_string()).collect();
+    let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+    write_corpus(&cluster1, "in.txt", &refs);
+    write_corpus(&cluster2, "in.txt", &refs);
+
+    let plain = cluster1.run(&wordcount_job("in.txt", "out")).unwrap();
+    let combiner = Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+        out.emit_t(&k, &vs.iter().sum::<u64>());
+    }));
+    let combined = cluster2
+        .run(&wordcount_job("in.txt", "out").with_combiner(combiner))
+        .unwrap();
+
+    assert!(
+        combined.shuffled_bytes < plain.shuffled_bytes / 10,
+        "combiner should collapse shuffle: {} vs {}",
+        combined.shuffled_bytes,
+        plain.shuffled_bytes
+    );
+    assert_eq!(read_outputs(&cluster1, "out"), read_outputs(&cluster2, "out"));
+}
+
+#[test]
+fn chained_jobs_roundtrip_through_dfs() {
+    // Job 1: wordcount. Job 2: histogram of counts (KeyValue input).
+    let cluster = MrCluster::in_memory(2, 2);
+    write_corpus(
+        &cluster,
+        "in.txt",
+        &["a a a b b c", "a b c d", "c d d a"],
+    );
+    let job1 = wordcount_job("in.txt", "inter");
+    let job2 = JobConf::new(
+        "histogram",
+        vec![
+            "inter/part-r-0".to_string(),
+            "inter/part-r-1".to_string(),
+        ],
+        "final",
+        Arc::new(map_fn(|_word: String, count: u64, out| {
+            out.emit_t(&format!("count={count}"), &1u64);
+        })),
+        Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+            out.emit_t(&k, &(vs.len() as u64));
+        })),
+    )
+    .with_input_format(InputFormat::KeyValue);
+    let chain = JobChain::new(vec![job1, job2]);
+    let stats = chain.run(&cluster).unwrap();
+    assert_eq!(stats.jobs.len(), 2);
+    // words: a=5 b=3 c=3 d=3 -> one word with count 5, three with count 3
+    let hist = read_outputs(&cluster, "final");
+    assert_eq!(hist["count=5"], 1);
+    assert_eq!(hist["count=3"], 3);
+}
+
+#[test]
+fn chain_cleanup_removes_intermediates() {
+    let cluster = MrCluster::in_memory(2, 1);
+    write_corpus(&cluster, "in.txt", &["x y", "x"]);
+    let job1 = wordcount_job("in.txt", "mid");
+    let job2 = JobConf::new(
+        "ident",
+        vec!["mid/part-r-0".to_string(), "mid/part-r-1".to_string()],
+        "end",
+        Arc::new(map_fn(|k: String, v: u64, out| out.emit_t(&k, &v))),
+        Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+            out.emit_t(&k, &vs.iter().sum::<u64>());
+        })),
+    )
+    .with_input_format(InputFormat::KeyValue);
+    JobChain::new(vec![job1, job2])
+        .cleanup_intermediates()
+        .run(&cluster)
+        .unwrap();
+    assert!(cluster.dfs().list("mid/").is_empty(), "intermediates removed");
+    let out = read_outputs(&cluster, "end");
+    assert_eq!(out["x"], 2);
+    assert_eq!(out["y"], 1);
+}
+
+#[test]
+fn tiny_sort_buffer_spills_but_output_is_correct() {
+    let disks: Vec<hamr_simdisk::Disk> =
+        (0..2).map(|_| hamr_simdisk::Disk::new(Default::default())).collect();
+    let dfs = hamr_dfs::Dfs::new(disks.clone(), Default::default());
+    let mut config = hamr_mapred::MrConfig::local(2, 2);
+    config.sort_buffer = 2048;
+    let cluster = MrCluster::new(config, disks, dfs);
+    let lines: Vec<String> = (0..500).map(|i| format!("w{} w{} w{}", i % 7, i % 3, i % 11)).collect();
+    let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
+    write_corpus(&cluster, "in.txt", &refs);
+    let stats = cluster.run(&wordcount_job("in.txt", "out")).unwrap();
+    assert!(stats.spills > 0, "tiny sort buffer must spill");
+    assert!(stats.spilled_bytes > 0);
+    let counts = read_outputs(&cluster, "out");
+    let total: u64 = counts.values().sum();
+    assert_eq!(total, 1500);
+}
+
+#[test]
+fn reducer_count_can_exceed_nodes() {
+    let cluster = MrCluster::in_memory(2, 2);
+    write_corpus(&cluster, "in.txt", &["a b c d e f g h"]);
+    let stats = cluster
+        .run(&wordcount_job("in.txt", "out").with_reducers(5))
+        .unwrap();
+    assert_eq!(stats.reduce_tasks, 5);
+    let counts = read_outputs(&cluster, "out");
+    assert_eq!(counts.len(), 8);
+    assert_eq!(cluster.dfs().list("out/").len(), 5);
+}
+
+#[test]
+fn mapper_panic_becomes_error() {
+    let cluster = MrCluster::in_memory(2, 1);
+    write_corpus(&cluster, "in.txt", &["boom"]);
+    let job = JobConf::new(
+        "bad",
+        vec!["in.txt".to_string()],
+        "out",
+        Arc::new(line_map_fn(|_, _, _| panic!("mapper exploded"))),
+        Arc::new(reduce_fn(|_k: String, _v: Vec<u64>, _out: &mut ReduceOutput| {})),
+    );
+    match cluster.run(&job) {
+        Err(MrError::TaskPanic(m)) => assert!(m.contains("mapper exploded")),
+        other => panic!("expected TaskPanic, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_input_still_writes_empty_parts() {
+    let cluster = MrCluster::in_memory(2, 1);
+    cluster.dfs().create("empty.txt").unwrap().seal().unwrap();
+    let stats = cluster.run(&wordcount_job("empty.txt", "out")).unwrap();
+    assert_eq!(stats.map_tasks, 0);
+    assert_eq!(cluster.dfs().list("out/").len(), 2);
+    assert!(read_outputs(&cluster, "out").is_empty());
+}
+
+#[test]
+fn startup_costs_add_measurable_time() {
+    let disks: Vec<hamr_simdisk::Disk> =
+        (0..2).map(|_| hamr_simdisk::Disk::new(Default::default())).collect();
+    let dfs = hamr_dfs::Dfs::new(disks.clone(), Default::default());
+    let mut config = hamr_mapred::MrConfig::local(2, 1);
+    config.startup = hamr_mapred::StartupModel::modeled(
+        std::time::Duration::from_millis(50),
+        std::time::Duration::from_millis(10),
+    );
+    let cluster = MrCluster::new(config, disks, dfs);
+    write_corpus(&cluster, "in.txt", &["a b"]);
+    let stats = cluster.run(&wordcount_job("in.txt", "out")).unwrap();
+    // >= job(50ms) + 1 map task(10ms) + 2 reduce tasks(>=10ms serial min)
+    assert!(
+        stats.elapsed >= std::time::Duration::from_millis(70),
+        "startup model ignored: {:?}",
+        stats.elapsed
+    );
+}

@@ -1,0 +1,92 @@
+//! Single-spindle serialization: callers acquire disk time and sleep
+//! until their slot has passed.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes charged durations onto one timeline, like a disk spindle:
+/// each acquisition begins when the previous one ends.
+pub struct Throttle {
+    busy_until: Mutex<Option<Instant>>,
+}
+
+impl Throttle {
+    pub fn new() -> Self {
+        Throttle {
+            busy_until: Mutex::new(None),
+        }
+    }
+
+    /// Reserve `dur` of device time starting no earlier than now, then
+    /// block the caller until the reservation has elapsed.
+    pub fn acquire(&self, dur: Duration) {
+        if dur.is_zero() {
+            return;
+        }
+        let end = {
+            let mut busy = self.busy_until.lock();
+            let now = Instant::now();
+            let start = match *busy {
+                Some(b) if b > now => b,
+                _ => now,
+            };
+            let end = start + dur;
+            *busy = Some(end);
+            end
+        };
+        let now = Instant::now();
+        if end > now {
+            std::thread::sleep(end - now);
+        }
+    }
+}
+
+impl Default for Throttle {
+    fn default() -> Self {
+        Throttle::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_duration_is_free() {
+        let t = Throttle::new();
+        let start = Instant::now();
+        for _ in 0..1000 {
+            t.acquire(Duration::ZERO);
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn single_acquire_sleeps() {
+        let t = Throttle::new();
+        let start = Instant::now();
+        t.acquire(Duration::from_millis(20));
+        assert!(start.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn concurrent_acquires_serialize() {
+        let t = std::sync::Arc::new(Throttle::new());
+        let start = Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || t.acquire(Duration::from_millis(15)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 x 15 ms serialized >= 60 ms total.
+        assert!(
+            start.elapsed() >= Duration::from_millis(55),
+            "elapsed {:?}",
+            start.elapsed()
+        );
+    }
+}

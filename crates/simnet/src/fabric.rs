@@ -1,0 +1,440 @@
+//! The fabric itself: endpoints, send paths, shutdown.
+
+use crate::metrics::{MetricsInner, NetMetrics};
+use crate::timer::TimerThread;
+use crate::{NetConfig, NodeId, Payload};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+
+/// A message as delivered to a destination node.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: M,
+}
+
+/// Errors from fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The node id is outside `0..n`.
+    UnknownNode(NodeId),
+    /// The fabric (or the destination endpoint) has been shut down.
+    Closed,
+    /// `Fabric::receiver` was called twice for the same node.
+    ReceiverTaken(NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Closed => write!(f, "fabric closed"),
+            NetError::ReceiverTaken(n) => write!(f, "receiver for node {n} already taken"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct EndpointInner<M> {
+    tx: Sender<Envelope<M>>,
+    rx: Mutex<Option<Receiver<Envelope<M>>>>,
+}
+
+pub(crate) struct FabricInner<M: Payload> {
+    pub(crate) config: NetConfig,
+    endpoints: Vec<EndpointInner<M>>,
+    pub(crate) metrics: MetricsInner,
+    timer: Option<TimerThread<M>>,
+}
+
+/// An in-process network connecting `n` nodes.
+///
+/// Cloning is cheap; all clones refer to the same fabric.
+pub struct Fabric<M: Payload> {
+    inner: Arc<FabricInner<M>>,
+}
+
+impl<M: Payload> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Payload> Fabric<M> {
+    /// Create a fabric with `n` endpoints under the given delivery model.
+    pub fn new(n: usize, config: NetConfig) -> Self {
+        assert!(n > 0, "fabric needs at least one node");
+        let endpoints: Vec<EndpointInner<M>> = (0..n)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                EndpointInner {
+                    tx,
+                    rx: Mutex::new(Some(rx)),
+                }
+            })
+            .collect();
+        let timer = if config.is_instant() {
+            None
+        } else {
+            let sinks = endpoints.iter().map(|ep| ep.tx.clone()).collect();
+            Some(TimerThread::spawn(sinks))
+        };
+        Fabric {
+            inner: Arc::new(FabricInner {
+                config,
+                endpoints,
+                metrics: MetricsInner::new(n),
+                timer,
+            }),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inner.endpoints.len()
+    }
+
+    /// Always false: a fabric has ≥ 1 node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Take the inbound receiver for `node`. May be called once per node.
+    pub fn receiver(&self, node: NodeId) -> Result<Receiver<Envelope<M>>, NetError> {
+        let ep = self
+            .inner
+            .endpoints
+            .get(node)
+            .ok_or(NetError::UnknownNode(node))?;
+        ep.rx.lock().take().ok_or(NetError::ReceiverTaken(node))
+    }
+
+    /// A lightweight sender handle bound to `from`.
+    pub fn endpoint(&self, from: NodeId) -> Result<Endpoint<M>, NetError> {
+        if from >= self.len() {
+            return Err(NetError::UnknownNode(from));
+        }
+        Ok(Endpoint {
+            fabric: self.clone(),
+            from,
+        })
+    }
+
+    /// Send `msg` from `from` to `to`, applying the delivery model.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), NetError> {
+        let n = self.len();
+        if from >= n {
+            return Err(NetError::UnknownNode(from));
+        }
+        if to >= n {
+            return Err(NetError::UnknownNode(to));
+        }
+        let size = msg.wire_size();
+        self.inner.metrics.record(from, to, size);
+        let env = Envelope { from, to, msg };
+        match &self.inner.timer {
+            None => self.deliver_now(env),
+            Some(timer) => {
+                if from == to && self.inner.config.loopback_latency.is_zero() {
+                    // Loopback skips the bandwidth model entirely.
+                    self.deliver_now(env)
+                } else {
+                    timer.schedule(&self.inner.config, size, env);
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn deliver_now(&self, env: Envelope<M>) -> Result<(), NetError> {
+        self.inner.endpoints[env.to]
+            .tx
+            .send(env)
+            .map_err(|_| NetError::Closed)
+    }
+
+    /// Send one message built per destination to every node (including
+    /// `from` itself), in node order.
+    pub fn broadcast(
+        &self,
+        from: NodeId,
+        mut make: impl FnMut(NodeId) -> M,
+    ) -> Result<(), NetError> {
+        for to in 0..self.len() {
+            self.send(from, to, make(to))?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of traffic counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Stop the timer thread (if any), dropping undelivered messages.
+    pub fn shutdown(&self) {
+        if let Some(timer) = &self.inner.timer {
+            timer.stop();
+        }
+    }
+}
+
+impl<M: Payload> Drop for FabricInner<M> {
+    fn drop(&mut self) {
+        if let Some(timer) = &self.timer {
+            timer.stop();
+        }
+    }
+}
+
+/// Sender handle bound to one source node.
+pub struct Endpoint<M: Payload> {
+    fabric: Fabric<M>,
+    from: NodeId,
+}
+
+impl<M: Payload> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            fabric: self.fabric.clone(),
+            from: self.from,
+        }
+    }
+}
+
+impl<M: Payload> Endpoint<M> {
+    /// The node this endpoint sends from.
+    pub fn node(&self) -> NodeId {
+        self.from
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn cluster_size(&self) -> usize {
+        self.fabric.len()
+    }
+
+    /// Send to one destination.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        self.fabric.send(self.from, to, msg)
+    }
+
+    /// Send one message per node, in node order.
+    pub fn broadcast(&self, make: impl FnMut(NodeId) -> M) -> Result<(), NetError> {
+        self.fabric.broadcast(self.from, make)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(usize);
+    impl Payload for Ping {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn instant_delivery_roundtrip() {
+        let fabric = Fabric::<Ping>::new(3, NetConfig::instant());
+        let rx1 = fabric.receiver(1).unwrap();
+        fabric.send(0, 1, Ping(10)).unwrap();
+        let env = rx1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, 0);
+        assert_eq!(env.to, 1);
+        assert_eq!(env.msg, Ping(10));
+    }
+
+    #[test]
+    fn receiver_can_only_be_taken_once() {
+        let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
+        fabric.receiver(0).unwrap();
+        assert_eq!(fabric.receiver(0).unwrap_err(), NetError::ReceiverTaken(0));
+    }
+
+    #[test]
+    fn unknown_nodes_rejected() {
+        let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
+        assert_eq!(fabric.send(0, 9, Ping(1)).unwrap_err(), NetError::UnknownNode(9));
+        assert_eq!(fabric.send(9, 0, Ping(1)).unwrap_err(), NetError::UnknownNode(9));
+        assert!(fabric.receiver(5).is_err());
+        assert!(fabric.endpoint(5).is_err());
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_in_order() {
+        let fabric = Fabric::<Ping>::new(4, NetConfig::instant());
+        let rxs: Vec<_> = (0..4).map(|i| fabric.receiver(i).unwrap()).collect();
+        fabric.broadcast(2, Ping).unwrap();
+        for (i, rx) in rxs.iter().enumerate() {
+            let env = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.from, 2);
+            assert_eq!(env.msg, Ping(i));
+        }
+    }
+
+    #[test]
+    fn metrics_count_messages_and_bytes() {
+        let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
+        let _rx = fabric.receiver(1).unwrap();
+        fabric.send(0, 1, Ping(100)).unwrap();
+        fabric.send(0, 1, Ping(50)).unwrap();
+        let m = fabric.metrics();
+        assert_eq!(m.total_messages(), 2);
+        assert_eq!(m.total_bytes(), 150);
+        assert_eq!(m.link(0, 1).messages, 2);
+        assert_eq!(m.link(0, 1).bytes, 150);
+        assert_eq!(m.link(1, 0).messages, 0);
+    }
+
+    #[test]
+    fn modeled_latency_delays_delivery() {
+        let latency = Duration::from_millis(30);
+        let fabric = Fabric::<Ping>::new(2, NetConfig::modeled(latency, 1 << 40));
+        let rx = fabric.receiver(1).unwrap();
+        let start = std::time::Instant::now();
+        fabric.send(0, 1, Ping(1)).unwrap();
+        let env = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.msg, Ping(1));
+        assert!(
+            start.elapsed() >= latency,
+            "delivered after {:?}, expected >= {:?}",
+            start.elapsed(),
+            latency
+        );
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn modeled_bandwidth_serializes_link() {
+        // 1 MB/s; two 50 KB messages on the same link need >= ~100 ms.
+        let fabric = Fabric::<Ping>::new(2, NetConfig::modeled(Duration::ZERO, 1_000_000));
+        let rx = fabric.receiver(1).unwrap();
+        let start = std::time::Instant::now();
+        fabric.send(0, 1, Ping(50_000)).unwrap();
+        fabric.send(0, 1, Ping(50_000)).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(95),
+            "two messages arrived too fast: {elapsed:?}"
+        );
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn loopback_skips_bandwidth_model() {
+        let fabric = Fabric::<Ping>::new(2, NetConfig::modeled(Duration::from_millis(200), 1));
+        let rx = fabric.receiver(0).unwrap();
+        let start = std::time::Instant::now();
+        fabric.send(0, 0, Ping(1_000_000)).unwrap();
+        rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(150));
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn delivery_order_preserved_per_link_when_instant() {
+        let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
+        let rx = fabric.receiver(1).unwrap();
+        for i in 0..100 {
+            fabric.send(0, 1, Ping(i)).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().msg, Ping(i));
+        }
+    }
+
+    #[test]
+    fn delivery_order_preserved_per_link_when_modeled() {
+        let fabric = Fabric::<Ping>::new(2, NetConfig::modeled(Duration::from_micros(100), 1 << 30));
+        let rx = fabric.receiver(1).unwrap();
+        for i in 0..50 {
+            fabric.send(0, 1, Ping(i)).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().msg, Ping(i));
+        }
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn endpoint_handle_sends() {
+        let fabric = Fabric::<Ping>::new(3, NetConfig::instant());
+        let rx = fabric.receiver(2).unwrap();
+        let ep = fabric.endpoint(1).unwrap();
+        assert_eq!(ep.node(), 1);
+        assert_eq!(ep.cluster_size(), 3);
+        ep.send(2, Ping(7)).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().msg, Ping(7));
+    }
+}
+
+#[cfg(test)]
+mod ingress_tests {
+    use super::*;
+    use std::time::Duration;
+
+    struct Blob(usize);
+    impl Payload for Blob {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn concurrent_senders_share_destination_ingress() {
+        // 1 MB/s links; 3 senders push 40 KB each to node 3. With
+        // per-link modeling alone they'd finish in ~40 ms; sharing the
+        // receiver's ingress serializes them to >= ~120 ms.
+        let fabric = Fabric::<Blob>::new(4, NetConfig::modeled(Duration::ZERO, 1_000_000));
+        let rx = fabric.receiver(3).unwrap();
+        let start = std::time::Instant::now();
+        for from in 0..3 {
+            fabric.send(from, 3, Blob(40_000)).unwrap();
+        }
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(110),
+            "ingress not shared: {elapsed:?}"
+        );
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_serialize() {
+        // Same volume spread over 3 destinations completes ~3x faster.
+        let fabric = Fabric::<Blob>::new(4, NetConfig::modeled(Duration::ZERO, 1_000_000));
+        let rxs: Vec<_> = (1..4).map(|n| fabric.receiver(n).unwrap()).collect();
+        let start = std::time::Instant::now();
+        for (i, _) in rxs.iter().enumerate() {
+            fabric.send(0, i + 1, Blob(40_000)).unwrap();
+        }
+        for rx in &rxs {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        // All three go out over distinct links/ingresses; the sender
+        // side is per-link too, so this is bounded by one 40 ms
+        // transfer plus scheduling noise.
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "unexpected serialization: {:?}",
+            start.elapsed()
+        );
+        fabric.shutdown();
+    }
+}

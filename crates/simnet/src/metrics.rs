@@ -1,0 +1,145 @@
+//! Traffic accounting: message and byte counters per directed link.
+//!
+//! Counters are lock-free relaxed atomics — they are statistics, not
+//! synchronization, and every snapshot is taken after the traffic of
+//! interest has quiesced.
+
+use crate::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) struct MetricsInner {
+    nodes: usize,
+    messages: Vec<AtomicU64>,
+    bytes: Vec<AtomicU64>,
+}
+
+impl MetricsInner {
+    pub(crate) fn new(nodes: usize) -> Self {
+        MetricsInner {
+            nodes,
+            messages: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..nodes * nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn record(&self, from: NodeId, to: NodeId, size: usize) {
+        let idx = from * self.nodes + to;
+        self.messages[idx].fetch_add(1, Ordering::Relaxed);
+        self.bytes[idx].fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> NetMetrics {
+        NetMetrics {
+            nodes: self.nodes,
+            messages: self.messages.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            bytes: self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkMetrics {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Snapshot of all traffic that has passed through a fabric.
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    nodes: usize,
+    messages: Vec<u64>,
+    bytes: Vec<u64>,
+}
+
+impl NetMetrics {
+    /// Number of nodes in the fabric this snapshot came from.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Counters for the directed link `from -> to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkMetrics {
+        let idx = from * self.nodes + to;
+        LinkMetrics {
+            messages: self.messages[idx],
+            bytes: self.bytes[idx],
+        }
+    }
+
+    /// Total messages across all links, loopback included.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Total bytes across all links, loopback included.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes that actually crossed between distinct nodes.
+    pub fn remote_bytes(&self) -> u64 {
+        let mut sum = 0;
+        for from in 0..self.nodes {
+            for to in 0..self.nodes {
+                if from != to {
+                    sum += self.bytes[from * self.nodes + to];
+                }
+            }
+        }
+        sum
+    }
+
+    /// Messages that crossed between distinct nodes.
+    pub fn remote_messages(&self) -> u64 {
+        let mut sum = 0;
+        for from in 0..self.nodes {
+            for to in 0..self.nodes {
+                if from != to {
+                    sum += self.messages[from * self.nodes + to];
+                }
+            }
+        }
+        sum
+    }
+
+    /// Bytes received per node (in-degree traffic), loopback included.
+    /// Useful for observing shuffle skew.
+    pub fn inbound_bytes_per_node(&self) -> Vec<u64> {
+        (0..self.nodes)
+            .map(|to| (0..self.nodes).map(|from| self.bytes[from * self.nodes + to]).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = MetricsInner::new(3);
+        m.record(0, 1, 100);
+        m.record(0, 1, 10);
+        m.record(1, 1, 5);
+        m.record(2, 0, 7);
+        let s = m.snapshot();
+        assert_eq!(s.nodes(), 3);
+        assert_eq!(s.link(0, 1), LinkMetrics { messages: 2, bytes: 110 });
+        assert_eq!(s.link(1, 1), LinkMetrics { messages: 1, bytes: 5 });
+        assert_eq!(s.total_messages(), 4);
+        assert_eq!(s.total_bytes(), 122);
+        assert_eq!(s.remote_bytes(), 117);
+        assert_eq!(s.remote_messages(), 3);
+        assert_eq!(s.inbound_bytes_per_node(), vec![7, 115, 0]);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = MetricsInner::new(2).snapshot();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.remote_bytes(), 0);
+        assert_eq!(s.inbound_bytes_per_node(), vec![0, 0]);
+    }
+}

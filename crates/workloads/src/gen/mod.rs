@@ -1,0 +1,20 @@
+//! Synthetic input generators standing in for PUMA and HiBench data.
+//!
+//! | Benchmark | Paper input | Generator here |
+//! |---|---|---|
+//! | WordCount | copies of a book (16 GB) | [`text::wordcount_corpus`] |
+//! | Histogram* | PUMA movie ratings (30 GB) | [`movies::movie_lines`] |
+//! | K-Means / Classification | PUMA movie data (300 GB) | [`movies::movie_lines`] |
+//! | PageRank | HiBench Zipfian web graph (20 GB) | [`webgraph::zipfian_links`] |
+//! | K-Cliques | R-MAT graph (2^18 vertices) | [`rmat::edges`] |
+//! | NaiveBayes | HiBench Zipfian documents (10 GB) | [`text::labeled_documents`] |
+//!
+//! All generators are seeded and deterministic.
+
+pub mod movies;
+pub mod rmat;
+pub mod text;
+pub mod webgraph;
+pub mod zipf;
+
+pub use zipf::Zipf;

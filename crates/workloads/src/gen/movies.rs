@@ -1,0 +1,116 @@
+//! Movie-rating data in the PUMA format used by K-Means,
+//! Classification, HistogramMovies and HistogramRatings.
+//!
+//! One line per movie:
+//!
+//! ```text
+//! <movie_id>:<user_id>_<rating>,<user_id>_<rating>,...
+//! ```
+//!
+//! Ratings are integers 1..=5 with a *skewed* distribution (most
+//! ratings are 4s and 5s, like real movie data) — the skew is what
+//! drives the HistogramRatings pathology in §5.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weighted rating draw: P(1)=.05 P(2)=.10 P(3)=.20 P(4)=.35 P(5)=.30.
+pub fn skewed_rating<R: Rng>(rng: &mut R) -> u32 {
+    match rng.gen_range(0..100u32) {
+        0..=4 => 1,
+        5..=14 => 2,
+        15..=34 => 3,
+        35..=69 => 4,
+        _ => 5,
+    }
+}
+
+/// Generate `movies` movie lines, each rated by up to `max_ratings`
+/// users drawn from `users`.
+pub fn movie_lines(movies: usize, users: usize, max_ratings: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..movies)
+        .map(|m| {
+            let n = rng.gen_range(1..=max_ratings.max(1));
+            let entries: Vec<String> = (0..n)
+                .map(|_| {
+                    let user = rng.gen_range(0..users.max(1));
+                    let rating = skewed_rating(&mut rng);
+                    format!("{user}_{rating}")
+                })
+                .collect();
+            format!("{m}:{}", entries.join(","))
+        })
+        .collect()
+}
+
+/// Parse one PUMA movie line into `(movie_id, [(user, rating)])`.
+/// Returns `None` on malformed lines (robustness over panics: real
+/// PUMA data has stray lines).
+pub fn parse_movie_line(line: &str) -> Option<(u64, Vec<(u64, u32)>)> {
+    let (id, rest) = line.split_once(':')?;
+    let movie: u64 = id.trim().parse().ok()?;
+    let mut ratings = Vec::new();
+    for entry in rest.split(',') {
+        let (user, rating) = entry.split_once('_')?;
+        ratings.push((user.trim().parse().ok()?, rating.trim().parse().ok()?));
+    }
+    Some((movie, ratings))
+}
+
+/// Mean rating of a parsed movie, `None` for empty rating lists.
+pub fn mean_rating(ratings: &[(u64, u32)]) -> Option<f64> {
+    if ratings.is_empty() {
+        return None;
+    }
+    Some(ratings.iter().map(|&(_, r)| f64::from(r)).sum::<f64>() / ratings.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_parse_back() {
+        let lines = movie_lines(20, 100, 8, 1);
+        assert_eq!(lines.len(), 20);
+        for (i, line) in lines.iter().enumerate() {
+            let (movie, ratings) = parse_movie_line(line).expect("well-formed");
+            assert_eq!(movie, i as u64);
+            assert!(!ratings.is_empty() && ratings.len() <= 8);
+            for (user, rating) in ratings {
+                assert!(user < 100);
+                assert!((1..=5).contains(&rating));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_movie_line("no colon here").is_none());
+        assert!(parse_movie_line("5:bad entry").is_none());
+        assert!(parse_movie_line("x:1_2").is_none());
+    }
+
+    #[test]
+    fn ratings_are_skewed_toward_high() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 6];
+        for _ in 0..10_000 {
+            counts[skewed_rating(&mut rng) as usize] += 1;
+        }
+        assert!(counts[5] > counts[1] * 3, "5s should dwarf 1s: {counts:?}");
+        assert!(counts[4] > counts[2], "4s beat 2s: {counts:?}");
+    }
+
+    #[test]
+    fn mean_rating_math() {
+        assert_eq!(mean_rating(&[]), None);
+        assert_eq!(mean_rating(&[(0, 2), (1, 4)]), Some(3.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(movie_lines(5, 10, 3, 9), movie_lines(5, 10, 3, 9));
+    }
+}

@@ -1,0 +1,107 @@
+//! Text generators: the WordCount corpus and NaiveBayes documents.
+
+use super::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vocabulary word for rank `r` ("w0", "w1", ...). Rank 0 is the most
+/// frequent word under the Zipf draw.
+pub fn word(rank: usize) -> String {
+    format!("w{rank}")
+}
+
+/// A WordCount corpus: `lines` lines of `words_per_line` Zipfian words
+/// over a `vocab`-word vocabulary — the shape of "multiple copies of a
+/// book" (§4): few very frequent words, a long tail.
+pub fn wordcount_corpus(lines: usize, words_per_line: usize, vocab: usize, seed: u64) -> Vec<String> {
+    let zipf = Zipf::new(vocab, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..lines)
+        .map(|_| {
+            (0..words_per_line)
+                .map(|_| word(zipf.sample(&mut rng)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect()
+}
+
+/// Labeled documents for NaiveBayes training, HiBench-style: each line
+/// is `label<TAB>w3 w17 w1 ...` with Zipfian word draws whose
+/// distribution is shifted per label (so training actually learns
+/// something).
+pub fn labeled_documents(
+    docs: usize,
+    words_per_doc: usize,
+    vocab: usize,
+    labels: usize,
+    seed: u64,
+) -> Vec<String> {
+    assert!(labels > 0 && vocab > labels);
+    let zipf = Zipf::new(vocab, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..docs)
+        .map(|_| {
+            let label = rng.gen_range(0..labels);
+            let body = (0..words_per_doc)
+                .map(|_| {
+                    // Shift the rank space per label so each class has
+                    // its own frequent words.
+                    let r = (zipf.sample(&mut rng) + label * 3) % vocab;
+                    word(r)
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("label{label}\t{body}")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let lines = wordcount_corpus(100, 8, 50, 1);
+        assert_eq!(lines.len(), 100);
+        for line in &lines {
+            assert_eq!(line.split_whitespace().count(), 8);
+        }
+    }
+
+    #[test]
+    fn corpus_is_zipfian() {
+        let lines = wordcount_corpus(2000, 10, 100, 2);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for line in &lines {
+            for w in line.split_whitespace() {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        let w0 = counts.get("w0").copied().unwrap_or(0);
+        let w50 = counts.get("w50").copied().unwrap_or(0);
+        assert!(w0 > w50 * 5, "head word should dominate: w0={w0} w50={w50}");
+    }
+
+    #[test]
+    fn corpus_deterministic() {
+        assert_eq!(wordcount_corpus(10, 5, 20, 3), wordcount_corpus(10, 5, 20, 3));
+        assert_ne!(wordcount_corpus(10, 5, 20, 3), wordcount_corpus(10, 5, 20, 4));
+    }
+
+    #[test]
+    fn documents_carry_labels() {
+        let docs = labeled_documents(50, 6, 40, 3, 5);
+        assert_eq!(docs.len(), 50);
+        let mut seen = std::collections::HashSet::new();
+        for d in &docs {
+            let (label, body) = d.split_once('\t').expect("tab separator");
+            assert!(label.starts_with("label"));
+            seen.insert(label.to_string());
+            assert_eq!(body.split_whitespace().count(), 6);
+        }
+        assert!(seen.len() >= 2, "multiple labels expected");
+    }
+}

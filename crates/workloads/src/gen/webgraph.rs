@@ -1,0 +1,73 @@
+//! Zipfian web graphs for PageRank — "automatically generated Web data
+//! whose hyperlinks follow the Zipfian distribution" (HiBench's
+//! PageRank input generator).
+
+use super::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate hyperlink edges `(src_page, dst_page)` over `pages` pages.
+/// Each page links to 1..=`max_out` targets; *targets* follow a Zipf
+/// law, so a few hub pages accumulate most in-links (the realistic
+/// rank-skew PageRank exists to measure).
+pub fn zipfian_links(pages: usize, max_out: usize, seed: u64) -> Vec<(u64, u64)> {
+    assert!(pages > 1);
+    let zipf = Zipf::new(pages, 0.9);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for src in 0..pages as u64 {
+        let degree = rng.gen_range(1..=max_out.max(1));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..degree {
+            let dst = zipf.sample(&mut rng) as u64;
+            if dst != src && seen.insert(dst) {
+                out.push((src, dst));
+            }
+        }
+    }
+    out
+}
+
+/// Render links as `src dst` lines.
+pub fn link_lines(links: &[(u64, u64)]) -> Vec<String> {
+    links.iter().map(|(s, d)| format!("{s} {d}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_page_has_outlinks() {
+        let links = zipfian_links(100, 4, 1);
+        let srcs: std::collections::HashSet<u64> = links.iter().map(|&(s, _)| s).collect();
+        // Nearly every page keeps at least one link (a page can lose
+        // all draws to self-loops only with tiny probability).
+        assert!(srcs.len() >= 95, "got {} sources", srcs.len());
+        for &(s, d) in &links {
+            assert!(s < 100 && d < 100);
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn in_degree_is_skewed() {
+        let links = zipfian_links(500, 6, 2);
+        let mut indeg: HashMap<u64, usize> = HashMap::new();
+        for &(_, d) in &links {
+            *indeg.entry(d).or_default() += 1;
+        }
+        let max = indeg.values().max().copied().unwrap_or(0);
+        let mean = links.len() / 500;
+        assert!(
+            max > mean * 10,
+            "hub pages expected: max in-degree {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(zipfian_links(50, 3, 9), zipfian_links(50, 3, 9));
+    }
+}

@@ -1,0 +1,112 @@
+//! Zipfian sampling over a finite rank space.
+//!
+//! Both HiBench generators the paper uses (PageRank hyperlinks,
+//! NaiveBayes documents) draw from Zipf distributions; this is the
+//! shared sampler. Table-based inverse-CDF: exact, O(log n) per draw,
+//! deterministic under a seeded RNG.
+
+use rand::Rng;
+
+/// A Zipf(s) distribution over ranks `1..=n`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution: `p(k) ∝ 1 / k^exponent`.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty rank space");
+        assert!(exponent >= 0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against FP round-off at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (constructor requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a rank in `0..n` (0-based; rank 0 is the most likely).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should beat rank 10");
+        assert!(counts[0] > counts[100] * 3, "heavy head expected");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform_ish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(50, 1.0);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

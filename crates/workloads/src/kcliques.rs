@@ -1,0 +1,286 @@
+//! K-Cliques (§4, Alg. 3): find all fully-connected vertex sets of
+//! size K in an R-MAT graph (11.5x in Table 2).
+//!
+//! Every clique `{v1 < v2 < ... < vK}` is discovered exactly once via
+//! the candidate chain `v1 → v2 → ... → vK`, where each extension
+//! candidate comes from the adjacency of the previously added vertex
+//! and is validated against *all* members at the candidate's owner
+//! node.
+//!
+//! * HAMR: two jobs — a graph build into the distributed KV store
+//!   (`KCliquesLoader → KCliquesGraphBuilder`), then one multi-phase
+//!   job chaining `TwoCliquesGenerator → 3CliquesVerify → ... →
+//!   KCliquesVerify`, entirely in memory. (This is the workload where
+//!   the paper notes Hadoop runs out of memory on larger graphs while
+//!   HAMR's shared per-node store does not.)
+//! * Hadoop: an adjacency job plus K-1 chained verify jobs, each
+//!   re-reading the adjacency file from the DFS and shuffling all
+//!   in-flight cliques.
+
+use crate::env::{scaled, unique_path, BenchOutput, Env};
+use crate::gen::rmat::{edge_lines, edges, parse_edge_line, RmatParams};
+use crate::{pair_checksum, Benchmark};
+use bytes::Bytes;
+use hamr_codec::Codec;
+use hamr_core::{typed, Emitter, Exchange, JobBuilder};
+use hamr_mapred::{line_map_fn, map_fn, reduce_fn, InputFormat, JobConf, ReduceOutput};
+use std::sync::Arc;
+use std::time::Instant;
+
+const INPUT: &str = "kcliques/edges.txt";
+
+fn graph_key(v: u64) -> Bytes {
+    let mut k = b"q".to_vec();
+    v.encode(&mut k);
+    k.into()
+}
+
+pub struct KCliques {
+    /// Graph has `2^vertex_scale` vertices.
+    pub vertex_scale: u32,
+    pub edges: usize,
+    /// Clique size to search for (the paper's K).
+    pub k: usize,
+}
+
+impl Default for KCliques {
+    fn default() -> Self {
+        KCliques {
+            vertex_scale: 8,
+            edges: 4_000,
+            k: 4,
+        }
+    }
+}
+
+impl Benchmark for KCliques {
+    fn name(&self) -> &'static str {
+        "KCliques"
+    }
+
+    fn seed(&self, env: &Env) -> Result<(), String> {
+        let es = edges(
+            self.vertex_scale,
+            scaled(self.edges, env.params.scale),
+            RmatParams::default(),
+            env.params.seed.wrapping_add(7),
+        );
+        env.seed_text(INPUT, &edge_lines(&es))
+    }
+
+    fn run_hamr(&self, env: &Env) -> Result<BenchOutput, String> {
+        assert!(self.k >= 3, "clique size must be at least 3");
+        let start = Instant::now();
+        env.hamr.kv().clear();
+
+        // Job 1: stream relationships and build the graph in memory.
+        let mut build = JobBuilder::new("kcliques-build");
+        let loader = build.add_loader("KCliquesLoader", typed::dfs_line_loader(INPUT));
+        let parse = build.add_map(
+            "ParseMap",
+            typed::map_fn(|_off: u64, line: String, out: &mut Emitter| {
+                if let Some((a, b)) = parse_edge_line(&line) {
+                    out.emit_t(0, &a, &b);
+                    out.emit_t(0, &b, &a);
+                }
+            }),
+        );
+        let graph_builder = build.add_reduce(
+            "KCliquesGraphBuilder",
+            typed::reduce_ctx_fn(|ctx, v: u64, mut neighbors: Vec<u64>, out: &mut Emitter| {
+                neighbors.sort_unstable();
+                neighbors.dedup();
+                ctx.kv.put(graph_key(v), neighbors.to_bytes());
+                out.output_t(&v, &(0u64)); // graph size marker (unused)
+            }),
+        );
+        build.connect(loader, parse, Exchange::Local);
+        build.connect(parse, graph_builder, Exchange::Hash);
+        env.hamr
+            .run(build.build().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+
+        // Job 2: generate 2-cliques and verify up the chain in memory.
+        let mut search = JobBuilder::new("kcliques-search");
+        let two_gen = search.add_loader(
+            "TwoCliquesGenerator",
+            typed::gen_loader(
+                |_ctx| 1,
+                |ctx, _split, out: &mut Emitter| {
+                    ctx.kv.for_each(|k, v| {
+                        if k.first() == Some(&b'q') {
+                            let mut rest = &k[1..];
+                            let vertex = u64::decode(&mut rest).expect("graph key");
+                            let neighbors = Vec::<u64>::from_bytes(v).expect("adjacency");
+                            for &u in neighbors.iter().filter(|&&u| u > vertex) {
+                                out.emit_t(0, &u, &vec![vertex]);
+                            }
+                        }
+                    });
+                },
+            ),
+        );
+        // Verify stages for clique sizes 3..=k; stage for size s takes
+        // (candidate, members of size s-1).
+        let mut prev = two_gen;
+        for size in 2..=self.k {
+            let is_last = size == self.k;
+            let verify = search.add_map(
+                format!("{size}CliquesVerify"),
+                typed::map_ctx_fn(
+                    move |ctx, candidate: u64, members: Vec<u64>, out: &mut Emitter| {
+                        let Some(adj_raw) = ctx.kv.get(&graph_key(candidate)) else {
+                            return;
+                        };
+                        let adj = Vec::<u64>::from_bytes(&adj_raw).expect("adjacency");
+                        if !members.iter().all(|m| adj.binary_search(m).is_ok()) {
+                            return;
+                        }
+                        let mut clique = members;
+                        clique.push(candidate);
+                        if is_last {
+                            out.output_t(&clique, &1u64);
+                        } else {
+                            for &w in adj.iter().filter(|&&w| w > candidate) {
+                                out.emit_t(0, &w, &clique);
+                            }
+                        }
+                    },
+                ),
+            );
+            search.connect(prev, verify, Exchange::Hash);
+            prev = verify;
+        }
+        // Stage `s` produced s-cliques from (s-1)-member candidates;
+        // the final stage captured the K-cliques.
+        search.capture_output(prev);
+        let result = env
+            .hamr
+            .run(search.build().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        let recs = result.output(prev);
+        Ok(BenchOutput {
+            elapsed: start.elapsed(),
+            checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
+            records: recs.len() as u64,
+        })
+    }
+
+    fn run_mapred(&self, env: &Env) -> Result<BenchOutput, String> {
+        assert!(self.k >= 3, "clique size must be at least 3");
+        let start = Instant::now();
+        // Job 0: adjacency lists (tag 0), symmetric and deduplicated.
+        let adj_path = unique_path("kcliques/adj");
+        let adj_job = JobConf::new(
+            "kc-adjacency",
+            vec![INPUT.to_string()],
+            &adj_path,
+            Arc::new(line_map_fn(|_off, line, out| {
+                if let Some((a, b)) = parse_edge_line(line) {
+                    out.emit_t(&a, &b);
+                    out.emit_t(&b, &a);
+                }
+            })),
+            Arc::new(reduce_fn(|v: u64, mut ns: Vec<u64>, out: &mut ReduceOutput| {
+                ns.sort_unstable();
+                ns.dedup();
+                out.emit_t(&v, &(0u8, ns));
+            })),
+        );
+        env.mr.run(&adj_job).map_err(|e| e.to_string())?;
+
+        // Job for size 3: derive 2-cliques locally from adjacency
+        // (symmetry: requests to u are exactly {v ∈ adj(u) | v < u})
+        // and emit 3-clique candidates.
+        let mut requests_path = unique_path("kcliques/req3");
+        {
+            let job = JobConf::new(
+                "kc-2cliques",
+                env.dfs.list(&format!("{adj_path}/")),
+                &requests_path,
+                Arc::new(map_fn(|v: u64, t: (u8, Vec<u64>), out| out.emit_t(&v, &t))),
+                Arc::new(reduce_fn(
+                    |u: u64, records: Vec<(u8, Vec<u64>)>, out: &mut ReduceOutput| {
+                        let Some(adj) = records.iter().find(|(t, _)| *t == 0).map(|(_, n)| n)
+                        else {
+                            return;
+                        };
+                        for &v in adj.iter().filter(|&&v| v < u) {
+                            let clique = vec![v, u];
+                            for &w in adj.iter().filter(|&&w| w > u) {
+                                out.emit_t(&w, &(1u8, clique.clone()));
+                            }
+                        }
+                    },
+                )),
+            )
+            .with_input_format(InputFormat::KeyValue);
+            env.mr.run(&job).map_err(|e| e.to_string())?;
+        }
+
+        // Jobs for sizes 3..=k: validate candidates against adjacency.
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for size in 3..=self.k {
+            let is_last = size == self.k;
+            let out_path = if is_last {
+                unique_path("kcliques/out")
+            } else {
+                unique_path(&format!("kcliques/req{}", size + 1))
+            };
+            let mut inputs = env.dfs.list(&format!("{adj_path}/"));
+            inputs.extend(env.dfs.list(&format!("{requests_path}/")));
+            let job = JobConf::new(
+                format!("kc-verify{size}"),
+                inputs,
+                &out_path,
+                Arc::new(map_fn(|v: u64, t: (u8, Vec<u64>), out| out.emit_t(&v, &t))),
+                Arc::new(reduce_fn(
+                    move |u: u64, records: Vec<(u8, Vec<u64>)>, out: &mut ReduceOutput| {
+                        let mut adj: Option<&Vec<u64>> = None;
+                        for (t, payload) in &records {
+                            if *t == 0 {
+                                adj = Some(payload);
+                            }
+                        }
+                        let Some(adj) = adj else { return };
+                        for (t, members) in &records {
+                            if *t != 1 {
+                                continue;
+                            }
+                            if !members.iter().all(|m| adj.binary_search(m).is_ok()) {
+                                continue;
+                            }
+                            let mut clique = members.clone();
+                            clique.push(u);
+                            if is_last {
+                                out.emit_t(&clique, &1u64);
+                            } else {
+                                for &w in adj.iter().filter(|&&w| w > u) {
+                                    out.emit_t(&w, &(1u8, clique.clone()));
+                                }
+                            }
+                        }
+                    },
+                )),
+            )
+            .with_input_format(InputFormat::KeyValue);
+            env.mr.run(&job).map_err(|e| e.to_string())?;
+            if is_last {
+                for part in env.dfs.list(&format!("{out_path}/")) {
+                    let raw = env.dfs.read_all(&part).map_err(|e| e.to_string())?;
+                    let mut input = raw.as_slice();
+                    while let Some((k, v)) = hamr_mapred::decode_kv(&mut input) {
+                        pairs.push((k.to_vec(), v.to_vec()));
+                    }
+                }
+            } else {
+                requests_path = out_path;
+            }
+        }
+        Ok(BenchOutput {
+            elapsed: start.elapsed(),
+            checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
+            records: pairs.len() as u64,
+        })
+    }
+}

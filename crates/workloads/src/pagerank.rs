@@ -1,0 +1,315 @@
+//! PageRank (§4, Alg. 2) — the multi-phase + in-memory benchmark
+//! (13.6x in Table 2).
+//!
+//! * HAMR: **one job per iteration**. The first iteration's
+//!   `EdgeFileLoader → HashJoinRed` builds each page's adjacency list
+//!   into the node-local slice of the distributed KV store; later
+//!   iterations load adjacency and ranks straight from memory
+//!   (`EdgeLoader`), feed `MergeRed`, and check convergence in
+//!   `ContMap` — no disk IO between iterations.
+//! * Hadoop: an adjacency-build job, then **two chained jobs per
+//!   iteration** (contributions, then rank update), every link paying
+//!   job startup, a sort/spill/shuffle, and a DFS round trip.
+//!
+//! Ranks are fixed-point (units of 1e-6) so integer arithmetic makes
+//! both engines' results identical regardless of reduction order:
+//! `new = 0.15 + 0.85 * Σ contrib`, `contrib = rank / outdegree`.
+
+use crate::env::{scaled, unique_path, BenchOutput, Env};
+use crate::gen::webgraph::{link_lines, zipfian_links};
+use crate::{pair_checksum, Benchmark};
+use bytes::Bytes;
+use hamr_codec::Codec;
+use hamr_core::{typed, Emitter, Exchange, JobBuilder};
+use hamr_mapred::{decode_kv, map_fn, line_map_fn, reduce_fn, InputFormat, JobConf, ReduceOutput};
+use std::sync::Arc;
+use std::time::Instant;
+
+const INPUT: &str = "pagerank/edges.txt";
+
+/// Fixed-point unit: rank 1.0 == 1_000_000.
+const UNIT: u64 = 1_000_000;
+
+/// Damped update on fixed-point contributions.
+fn damped(sum: u64) -> u64 {
+    150_000 + (sum * 85) / 100
+}
+
+fn adj_key(page: u64) -> Bytes {
+    let mut k = b"a".to_vec();
+    page.encode(&mut k);
+    k.into()
+}
+
+fn rank_key(page: u64) -> Bytes {
+    let mut k = b"r".to_vec();
+    page.encode(&mut k);
+    k.into()
+}
+
+pub struct PageRank {
+    pub pages: usize,
+    pub max_out_links: usize,
+    pub iterations: usize,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        // ~20 GB / 4096 ≈ 5 MB of edge lines.
+        PageRank {
+            pages: 20_000,
+            max_out_links: 16,
+            iterations: 4,
+        }
+    }
+}
+
+impl PageRank {
+    /// Build the shared per-iteration tail: MergeRed → ContMap →
+    /// DiffSum. Returns (entry flowlet = MergeRed, capture flowlet).
+    fn add_iteration_tail(job: &mut JobBuilder) -> (usize, usize) {
+        let merge_red = job.add_reduce(
+            "MergeRed",
+            typed::reduce_ctx_fn(|ctx, page: u64, contribs: Vec<u64>, out: &mut Emitter| {
+                let sum: u64 = contribs.iter().sum();
+                let new = damped(sum);
+                let old = ctx
+                    .kv
+                    .get(&rank_key(page))
+                    .map(|b| u64::from_bytes(&b).expect("rank"))
+                    .unwrap_or(UNIT);
+                ctx.kv.put(rank_key(page), new.to_bytes());
+                out.emit_t(0, &0u64, &new.abs_diff(old));
+            }),
+        );
+        let cont_map = job.add_map(
+            "ContMap",
+            typed::map_fn(|k: u64, diff: u64, out: &mut Emitter| out.emit_t(0, &k, &diff)),
+        );
+        let diff_sum = job.add_partial_reduce("DiffSum", typed::sum_reducer::<u64>());
+        job.connect(merge_red, cont_map, Exchange::Local);
+        job.connect(cont_map, diff_sum, Exchange::Hash);
+        job.capture_output(diff_sum);
+        (merge_red, diff_sum)
+    }
+}
+
+impl Benchmark for PageRank {
+    fn name(&self) -> &'static str {
+        "PageRank"
+    }
+
+    fn seed(&self, env: &Env) -> Result<(), String> {
+        let links = zipfian_links(
+            scaled(self.pages, env.params.scale).max(2),
+            self.max_out_links,
+            env.params.seed.wrapping_add(6),
+        );
+        env.seed_text(INPUT, &link_lines(&links))
+    }
+
+    fn run_hamr(&self, env: &Env) -> Result<BenchOutput, String> {
+        let start = Instant::now();
+        // Clear any prior PageRank state in the KV store (reruns).
+        env.hamr.kv().clear();
+        for iter in 0..self.iterations {
+            let mut job = JobBuilder::new(format!("pagerank-iter{iter}"));
+            if iter == 0 {
+                // Iteration 1: build adjacency in memory while computing
+                // the first contributions (Alg. 2 lines 3–5).
+                let loader = job.add_loader("EdgeFileLoader", typed::dfs_line_loader(INPUT));
+                let parse = job.add_map(
+                    "ParseMap",
+                    typed::map_fn(|_off: u64, line: String, out: &mut Emitter| {
+                        if let Some((src, dst)) = crate::gen::rmat::parse_edge_line(&line) {
+                            out.emit_t(0, &src, &dst);
+                        }
+                    }),
+                );
+                let hash_join = job.add_reduce(
+                    "HashJoinRed",
+                    typed::reduce_ctx_fn(|ctx, src: u64, dsts: Vec<u64>, out: &mut Emitter| {
+                        // Save the dst list into memory (the KV store).
+                        ctx.kv.put(adj_key(src), dsts.to_bytes());
+                        let contrib = UNIT / dsts.len() as u64;
+                        for dst in &dsts {
+                            out.emit_t(0, dst, &contrib);
+                        }
+                        // Ensure the src itself appears in the rank map.
+                        out.emit_t(0, &src, &0u64);
+                    }),
+                );
+                let (merge_red, _) = Self::add_iteration_tail(&mut job);
+                job.connect(loader, parse, Exchange::Local);
+                job.connect(parse, hash_join, Exchange::Hash);
+                job.connect(hash_join, merge_red, Exchange::Hash);
+            } else {
+                // Later iterations: everything from memory (Alg. 2 line 7).
+                let loader = job.add_loader(
+                    "EdgeLoader",
+                    typed::gen_loader(
+                        |_ctx| 1,
+                        |ctx, _split, out: &mut Emitter| {
+                            ctx.kv.for_each(|k, v| {
+                                if k.first() == Some(&b'a') {
+                                    let mut rest = &k[1..];
+                                    let src = u64::decode(&mut rest).expect("adj key");
+                                    let dsts = Vec::<u64>::from_bytes(v).expect("adj value");
+                                    let rank = ctx
+                                        .kv
+                                        .get(&rank_key(src))
+                                        .map(|b| u64::from_bytes(&b).expect("rank"))
+                                        .unwrap_or(UNIT);
+                                    let contrib = rank / dsts.len() as u64;
+                                    for dst in &dsts {
+                                        out.emit_t(0, dst, &contrib);
+                                    }
+                                } else if k.first() == Some(&b'r') {
+                                    // Keep every known page in the rank map.
+                                    let mut rest = &k[1..];
+                                    let page = u64::decode(&mut rest).expect("rank key");
+                                    out.emit_t(0, &page, &0u64);
+                                }
+                            });
+                        },
+                    ),
+                );
+                let (merge_red, _) = Self::add_iteration_tail(&mut job);
+                job.connect(loader, merge_red, Exchange::Hash);
+            }
+            env.hamr
+                .run(job.build().map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+        }
+        // Final ranks live in the KV store, distributed by page.
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for node in 0..env.params.nodes {
+            env.hamr.kv().shard(node).for_each(|k, v| {
+                if k.first() == Some(&b'r') {
+                    pairs.push((k[1..].to_vec(), v.to_vec()));
+                }
+            });
+        }
+        Ok(BenchOutput {
+            elapsed: start.elapsed(),
+            checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
+            records: pairs.len() as u64,
+        })
+    }
+
+    fn run_mapred(&self, env: &Env) -> Result<BenchOutput, String> {
+        let start = Instant::now();
+        // Job 0: build the adjacency file. Values are tagged
+        // (0 = adjacency, 1 = rank) so iteration jobs can join them.
+        let adj_path = unique_path("pagerank/adj");
+        let adj_job = JobConf::new(
+            "pr-adjacency",
+            vec![INPUT.to_string()],
+            &adj_path,
+            Arc::new(line_map_fn(|_off, line, out| {
+                if let Some((src, dst)) = crate::gen::rmat::parse_edge_line(line) {
+                    out.emit_t(&src, &dst);
+                }
+            })),
+            Arc::new(reduce_fn(|src: u64, dsts: Vec<u64>, out: &mut ReduceOutput| {
+                out.emit_t(&src, &(0u8, dsts));
+            })),
+        );
+        env.mr.run(&adj_job).map_err(|e| e.to_string())?;
+
+        let mut ranks_path: Option<String> = None;
+        for iter in 0..self.iterations {
+            // Job A: contributions (join adjacency with ranks by src).
+            let contrib_path = unique_path(&format!("pagerank/contrib{iter}"));
+            let mut inputs = env.dfs.list(&format!("{adj_path}/"));
+            if let Some(rp) = &ranks_path {
+                inputs.extend(env.dfs.list(&format!("{rp}/")));
+            }
+            let contrib_job = JobConf::new(
+                "pr-contrib",
+                inputs,
+                &contrib_path,
+                Arc::new(map_fn(|k: u64, v: (u8, Vec<u64>), out| out.emit_t(&k, &v))),
+                Arc::new(reduce_fn(
+                    |src: u64, records: Vec<(u8, Vec<u64>)>, out: &mut ReduceOutput| {
+                        let mut adj: Option<&Vec<u64>> = None;
+                        let mut rank: Option<u64> = None;
+                        for (tag, payload) in &records {
+                            match tag {
+                                0 => adj = Some(payload),
+                                _ => rank = payload.first().copied(),
+                            }
+                        }
+                        if let Some(dsts) = adj {
+                            let contrib = rank.unwrap_or(UNIT) / dsts.len() as u64;
+                            for dst in dsts {
+                                out.emit_t(dst, &contrib);
+                            }
+                        }
+                        // Marker: keep src in the rank map (mirrors the
+                        // HAMR emission rules exactly).
+                        if adj.is_some() || rank.is_some() {
+                            out.emit_t(&src, &0u64);
+                        }
+                    },
+                )),
+            )
+            .with_input_format(InputFormat::KeyValue);
+            env.mr.run(&contrib_job).map_err(|e| e.to_string())?;
+
+            // Job B: rank update.
+            let new_ranks = unique_path(&format!("pagerank/ranks{iter}"));
+            let update_job = JobConf::new(
+                "pr-update",
+                env.dfs.list(&format!("{contrib_path}/")),
+                &new_ranks,
+                Arc::new(map_fn(|k: u64, v: u64, out| out.emit_t(&k, &v))),
+                Arc::new(reduce_fn(|page: u64, contribs: Vec<u64>, out: &mut ReduceOutput| {
+                    let new = damped(contribs.iter().sum());
+                    out.emit_t(&page, &(1u8, vec![new]));
+                })),
+            )
+            .with_input_format(InputFormat::KeyValue);
+            env.mr.run(&update_job).map_err(|e| e.to_string())?;
+            ranks_path = Some(new_ranks);
+        }
+
+        // Collect final ranks (strip the join tag).
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let final_ranks = ranks_path.expect("at least one iteration");
+        for part in env.dfs.list(&format!("{final_ranks}/")) {
+            let raw = env.dfs.read_all(&part).map_err(|e| e.to_string())?;
+            let mut input = raw.as_slice();
+            while let Some((k, v)) = decode_kv(&mut input) {
+                let (_, ranks) = <(u8, Vec<u64>)>::from_bytes(&v).map_err(|e| e.to_string())?;
+                pairs.push((k.to_vec(), ranks[0].to_bytes().to_vec()));
+            }
+        }
+        Ok(BenchOutput {
+            elapsed: start.elapsed(),
+            checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
+            records: pairs.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn damped_update_is_integer_exact() {
+        assert_eq!(damped(0), 150_000);
+        assert_eq!(damped(1_000_000), 150_000 + 850_000);
+        // Order independence follows from integer addition; spot-check
+        // the division is floored consistently.
+        assert_eq!(damped(3), 150_000 + 2);
+    }
+
+    #[test]
+    fn kv_key_prefixes_distinct() {
+        assert_ne!(adj_key(5), rank_key(5));
+        assert_eq!(adj_key(5)[0], b'a');
+        assert_eq!(rank_key(5)[0], b'r');
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-engine equivalence: for every benchmark, HAMR and the
+//! MapReduce baseline must compute the *same answer* on the same
+//! input. This is the correctness backbone of the whole evaluation —
+//! speedups are meaningless if the engines disagree.
+
+use hamr_workloads::{all_benchmarks, Benchmark, Env};
+
+fn check(bench: &dyn Benchmark) {
+    let env = Env::test(3, 2);
+    bench.seed(&env).expect("seed");
+    let hamr = bench.run_hamr(&env).expect("hamr run");
+    let mr = bench.run_mapred(&env).expect("mapred run");
+    assert!(hamr.records > 0, "{}: HAMR produced no output", bench.name());
+    assert_eq!(
+        hamr.records,
+        mr.records,
+        "{}: record counts differ (hamr {} vs mapred {})",
+        bench.name(),
+        hamr.records,
+        mr.records
+    );
+    assert_eq!(
+        hamr.checksum,
+        mr.checksum,
+        "{}: checksums differ",
+        bench.name()
+    );
+}
+
+#[test]
+fn wordcount_engines_agree() {
+    check(&hamr_workloads::wordcount::WordCount::default());
+}
+
+#[test]
+fn histogram_movies_engines_agree() {
+    check(&hamr_workloads::histogram_movies::HistogramMovies::default());
+}
+
+#[test]
+fn histogram_ratings_engines_agree() {
+    check(&hamr_workloads::histogram_ratings::HistogramRatings::default());
+}
+
+#[test]
+fn naive_bayes_engines_agree() {
+    check(&hamr_workloads::naive_bayes::NaiveBayes::default());
+}
+
+#[test]
+fn kmeans_engines_agree() {
+    check(&hamr_workloads::kmeans::KMeans::default());
+}
+
+#[test]
+fn classification_engines_agree() {
+    check(&hamr_workloads::classification::Classification::default());
+}
+
+#[test]
+fn pagerank_engines_agree() {
+    check(&hamr_workloads::pagerank::PageRank::default());
+}
+
+#[test]
+fn kcliques_engines_agree() {
+    check(&hamr_workloads::kcliques::KCliques::default());
+}
+
+#[test]
+fn all_benchmarks_have_distinct_inputs() {
+    // Seeding everything into one environment must not clash.
+    let env = Env::test(2, 1);
+    for bench in all_benchmarks() {
+        bench.seed(&env).unwrap_or_else(|_| panic!("{}", bench.name()));
+    }
+    assert!(env.dfs.list("").len() >= 8);
+}
+
+#[test]
+fn combiner_variants_agree_with_plain_runs() {
+    use hamr_workloads::histogram_ratings::HistogramRatings;
+    let env = Env::test(3, 2);
+    let bench = HistogramRatings::default();
+    bench.seed(&env).unwrap();
+    let plain = bench.run_hamr_with(&env, false).unwrap();
+    let combined = bench.run_hamr_with(&env, true).unwrap();
+    assert_eq!(plain.checksum, combined.checksum);
+    let mr_plain = bench.run_mapred_with(&env, false).unwrap();
+    let mr_comb = bench.run_mapred_with(&env, true).unwrap();
+    assert_eq!(mr_plain.checksum, mr_comb.checksum);
+    assert_eq!(plain.checksum, mr_plain.checksum);
+}
+
+#[test]
+fn kmeans_locality_and_shipdata_variants_agree() {
+    use hamr_workloads::kmeans::KMeans;
+    let env = Env::test(3, 2);
+    let bench = KMeans::default();
+    bench.seed(&env).unwrap();
+    let reference = bench.run_hamr(&env).unwrap();
+    let shipping = bench.run_hamr_ship_data(&env).unwrap();
+    assert_eq!(reference.checksum, shipping.checksum);
+    assert_eq!(reference.records, shipping.records);
+}
+
+#[test]
+fn wordcount_partial_and_full_reduce_agree() {
+    use hamr_workloads::wordcount::WordCount;
+    let env = Env::test(2, 2);
+    let bench = WordCount::default();
+    bench.seed(&env).unwrap();
+    let partial = bench.run_hamr_with(&env, true).unwrap();
+    let full = bench.run_hamr_with(&env, false).unwrap();
+    assert_eq!(partial.checksum, full.checksum);
+    assert_eq!(partial.records, full.records);
+}

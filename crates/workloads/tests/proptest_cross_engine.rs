@@ -1,0 +1,56 @@
+//! Property test: both engines agree on *arbitrary* generated inputs,
+//! not just the canned benchmark corpora. Runs the two cheapest
+//! deterministic benchmarks over randomized sizes/seeds.
+
+use hamr_workloads::{
+    histogram_ratings::HistogramRatings, wordcount::WordCount, Benchmark, Env, SimParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn wordcount_engines_agree_on_random_corpora(
+        lines in 1usize..400,
+        vocab in 1usize..200,
+        seed: u64,
+        nodes in 1usize..5,
+    ) {
+        let mut params = SimParams::test(nodes, 2);
+        params.seed = seed;
+        params.scale = 1.0;
+        let env = Env::new(params);
+        let bench = WordCount {
+            lines,
+            words_per_line: 6,
+            vocab,
+        };
+        bench.seed(&env).unwrap();
+        let hamr = bench.run_hamr(&env).unwrap();
+        let mr = bench.run_mapred(&env).unwrap();
+        prop_assert_eq!(hamr.records, mr.records);
+        prop_assert_eq!(hamr.checksum, mr.checksum);
+    }
+
+    #[test]
+    fn histogram_ratings_engines_agree_on_random_inputs(
+        movies in 1usize..300,
+        seed: u64,
+    ) {
+        let mut params = SimParams::test(3, 2);
+        params.seed = seed;
+        params.scale = 1.0;
+        let env = Env::new(params);
+        let bench = HistogramRatings {
+            movies,
+            users: 50,
+            max_ratings_per_movie: 6,
+        };
+        bench.seed(&env).unwrap();
+        let hamr = bench.run_hamr(&env).unwrap();
+        let mr = bench.run_mapred(&env).unwrap();
+        prop_assert_eq!(hamr.checksum, mr.checksum);
+        prop_assert!(hamr.records <= 5, "at most five rating keys");
+    }
+}

@@ -1,0 +1,25 @@
+//! HAMR — a dataflow-based, in-memory big-data engine.
+//!
+//! This facade crate re-exports the workspace members so downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] — the flowlet dataflow engine (the paper's contribution),
+//! * [`mapred`] — the Hadoop-style disk-based MapReduce baseline,
+//! * [`dfs`] / [`simdisk`] / [`simnet`] — the simulated cluster substrates,
+//! * [`kvstore`] — the distributed in-memory key-value store component,
+//! * [`codec`] — typed binary encoding for keys and values,
+//! * [`workloads`] — the eight paper benchmarks and their data generators.
+//!
+//! See `examples/quickstart.rs` for a 30-line WordCount.
+
+pub use hamr_codec as codec;
+pub use hamr_core as core;
+pub use hamr_dfs as dfs;
+pub use hamr_kvstore as kvstore;
+pub use hamr_mapred as mapred;
+pub use hamr_simdisk as simdisk;
+pub use hamr_simnet as simnet;
+pub use hamr_workloads as workloads;
+
+/// Crate version, for diagnostics.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
