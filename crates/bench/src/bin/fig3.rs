@@ -14,7 +14,9 @@ fn print_series(title: &str, rows: &[&MeasuredRow], per_unit: f64) {
     println!("{title}");
     println!("  baseline (mapred = 1x)");
     for row in rows {
-        let paper = paper_row(&row.name).map(|p| p.speedup()).unwrap_or(f64::NAN);
+        let paper = paper_row(&row.name)
+            .map(|p| p.speedup())
+            .unwrap_or(f64::NAN);
         println!(
             "  {:<18} {:<60} {:>5.2}x (paper {:>5.2}x)",
             row.name,
@@ -34,10 +36,15 @@ fn main() {
         .iter()
         .filter_map(|n| find(n))
         .collect();
-    let b: Vec<&MeasuredRow> = ["WordCount", "HistogramMovies", "HistogramRatings", "NaiveBayes"]
-        .iter()
-        .filter_map(|n| find(n))
-        .collect();
+    let b: Vec<&MeasuredRow> = [
+        "WordCount",
+        "HistogramMovies",
+        "HistogramRatings",
+        "NaiveBayes",
+    ]
+    .iter()
+    .filter_map(|n| find(n))
+    .collect();
     if !a.is_empty() {
         print_series(
             "== Fig 3(a): benchmarks exploiting the dataflow engine's features ==",
@@ -46,10 +53,6 @@ fn main() {
         );
     }
     if !b.is_empty() {
-        print_series(
-            "== Fig 3(b): simple IO-intensive benchmarks ==",
-            &b,
-            20.0,
-        );
+        print_series("== Fig 3(b): simple IO-intensive benchmarks ==", &b, 20.0);
     }
 }

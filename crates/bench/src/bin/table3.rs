@@ -2,7 +2,9 @@
 //! histogram benchmarks, against the plain-HAMR and MapReduce numbers.
 
 use hamr_bench::{parse_args, PAPER_TABLE3};
-use hamr_workloads::{histogram_movies::HistogramMovies, histogram_ratings::HistogramRatings, Benchmark, Env};
+use hamr_workloads::{
+    histogram_movies::HistogramMovies, histogram_ratings::HistogramRatings, Benchmark, Env,
+};
 
 fn main() {
     let (params, _) = parse_args();
@@ -16,7 +18,8 @@ fn main() {
     );
     let hm = HistogramMovies::default();
     let hr = HistogramRatings::default();
-    let runs: Vec<(&str, &dyn Benchmark)> = vec![("HistogramMovies", &hm), ("HistogramRatings", &hr)];
+    let runs: Vec<(&str, &dyn Benchmark)> =
+        vec![("HistogramMovies", &hm), ("HistogramRatings", &hr)];
     for (name, bench) in runs {
         let env = Env::new(params.clone());
         bench.seed(&env).expect("seed");
@@ -32,7 +35,10 @@ fn main() {
             ),
         };
         let paper = PAPER_TABLE3.iter().find(|(n, _, _)| *n == name).unwrap();
-        assert_eq!(plain.checksum, combined.checksum, "{name}: combiner changed the answer");
+        assert_eq!(
+            plain.checksum, combined.checksum,
+            "{name}: combiner changed the answer"
+        );
         assert_eq!(plain.checksum, mr.checksum, "{name}: engines disagree");
         println!(
             "{:<18} {:>9.3}s {:>11.3}s {:>13.3}s {:>8.2}x {:>11.2}x",

@@ -24,14 +24,54 @@ impl PaperRow {
 
 /// Table 2 of the paper, verbatim.
 pub const PAPER_TABLE2: [PaperRow; 8] = [
-    PaperRow { name: "K-Means", data_size: "300GB", idh_secs: 5215.079, hamr_secs: 505.685 },
-    PaperRow { name: "Classification", data_size: "300GB", idh_secs: 2773.660, hamr_secs: 212.815 },
-    PaperRow { name: "PageRank", data_size: "20GB", idh_secs: 2162.102, hamr_secs: 158.853 },
-    PaperRow { name: "KCliques", data_size: "168MB", idh_secs: 1161.246, hamr_secs: 100.945 },
-    PaperRow { name: "WordCount", data_size: "16GB", idh_secs: 89.904, hamr_secs: 75.078 },
-    PaperRow { name: "HistogramMovies", data_size: "30GB", idh_secs: 59.522, hamr_secs: 34.542 },
-    PaperRow { name: "HistogramRatings", data_size: "30GB", idh_secs: 66.694, hamr_secs: 252.198 },
-    PaperRow { name: "NaiveBayes", data_size: "10GB", idh_secs: 263.078, hamr_secs: 108.29 },
+    PaperRow {
+        name: "K-Means",
+        data_size: "300GB",
+        idh_secs: 5215.079,
+        hamr_secs: 505.685,
+    },
+    PaperRow {
+        name: "Classification",
+        data_size: "300GB",
+        idh_secs: 2773.660,
+        hamr_secs: 212.815,
+    },
+    PaperRow {
+        name: "PageRank",
+        data_size: "20GB",
+        idh_secs: 2162.102,
+        hamr_secs: 158.853,
+    },
+    PaperRow {
+        name: "KCliques",
+        data_size: "168MB",
+        idh_secs: 1161.246,
+        hamr_secs: 100.945,
+    },
+    PaperRow {
+        name: "WordCount",
+        data_size: "16GB",
+        idh_secs: 89.904,
+        hamr_secs: 75.078,
+    },
+    PaperRow {
+        name: "HistogramMovies",
+        data_size: "30GB",
+        idh_secs: 59.522,
+        hamr_secs: 34.542,
+    },
+    PaperRow {
+        name: "HistogramRatings",
+        data_size: "30GB",
+        idh_secs: 66.694,
+        hamr_secs: 252.198,
+    },
+    PaperRow {
+        name: "NaiveBayes",
+        data_size: "10GB",
+        idh_secs: 263.078,
+        hamr_secs: 108.29,
+    },
 ];
 
 /// Table 3 of the paper: HAMR with a combiner flowlet.
@@ -77,9 +117,7 @@ pub fn run_comparison(bench: &dyn Benchmark, params: &SimParams) -> MeasuredRow 
 pub fn run_table2(params: &SimParams, filter: Option<&str>) -> Vec<MeasuredRow> {
     all_benchmarks()
         .iter()
-        .filter(|b| {
-            filter.is_none_or(|f| b.name().to_lowercase().contains(&f.to_lowercase()))
-        })
+        .filter(|b| filter.is_none_or(|f| b.name().to_lowercase().contains(&f.to_lowercase())))
         .map(|b| {
             eprintln!("running {} ...", b.name());
             run_comparison(b.as_ref(), params)
@@ -132,7 +170,11 @@ pub fn format_row(measured: &MeasuredRow, paper: Option<&PaperRow>) -> String {
         measured.speedup(),
         paper_speedup,
         measured.records,
-        if measured.checksums_match { "ok" } else { "MISMATCH" },
+        if measured.checksums_match {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
     )
 }
 

@@ -370,7 +370,10 @@ mod tests {
         assert_eq!(u64::from_bytes(&[]), Err(CodecError::Truncated));
         assert_eq!(f64::from_bytes(&[0, 0]), Err(CodecError::Truncated));
         // string claims 5 bytes but only has 2
-        assert_eq!(String::from_bytes(&[5, b'a', b'b']), Err(CodecError::Truncated));
+        assert_eq!(
+            String::from_bytes(&[5, b'a', b'b']),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]

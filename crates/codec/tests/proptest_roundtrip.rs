@@ -13,7 +13,11 @@ fn assert_roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T, tail: &[u8]) 
     let mut input = buf.as_slice();
     let decoded = T::decode(&mut input).expect("decode");
     assert_eq!(&decoded, v);
-    assert_eq!(input.len(), tail.len(), "must consume exactly {produced} bytes");
+    assert_eq!(
+        input.len(),
+        tail.len(),
+        "must consume exactly {produced} bytes"
+    );
 }
 
 proptest! {

@@ -18,6 +18,7 @@ use hamr_dfs::Dfs;
 use hamr_kvstore::KvStore;
 use hamr_simdisk::Disk;
 use hamr_simnet::Fabric;
+use hamr_trace::Tracer;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -79,11 +80,27 @@ impl Cluster {
         &self.disks[node]
     }
 
-    /// Run one job to completion.
+    /// Run one job to completion (tracing disabled).
     pub fn run(&self, graph: JobGraph) -> Result<JobResult, RunError> {
+        self.run_traced(graph, Tracer::disabled())
+    }
+
+    /// Run one job to completion, emitting trace events through
+    /// `tracer`. With `Tracer::disabled()` this is exactly [`run`]:
+    /// every emit site is a single branch on a `None`.
+    ///
+    /// [`run`]: Cluster::run
+    pub fn run_traced(&self, graph: JobGraph, tracer: Tracer) -> Result<JobResult, RunError> {
         let graph = Arc::new(graph);
         let n = self.config.nodes;
-        let fabric = Fabric::<NetMsg>::new(n, self.config.net.clone());
+        let fabric = Fabric::<NetMsg>::new_traced(n, self.config.net.clone(), tracer.clone());
+        // The disks are long-lived substrates shared across jobs; bind
+        // them to this run's tracer only for its duration.
+        if tracer.enabled() {
+            for (node, disk) in self.disks.iter().enumerate() {
+                disk.attach_tracer(tracer.clone(), node as u32);
+            }
+        }
         let start = Instant::now();
         let mut handles = Vec::with_capacity(n);
         for node in 0..n {
@@ -92,6 +109,7 @@ impl Cluster {
             let graph = Arc::clone(&graph);
             let cfg = self.config.runtime.clone();
             let threads = self.config.threads_per_node;
+            let tracer = tracer.clone();
             let ctx = TaskContext {
                 node,
                 nodes: n,
@@ -102,7 +120,7 @@ impl Cluster {
             };
             let handle = std::thread::Builder::new()
                 .name(format!("hamr-node-{node}"))
-                .spawn(move || run_node(node, graph, cfg, threads, ctx, endpoint, inbox))
+                .spawn(move || run_node(node, graph, cfg, threads, ctx, endpoint, inbox, tracer))
                 .expect("spawn node runtime");
             handles.push(handle);
         }
@@ -132,8 +150,10 @@ impl Cluster {
                         agg.records_out += fm.records_out;
                         agg.bins_out += fm.bins_out;
                         agg.flow_control_stalls += fm.flow_control_stalls;
+                        agg.stall_time += fm.stall_time;
                         agg.spilled_bytes += fm.spilled_bytes;
                         agg.busy += fm.busy;
+                        agg.task_latency.merge(&fm.task_latency);
                     }
                     metrics.nodes.push(outcome.node_metrics);
                 }
@@ -154,6 +174,11 @@ impl Cluster {
         metrics.shuffled_bytes = net.remote_bytes();
         metrics.shuffled_messages = net.remote_messages();
         fabric.shutdown();
+        if tracer.enabled() {
+            for disk in &self.disks {
+                disk.detach_tracer();
+            }
+        }
         if let Some(err) = first_error {
             return Err(err);
         }
@@ -179,7 +204,10 @@ pub struct JobResult {
 impl JobResult {
     /// Raw captured records for a flowlet (empty slice if none).
     pub fn output(&self, flowlet: FlowletId) -> &[Record] {
-        self.outputs.get(&flowlet).map(|v| v.as_slice()).unwrap_or(&[])
+        self.outputs
+            .get(&flowlet)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Decode a flowlet's captured output with [`Codec`].

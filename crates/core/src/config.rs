@@ -144,7 +144,7 @@ pub const PAPER_CLUSTER: SimClusterSpec = SimClusterSpec {
     net_desc: "4x FDR InfiniBand",
     disk_desc: "5x SATA-III",
     net_latency: Duration::from_micros(2),
-    net_bandwidth: 6_800_000_000, // ~54.4 Gb/s FDR 4x effective
+    net_bandwidth: 6_800_000_000,  // ~54.4 Gb/s FDR 4x effective
     disk_bandwidth: 2_000_000_000, // 5 spindles aggregated, optimistic
     disk_op_latency: Duration::from_micros(100),
     dfs_block_size: 128 << 20,
@@ -162,8 +162,8 @@ pub const SCALED_CLUSTER: SimClusterSpec = SimClusterSpec {
     net_desc: "simnet modeled fabric",
     disk_desc: "simdisk modeled spindle",
     net_latency: Duration::from_micros(50),
-    net_bandwidth: 200 << 20,  // 200 MiB/s per link
-    disk_bandwidth: 80 << 20,  // 80 MiB/s per node disk
+    net_bandwidth: 200 << 20, // 200 MiB/s per link
+    disk_bandwidth: 80 << 20, // 80 MiB/s per node disk
     disk_op_latency: Duration::from_micros(200),
     dfs_block_size: 1 << 20,
 };
@@ -178,10 +178,7 @@ impl SimClusterSpec {
             ("Memory".into(), self.memory_desc.into()),
             ("Network".into(), self.net_desc.into()),
             ("Local disks".into(), self.disk_desc.into()),
-            (
-                "Net bandwidth (B/s)".into(),
-                self.net_bandwidth.to_string(),
-            ),
+            ("Net bandwidth (B/s)".into(), self.net_bandwidth.to_string()),
             (
                 "Disk bandwidth (B/s)".into(),
                 self.disk_bandwidth.to_string(),
@@ -217,7 +214,9 @@ mod tests {
     fn table1_rows_render() {
         let rows = PAPER_CLUSTER.table_rows();
         assert_eq!(rows[0].1, "16");
-        assert!(rows.iter().any(|(k, v)| k.contains("Network") && v.contains("InfiniBand")));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k.contains("Network") && v.contains("InfiniBand")));
     }
 
     #[test]

@@ -523,7 +523,16 @@ mod tests {
         b.capture_output(r);
         let dot = b.build().unwrap().to_dot();
         assert!(dot.starts_with("digraph"));
-        for needle in ["src", "xform", "agg", "f0 -> f1", "f1 -> f2", "hash", "local", "[captured]"] {
+        for needle in [
+            "src",
+            "xform",
+            "agg",
+            "f0 -> f1",
+            "f1 -> f2",
+            "hash",
+            "local",
+            "[captured]",
+        ] {
             assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
         }
     }

@@ -1,5 +1,6 @@
 //! Execution metrics: what the evaluation chapters read off a run.
 
+use hamr_trace::{FlowletSummaryRow, LatencyHistogram};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -18,10 +19,14 @@ pub struct FlowletMetrics {
     pub bins_out: u64,
     /// Bins whose shipment was deferred by flow control at least once.
     pub flow_control_stalls: u64,
+    /// Cumulative time deferred bins sat in the flow-control queue.
+    pub stall_time: Duration,
     /// Bytes spilled to local disk (reduce overflow).
     pub spilled_bytes: u64,
     /// Total time workers spent inside this flowlet's tasks.
     pub busy: Duration,
+    /// Distribution of per-task latencies.
+    pub task_latency: LatencyHistogram,
 }
 
 /// Per-node rollup.
@@ -39,13 +44,25 @@ pub struct NodeMetrics {
 
 impl NodeMetrics {
     /// Fraction of `threads * elapsed` spent busy; the paper's
-    /// "computation resource usage".
+    /// "computation resource usage". Returns the raw ratio — it can
+    /// exceed 1.0 when `threads` understates the true parallelism (e.g.
+    /// fire shards briefly oversubscribing the pool), and that excess
+    /// is itself a useful signal. Use [`utilization_clamped`] for
+    /// display.
+    ///
+    /// [`utilization_clamped`]: NodeMetrics::utilization_clamped
     pub fn utilization(&self, threads: usize) -> f64 {
         let capacity = self.elapsed.as_secs_f64() * threads as f64;
         if capacity <= 0.0 {
             return 0.0;
         }
-        (self.busy.as_secs_f64() / capacity).min(1.0)
+        self.busy.as_secs_f64() / capacity
+    }
+
+    /// [`utilization`](NodeMetrics::utilization) clamped to `[0, 1]`
+    /// for percent-style display.
+    pub fn utilization_clamped(&self, threads: usize) -> f64 {
+        self.utilization(threads).min(1.0)
     }
 }
 
@@ -76,7 +93,33 @@ impl JobMetrics {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| n.utilization(threads)).sum::<f64>() / self.nodes.len() as f64
+        self.nodes
+            .iter()
+            .map(|n| n.utilization(threads))
+            .sum::<f64>()
+            / self.nodes.len() as f64
+    }
+
+    /// Per-flowlet summary rows (graph order) for
+    /// [`hamr_trace::render_summary`].
+    pub fn summary_rows(&self) -> Vec<FlowletSummaryRow> {
+        self.flowlets
+            .values()
+            .map(|f| {
+                FlowletSummaryRow {
+                    name: f.name.clone(),
+                    kind: f.kind.to_string(),
+                    tasks: f.tasks,
+                    records_in: f.records_in,
+                    records_out: f.records_out,
+                    stall_us: f.stall_time.as_micros() as u64,
+                    stalls: f.flow_control_stalls,
+                    spilled_bytes: f.spilled_bytes,
+                    ..Default::default()
+                }
+                .with_latency(&f.task_latency)
+            })
+            .collect()
     }
 
     /// Coefficient of variation of per-node busy time — the workload
@@ -106,11 +149,39 @@ mod tests {
             elapsed: Duration::from_secs(1),
             ..Default::default()
         };
-        // busy can exceed elapsed with multiple threads; clamp at 1.0
-        assert_eq!(m.utilization(1), 1.0);
+        // busy can exceed threads * elapsed; the raw ratio reports it,
+        // the clamped variant caps at 1.0 for display.
+        assert!((m.utilization(1) - 2.0).abs() < 1e-9);
+        assert_eq!(m.utilization_clamped(1), 1.0);
         assert!((m.utilization(4) - 0.5).abs() < 1e-9);
+        assert!((m.utilization_clamped(4) - 0.5).abs() < 1e-9);
         let zero = NodeMetrics::default();
         assert_eq!(zero.utilization(4), 0.0);
+    }
+
+    #[test]
+    fn summary_rows_reflect_flowlets() {
+        let mut jm = JobMetrics::default();
+        let mut fm = FlowletMetrics {
+            name: "SplitMap".into(),
+            kind: "map",
+            tasks: 10,
+            records_in: 1000,
+            records_out: 500,
+            flow_control_stalls: 3,
+            stall_time: Duration::from_millis(7),
+            ..Default::default()
+        };
+        fm.task_latency.record_us(100);
+        fm.task_latency.record_us(200);
+        jm.flowlets.insert(0, fm);
+        let rows = jm.summary_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "SplitMap");
+        assert_eq!(rows[0].stalls, 3);
+        assert_eq!(rows[0].stall_us, 7000);
+        assert!(rows[0].p50_us >= 100);
+        assert!(rows[0].p50_us <= rows[0].p99_us);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hamr_simnet::{Endpoint, Envelope, Payload};
+use hamr_trace::{EventKind, TaskKind, Tracer, WORKER_RUNTIME};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -80,18 +81,44 @@ enum Work {
         bin: Bin,
     },
     Complete,
-    Marker { epoch: u64 },
+    Marker {
+        epoch: u64,
+    },
 }
 
 /// A task handed to a worker thread.
 enum Task {
-    LoaderSplit { flowlet: FlowletId, index: usize },
-    StreamEpoch { flowlet: FlowletId, epoch: u64 },
-    MapBin { flowlet: FlowletId, ack: Option<(NodeId, EdgeId)>, bin: Bin },
-    PartialFold { flowlet: FlowletId, ack: Option<(NodeId, EdgeId)>, bin: Bin },
-    ReduceIngest { flowlet: FlowletId, ack: Option<(NodeId, EdgeId)>, bin: Bin },
-    FireReduce { flowlet: FlowletId, shard: FireShard },
-    FirePartial { flowlet: FlowletId, entries: Vec<(Bytes, AccBox)> },
+    LoaderSplit {
+        flowlet: FlowletId,
+        index: usize,
+    },
+    StreamEpoch {
+        flowlet: FlowletId,
+        epoch: u64,
+    },
+    MapBin {
+        flowlet: FlowletId,
+        ack: Option<(NodeId, EdgeId)>,
+        bin: Bin,
+    },
+    PartialFold {
+        flowlet: FlowletId,
+        ack: Option<(NodeId, EdgeId)>,
+        bin: Bin,
+    },
+    ReduceIngest {
+        flowlet: FlowletId,
+        ack: Option<(NodeId, EdgeId)>,
+        bin: Bin,
+    },
+    FireReduce {
+        flowlet: FlowletId,
+        shard: FireShard,
+    },
+    FirePartial {
+        flowlet: FlowletId,
+        entries: Vec<(Bytes, AccBox)>,
+    },
 }
 
 impl Task {
@@ -104,6 +131,18 @@ impl Task {
             | Task::ReduceIngest { flowlet, .. }
             | Task::FireReduce { flowlet, .. }
             | Task::FirePartial { flowlet, .. } => *flowlet,
+        }
+    }
+
+    fn trace_kind(&self) -> TaskKind {
+        match self {
+            Task::LoaderSplit { .. } => TaskKind::LoaderSplit,
+            Task::StreamEpoch { .. } => TaskKind::StreamEpoch,
+            Task::MapBin { .. } => TaskKind::MapBin,
+            Task::PartialFold { .. } => TaskKind::PartialFold,
+            Task::ReduceIngest { .. } => TaskKind::ReduceIngest,
+            Task::FireReduce { .. } => TaskKind::FireReduce,
+            Task::FirePartial { .. } => TaskKind::FirePartial,
         }
     }
 }
@@ -131,6 +170,7 @@ struct WorkerShared {
     bin_capacity: usize,
     partial: Vec<Option<Arc<PartialState>>>,
     reduce: Vec<Mutex<Option<Arc<ReduceState>>>>,
+    tracer: Tracer,
 }
 
 impl WorkerShared {
@@ -156,6 +196,15 @@ impl WorkerShared {
 fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone {
     let start = Instant::now();
     let flowlet = task.flowlet();
+    let trace_kind = task.trace_kind();
+    shared.tracer.emit(
+        shared.ctx.node as u32,
+        worker_id as u32,
+        EventKind::TaskStart {
+            task: trace_kind,
+            flowlet: flowlet as u32,
+        },
+    );
     let is_loader_split = matches!(task, Task::LoaderSplit { .. });
     let is_fire = matches!(task, Task::FireReduce { .. } | Task::FirePartial { .. });
     let mut done = TaskDone {
@@ -221,7 +270,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                     .lock()
                     .clone()
                     .expect("reduce state exists");
-                state.ingest(bin.records).expect("spill failed");
+                state.ingest(worker_id, bin.records).expect("spill failed");
                 ack_to = ack;
             }
             Task::FireReduce { mut shard, .. } => {
@@ -269,6 +318,16 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
         }
     }
     done.duration = start.elapsed();
+    shared.tracer.emit(
+        shared.ctx.node as u32,
+        worker_id as u32,
+        EventKind::TaskEnd {
+            task: trace_kind,
+            flowlet: flowlet as u32,
+            records_in: done.records_in,
+            records_out: done.records_out,
+        },
+    );
     done
 }
 
@@ -336,6 +395,7 @@ pub(crate) struct NodeOutcome {
 }
 
 /// Runs one node's runtime to completion. Called on its own thread.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_node(
     node: NodeId,
     graph: Arc<JobGraph>,
@@ -344,8 +404,9 @@ pub(crate) fn run_node(
     ctx: TaskContext,
     endpoint: Endpoint<NetMsg>,
     inbox: Receiver<Envelope<NetMsg>>,
+    tracer: Tracer,
 ) -> NodeOutcome {
-    NodeRuntime::new(node, graph, cfg, threads, ctx, endpoint, inbox).run()
+    NodeRuntime::new(node, graph, cfg, threads, ctx, endpoint, inbox, tracer).run()
 }
 
 struct NodeRuntime {
@@ -363,7 +424,9 @@ struct NodeRuntime {
     instances: Vec<Instance>,
     /// In-flight (unacked) bins per (edge, destination node).
     inflight: Vec<usize>,
-    deferred: VecDeque<(FlowletId, NodeId, Bin)>,
+    /// Bins held back by flow control, with the time they were parked
+    /// (feeds the stall-time metric and resume trace events).
+    deferred: VecDeque<(FlowletId, NodeId, Bin, Instant)>,
     outstanding: usize,
     captured: HashMap<FlowletId, Vec<Record>>,
     fmetrics: Vec<FlowletMetrics>,
@@ -371,9 +434,11 @@ struct NodeRuntime {
     busy: Duration,
     start: Instant,
     error: Option<String>,
+    tracer: Tracer,
 }
 
 impl NodeRuntime {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         node: NodeId,
         graph: Arc<JobGraph>,
@@ -382,6 +447,7 @@ impl NodeRuntime {
         ctx: TaskContext,
         endpoint: Endpoint<NetMsg>,
         inbox: Receiver<Envelope<NetMsg>>,
+        tracer: Tracer,
     ) -> Self {
         let nodes = ctx.nodes;
         let fire_shards = if cfg.fire_shards == 0 {
@@ -405,6 +471,9 @@ impl NodeRuntime {
                     cfg.memory_budget,
                     ctx.disk.clone(),
                     format!("hamr.spill.f{id}"),
+                    tracer.clone(),
+                    node as u32,
+                    id as u32,
                 ))),
                 _ => None,
             }));
@@ -415,6 +484,7 @@ impl NodeRuntime {
             bin_capacity: cfg.bin_capacity,
             partial,
             reduce,
+            tracer: tracer.clone(),
         });
         let (task_tx, task_rx) = unbounded::<Task>();
         let (done_tx, done_rx) = unbounded::<TaskDone>();
@@ -491,6 +561,7 @@ impl NodeRuntime {
             busy: Duration::ZERO,
             start: Instant::now(),
             error: None,
+            tracer,
         }
     }
 
@@ -606,7 +677,9 @@ impl NodeRuntime {
             }
             NetMsg::Marker { edge, epoch } => {
                 let dst = self.graph.edges[edge].dst;
-                self.instances[dst].pending.push_back(Work::Marker { epoch });
+                self.instances[dst]
+                    .pending
+                    .push_back(Work::Marker { epoch });
             }
             NetMsg::Ack { edge } => {
                 let slot = edge * self.nodes + env.from;
@@ -665,6 +738,7 @@ impl NodeRuntime {
         fm.records_in += done.records_in;
         fm.records_out += done.records_out;
         fm.busy += done.duration;
+        fm.task_latency.record(done.duration);
         if !done.captured.is_empty() {
             self.captured.entry(f).or_default().extend(done.captured);
         }
@@ -683,11 +757,30 @@ impl NodeRuntime {
         if self.inflight[slot] < self.cfg.out_window_bins {
             self.inflight[slot] += 1;
             self.fmetrics[f].bins_out += 1;
+            self.tracer.emit(
+                self.node as u32,
+                WORKER_RUNTIME,
+                EventKind::BinShipped {
+                    flowlet: f as u32,
+                    edge: bin.edge as u32,
+                    dst: dst as u32,
+                    records: bin.len() as u32,
+                },
+            );
             let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
         } else {
             self.fmetrics[f].flow_control_stalls += 1;
             self.instances[f].deferred += 1;
-            self.deferred.push_back((f, dst, bin));
+            self.tracer.emit(
+                self.node as u32,
+                WORKER_RUNTIME,
+                EventKind::FlowControlStall {
+                    flowlet: f as u32,
+                    edge: bin.edge as u32,
+                    dst: dst as u32,
+                },
+            );
+            self.deferred.push_back((f, dst, bin, Instant::now()));
         }
     }
 
@@ -696,15 +789,37 @@ impl NodeRuntime {
             return;
         }
         let mut still = VecDeque::with_capacity(self.deferred.len());
-        while let Some((f, dst, bin)) = self.deferred.pop_front() {
+        while let Some((f, dst, bin, since)) = self.deferred.pop_front() {
             let slot = bin.edge * self.nodes + dst;
             if self.inflight[slot] < self.cfg.out_window_bins {
                 self.inflight[slot] += 1;
                 self.fmetrics[f].bins_out += 1;
                 self.instances[f].deferred -= 1;
+                let stalled = since.elapsed();
+                self.fmetrics[f].stall_time += stalled;
+                self.tracer.emit(
+                    self.node as u32,
+                    WORKER_RUNTIME,
+                    EventKind::FlowControlResume {
+                        flowlet: f as u32,
+                        edge: bin.edge as u32,
+                        dst: dst as u32,
+                        stalled_us: stalled.as_micros() as u64,
+                    },
+                );
+                self.tracer.emit(
+                    self.node as u32,
+                    WORKER_RUNTIME,
+                    EventKind::BinShipped {
+                        flowlet: f as u32,
+                        edge: bin.edge as u32,
+                        dst: dst as u32,
+                        records: bin.len() as u32,
+                    },
+                );
                 let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
             } else {
-                still.push_back((f, dst, bin));
+                still.push_back((f, dst, bin, since));
             }
         }
         self.deferred = still;
@@ -849,9 +964,18 @@ impl NodeRuntime {
                     // Acknowledge on receipt so upstream windows keep
                     // moving while the barrier holds the data.
                     let work = self.instances[f].pending.pop_front().expect("peeked");
-                    let work = if let Work::Bin { from, acked: false, bin } = work {
+                    let work = if let Work::Bin {
+                        from,
+                        acked: false,
+                        bin,
+                    } = work
+                    {
                         let _ = self.endpoint.send(from, NetMsg::Ack { edge: bin.edge });
-                        Work::Bin { from, acked: true, bin }
+                        Work::Bin {
+                            from,
+                            acked: true,
+                            bin,
+                        }
                     } else {
                         work
                     };
@@ -885,8 +1009,7 @@ impl NodeRuntime {
                     self.dispatch(task);
                 }
                 Action::CountMarker => {
-                    let Some(Work::Marker { epoch }) = self.instances[f].pending.pop_front()
-                    else {
+                    let Some(Work::Marker { epoch }) = self.instances[f].pending.pop_front() else {
                         unreachable!()
                     };
                     let full = {
@@ -997,9 +1120,7 @@ impl NodeRuntime {
                     let inst = &self.instances[f];
                     match self.flowlet_tag(f) {
                         Tag::Source => match self.graph.flowlets[f].kind {
-                            FlowletKind::Loader(_) => {
-                                inst.splits_done == inst.splits_total && idle
-                            }
+                            FlowletKind::Loader(_) => inst.splits_done == inst.splits_total && idle,
                             _ => inst.stream_finished && inst.marker_owed.is_none() && idle,
                         },
                         _ => inst.input_done() && inst.pending.is_empty() && idle,
@@ -1011,8 +1132,7 @@ impl NodeRuntime {
                 match self.flowlet_tag(f) {
                     Tag::Reduce => self.fire_reduce(f),
                     Tag::Partial => {
-                        let FlowletKind::PartialReduce(ref r) = self.graph.flowlets[f].kind
-                        else {
+                        let FlowletKind::PartialReduce(ref r) = self.graph.flowlets[f].kind else {
                             unreachable!()
                         };
                         let reducer = Arc::clone(r);
@@ -1054,6 +1174,14 @@ impl NodeRuntime {
         match state.into_fire_shards() {
             Ok(shards) => {
                 let n = shards.len();
+                self.tracer.emit(
+                    self.node as u32,
+                    WORKER_RUNTIME,
+                    EventKind::ReduceFire {
+                        flowlet: f as u32,
+                        shards: n as u32,
+                    },
+                );
                 for shard in shards {
                     self.dispatch(Task::FireReduce { flowlet: f, shard });
                 }

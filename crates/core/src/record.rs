@@ -89,7 +89,10 @@ mod tests {
     use super::*;
 
     fn rec(k: &str, v: &str) -> Record {
-        Record::new(Bytes::copy_from_slice(k.as_bytes()), Bytes::copy_from_slice(v.as_bytes()))
+        Record::new(
+            Bytes::copy_from_slice(k.as_bytes()),
+            Bytes::copy_from_slice(v.as_bytes()),
+        )
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::spill::{write_run, GroupedMerge, RunReader, SortedStream};
 use bytes::Bytes;
 use hamr_codec::stable_hash;
 use hamr_simdisk::{Disk, DiskError};
+use hamr_trace::{EventKind, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -50,10 +51,21 @@ pub(crate) struct ReduceState {
     budget: usize,
     spill_prefix: String,
     spilled_bytes: std::sync::atomic::AtomicU64,
+    tracer: Tracer,
+    node: u32,
+    flowlet: u32,
 }
 
 impl ReduceState {
-    pub(crate) fn new(shards: usize, budget: usize, disk: Disk, spill_prefix: String) -> Self {
+    pub(crate) fn new(
+        shards: usize,
+        budget: usize,
+        disk: Disk,
+        spill_prefix: String,
+        tracer: Tracer,
+        node: u32,
+        flowlet: u32,
+    ) -> Self {
         assert!(shards > 0);
         ReduceState {
             shards: (0..shards)
@@ -69,12 +81,16 @@ impl ReduceState {
             budget,
             spill_prefix,
             spilled_bytes: std::sync::atomic::AtomicU64::new(0),
+            tracer,
+            node,
+            flowlet,
         }
     }
 
     /// Fold one bin of records into the grouped state, spilling the
-    /// touched shard if it crosses its budget slice.
-    pub(crate) fn ingest(&self, records: Vec<Record>) -> Result<(), DiskError> {
+    /// touched shard if it crosses its budget slice. `worker` labels
+    /// any spill this triggers in the trace.
+    pub(crate) fn ingest(&self, worker: usize, records: Vec<Record>) -> Result<(), DiskError> {
         let per_shard_budget = (self.budget / self.shards.len()).max(1);
         for rec in records {
             let s = sub_shard(&rec.key, self.shards.len());
@@ -93,13 +109,13 @@ impl ReduceState {
             };
             shard.bytes += added;
             if shard.bytes > per_shard_budget {
-                self.spill_locked(&mut shard)?;
+                self.spill_locked(worker, &mut shard)?;
             }
         }
         Ok(())
     }
 
-    fn spill_locked(&self, shard: &mut ReduceShard) -> Result<(), DiskError> {
+    fn spill_locked(&self, worker: usize, shard: &mut ReduceShard) -> Result<(), DiskError> {
         let mut entries = Vec::new();
         for (key, values) in shard.groups.drain() {
             for v in values {
@@ -110,10 +126,25 @@ impl ReduceState {
         if entries.is_empty() {
             return Ok(());
         }
+        self.tracer.emit(
+            self.node,
+            worker as u32,
+            EventKind::SpillStart {
+                flowlet: self.flowlet,
+            },
+        );
         let name = self.disk.temp_name(&self.spill_prefix);
         let written = write_run(&self.disk, &name, entries)?;
         self.spilled_bytes
             .fetch_add(written as u64, std::sync::atomic::Ordering::Relaxed);
+        self.tracer.emit(
+            self.node,
+            worker as u32,
+            EventKind::SpillEnd {
+                flowlet: self.flowlet,
+                bytes: written as u64,
+            },
+        );
         shard.runs.push(name);
         Ok(())
     }
@@ -180,9 +211,13 @@ pub(crate) enum PartialState {
     /// Lock-striped shared map. With a skewed key space most updates
     /// hit one stripe and serialize — deliberately reproducing the
     /// paper's contention pathology.
-    Shared { stripes: Vec<Mutex<HashMap<Bytes, AccBox>>> },
+    Shared {
+        stripes: Vec<Mutex<HashMap<Bytes, AccBox>>>,
+    },
     /// One map per worker; merged when flushed.
-    PerWorker { maps: Vec<Mutex<HashMap<Bytes, AccBox>>> },
+    PerWorker {
+        maps: Vec<Mutex<HashMap<Bytes, AccBox>>>,
+    },
 }
 
 const SHARED_STRIPES: usize = 16;
@@ -302,6 +337,10 @@ mod tests {
         Record::new(b(k), b(v))
     }
 
+    fn test_state(shards: usize, budget: usize, disk: Disk) -> ReduceState {
+        ReduceState::new(shards, budget, disk, "t".into(), Tracer::disabled(), 0, 0)
+    }
+
     fn drain_all(mut shards: Vec<FireShard>) -> Vec<(Bytes, Vec<Bytes>)> {
         let mut out = Vec::new();
         for shard in &mut shards {
@@ -316,8 +355,8 @@ mod tests {
     #[test]
     fn reduce_state_groups_by_key() {
         let disk = Disk::new(DiskConfig::instant());
-        let st = ReduceState::new(4, 1 << 20, disk, "t".into());
-        st.ingest(vec![rec("a", "1"), rec("b", "2"), rec("a", "3")])
+        let st = test_state(4, 1 << 20, disk);
+        st.ingest(0, vec![rec("a", "1"), rec("b", "2"), rec("a", "3")])
             .unwrap();
         let groups = drain_all(st.into_fire_shards().unwrap());
         assert_eq!(groups.len(), 2);
@@ -332,12 +371,15 @@ mod tests {
     fn tiny_budget_forces_spill_and_merge_preserves_groups() {
         let disk = Disk::new(DiskConfig::instant());
         // Budget so small every ingest spills.
-        let st = ReduceState::new(2, 64, disk.clone(), "t".into());
+        let st = test_state(2, 64, disk.clone());
         for i in 0..50u64 {
-            st.ingest(vec![Record::new(
-                Bytes::from(format!("key{}", i % 10)),
-                Bytes::from(format!("v{i}")),
-            )])
+            st.ingest(
+                0,
+                vec![Record::new(
+                    Bytes::from(format!("key{}", i % 10)),
+                    Bytes::from(format!("v{i}")),
+                )],
+            )
             .unwrap();
         }
         assert!(st.spilled_bytes() > 0, "expected spills");
@@ -351,8 +393,8 @@ mod tests {
     #[test]
     fn no_spill_under_budget() {
         let disk = Disk::new(DiskConfig::instant());
-        let st = ReduceState::new(4, 1 << 20, disk.clone(), "t".into());
-        st.ingest(vec![rec("a", "1")]).unwrap();
+        let st = test_state(4, 1 << 20, disk.clone());
+        st.ingest(0, vec![rec("a", "1")]).unwrap();
         assert_eq!(st.spilled_bytes(), 0);
         assert!(disk.is_empty());
     }

@@ -269,7 +269,10 @@ mod tests {
     fn binary_safe_keys_and_values() {
         let disk = Disk::new(DiskConfig::instant());
         let entries = vec![
-            (Bytes::from_static(&[0, 0, 1]), Bytes::from_static(&[0xff, 0x80])),
+            (
+                Bytes::from_static(&[0, 0, 1]),
+                Bytes::from_static(&[0xff, 0x80]),
+            ),
             (Bytes::from_static(&[0]), Bytes::from_static(&[])),
         ];
         write_run(&disk, "bin", entries).unwrap();
@@ -280,7 +283,10 @@ mod tests {
         );
         assert_eq!(
             r.next_entry().unwrap(),
-            (Bytes::from_static(&[0, 0, 1]), Bytes::from_static(&[0xff, 0x80]))
+            (
+                Bytes::from_static(&[0, 0, 1]),
+                Bytes::from_static(&[0xff, 0x80])
+            )
         );
     }
 }

@@ -11,8 +11,11 @@ use hamr_codec::Codec;
 use std::marker::PhantomData;
 
 fn dec<T: Codec>(what: &str, bytes: &[u8]) -> T {
-    T::from_bytes(bytes)
-        .unwrap_or_else(|e| panic!("typed flowlet: {what} failed to decode ({e}); wrong Exchange wiring or type mismatch"))
+    T::from_bytes(bytes).unwrap_or_else(|e| {
+        panic!(
+            "typed flowlet: {what} failed to decode ({e}); wrong Exchange wiring or type mismatch"
+        )
+    })
 }
 
 // ---------------------------------------------------------------- map
@@ -41,7 +44,10 @@ where
     V: Codec,
     F: Fn(K, V, &mut Emitter) + Send + Sync,
 {
-    TypedMap { f, _pd: PhantomData }
+    TypedMap {
+        f,
+        _pd: PhantomData,
+    }
 }
 
 /// A [`MapFn`] whose closure also receives the [`TaskContext`] (for
@@ -69,7 +75,10 @@ where
     V: Codec,
     F: Fn(&TaskContext, K, V, &mut Emitter) + Send + Sync,
 {
-    TypedCtxMap { f, _pd: PhantomData }
+    TypedCtxMap {
+        f,
+        _pd: PhantomData,
+    }
 }
 
 // ------------------------------------------------------------- reduce
@@ -105,7 +114,10 @@ where
     V: Codec,
     F: Fn(K, Vec<V>, &mut Emitter) + Send + Sync,
 {
-    TypedReduce { f, _pd: PhantomData }
+    TypedReduce {
+        f,
+        _pd: PhantomData,
+    }
 }
 
 /// Context-aware reduce.
@@ -139,7 +151,10 @@ where
     V: Codec,
     F: Fn(&TaskContext, K, Vec<V>, &mut Emitter) + Send + Sync,
 {
-    TypedCtxReduce { f, _pd: PhantomData }
+    TypedCtxReduce {
+        f,
+        _pd: PhantomData,
+    }
 }
 
 // ------------------------------------------------------ partial reduce
@@ -233,8 +248,7 @@ where
 /// The workhorse: sum `u64` values per key. On finish, emits `(K, sum)`
 /// on port 0 when the flowlet has a downstream connection, otherwise
 /// into the captured job output.
-pub fn sum_reducer<K: Codec>(
-) -> impl PartialReduceFn {
+pub fn sum_reducer<K: Codec>() -> impl PartialReduceFn {
     partial_fn::<K, u64, u64, _, _, _, _>(
         |_k, v| v,
         |_k, acc, v| acc + v,

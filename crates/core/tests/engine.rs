@@ -144,15 +144,11 @@ fn one_loader_feeds_two_flowlets() {
     );
     let to_sum = job.add_map(
         "tag-sum",
-        typed::map_fn(|_k: u64, v: u64, out: &mut Emitter| {
-            out.emit_t(0, &"total".to_string(), &v)
-        }),
+        typed::map_fn(|_k: u64, v: u64, out: &mut Emitter| out.emit_t(0, &"total".to_string(), &v)),
     );
     let to_max = job.add_map(
         "tag-max",
-        typed::map_fn(|_k: u64, v: u64, out: &mut Emitter| {
-            out.emit_t(0, &"max".to_string(), &v)
-        }),
+        typed::map_fn(|_k: u64, v: u64, out: &mut Emitter| out.emit_t(0, &"max".to_string(), &v)),
     );
     job.connect(loader, to_sum, Exchange::Local);
     job.connect(loader, to_max, Exchange::Local);

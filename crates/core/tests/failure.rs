@@ -82,10 +82,7 @@ fn reduce_fire_panic_is_reported() {
 fn partial_finish_panic_is_reported() {
     let cluster = base_cluster();
     let mut job = JobBuilder::new("boom-finish");
-    let loader = job.add_loader(
-        "nums",
-        typed::pairs_loader(vec![(1u64, 1u64), (2, 2)]),
-    );
+    let loader = job.add_loader("nums", typed::pairs_loader(vec![(1u64, 1u64), (2, 2)]));
     let bad = job.add_partial_reduce(
         "bad",
         typed::partial_fn::<u64, u64, u64, _, _, _, _>(

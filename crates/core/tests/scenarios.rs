@@ -252,9 +252,7 @@ fn concurrent_jobs_on_one_cluster() {
                 let mut job = JobBuilder::new(format!("concurrent-{job_id}"));
                 let loader = job.add_loader(
                     "pairs",
-                    typed::pairs_loader(
-                        (0..500u64).map(|i| (i, job_id)).collect::<Vec<_>>(),
-                    ),
+                    typed::pairs_loader((0..500u64).map(|i| (i, job_id)).collect::<Vec<_>>()),
                 );
                 let tag = job.add_map(
                     "tag",

@@ -55,7 +55,10 @@ pub enum DfsError {
     AlreadyExists(String),
     Disk(DiskError),
     /// Block index out of range for the file.
-    NoSuchBlock { path: String, block: usize },
+    NoSuchBlock {
+        path: String,
+        block: usize,
+    },
 }
 
 impl fmt::Display for DfsError {
@@ -434,7 +437,10 @@ mod tests {
             .iter()
             .map(|b| b.replicas[0])
             .collect();
-        assert!(primaries.len() >= 2, "primaries should spread: {primaries:?}");
+        assert!(
+            primaries.len() >= 2,
+            "primaries should spread: {primaries:?}"
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub struct Shard {
 impl Shard {
     fn new() -> Self {
         Shard {
-            maps: (0..SUB_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            maps: (0..SUB_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             bytes: AtomicU64::new(0),
         }
     }
@@ -221,7 +223,10 @@ mod tests {
         let shard = Shard::new();
         assert!(shard.put(Bytes::from("k"), Bytes::from("v1")).is_none());
         assert_eq!(shard.get(b"k").unwrap(), "v1");
-        assert_eq!(shard.put(Bytes::from("k"), Bytes::from("v2")).unwrap(), "v1");
+        assert_eq!(
+            shard.put(Bytes::from("k"), Bytes::from("v2")).unwrap(),
+            "v1"
+        );
         assert_eq!(shard.remove(b"k").unwrap(), "v2");
         assert!(shard.get(b"k").is_none());
         assert!(shard.is_empty());
@@ -249,7 +254,9 @@ mod tests {
         let shard = Shard::new();
         shard.put_t(&"page".to_string(), &vec![1u64, 2, 3]);
         assert_eq!(
-            shard.get_t::<String, Vec<u64>>(&"page".to_string()).unwrap(),
+            shard
+                .get_t::<String, Vec<u64>>(&"page".to_string())
+                .unwrap(),
             vec![1, 2, 3]
         );
         assert_eq!(

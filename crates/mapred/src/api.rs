@@ -86,7 +86,10 @@ where
     V: Codec,
     F: Fn(K, V, &mut MapOutput) + Send + Sync,
 {
-    TypedMapper { f, _pd: PhantomData }
+    TypedMapper {
+        f,
+        _pd: PhantomData,
+    }
 }
 
 /// Typed reducer: `Fn(K, Vec<V>, &mut ReduceOutput)`.
@@ -117,7 +120,10 @@ where
     V: Codec,
     F: Fn(K, Vec<V>, &mut ReduceOutput) + Send + Sync,
 {
-    TypedReducer { f, _pd: PhantomData }
+    TypedReducer {
+        f,
+        _pd: PhantomData,
+    }
 }
 
 /// Mapper for raw text lines: `Fn(offset, &str, &mut MapOutput)`.

@@ -7,6 +7,7 @@ use crossbeam::channel::Receiver;
 use hamr_dfs::{Dfs, DfsError, Split};
 use hamr_simdisk::{Disk, DiskError};
 use hamr_simnet::{Envelope, Fabric, NetConfig, NetError, Payload};
+use hamr_trace::{EventKind, TaskKind, Tracer};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -213,6 +214,18 @@ impl MrCluster {
 
     /// Run one job to completion.
     pub fn run(&self, conf: &JobConf) -> Result<JobStats, MrError> {
+        self.run_traced(conf, Tracer::disabled())
+    }
+
+    /// Run one job to completion, emitting trace events through `tracer`.
+    ///
+    /// Map and reduce tasks appear as `MrMap`/`MrReduce` spans keyed by
+    /// the executing node and slot; flowlet 0 is the map phase and
+    /// flowlet 1 the reduce phase. Shuffle traffic shows up as
+    /// `NetSend`/`NetDeliver` through the fabric, and task-local disk
+    /// activity via each node's disk tracer when attached by the
+    /// caller.
+    pub fn run_traced(&self, conf: &JobConf, tracer: Tracer) -> Result<JobStats, MrError> {
         let start = Instant::now();
         let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
         if !self.config.startup.job.is_zero() {
@@ -230,7 +243,13 @@ impl MrCluster {
             splits.extend(self.dfs.splits(path)?);
         }
         let map_task_count = splits.len();
-        let fabric = Fabric::<ShuffleMsg>::new(nodes, self.config.net.clone());
+        let fabric =
+            Fabric::<ShuffleMsg>::new_traced(nodes, self.config.net.clone(), tracer.clone());
+        if tracer.enabled() {
+            for (node, disk) in self.disks.iter().enumerate() {
+                disk.attach_tracer(tracer.clone(), node as u32);
+            }
+        }
         let stats = Arc::new(Mutex::new(JobStats {
             name: conf.name.clone(),
             map_tasks: map_task_count,
@@ -257,7 +276,7 @@ impl MrCluster {
         let conf_arc = Arc::new(conf.clone());
         let mut map_handles = Vec::new();
         for node in 0..nodes {
-            for _slot in 0..self.config.map_slots {
+            for slot in 0..self.config.map_slots {
                 let scheduler = Arc::clone(&scheduler);
                 let splits = Arc::clone(&splits);
                 let conf = Arc::clone(&conf_arc);
@@ -268,6 +287,7 @@ impl MrCluster {
                 let first_error = Arc::clone(&first_error);
                 let startup = self.config.startup;
                 let sort_buffer = self.config.sort_buffer;
+                let tracer = tracer.clone();
                 map_handles.push(std::thread::spawn(move || {
                     loop {
                         if first_error.lock().is_some() {
@@ -279,6 +299,14 @@ impl MrCluster {
                         if !startup.task.is_zero() {
                             std::thread::sleep(startup.task);
                         }
+                        tracer.emit(
+                            node as u32,
+                            slot as u32,
+                            EventKind::TaskStart {
+                                task: TaskKind::MrMap,
+                                flowlet: 0,
+                            },
+                        );
                         let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
                             run_map_task(
                                 &conf,
@@ -305,6 +333,16 @@ impl MrCluster {
                                 return;
                             }
                         };
+                        tracer.emit(
+                            node as u32,
+                            slot as u32,
+                            EventKind::TaskEnd {
+                                task: TaskKind::MrMap,
+                                flowlet: 0,
+                                records_in: res.records_in,
+                                records_out: res.records_out,
+                            },
+                        );
                         // Serve the shuffle: read each partition file
                         // back (disk) and push it to the reducer's node
                         // (network), then drop the local copy.
@@ -346,8 +384,16 @@ impl MrCluster {
             let _ = h.join();
         }
         stats.lock().map_phase = map_start.elapsed();
+        let detach_disks = || {
+            if tracer.enabled() {
+                for disk in &self.disks {
+                    disk.detach_tracer();
+                }
+            }
+        };
         if let Some(e) = first_error.lock().take() {
             fabric.shutdown();
+            detach_disks();
             return Err(e);
         }
 
@@ -364,13 +410,14 @@ impl MrCluster {
         for (node, chunk_map) in per_node_chunks.into_iter().enumerate() {
             // Queue of (reducer, chunks) for this node.
             let queue = Arc::new(Mutex::new(chunk_map));
-            for _slot in 0..self.config.reduce_slots {
+            for slot in 0..self.config.reduce_slots {
                 let queue = Arc::clone(&queue);
                 let conf = Arc::clone(&conf_arc);
                 let dfs = self.dfs.clone();
                 let stats = Arc::clone(&stats);
                 let first_error = Arc::clone(&first_error);
                 let startup = self.config.startup;
+                let tracer = tracer.clone();
                 reduce_handles.push(std::thread::spawn(move || loop {
                     if first_error.lock().is_some() {
                         return;
@@ -381,11 +428,29 @@ impl MrCluster {
                     if !startup.task.is_zero() {
                         std::thread::sleep(startup.task);
                     }
+                    tracer.emit(
+                        node as u32,
+                        slot as u32,
+                        EventKind::TaskStart {
+                            task: TaskKind::MrReduce,
+                            flowlet: 1,
+                        },
+                    );
                     let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         run_reduce_task(&conf, r, node, chunks, &dfs)
                     }));
                     match run {
                         Ok(Ok(res)) => {
+                            tracer.emit(
+                                node as u32,
+                                slot as u32,
+                                EventKind::TaskEnd {
+                                    task: TaskKind::MrReduce,
+                                    flowlet: 1,
+                                    records_in: res.records_in,
+                                    records_out: res.records_out,
+                                },
+                            );
                             let mut s = stats.lock();
                             s.reduce_records_in += res.records_in;
                             s.reduce_records_out += res.records_out;
@@ -407,6 +472,7 @@ impl MrCluster {
         for h in reduce_handles {
             let _ = h.join();
         }
+        detach_disks();
         if let Some(e) = first_error.lock().take() {
             return Err(e);
         }
@@ -423,10 +489,8 @@ fn collect_chunks(
     local_reducers: &[usize],
     expected: usize,
 ) -> VecDeque<(usize, Vec<Arc<Vec<u8>>>)> {
-    let mut buckets: std::collections::HashMap<usize, Vec<Arc<Vec<u8>>>> = local_reducers
-        .iter()
-        .map(|&r| (r, Vec::new()))
-        .collect();
+    let mut buckets: std::collections::HashMap<usize, Vec<Arc<Vec<u8>>>> =
+        local_reducers.iter().map(|&r| (r, Vec::new())).collect();
     let mut received = 0;
     while received < expected {
         let Ok(env) = rx.recv() else {

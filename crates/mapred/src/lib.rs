@@ -144,7 +144,10 @@ mod tests {
         let mut input = buf.as_slice();
         assert_eq!(
             decode_kv(&mut input).unwrap(),
-            (bytes::Bytes::from_static(b"key"), bytes::Bytes::from_static(b"value"))
+            (
+                bytes::Bytes::from_static(b"key"),
+                bytes::Bytes::from_static(b"value")
+            )
         );
         assert_eq!(
             decode_kv(&mut input).unwrap(),

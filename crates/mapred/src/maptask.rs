@@ -153,9 +153,11 @@ mod tests {
                     out.emit_t(&w.to_string(), &1u64);
                 }
             })),
-            Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-                out.emit_t(&k, &vs.iter().sum::<u64>());
-            })),
+            Arc::new(reduce_fn(
+                |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                    out.emit_t(&k, &vs.iter().sum::<u64>());
+                },
+            )),
         )
     }
 
@@ -171,7 +173,15 @@ mod tests {
         let node = splits[0].locations[0];
         let conf = wordcount_conf("in.txt");
         let res = run_map_task(
-            &conf, 1, 0, &splits[0], node, &dfs, &disks[node], 2, 1 << 20,
+            &conf,
+            1,
+            0,
+            &splits[0],
+            node,
+            &dfs,
+            &disks[node],
+            2,
+            1 << 20,
         )
         .unwrap();
         assert_eq!(res.records_in, 2);
@@ -194,12 +204,24 @@ mod tests {
         w.seal().unwrap();
         let splits = dfs.splits("in2.txt").unwrap();
         let node = splits[0].locations[0];
-        let combiner = Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-            out.emit_t(&k, &vs.iter().sum::<u64>());
-        }));
+        let combiner = Arc::new(reduce_fn(
+            |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                out.emit_t(&k, &vs.iter().sum::<u64>());
+            },
+        ));
         let conf = wordcount_conf("in2.txt").with_combiner(combiner);
-        let res =
-            run_map_task(&conf, 1, 0, &splits[0], node, &dfs, &disks[node], 1, 1 << 20).unwrap();
+        let res = run_map_task(
+            &conf,
+            1,
+            0,
+            &splits[0],
+            node,
+            &dfs,
+            &disks[node],
+            1,
+            1 << 20,
+        )
+        .unwrap();
         // 150 'x' collapse into one pair in the single partition.
         let blob = disks[node].read_all(&res.outputs[0].file).unwrap();
         let mut input = blob.as_slice();

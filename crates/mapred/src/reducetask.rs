@@ -117,9 +117,11 @@ mod tests {
             vec![],
             "out",
             Arc::new(line_map_fn(|_, _, _| {})),
-            Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-                out.emit_t(&k, &vs.iter().sum::<u64>());
-            })),
+            Arc::new(reduce_fn(
+                |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                    out.emit_t(&k, &vs.iter().sum::<u64>());
+                },
+            )),
         );
         let chunks = vec![
             Arc::new(sorted_chunk(&[("a", 1), ("b", 2)])),
@@ -155,7 +157,9 @@ mod tests {
             vec![],
             "out2",
             Arc::new(line_map_fn(|_, _, _| {})),
-            Arc::new(reduce_fn(|_k: String, _vs: Vec<u64>, _out: &mut ReduceOutput| {})),
+            Arc::new(reduce_fn(
+                |_k: String, _vs: Vec<u64>, _out: &mut ReduceOutput| {},
+            )),
         );
         let res = run_reduce_task(&conf, 3, 0, vec![], &dfs).unwrap();
         assert_eq!(res.groups, 0);

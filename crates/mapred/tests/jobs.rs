@@ -33,9 +33,11 @@ fn wordcount_job(input: &str, output: &str) -> JobConf {
                 out.emit_t(&w.to_string(), &1u64);
             }
         })),
-        Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-            out.emit_t(&k, &vs.iter().sum::<u64>());
-        })),
+        Arc::new(reduce_fn(
+            |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                out.emit_t(&k, &vs.iter().sum::<u64>());
+            },
+        )),
     )
 }
 
@@ -53,7 +55,12 @@ fn wordcount_end_to_end() {
     write_corpus(
         &cluster,
         "in.txt",
-        &["the quick brown fox", "the lazy dog", "the quick dog", "fox"],
+        &[
+            "the quick brown fox",
+            "the lazy dog",
+            "the quick dog",
+            "fox",
+        ],
     );
     let stats = cluster.run(&wordcount_job("in.txt", "out")).unwrap();
     assert_eq!(stats.map_records_in, 4);
@@ -70,8 +77,9 @@ fn wordcount_end_to_end() {
 
 #[test]
 fn multiple_blocks_mean_multiple_map_tasks_with_locality() {
-    let disks: Vec<hamr_simdisk::Disk> =
-        (0..4).map(|_| hamr_simdisk::Disk::new(Default::default())).collect();
+    let disks: Vec<hamr_simdisk::Disk> = (0..4)
+        .map(|_| hamr_simdisk::Disk::new(Default::default()))
+        .collect();
     let dfs = hamr_dfs::Dfs::new(
         disks.clone(),
         hamr_dfs::DfsConfig {
@@ -84,7 +92,9 @@ fn multiple_blocks_mean_multiple_map_tasks_with_locality() {
     // locality reflects the scheduler, not thread-spawn racing.
     config.startup.task = std::time::Duration::from_millis(3);
     let cluster = MrCluster::new(config, disks, dfs);
-    let lines: Vec<String> = (0..200).map(|i| format!("word{} filler text", i % 10)).collect();
+    let lines: Vec<String> = (0..200)
+        .map(|i| format!("word{} filler text", i % 10))
+        .collect();
     let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
     write_corpus(&cluster, "big.txt", &refs);
     let stats = cluster.run(&wordcount_job("big.txt", "out")).unwrap();
@@ -110,9 +120,11 @@ fn combiner_reduces_shuffle_volume() {
     write_corpus(&cluster2, "in.txt", &refs);
 
     let plain = cluster1.run(&wordcount_job("in.txt", "out")).unwrap();
-    let combiner = Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-        out.emit_t(&k, &vs.iter().sum::<u64>());
-    }));
+    let combiner = Arc::new(reduce_fn(
+        |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+            out.emit_t(&k, &vs.iter().sum::<u64>());
+        },
+    ));
     let combined = cluster2
         .run(&wordcount_job("in.txt", "out").with_combiner(combiner))
         .unwrap();
@@ -123,32 +135,30 @@ fn combiner_reduces_shuffle_volume() {
         combined.shuffled_bytes,
         plain.shuffled_bytes
     );
-    assert_eq!(read_outputs(&cluster1, "out"), read_outputs(&cluster2, "out"));
+    assert_eq!(
+        read_outputs(&cluster1, "out"),
+        read_outputs(&cluster2, "out")
+    );
 }
 
 #[test]
 fn chained_jobs_roundtrip_through_dfs() {
     // Job 1: wordcount. Job 2: histogram of counts (KeyValue input).
     let cluster = MrCluster::in_memory(2, 2);
-    write_corpus(
-        &cluster,
-        "in.txt",
-        &["a a a b b c", "a b c d", "c d d a"],
-    );
+    write_corpus(&cluster, "in.txt", &["a a a b b c", "a b c d", "c d d a"]);
     let job1 = wordcount_job("in.txt", "inter");
     let job2 = JobConf::new(
         "histogram",
-        vec![
-            "inter/part-r-0".to_string(),
-            "inter/part-r-1".to_string(),
-        ],
+        vec!["inter/part-r-0".to_string(), "inter/part-r-1".to_string()],
         "final",
         Arc::new(map_fn(|_word: String, count: u64, out| {
             out.emit_t(&format!("count={count}"), &1u64);
         })),
-        Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-            out.emit_t(&k, &(vs.len() as u64));
-        })),
+        Arc::new(reduce_fn(
+            |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                out.emit_t(&k, &(vs.len() as u64));
+            },
+        )),
     )
     .with_input_format(InputFormat::KeyValue);
     let chain = JobChain::new(vec![job1, job2]);
@@ -170,16 +180,21 @@ fn chain_cleanup_removes_intermediates() {
         vec!["mid/part-r-0".to_string(), "mid/part-r-1".to_string()],
         "end",
         Arc::new(map_fn(|k: String, v: u64, out| out.emit_t(&k, &v))),
-        Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-            out.emit_t(&k, &vs.iter().sum::<u64>());
-        })),
+        Arc::new(reduce_fn(
+            |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                out.emit_t(&k, &vs.iter().sum::<u64>());
+            },
+        )),
     )
     .with_input_format(InputFormat::KeyValue);
     JobChain::new(vec![job1, job2])
         .cleanup_intermediates()
         .run(&cluster)
         .unwrap();
-    assert!(cluster.dfs().list("mid/").is_empty(), "intermediates removed");
+    assert!(
+        cluster.dfs().list("mid/").is_empty(),
+        "intermediates removed"
+    );
     let out = read_outputs(&cluster, "end");
     assert_eq!(out["x"], 2);
     assert_eq!(out["y"], 1);
@@ -187,13 +202,16 @@ fn chain_cleanup_removes_intermediates() {
 
 #[test]
 fn tiny_sort_buffer_spills_but_output_is_correct() {
-    let disks: Vec<hamr_simdisk::Disk> =
-        (0..2).map(|_| hamr_simdisk::Disk::new(Default::default())).collect();
+    let disks: Vec<hamr_simdisk::Disk> = (0..2)
+        .map(|_| hamr_simdisk::Disk::new(Default::default()))
+        .collect();
     let dfs = hamr_dfs::Dfs::new(disks.clone(), Default::default());
     let mut config = hamr_mapred::MrConfig::local(2, 2);
     config.sort_buffer = 2048;
     let cluster = MrCluster::new(config, disks, dfs);
-    let lines: Vec<String> = (0..500).map(|i| format!("w{} w{} w{}", i % 7, i % 3, i % 11)).collect();
+    let lines: Vec<String> = (0..500)
+        .map(|i| format!("w{} w{} w{}", i % 7, i % 3, i % 11))
+        .collect();
     let refs: Vec<&str> = lines.iter().map(|s| s.as_str()).collect();
     write_corpus(&cluster, "in.txt", &refs);
     let stats = cluster.run(&wordcount_job("in.txt", "out")).unwrap();
@@ -226,7 +244,9 @@ fn mapper_panic_becomes_error() {
         vec!["in.txt".to_string()],
         "out",
         Arc::new(line_map_fn(|_, _, _| panic!("mapper exploded"))),
-        Arc::new(reduce_fn(|_k: String, _v: Vec<u64>, _out: &mut ReduceOutput| {})),
+        Arc::new(reduce_fn(
+            |_k: String, _v: Vec<u64>, _out: &mut ReduceOutput| {},
+        )),
     );
     match cluster.run(&job) {
         Err(MrError::TaskPanic(m)) => assert!(m.contains("mapper exploded")),
@@ -246,8 +266,9 @@ fn empty_input_still_writes_empty_parts() {
 
 #[test]
 fn startup_costs_add_measurable_time() {
-    let disks: Vec<hamr_simdisk::Disk> =
-        (0..2).map(|_| hamr_simdisk::Disk::new(Default::default())).collect();
+    let disks: Vec<hamr_simdisk::Disk> = (0..2)
+        .map(|_| hamr_simdisk::Disk::new(Default::default()))
+        .collect();
     let dfs = hamr_dfs::Dfs::new(disks.clone(), Default::default());
     let mut config = hamr_mapred::MrConfig::local(2, 1);
     config.startup = hamr_mapred::StartupModel::modeled(

@@ -45,9 +45,11 @@ fn run_wordcount(
         }
     }
     w.seal().unwrap();
-    let reducer = Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-        out.emit_t(&k, &vs.iter().sum::<u64>());
-    }));
+    let reducer = Arc::new(reduce_fn(
+        |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+            out.emit_t(&k, &vs.iter().sum::<u64>());
+        },
+    ));
     let mut conf = JobConf::new(
         "wc",
         vec!["in.txt".into()],

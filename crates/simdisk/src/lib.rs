@@ -24,10 +24,11 @@ mod throttle;
 
 pub use throttle::Throttle;
 
+use hamr_trace::{EventKind, Tracer, WORKER_DISK};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -118,6 +119,10 @@ struct DiskInner {
     throttle: Throttle,
     metrics: MetricsInner,
     temp_counter: AtomicU64,
+    /// Fast-path flag mirroring `tracer.is_some()`, so untraced IO pays
+    /// one relaxed load instead of an RwLock acquisition.
+    trace_on: AtomicBool,
+    tracer: RwLock<Option<(Tracer, u32)>>,
 }
 
 /// One node's local disk. Cheap to clone (shared handle).
@@ -135,7 +140,42 @@ impl Disk {
                 files: RwLock::new(HashMap::new()),
                 metrics: MetricsInner::default(),
                 temp_counter: AtomicU64::new(0),
+                trace_on: AtomicBool::new(false),
+                tracer: RwLock::new(None),
             }),
+        }
+    }
+
+    /// Bind this disk to a tracer for the duration of a run; every read
+    /// and write emits a `DiskRead`/`DiskWrite` event attributed to
+    /// cluster node `node`. Disks are long-lived substrates, so the
+    /// driver attaches before a traced run and detaches after.
+    pub fn attach_tracer(&self, tracer: Tracer, node: u32) {
+        *self.inner.tracer.write() = Some((tracer, node));
+        self.inner.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Stop emitting trace events.
+    pub fn detach_tracer(&self) {
+        self.inner.trace_on.store(false, Ordering::Release);
+        *self.inner.tracer.write() = None;
+    }
+
+    fn trace_io(&self, read: bool, bytes: usize) {
+        if !self.inner.trace_on.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some((tracer, node)) = self.inner.tracer.read().as_ref() {
+            let kind = if read {
+                EventKind::DiskRead {
+                    bytes: bytes as u64,
+                }
+            } else {
+                EventKind::DiskWrite {
+                    bytes: bytes as u64,
+                }
+            };
+            tracer.emit(*node, WORKER_DISK, kind);
         }
     }
 
@@ -199,6 +239,7 @@ impl Disk {
             .bytes_read
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.inner.metrics.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.trace_io(true, data.len());
         Ok(data)
     }
 
@@ -312,6 +353,7 @@ impl FileWriter {
             .metrics
             .write_ops
             .fetch_add(1, Ordering::Relaxed);
+        self.disk.trace_io(false, bytes);
     }
 
     /// Flush remaining bytes, publish the file, and return its size.
@@ -368,7 +410,12 @@ impl FileReader {
             .metrics
             .bytes_read
             .fetch_add(n as u64, Ordering::Relaxed);
-        self.disk.inner.metrics.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.disk
+            .inner
+            .metrics
+            .read_ops
+            .fetch_add(1, Ordering::Relaxed);
+        self.disk.trace_io(true, n);
         n
     }
 
@@ -382,7 +429,12 @@ impl FileReader {
                 .metrics
                 .bytes_read
                 .fetch_add(rest.len() as u64, Ordering::Relaxed);
-            self.disk.inner.metrics.read_ops.fetch_add(1, Ordering::Relaxed);
+            self.disk
+                .inner
+                .metrics
+                .read_ops
+                .fetch_add(1, Ordering::Relaxed);
+            self.disk.trace_io(true, rest.len());
         }
         self.pos = self.data.len();
         rest

@@ -4,10 +4,10 @@ use crate::metrics::{MetricsInner, NetMetrics};
 use crate::timer::TimerThread;
 use crate::{NetConfig, NodeId, Payload};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use hamr_trace::{EventKind, Tracer, WORKER_NET};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
-
 
 /// A message as delivered to a destination node.
 #[derive(Debug)]
@@ -50,6 +50,7 @@ pub(crate) struct FabricInner<M: Payload> {
     endpoints: Vec<EndpointInner<M>>,
     pub(crate) metrics: MetricsInner,
     timer: Option<TimerThread<M>>,
+    tracer: Tracer,
 }
 
 /// An in-process network connecting `n` nodes.
@@ -70,6 +71,12 @@ impl<M: Payload> Clone for Fabric<M> {
 impl<M: Payload> Fabric<M> {
     /// Create a fabric with `n` endpoints under the given delivery model.
     pub fn new(n: usize, config: NetConfig) -> Self {
+        Fabric::new_traced(n, config, Tracer::disabled())
+    }
+
+    /// Like [`new`](Fabric::new), but sends and deliveries emit
+    /// `NetSend`/`NetDeliver` trace events through `tracer`.
+    pub fn new_traced(n: usize, config: NetConfig, tracer: Tracer) -> Self {
         assert!(n > 0, "fabric needs at least one node");
         let endpoints: Vec<EndpointInner<M>> = (0..n)
             .map(|_| {
@@ -84,7 +91,7 @@ impl<M: Payload> Fabric<M> {
             None
         } else {
             let sinks = endpoints.iter().map(|ep| ep.tx.clone()).collect();
-            Some(TimerThread::spawn(sinks))
+            Some(TimerThread::spawn(sinks, tracer.clone()))
         };
         Fabric {
             inner: Arc::new(FabricInner {
@@ -92,6 +99,7 @@ impl<M: Payload> Fabric<M> {
                 endpoints,
                 metrics: MetricsInner::new(n),
                 timer,
+                tracer,
             }),
         }
     }
@@ -138,13 +146,21 @@ impl<M: Payload> Fabric<M> {
         }
         let size = msg.wire_size();
         self.inner.metrics.record(from, to, size);
+        self.inner.tracer.emit(
+            from as u32,
+            WORKER_NET,
+            EventKind::NetSend {
+                to: to as u32,
+                bytes: size as u64,
+            },
+        );
         let env = Envelope { from, to, msg };
         match &self.inner.timer {
-            None => self.deliver_now(env),
+            None => self.deliver_now(env, size),
             Some(timer) => {
                 if from == to && self.inner.config.loopback_latency.is_zero() {
                     // Loopback skips the bandwidth model entirely.
-                    self.deliver_now(env)
+                    self.deliver_now(env, size)
                 } else {
                     timer.schedule(&self.inner.config, size, env);
                     Ok(())
@@ -153,7 +169,15 @@ impl<M: Payload> Fabric<M> {
         }
     }
 
-    fn deliver_now(&self, env: Envelope<M>) -> Result<(), NetError> {
+    fn deliver_now(&self, env: Envelope<M>, size: usize) -> Result<(), NetError> {
+        self.inner.tracer.emit(
+            env.to as u32,
+            WORKER_NET,
+            EventKind::NetDeliver {
+                from: env.from as u32,
+                bytes: size as u64,
+            },
+        );
         self.inner.endpoints[env.to]
             .tx
             .send(env)
@@ -265,8 +289,14 @@ mod tests {
     #[test]
     fn unknown_nodes_rejected() {
         let fabric = Fabric::<Ping>::new(2, NetConfig::instant());
-        assert_eq!(fabric.send(0, 9, Ping(1)).unwrap_err(), NetError::UnknownNode(9));
-        assert_eq!(fabric.send(9, 0, Ping(1)).unwrap_err(), NetError::UnknownNode(9));
+        assert_eq!(
+            fabric.send(0, 9, Ping(1)).unwrap_err(),
+            NetError::UnknownNode(9)
+        );
+        assert_eq!(
+            fabric.send(9, 0, Ping(1)).unwrap_err(),
+            NetError::UnknownNode(9)
+        );
         assert!(fabric.receiver(5).is_err());
         assert!(fabric.endpoint(5).is_err());
     }
@@ -352,19 +382,26 @@ mod tests {
             fabric.send(0, 1, Ping(i)).unwrap();
         }
         for i in 0..100 {
-            assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().msg, Ping(i));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(1)).unwrap().msg,
+                Ping(i)
+            );
         }
     }
 
     #[test]
     fn delivery_order_preserved_per_link_when_modeled() {
-        let fabric = Fabric::<Ping>::new(2, NetConfig::modeled(Duration::from_micros(100), 1 << 30));
+        let fabric =
+            Fabric::<Ping>::new(2, NetConfig::modeled(Duration::from_micros(100), 1 << 30));
         let rx = fabric.receiver(1).unwrap();
         for i in 0..50 {
             fabric.send(0, 1, Ping(i)).unwrap();
         }
         for i in 0..50 {
-            assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap().msg, Ping(i));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)).unwrap().msg,
+                Ping(i)
+            );
         }
         fabric.shutdown();
     }
@@ -377,7 +414,10 @@ mod tests {
         assert_eq!(ep.node(), 1);
         assert_eq!(ep.cluster_size(), 3);
         ep.send(2, Ping(7)).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap().msg, Ping(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap().msg,
+            Ping(7)
+        );
     }
 }
 

@@ -31,8 +31,16 @@ impl MetricsInner {
     pub(crate) fn snapshot(&self) -> NetMetrics {
         NetMetrics {
             nodes: self.nodes,
-            messages: self.messages.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            bytes: self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            messages: self
+                .messages
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            bytes: self
+                .bytes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -107,8 +115,28 @@ impl NetMetrics {
     /// Useful for observing shuffle skew.
     pub fn inbound_bytes_per_node(&self) -> Vec<u64> {
         (0..self.nodes)
-            .map(|to| (0..self.nodes).map(|from| self.bytes[from * self.nodes + to]).sum())
+            .map(|to| {
+                (0..self.nodes)
+                    .map(|from| self.bytes[from * self.nodes + to])
+                    .sum()
+            })
             .collect()
+    }
+
+    /// Render every directed link as CSV (`from,to,messages,bytes`),
+    /// header included, links in `(from, to)` order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("from,to,messages,bytes\n");
+        for from in 0..self.nodes {
+            for to in 0..self.nodes {
+                let idx = from * self.nodes + to;
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    from, to, self.messages[idx], self.bytes[idx]
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -125,13 +153,41 @@ mod tests {
         m.record(2, 0, 7);
         let s = m.snapshot();
         assert_eq!(s.nodes(), 3);
-        assert_eq!(s.link(0, 1), LinkMetrics { messages: 2, bytes: 110 });
-        assert_eq!(s.link(1, 1), LinkMetrics { messages: 1, bytes: 5 });
+        assert_eq!(
+            s.link(0, 1),
+            LinkMetrics {
+                messages: 2,
+                bytes: 110
+            }
+        );
+        assert_eq!(
+            s.link(1, 1),
+            LinkMetrics {
+                messages: 1,
+                bytes: 5
+            }
+        );
         assert_eq!(s.total_messages(), 4);
         assert_eq!(s.total_bytes(), 122);
         assert_eq!(s.remote_bytes(), 117);
         assert_eq!(s.remote_messages(), 3);
         assert_eq!(s.inbound_bytes_per_node(), vec![7, 115, 0]);
+    }
+
+    #[test]
+    fn csv_lists_every_directed_link() {
+        let m = MetricsInner::new(2);
+        m.record(0, 1, 100);
+        m.record(0, 1, 20);
+        m.record(1, 0, 7);
+        let csv = m.snapshot().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "from,to,messages,bytes");
+        assert_eq!(lines.len(), 1 + 4, "header + nodes^2 rows");
+        assert_eq!(lines[1], "0,0,0,0");
+        assert_eq!(lines[2], "0,1,2,120");
+        assert_eq!(lines[3], "1,0,1,7");
+        assert_eq!(lines[4], "1,1,0,0");
     }
 
     #[test]

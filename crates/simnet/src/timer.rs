@@ -18,6 +18,7 @@
 use crate::fabric::Envelope;
 use crate::{NetConfig, Payload};
 use crossbeam::channel::Sender;
+use hamr_trace::{EventKind, Tracer, WORKER_NET};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -28,6 +29,7 @@ use std::time::Instant;
 struct InFlight<M> {
     deliver_at: Instant,
     seq: u64,
+    size: usize,
     env: Envelope<M>,
 }
 
@@ -66,6 +68,7 @@ struct Shared<M: Payload> {
     cond: Condvar,
     sinks: Vec<Sender<Envelope<M>>>,
     nodes: usize,
+    tracer: Tracer,
 }
 
 pub(crate) struct TimerThread<M: Payload> {
@@ -74,7 +77,7 @@ pub(crate) struct TimerThread<M: Payload> {
 }
 
 impl<M: Payload> TimerThread<M> {
-    pub(crate) fn spawn(sinks: Vec<Sender<Envelope<M>>>) -> Self {
+    pub(crate) fn spawn(sinks: Vec<Sender<Envelope<M>>>, tracer: Tracer) -> Self {
         let nodes = sinks.len();
         let shared = Arc::new(Shared {
             state: Mutex::new(TimerState {
@@ -87,6 +90,7 @@ impl<M: Payload> TimerThread<M> {
             cond: Condvar::new(),
             sinks,
             nodes,
+            tracer,
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -135,6 +139,7 @@ impl<M: Payload> TimerThread<M> {
         state.heap.push(Reverse(InFlight {
             deliver_at,
             seq,
+            size,
             env,
         }));
         drop(state);
@@ -174,6 +179,14 @@ fn run_timer<M: Payload>(shared: Arc<Shared<M>>) {
             // Release the lock while pushing into a possibly-contended
             // channel, then retake it.
             drop(state);
+            shared.tracer.emit(
+                flight.env.to as u32,
+                WORKER_NET,
+                EventKind::NetDeliver {
+                    from: flight.env.from as u32,
+                    bytes: flight.size as u64,
+                },
+            );
             let _ = sink.send(flight.env);
             state = shared.state.lock();
             if state.stopped {
@@ -195,6 +208,10 @@ fn run_timer<M: Payload>(shared: Arc<Shared<M>>) {
     }
 }
 
-fn wait_for<M>(cond: &Condvar, state: &mut parking_lot::MutexGuard<'_, TimerState<M>>, dur: std::time::Duration) {
+fn wait_for<M>(
+    cond: &Condvar,
+    state: &mut parking_lot::MutexGuard<'_, TimerState<M>>,
+    dur: std::time::Duration,
+) {
     cond.wait_for(state, dur);
 }

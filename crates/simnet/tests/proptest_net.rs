@@ -37,7 +37,7 @@ proptest! {
         };
         let fabric = Fabric::<Msg>::new(3, config);
         let rxs: Vec<_> = (0..3).map(|n| fabric.receiver(n).unwrap()).collect();
-        let mut sent_counts = vec![0usize; 9];
+        let mut sent_counts = [0usize; 9];
         for (i, &(from, to, size)) in plan.iter().enumerate() {
             fabric
                 .send(from, to, Msg { from, seq: i, size })

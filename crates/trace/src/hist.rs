@@ -1,0 +1,204 @@
+//! Log-bucketed latency histogram, dependency-free.
+//!
+//! 64 power-of-two buckets over microseconds: bucket 0 holds exact
+//! zeros, bucket `b` (b >= 1) holds values in `[2^(b-1), 2^b)`. That
+//! gives ~2x resolution from 1 µs to ~292 years — plenty for task
+//! latencies — at a fixed 520-byte footprint, so one histogram can live
+//! inside every `FlowletMetrics` without anyone noticing.
+
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A mergeable histogram of microsecond latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket, used as its representative value.
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    /// Record a `Duration`.
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded latencies, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper
+    /// bound of the bucket containing it (0 when empty). Because
+    /// buckets are powers of two, the result is within 2x of the true
+    /// quantile.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.p99_us(), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bound_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 10, 100, 1000, 10_000, 100_000] {
+            h.record_us(us);
+        }
+        let (p50, p95, p99) = (h.p50_us(), h.p95_us(), h.p99_us());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p50 of samples up to 100k must be >= the 4th sample (10 µs)
+        // and the p99 bucket must contain the max sample.
+        assert!(p50 >= 10);
+        assert!(p99 >= 100_000);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn quantile_within_2x_of_exact() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record_us(700);
+        }
+        let p50 = h.p50_us();
+        // 700 lands in [512, 1024); upper bound 1023 is < 2x of 700.
+        assert!((700..1400).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_is_sum_of_parts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for us in [5u64, 50, 500] {
+            a.record_us(us);
+        }
+        for us in [7u64, 70] {
+            b.record_us(us);
+        }
+        let mut whole = LatencyHistogram::new();
+        for us in [5u64, 50, 500, 7, 70] {
+            whole.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum_us(), 632);
+    }
+
+    #[test]
+    fn record_duration_converts_to_us() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(3));
+        assert_eq!(h.sum_us(), 3000);
+        assert_eq!(h.count(), 1);
+    }
+}

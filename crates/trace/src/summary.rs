@@ -1,0 +1,191 @@
+//! Plain-text per-flowlet summary rendering.
+
+use crate::LatencyHistogram;
+
+/// One row of the per-flowlet summary table. Engines fill these from
+/// their aggregated metrics; `render_summary` turns them into text.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowletSummaryRow {
+    pub name: String,
+    pub kind: String,
+    pub tasks: u64,
+    pub records_in: u64,
+    pub records_out: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    /// Cumulative flow-control stall time, microseconds.
+    pub stall_us: u64,
+    /// Number of flow-control stall occurrences.
+    pub stalls: u64,
+    pub spilled_bytes: u64,
+}
+
+impl FlowletSummaryRow {
+    /// Convenience: fill the latency columns from a histogram.
+    pub fn with_latency(mut self, hist: &LatencyHistogram) -> Self {
+        self.p50_us = hist.p50_us();
+        self.p95_us = hist.p95_us();
+        self.p99_us = hist.p99_us();
+        self
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.1}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 10 * 1024 * 1024 {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 10 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Render an aligned fixed-width table of per-flowlet statistics.
+pub fn render_summary(rows: &[FlowletSummaryRow]) -> String {
+    const HEADERS: [&str; 10] = [
+        "flowlet", "kind", "tasks", "rec_in", "rec_out", "p50", "p95", "p99", "stall", "spilled",
+    ];
+    let cells: Vec<[String; 10]> = rows
+        .iter()
+        .map(|r| {
+            [
+                r.name.clone(),
+                r.kind.clone(),
+                r.tasks.to_string(),
+                r.records_in.to_string(),
+                r.records_out.to_string(),
+                fmt_us(r.p50_us),
+                fmt_us(r.p95_us),
+                fmt_us(r.p99_us),
+                if r.stalls == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{} ({}x)", fmt_us(r.stall_us), r.stalls)
+                },
+                if r.spilled_bytes == 0 {
+                    "-".to_string()
+                } else {
+                    fmt_bytes(r.spilled_bytes)
+                },
+            ]
+        })
+        .collect();
+
+    let mut widths: Vec<usize> = HEADERS.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(c.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    let emit_row = |out: &mut String, cols: &[String]| {
+        for (i, (c, w)) in cols.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(c);
+            for _ in c.chars().count()..*w {
+                out.push(' ');
+            }
+        }
+        // Trim right-padding on the last column.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+
+    let header: Vec<String> = HEADERS.iter().map(|h| h.to_string()).collect();
+    emit_row(&mut out, &header);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    emit_row(&mut out, &rule);
+    for row in &cells {
+        emit_row(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let rows = vec![
+            FlowletSummaryRow {
+                name: "SplitMap".into(),
+                kind: "map".into(),
+                tasks: 128,
+                records_in: 100_000,
+                records_out: 640_000,
+                p50_us: 250,
+                p95_us: 800,
+                p99_us: 1500,
+                stall_us: 52_000,
+                stalls: 12,
+                spilled_bytes: 0,
+            },
+            FlowletSummaryRow {
+                name: "CountPartial".into(),
+                kind: "partial-reduce".into(),
+                tasks: 64,
+                records_in: 640_000,
+                records_out: 9_000,
+                p50_us: 90,
+                p95_us: 200,
+                p99_us: 300,
+                stall_us: 0,
+                stalls: 0,
+                spilled_bytes: 3 * 1024 * 1024 * 1024,
+            },
+        ];
+        let table = render_summary(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows:\n{table}");
+        assert!(lines[0].starts_with("flowlet"));
+        assert!(lines[2].contains("SplitMap"));
+        assert!(lines[2].contains("52.0ms (12x)"));
+        assert!(lines[3].contains("3072.0MiB"));
+        assert!(lines[3].contains(" - "), "zero stall shown as dash");
+    }
+
+    #[test]
+    fn with_latency_copies_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record_us(us);
+        }
+        let row = FlowletSummaryRow::default().with_latency(&h);
+        assert!(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us);
+        assert!(row.p99_us >= 1000);
+    }
+
+    #[test]
+    fn empty_input_still_renders_header() {
+        let table = render_summary(&[]);
+        assert!(table.starts_with("flowlet"));
+        assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_us(999), "999us");
+        assert_eq!(fmt_us(52_000), "52.0ms");
+        assert_eq!(fmt_us(12_000_000), "12.0s");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(64 * 1024), "64.0KiB");
+        assert_eq!(fmt_bytes(128 * 1024 * 1024), "128.0MiB");
+    }
+}

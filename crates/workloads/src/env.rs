@@ -56,10 +56,7 @@ impl SimParams {
             net: NetConfig::modeled(Duration::from_micros(100), 2 << 20),
             disk: DiskConfig::modeled(6 << 20, Duration::from_micros(150)),
             dfs_block_size: 256 << 10,
-            startup: StartupModel::modeled(
-                Duration::from_millis(120),
-                Duration::from_millis(2),
-            ),
+            startup: StartupModel::modeled(Duration::from_millis(120), Duration::from_millis(2)),
             sort_buffer: 1 << 20,
             scale: 1.0,
             seed: 2015,
@@ -130,10 +127,7 @@ impl Env {
     }
 
     /// Build an Env whose HAMR runtime config is customized (ablations).
-    pub fn with_hamr_runtime(
-        params: SimParams,
-        runtime: hamr_core::RuntimeConfig,
-    ) -> Self {
+    pub fn with_hamr_runtime(params: SimParams, runtime: hamr_core::RuntimeConfig) -> Self {
         let mut env = Env::new(params.clone());
         let mut config = env.hamr.config().clone();
         config.runtime = runtime;

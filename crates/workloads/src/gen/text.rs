@@ -13,7 +13,12 @@ pub fn word(rank: usize) -> String {
 /// A WordCount corpus: `lines` lines of `words_per_line` Zipfian words
 /// over a `vocab`-word vocabulary — the shape of "multiple copies of a
 /// book" (§4): few very frequent words, a long tail.
-pub fn wordcount_corpus(lines: usize, words_per_line: usize, vocab: usize, seed: u64) -> Vec<String> {
+pub fn wordcount_corpus(
+    lines: usize,
+    words_per_line: usize,
+    vocab: usize,
+    seed: u64,
+) -> Vec<String> {
     let zipf = Zipf::new(vocab, 1.0);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..lines)
@@ -87,8 +92,14 @@ mod tests {
 
     #[test]
     fn corpus_deterministic() {
-        assert_eq!(wordcount_corpus(10, 5, 20, 3), wordcount_corpus(10, 5, 20, 3));
-        assert_ne!(wordcount_corpus(10, 5, 20, 3), wordcount_corpus(10, 5, 20, 4));
+        assert_eq!(
+            wordcount_corpus(10, 5, 20, 3),
+            wordcount_corpus(10, 5, 20, 3)
+        );
+        assert_ne!(
+            wordcount_corpus(10, 5, 20, 3),
+            wordcount_corpus(10, 5, 20, 4)
+        );
     }
 
     #[test]

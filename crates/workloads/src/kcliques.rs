@@ -181,11 +181,13 @@ impl Benchmark for KCliques {
                     out.emit_t(&b, &a);
                 }
             })),
-            Arc::new(reduce_fn(|v: u64, mut ns: Vec<u64>, out: &mut ReduceOutput| {
-                ns.sort_unstable();
-                ns.dedup();
-                out.emit_t(&v, &(0u8, ns));
-            })),
+            Arc::new(reduce_fn(
+                |v: u64, mut ns: Vec<u64>, out: &mut ReduceOutput| {
+                    ns.sort_unstable();
+                    ns.dedup();
+                    out.emit_t(&v, &(0u8, ns));
+                },
+            )),
         );
         env.mr.run(&adj_job).map_err(|e| e.to_string())?;
 

@@ -127,7 +127,10 @@ pub(crate) fn read_line_at(ctx: &TaskContext, path: &str, offset: u64) -> Option
             let payload = ctx.dfs.read_block(path, i, Some(ctx.node)).ok()?;
             let start = (offset - base) as usize;
             let slice = payload.get(start..)?;
-            let end = slice.iter().position(|&c| c == b'\n').unwrap_or(slice.len());
+            let end = slice
+                .iter()
+                .position(|&c| c == b'\n')
+                .unwrap_or(slice.len());
             return Some(String::from_utf8_lossy(&slice[..end]).into_owned());
         }
         base += b.len as u64;
@@ -263,11 +266,7 @@ impl Benchmark for KMeans {
                         let (c, sim) = assign(&vector, &centroids);
                         // Only a reference crosses the network:
                         // (similarity, movie, holder node, byte offset).
-                        out.emit_t(
-                            0,
-                            &(c as u64),
-                            &(sim, movie, ctx.node as u64, offset),
-                        );
+                        out.emit_t(0, &(c as u64), &(sim, movie, ctx.node as u64, offset));
                     }
                 }),
             )

@@ -190,14 +190,16 @@ impl Benchmark for NaiveBayes {
             env.dfs.list(&format!("{inter}/")),
             &output,
             Arc::new(map_fn(|k: String, v: u64, out| out.emit_t(&k, &v))),
-            Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-                let sum: u64 = vs.iter().sum();
-                if k.starts_with("L:") {
-                    out.emit_t(&k, &sum);
-                } else {
-                    out.emit_t(&format!("F:{k}"), &sum);
-                }
-            })),
+            Arc::new(reduce_fn(
+                |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                    let sum: u64 = vs.iter().sum();
+                    if k.starts_with("L:") {
+                        out.emit_t(&k, &sum);
+                    } else {
+                        out.emit_t(&format!("F:{k}"), &sum);
+                    }
+                },
+            )),
         )
         .with_input_format(InputFormat::KeyValue);
         env.mr.run(&job2).map_err(|e| e.to_string())?;

@@ -21,7 +21,7 @@ use crate::{pair_checksum, Benchmark};
 use bytes::Bytes;
 use hamr_codec::Codec;
 use hamr_core::{typed, Emitter, Exchange, JobBuilder};
-use hamr_mapred::{decode_kv, map_fn, line_map_fn, reduce_fn, InputFormat, JobConf, ReduceOutput};
+use hamr_mapred::{decode_kv, line_map_fn, map_fn, reduce_fn, InputFormat, JobConf, ReduceOutput};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -211,9 +211,11 @@ impl Benchmark for PageRank {
                     out.emit_t(&src, &dst);
                 }
             })),
-            Arc::new(reduce_fn(|src: u64, dsts: Vec<u64>, out: &mut ReduceOutput| {
-                out.emit_t(&src, &(0u8, dsts));
-            })),
+            Arc::new(reduce_fn(
+                |src: u64, dsts: Vec<u64>, out: &mut ReduceOutput| {
+                    out.emit_t(&src, &(0u8, dsts));
+                },
+            )),
         );
         env.mr.run(&adj_job).map_err(|e| e.to_string())?;
 
@@ -264,10 +266,12 @@ impl Benchmark for PageRank {
                 env.dfs.list(&format!("{contrib_path}/")),
                 &new_ranks,
                 Arc::new(map_fn(|k: u64, v: u64, out| out.emit_t(&k, &v))),
-                Arc::new(reduce_fn(|page: u64, contribs: Vec<u64>, out: &mut ReduceOutput| {
-                    let new = damped(contribs.iter().sum());
-                    out.emit_t(&page, &(1u8, vec![new]));
-                })),
+                Arc::new(reduce_fn(
+                    |page: u64, contribs: Vec<u64>, out: &mut ReduceOutput| {
+                        let new = damped(contribs.iter().sum());
+                        out.emit_t(&page, &(1u8, vec![new]));
+                    },
+                )),
             )
             .with_input_format(InputFormat::KeyValue);
             env.mr.run(&update_job).map_err(|e| e.to_string())?;

@@ -72,7 +72,9 @@ impl WordCount {
         job.connect(loader, split, Exchange::Local);
         job.connect(split, count, Exchange::Hash);
         job.capture_output(count);
-        let result = env.hamr.run(job.build().map_err(|e| e.to_string())?)
+        let result = env
+            .hamr
+            .run(job.build().map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
         let recs = result.output(count);
         Ok(BenchOutput {
@@ -91,9 +93,11 @@ impl WordCount {
                 out.emit_t(&w.to_string(), &1u64);
             }
         }));
-        let reducer = Arc::new(reduce_fn(|k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
-            out.emit_t(&k, &vs.iter().sum::<u64>());
-        }));
+        let reducer = Arc::new(reduce_fn(
+            |k: String, vs: Vec<u64>, out: &mut ReduceOutput| {
+                out.emit_t(&k, &vs.iter().sum::<u64>());
+            },
+        ));
         let mut conf = JobConf::new(
             "wordcount",
             vec![INPUT.to_string()],

@@ -10,7 +10,11 @@ fn check(bench: &dyn Benchmark) {
     bench.seed(&env).expect("seed");
     let hamr = bench.run_hamr(&env).expect("hamr run");
     let mr = bench.run_mapred(&env).expect("mapred run");
-    assert!(hamr.records > 0, "{}: HAMR produced no output", bench.name());
+    assert!(
+        hamr.records > 0,
+        "{}: HAMR produced no output",
+        bench.name()
+    );
     assert_eq!(
         hamr.records,
         mr.records,
@@ -72,7 +76,9 @@ fn all_benchmarks_have_distinct_inputs() {
     // Seeding everything into one environment must not clash.
     let env = Env::test(2, 1);
     for bench in all_benchmarks() {
-        bench.seed(&env).unwrap_or_else(|_| panic!("{}", bench.name()));
+        bench
+            .seed(&env)
+            .unwrap_or_else(|_| panic!("{}", bench.name()));
     }
     assert!(env.dfs.list("").len() >= 8);
 }

@@ -50,9 +50,11 @@ fn kmeans_shuffle_byte_asymmetry_is_large() {
     );
     let sink_s = small.add_reduce(
         "sink",
-        typed::reduce_fn(|_k: u64, vs: Vec<(f64, u64, u64, u64)>, out: &mut Emitter| {
-            out.output_t(&0u64, &(vs.len() as u64));
-        }),
+        typed::reduce_fn(
+            |_k: u64, vs: Vec<(f64, u64, u64, u64)>, out: &mut Emitter| {
+                out.output_t(&0u64, &(vs.len() as u64));
+            },
+        ),
     );
     small.connect(loader, tiny, Exchange::Local);
     small.connect(tiny, sink_s, Exchange::Hash);

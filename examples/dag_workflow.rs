@@ -93,7 +93,10 @@ fn main() {
     }
 
     let heavy = result.typed_output::<u64, u64>(activity);
-    println!("--- heavy raters (>= 10 ratings): {} users ---", heavy.len());
+    println!(
+        "--- heavy raters (>= 10 ratings): {} users ---",
+        heavy.len()
+    );
     println!(
         "--- one loader, two analyses, zero intermediate jobs: {} bins shuffled ---",
         result.metrics.shuffled_messages

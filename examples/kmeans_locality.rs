@@ -35,7 +35,10 @@ fn main() {
         "{:<34} {:>12?}",
         "HAMR (ship references, Alg. 1)", reference.elapsed
     );
-    println!("{:<34} {:>12?}", "HAMR (ship full vectors)", shipping.elapsed);
+    println!(
+        "{:<34} {:>12?}",
+        "HAMR (ship full vectors)", shipping.elapsed
+    );
     println!("{:<34} {:>12?}", "MapReduce baseline", mapred.elapsed);
     println!();
     println!(

@@ -26,8 +26,14 @@ fn main() {
 
     println!("pages ranked:       {}", hamr.records);
     println!("results identical:  {}", hamr.checksum == mapred.checksum);
-    println!("hamr elapsed:       {:?} (1 job/iteration, state in memory)", hamr.elapsed);
-    println!("mapred elapsed:     {:?} (2 jobs/iteration + adjacency job, state on DFS)", mapred.elapsed);
+    println!(
+        "hamr elapsed:       {:?} (1 job/iteration, state in memory)",
+        hamr.elapsed
+    );
+    println!(
+        "mapred elapsed:     {:?} (2 jobs/iteration + adjacency job, state on DFS)",
+        mapred.elapsed
+    );
 
     // Peek at the top-ranked pages straight out of the KV store.
     let mut ranks: Vec<(u64, u64)> = Vec::new();

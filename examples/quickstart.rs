@@ -35,7 +35,9 @@ fn main() {
     job.capture_output(counter);
 
     // Run it and print the counts.
-    let result = cluster.run(job.build().expect("valid graph")).expect("job runs");
+    let result = cluster
+        .run(job.build().expect("valid graph"))
+        .expect("job runs");
     let mut counts = result.typed_output::<String, u64>(counter);
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     println!("word counts ({} unique words):", counts.len());

@@ -49,7 +49,9 @@ fn main() {
     job.connect(splitter, windowed, Exchange::Hash);
     job.capture_output(windowed);
 
-    let result = cluster.run(job.build().expect("valid graph")).expect("job runs");
+    let result = cluster
+        .run(job.build().expect("valid graph"))
+        .expect("job runs");
     let mut out = result.typed_output::<String, u64>(windowed);
     out.sort();
     println!("windowed word counts ({} flush records):", out.len());

@@ -1,0 +1,761 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's tests
+//! use: the `proptest!` macro (both `ident in strategy` and
+//! `ident: Type` parameters), `prop_assert*`, `prop_oneof!`, and the
+//! `Strategy` trait with the combinators the tests reference
+//! (`prop_map`, `prop_filter`, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::num::f64::{ANY, NORMAL}`, integer
+//! ranges, tuples, and `[a-z]{m,n}`-style string patterns).
+//!
+//! Differences from the real crate, by design:
+//! - Cases are generated from a **fixed deterministic seed** per case
+//!   index, so failures reproduce across runs and machines.
+//! - There is **no shrinking**; a failure reports the case index and
+//!   the assertion message only.
+//! - The default case count is 64 (override with the `PROPTEST_CASES`
+//!   environment variable or `ProptestConfig::with_cases`).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+pub use test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// Config + runner
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Driver behind the `proptest!` macro: runs the case closure once per
+/// case with a deterministic per-case RNG, panicking on the first
+/// failed `prop_assert*`.
+pub fn run_proptest<F>(config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    for i in 0..cases {
+        let mut rng = TestRng::for_case(u64::from(i));
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest: case {}/{} failed: {}", i + 1, cases, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real proptest there is no value tree / shrinking: a
+/// strategy simply draws a value from an RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 1000 candidates in a row",
+            self.reason
+        );
+    }
+}
+
+/// Equal-weight choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: integer ranges, tuples, string patterns
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// `&'static str` acts as a regex-ish string strategy. Supported
+/// syntax: sequences of `[class]{m,n}`, `[class]{m}`, `[class]`, or a
+/// literal character with an optional repetition — enough for patterns
+/// like `"[a-e]{1,3}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(char::from_u32(c).unwrap());
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+        let (lo, hi) = parse_repetition(&chars, &mut i, pattern);
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(choices[rng.below(choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Parse a `{m}` / `{m,n}` suffix at `*i`, defaulting to `{1}`.
+fn parse_repetition(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if *i >= chars.len() || chars[*i] != '{' {
+        return (1, 1);
+    }
+    let close = chars[*i..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|p| *i + p)
+        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII with a sprinkling of general unicode,
+        // so string round-trips see multi-byte encodings.
+        if rng.below(10) < 7 {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(17) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(33) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop::{collection, num, sample}
+// ---------------------------------------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Inclusive length bounds for collection strategies. The
+        /// `Into` conversions are what force `0..300` literals to infer
+        /// `usize`, matching the real crate's API shape.
+        #[derive(Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// A vector whose length is drawn uniformly from `size` and
+        /// whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo + 1) as u64;
+                let len = self.size.lo + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod num {
+        pub mod f64 {
+            use crate::{Strategy, TestRng};
+
+            /// Any bit pattern, including NaN and the infinities.
+            #[derive(Clone, Copy)]
+            pub struct AnyF64;
+
+            /// Finite, normal (non-subnormal, non-zero) doubles.
+            #[derive(Clone, Copy)]
+            pub struct NormalF64;
+
+            pub const ANY: AnyF64 = AnyF64;
+            pub const NORMAL: NormalF64 = NormalF64;
+
+            impl Strategy for AnyF64 {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+
+            impl Strategy for NormalF64 {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    let sign = rng.next_u64() & (1 << 63);
+                    let exp = 1 + rng.below(2046);
+                    let mantissa = rng.next_u64() & ((1 << 52) - 1);
+                    f64::from_bits(sign | (exp << 52) | mantissa)
+                }
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        #[derive(Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Uniform choice among a fixed list of values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @fns ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @fns ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@fns ($cfg:expr)) => {};
+
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        // Attributes (including the `#[test]` the caller wrote) are
+        // dropped; the expansion supplies its own #[test].
+        #[test]
+        fn $name() {
+            $crate::__proptest_impl!{ @params ($cfg) ($body) [] $($params)* }
+        }
+        $crate::__proptest_impl!{ @fns ($cfg) $($rest)* }
+    };
+
+    // All parameters munched: emit the runner call.
+    (@params ($cfg:expr) ($body:block) [$(($p:ident, $s:expr))*]) => {
+        $crate::run_proptest(&($cfg), |__rng| {
+            $(let $p = $crate::Strategy::generate(&($s), __rng);)*
+            $body
+            ::std::result::Result::Ok(())
+        });
+    };
+
+    // `name in strategy, ...`
+    (@params ($cfg:expr) ($body:block) [$($acc:tt)*] $p:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @params ($cfg) ($body) [$($acc)* ($p, $s)] $($rest)* }
+    };
+    // `name in strategy` (final, no trailing comma)
+    (@params ($cfg:expr) ($body:block) [$($acc:tt)*] $p:ident in $s:expr) => {
+        $crate::__proptest_impl!{ @params ($cfg) ($body) [$($acc)* ($p, $s)] }
+    };
+    // `name: Type, ...`
+    (@params ($cfg:expr) ($body:block) [$($acc:tt)*] $p:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @params ($cfg) ($body) [$($acc)* ($p, $crate::any::<$t>())] $($rest)* }
+    };
+    // `name: Type` (final)
+    (@params ($cfg:expr) ($body:block) [$($acc:tt)*] $p:ident : $t:ty) => {
+        $crate::__proptest_impl!{ @params ($cfg) ($body) [$($acc)* ($p, $crate::any::<$t>())] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                __l,
+                __r,
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_class_and_reps() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-c]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()), "bad len: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='c').contains(&c)),
+                "bad char: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case(2);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let w = crate::Strategy::generate(&(3usize..=4), &mut rng);
+            assert!((3..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = crate::Strategy::generate(
+            &prop::collection::vec(any::<u8>(), 0..32),
+            &mut crate::TestRng::for_case(7),
+        );
+        let b = crate::Strategy::generate(
+            &prop::collection::vec(any::<u8>(), 0..32),
+            &mut crate::TestRng::for_case(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_f64_is_normal() {
+        let mut rng = crate::TestRng::for_case(3);
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&prop::num::f64::NORMAL, &mut rng);
+            assert!(v.is_normal(), "{v} should be normal");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_supports_both_param_forms(
+            xs in prop::collection::vec(0u32..50, 0..10),
+            flag: bool,
+            label in "[a-b]{2}",
+        ) {
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            prop_assert_eq!(label.len(), 2);
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..10).prop_map(|x| x as u64),
+            (100u32..110).prop_map(|x| x as u64),
+        ]) {
+            prop_assert!(v < 10 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest: case")]
+    fn failing_assert_reports_case() {
+        crate::run_proptest(&ProptestConfig::with_cases(3), |_rng| {
+            prop_assert!(1 == 2, "math still works");
+            Ok(())
+        });
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`dfs`] / [`simdisk`] / [`simnet`] — the simulated cluster substrates,
 //! * [`kvstore`] — the distributed in-memory key-value store component,
 //! * [`codec`] — typed binary encoding for keys and values,
+//! * [`trace`] — structured event tracing, latency histograms, and
+//!   Chrome-trace timeline export,
 //! * [`workloads`] — the eight paper benchmarks and their data generators.
 //!
 //! See `examples/quickstart.rs` for a 30-line WordCount.
@@ -19,6 +21,7 @@ pub use hamr_kvstore as kvstore;
 pub use hamr_mapred as mapred;
 pub use hamr_simdisk as simdisk;
 pub use hamr_simnet as simnet;
+pub use hamr_trace as trace;
 pub use hamr_workloads as workloads;
 
 /// Crate version, for diagnostics.
