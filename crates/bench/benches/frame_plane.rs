@@ -1,0 +1,151 @@
+//! Micro-benches for the frame data plane: building and iterating
+//! contiguous frames vs the old per-record-allocated `Vec<Record>`
+//! path, and the end-to-end emit()/hash-routing hot loop through a
+//! small cluster.
+//!
+//! Source-only (see Cargo.toml: `autobenches = false`): criterion is
+//! unavailable offline, so these compile only when a criterion
+//! dev-dependency and `[[bench]]` sections are restored.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hamr_codec::frame::FrameBuilder;
+use hamr_codec::stable_hash;
+use hamr_core::{typed, Cluster, ClusterConfig, Emitter, Exchange, JobBuilder};
+
+const ENTRIES: usize = 16 * 1024;
+
+/// Synthetic word-like keys with a small hot set, the shape the
+/// routing path sees from the WordCount split map.
+fn keys() -> Vec<Vec<u8>> {
+    (0..ENTRIES)
+        .map(|i| format!("w{}", i % 512).into_bytes())
+        .collect()
+}
+
+/// The pre-frame representation: one heap allocation per key and per
+/// value, records boxed individually into a growable vector. Kept
+/// here as the comparison baseline after the engine dropped it.
+struct OldRecord {
+    key: Vec<u8>,
+    value: Vec<u8>,
+}
+
+fn bench_build(c: &mut Criterion) {
+    let keys = keys();
+    let value = 1u64.to_le_bytes();
+    let mut group = c.benchmark_group("frame/build");
+    group.throughput(Throughput::Elements(ENTRIES as u64));
+    group.bench_function("frame-builder", |b| {
+        b.iter(|| {
+            let mut fb = FrameBuilder::with_capacity(ENTRIES * 16);
+            for k in &keys {
+                fb.push(stable_hash(k), k, &value);
+            }
+            fb.freeze()
+        });
+    });
+    group.bench_function("vec-records(old)", |b| {
+        b.iter(|| {
+            let mut v = Vec::new();
+            for k in &keys {
+                v.push(OldRecord {
+                    key: k.clone(),
+                    value: value.to_vec(),
+                });
+            }
+            v
+        });
+    });
+    group.finish();
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    let keys = keys();
+    let value = 1u64.to_le_bytes();
+    let mut fb = FrameBuilder::new();
+    for k in &keys {
+        fb.push(stable_hash(k), k, &value);
+    }
+    let frame = fb.freeze();
+    let old: Vec<OldRecord> = keys
+        .iter()
+        .map(|k| OldRecord {
+            key: k.clone(),
+            value: value.to_vec(),
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("frame/iterate");
+    group.throughput(Throughput::Elements(ENTRIES as u64));
+    group.bench_function("frame-iter", |b| {
+        b.iter(|| {
+            frame
+                .iter()
+                .map(|(h, k, v)| h ^ k.len() as u64 ^ v.len() as u64)
+                .fold(0u64, |a, x| a.wrapping_add(x))
+        });
+    });
+    group.bench_function("frame-iter-shared", |b| {
+        b.iter(|| {
+            frame
+                .iter_shared()
+                .map(|(h, k, v)| h ^ k.len() as u64 ^ v.len() as u64)
+                .fold(0u64, |a, x| a.wrapping_add(x))
+        });
+    });
+    group.bench_function("vec-records(old)", |b| {
+        b.iter(|| {
+            old.iter()
+                .map(|r| stable_hash(&r.key) ^ r.key.len() as u64 ^ r.value.len() as u64)
+                .fold(0u64, |a, x| a.wrapping_add(x))
+        });
+    });
+    group.finish();
+}
+
+/// End-to-end emit + hash routing: a word-count shaped micro-job so
+/// the measured loop is `Emitter::emit_t` → `TaskOutput::emit` →
+/// frame append → destination pick, plus frame shipping and reduce
+/// ingest on the far side.
+fn bench_emit_routing(c: &mut Criterion) {
+    let lines: Vec<String> = (0..2_000)
+        .map(|i| format!("w{} w{} w{} w{}", i % 512, i % 97, i % 13, i % 3))
+        .collect();
+    let n_words = lines.len() as u64 * 4;
+    let mut group = c.benchmark_group("emit/hash-routing");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n_words));
+    group.bench_function("wordcount-micro", |b| {
+        b.iter_batched(
+            || lines.clone(),
+            |lines| {
+                let cluster = Cluster::new(ClusterConfig::local(3, 2));
+                let mut job = JobBuilder::new("emit-bench");
+                let loader = job.add_loader("lines", typed::vec_loader(lines));
+                let map = job.add_map(
+                    "split",
+                    typed::map_fn(|_k: u64, line: String, out: &mut Emitter| {
+                        for w in line.split_whitespace() {
+                            out.emit_t(0, &w.to_string(), &1u64);
+                        }
+                    }),
+                );
+                let red = job.add_reduce(
+                    "count",
+                    typed::reduce_fn(|k: String, vs: Vec<u64>, out: &mut Emitter| {
+                        out.output_t(&k, &vs.iter().sum::<u64>());
+                    }),
+                );
+                job.connect(loader, map, Exchange::Local);
+                job.connect(map, red, Exchange::Hash);
+                job.capture_output(red);
+                cluster.run(job.build().unwrap()).unwrap()
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_iterate, bench_emit_routing);
+criterion_main!(benches);

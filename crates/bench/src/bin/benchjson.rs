@@ -1,0 +1,341 @@
+//! `benchjson` — fixed-seed perf snapshot of both engines.
+//!
+//! Runs WordCount, PageRank (3 iterations) and HistogramRatings on the
+//! HAMR and MapReduce engines at fixed seeds and sizes, and writes a
+//! machine-readable `BENCH_pr2.json` (schema documented in
+//! EXPERIMENTS.md). Alongside the JSON it writes a `--raw-out` TSV that
+//! a later run can consume via `--baseline` to report speedup ratios —
+//! that is how PRs prove data-plane wins against the parent commit.
+//!
+//! ```text
+//! benchjson [--quick] [--reps N] [--out BENCH_pr2.json]
+//!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
+//! ```
+
+use hamr_workloads::histogram_ratings::HistogramRatings;
+use hamr_workloads::pagerank::PageRank;
+use hamr_workloads::wordcount::WordCount;
+use hamr_workloads::{BenchOutput, Benchmark, Env, SimParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so the harness reports a measured
+/// allocations-per-record figure, not an estimate from first principles.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One (benchmark, engine) measurement, minimum over reps.
+#[derive(Debug, Clone)]
+struct Row {
+    benchmark: String,
+    engine: &'static str,
+    wall_seconds: f64,
+    shuffle_records: u64,
+    records_per_sec: f64,
+    shuffled_bytes: u64,
+    output_records: u64,
+    checksum: u64,
+    allocations: u64,
+    allocations_per_record: f64,
+}
+
+impl Row {
+    fn from_runs(benchmark: &str, engine: &'static str, runs: &[(BenchOutput, u64)]) -> Row {
+        let best = runs
+            .iter()
+            .map(|(o, _)| o.elapsed.as_secs_f64())
+            .fold(f64::INFINITY, f64::min);
+        let allocs = runs.iter().map(|(_, a)| *a).min().unwrap_or(0);
+        let (out, _) = &runs[0];
+        let per_rec = |x: f64| {
+            if out.shuffle_records == 0 {
+                0.0
+            } else {
+                x / out.shuffle_records as f64
+            }
+        };
+        Row {
+            benchmark: benchmark.to_string(),
+            engine,
+            wall_seconds: best,
+            shuffle_records: out.shuffle_records,
+            records_per_sec: if best > 0.0 {
+                out.shuffle_records as f64 / best
+            } else {
+                0.0
+            },
+            shuffled_bytes: out.shuffled_bytes,
+            output_records: out.records,
+            checksum: out.checksum,
+            allocations: allocs,
+            allocations_per_record: per_rec(allocs as f64),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"benchmark\":\"{}\",\"engine\":\"{}\",",
+                "\"wall_seconds\":{:.6},\"shuffle_records\":{},",
+                "\"records_per_sec\":{:.1},\"shuffled_bytes\":{},",
+                "\"output_records\":{},\"checksum\":\"{:016x}\",",
+                "\"allocations\":{},\"allocations_per_record\":{:.3}}}"
+            ),
+            self.benchmark,
+            self.engine,
+            self.wall_seconds,
+            self.shuffle_records,
+            self.records_per_sec,
+            self.shuffled_bytes,
+            self.output_records,
+            self.checksum,
+            self.allocations,
+            self.allocations_per_record,
+        )
+    }
+
+    fn tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}",
+            self.benchmark,
+            self.engine,
+            self.records_per_sec,
+            self.wall_seconds,
+            self.shuffled_bytes,
+            self.allocations_per_record,
+        )
+    }
+}
+
+/// A baseline row parsed back from a `--raw-out` TSV.
+#[derive(Debug, Clone)]
+struct BaselineRow {
+    records_per_sec: f64,
+    wall_seconds: f64,
+    shuffled_bytes: u64,
+    allocations_per_record: f64,
+}
+
+fn parse_baseline(path: &str) -> Result<BTreeMap<(String, String), BaselineRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 6 {
+            return Err(format!("{path}: malformed line {line:?}"));
+        }
+        let parse = |s: &str| s.parse::<f64>().map_err(|e| format!("{path}: {e}"));
+        rows.insert(
+            (cols[0].to_string(), cols[1].to_string()),
+            BaselineRow {
+                records_per_sec: parse(cols[2])?,
+                wall_seconds: parse(cols[3])?,
+                shuffled_bytes: cols[4].parse().map_err(|e| format!("{path}: {e}"))?,
+                allocations_per_record: parse(cols[5])?,
+            },
+        );
+    }
+    Ok(rows)
+}
+
+struct Args {
+    quick: bool,
+    reps: usize,
+    out: String,
+    raw_out: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        reps: 3,
+        out: "BENCH_pr2.json".to_string(),
+        raw_out: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--reps" => args.reps = value("--reps")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = value("--out")?,
+            "--raw-out" => args.raw_out = Some(value("--raw-out")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.quick {
+        args.reps = args.reps.min(1);
+    }
+    if args.reps == 0 {
+        return Err("--reps must be >= 1".into());
+    }
+    Ok(args)
+}
+
+fn benchmarks() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(WordCount::default()),
+        Box::new(PageRank {
+            iterations: 3,
+            ..Default::default()
+        }),
+        Box::new(HistogramRatings::default()),
+    ]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("benchjson: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Fixed shape: 4 nodes x 2 threads, instant net/disk models so wall
+    // time is pure compute — exactly where the data-plane cost shows.
+    let nodes = 4;
+    let threads = 2;
+    let scale = if args.quick { 0.05 } else { 1.0 };
+    let params = SimParams::test(nodes, threads).with_scale(scale);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for bench in benchmarks() {
+        let mut hamr_runs: Vec<(BenchOutput, u64)> = Vec::new();
+        let mut mr_runs: Vec<(BenchOutput, u64)> = Vec::new();
+        for _rep in 0..args.reps {
+            // A fresh environment per rep keeps runs identical: same
+            // seeds, empty DFS, cold KV store.
+            let env = Env::new(params.clone());
+            bench.seed(&env).unwrap_or_else(|e| {
+                eprintln!("benchjson: seed {}: {e}", bench.name());
+                std::process::exit(1);
+            });
+            for (engine, runs) in [("hamr", &mut hamr_runs), ("mapred", &mut mr_runs)] {
+                let before = ALLOCS.load(Ordering::Relaxed);
+                let out = match engine {
+                    "hamr" => bench.run_hamr(&env),
+                    _ => bench.run_mapred(&env),
+                }
+                .unwrap_or_else(|e| {
+                    eprintln!("benchjson: {} ({engine}): {e}", bench.name());
+                    std::process::exit(1);
+                });
+                let allocs = ALLOCS.load(Ordering::Relaxed).wrapping_sub(before);
+                runs.push((out, allocs));
+            }
+        }
+        let hamr = Row::from_runs(bench.name(), "hamr", &hamr_runs);
+        let mr = Row::from_runs(bench.name(), "mapred", &mr_runs);
+        eprintln!(
+            "{:<18} hamr {:>12.0} rec/s ({:.3}s)   mapred {:>12.0} rec/s ({:.3}s)",
+            bench.name(),
+            hamr.records_per_sec,
+            hamr.wall_seconds,
+            mr.records_per_sec,
+            mr.wall_seconds,
+        );
+        rows.push(hamr);
+        rows.push(mr);
+    }
+
+    let baseline = match &args.baseline {
+        Some(path) => match parse_baseline(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("benchjson: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"hamr-benchjson/1\",\n");
+    json.push_str(&format!(
+        "  \"params\": {{\"nodes\": {nodes}, \"threads_per_node\": {threads}, \
+         \"scale\": {scale}, \"seed\": 42, \"reps\": {}, \"quick\": {}}},\n",
+        args.reps, args.quick
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    {}{sep}\n", row.json()));
+    }
+    json.push_str("  ]");
+    if let Some(base) = &baseline {
+        json.push_str(",\n  \"baseline\": [\n");
+        let mut first = true;
+        for ((bench, engine), b) in base {
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"benchmark\":\"{bench}\",\"engine\":\"{engine}\",\
+                 \"records_per_sec\":{:.1},\"wall_seconds\":{:.6},\
+                 \"shuffled_bytes\":{},\"allocations_per_record\":{:.3}}}",
+                b.records_per_sec, b.wall_seconds, b.shuffled_bytes, b.allocations_per_record
+            ));
+        }
+        json.push_str("\n  ],\n  \"speedup_vs_baseline\": [\n");
+        let mut first = true;
+        for row in &rows {
+            let key = (row.benchmark.clone(), row.engine.to_string());
+            if let Some(b) = base.get(&key) {
+                if b.records_per_sec > 0.0 {
+                    if !first {
+                        json.push_str(",\n");
+                    }
+                    first = false;
+                    json.push_str(&format!(
+                        "    {{\"benchmark\":\"{}\",\"engine\":\"{}\",\
+                         \"records_per_sec_ratio\":{:.3}}}",
+                        row.benchmark,
+                        row.engine,
+                        row.records_per_sec / b.records_per_sec
+                    ));
+                }
+            }
+        }
+        json.push_str("\n  ]");
+    }
+    json.push_str("\n}\n");
+
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("benchjson: write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+    if let Some(raw) = &args.raw_out {
+        let tsv: String = rows.iter().map(|r| r.tsv() + "\n").collect();
+        if let Err(e) = std::fs::write(raw, tsv) {
+            eprintln!("benchjson: write {raw}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {raw}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Contiguous record frames — the zero-copy bin payload.
+//!
+//! A frame packs many `(hash, key, value)` records into one buffer:
+//!
+//! ```text
+//! entry := [hash: 8 bytes LE] [klen: varint] [key] [vlen: varint] [value]
+//! frame := entry*
+//! ```
+//!
+//! The 64-bit key hash is computed once at emit time and rides in
+//! front of every entry, so routing (`hash % nodes`), reduce
+//! sub-sharding (upper bits) and partial-reduce striping all reuse it
+//! without touching the key bytes again. The payload is one allocation:
+//! producers append into a [`FrameBuilder`], `freeze` hands the buffer
+//! to an immutable [`Frame`], and consumers either borrow entries
+//! ([`Frame::iter`]) or take zero-copy [`Bytes`] sub-views of the
+//! shared allocation ([`Frame::iter_shared`]).
+
+use crate::varint::read_varint;
+use crate::CodecError;
+use bytes::{Bytes, BytesMut};
+
+/// Append-side of a frame: one growable buffer plus an entry count.
+#[derive(Debug, Default)]
+pub struct FrameBuilder {
+    buf: BytesMut,
+    entries: usize,
+}
+
+/// Append `v` as an LEB128 varint (the `Vec`-based writer in
+/// [`crate::write_varint`] has the wrong sink type for `BytesMut`).
+#[inline]
+fn push_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+impl FrameBuilder {
+    pub fn new() -> Self {
+        FrameBuilder::default()
+    }
+
+    /// Pre-size the payload buffer (`bytes` of encoded records).
+    pub fn with_capacity(bytes: usize) -> Self {
+        FrameBuilder {
+            buf: BytesMut::with_capacity(bytes),
+            entries: 0,
+        }
+    }
+
+    /// Append one record. `hash` must be `stable_hash(key)` — callers
+    /// own the hash-once invariant; the builder just carries it.
+    #[inline]
+    pub fn push(&mut self, hash: u64, key: &[u8], value: &[u8]) {
+        self.buf.extend_from_slice(&hash.to_le_bytes());
+        push_varint(&mut self.buf, key.len() as u64);
+        self.buf.extend_from_slice(key);
+        push_varint(&mut self.buf, value.len() as u64);
+        self.buf.extend_from_slice(value);
+        self.entries += 1;
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Encoded payload size so far.
+    pub fn payload_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Freeze into an immutable, cheaply clonable frame. The buffer is
+    /// handed over, not copied.
+    pub fn freeze(self) -> Frame {
+        Frame {
+            data: self.buf.freeze(),
+            entries: self.entries,
+        }
+    }
+}
+
+/// An immutable batch of `(hash, key, value)` records in one shared
+/// buffer. `clone()` is a refcount bump.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    data: Bytes,
+    entries: usize,
+}
+
+impl Frame {
+    /// A frame with no records.
+    pub fn empty() -> Self {
+        Frame {
+            data: Bytes::new(),
+            entries: 0,
+        }
+    }
+
+    /// Validate an untrusted buffer as a frame, counting its entries.
+    /// Every entry must be well-formed and the payload must end exactly
+    /// on an entry boundary.
+    pub fn parse(data: Bytes) -> Result<Frame, CodecError> {
+        let mut input = &data[..];
+        let mut entries = 0usize;
+        while !input.is_empty() {
+            if input.len() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            input = &input[8..];
+            for _ in 0..2 {
+                let len = read_varint(&mut input)?;
+                if len > input.len() as u64 {
+                    return Err(CodecError::BadLength(len));
+                }
+                input = &input[len as usize..];
+            }
+            entries += 1;
+        }
+        Ok(Frame { data, entries })
+    }
+
+    /// Number of records in the frame.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Exact encoded payload size — also the frame's wire size.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The shared payload buffer.
+    pub fn data(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Borrowing iterator over `(hash, key, value)` — the cheapest way
+    /// to consume a frame when the records don't outlive it (map tasks,
+    /// fold-into-accumulator paths).
+    pub fn iter(&self) -> FrameIter<'_> {
+        FrameIter { input: &self.data }
+    }
+
+    /// Zero-copy owning iterator: keys and values come out as
+    /// [`Bytes`] sub-views of the frame's allocation, so storing them
+    /// (reduce group maps) copies nothing but keeps the frame's buffer
+    /// alive until the views drop.
+    pub fn iter_shared(&self) -> SharedFrameIter {
+        SharedFrameIter {
+            frame: self.clone(),
+            pos: 0,
+        }
+    }
+}
+
+/// See [`Frame::iter`]. Entries were validated at build/parse time, so
+/// malformed tails simply end iteration in release builds (and panic in
+/// debug builds).
+pub struct FrameIter<'a> {
+    input: &'a [u8],
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = (u64, &'a [u8], &'a [u8]);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.input.is_empty() {
+            return None;
+        }
+        debug_assert!(self.input.len() >= 8, "truncated frame entry");
+        if self.input.len() < 8 {
+            return None;
+        }
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&self.input[..8]);
+        let hash = u64::from_le_bytes(arr);
+        self.input = &self.input[8..];
+        let klen = read_varint(&mut self.input).ok()? as usize;
+        let (key, rest) = self.input.split_at_checked(klen)?;
+        self.input = rest;
+        let vlen = read_varint(&mut self.input).ok()? as usize;
+        let (value, rest) = self.input.split_at_checked(vlen)?;
+        self.input = rest;
+        Some((hash, key, value))
+    }
+}
+
+/// See [`Frame::iter_shared`].
+pub struct SharedFrameIter {
+    frame: Frame,
+    pos: usize,
+}
+
+impl Iterator for SharedFrameIter {
+    type Item = (u64, Bytes, Bytes);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let data = &self.frame.data;
+        let mut input = &data[self.pos..];
+        if input.is_empty() {
+            return None;
+        }
+        if input.len() < 8 {
+            debug_assert!(false, "truncated frame entry");
+            return None;
+        }
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(&input[..8]);
+        let hash = u64::from_le_bytes(arr);
+        input = &input[8..];
+        let klen = read_varint(&mut input).ok()? as usize;
+        let key_start = data.len() - input.len();
+        if input.len() < klen {
+            return None;
+        }
+        input = &input[klen..];
+        let vlen = read_varint(&mut input).ok()? as usize;
+        let value_start = data.len() - input.len();
+        if input.len() < vlen {
+            return None;
+        }
+        self.pos = value_start + vlen;
+        Some((
+            hash,
+            data.slice(key_start..key_start + klen),
+            data.slice(value_start..value_start + vlen),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable_hash;
+
+    fn build(pairs: &[(&[u8], &[u8])]) -> Frame {
+        let mut b = FrameBuilder::new();
+        for (k, v) in pairs {
+            b.push(stable_hash(k), k, v);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn round_trips_entries_in_order() {
+        let frame = build(&[(b"alpha", b"1"), (b"", b"empty-key"), (b"k", b"")]);
+        assert_eq!(frame.entries(), 3);
+        let got: Vec<_> = frame.iter().collect();
+        assert_eq!(got[0], (stable_hash(b"alpha"), &b"alpha"[..], &b"1"[..]));
+        assert_eq!(got[1], (stable_hash(b""), &b""[..], &b"empty-key"[..]));
+        assert_eq!(got[2], (stable_hash(b"k"), &b"k"[..], &b""[..]));
+    }
+
+    #[test]
+    fn shared_iter_is_zero_copy() {
+        let frame = build(&[(b"key1", b"value1"), (b"key2", b"value2")]);
+        let base = frame.data().as_ptr() as usize;
+        let end = base + frame.payload_bytes();
+        for (hash, k, v) in frame.iter_shared() {
+            assert_eq!(hash, stable_hash(&k));
+            // The views point into the frame's own allocation.
+            for part in [&k, &v] {
+                let p = part.as_ptr() as usize;
+                assert!(p >= base && p + part.len() <= end);
+            }
+        }
+        let all: Vec<_> = frame.iter_shared().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, b"key1"[..]);
+        assert_eq!(all[1].2, b"value2"[..]);
+    }
+
+    #[test]
+    fn parse_accepts_built_frames() {
+        let frame = build(&[(b"a", b"b"), (b"cc", b"dd")]);
+        let parsed = Frame::parse(frame.data().clone()).unwrap();
+        assert_eq!(parsed.entries(), 2);
+        assert_eq!(
+            parsed.iter().collect::<Vec<_>>(),
+            frame.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_bad_lengths() {
+        let frame = build(&[(b"abcdef", b"ghijkl")]);
+        let data = frame.data();
+        // Any strict prefix that isn't empty must fail to parse.
+        for cut in 1..data.len() {
+            assert!(
+                Frame::parse(data.slice(..cut)).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+        // A length prefix pointing past the end is rejected.
+        let mut bad = data.to_vec();
+        let truncated = bad.len() - 1;
+        bad[8] = 0x7f; // klen = 127 >> remaining
+        assert!(Frame::parse(Bytes::from(bad[..truncated].to_vec())).is_err());
+    }
+
+    #[test]
+    fn large_values_cross_varint_width_boundaries() {
+        let big_value = vec![0xabu8; 70_000]; // vlen needs 3 varint bytes
+        let long_key = vec![b'k'; 300]; // klen needs 2 varint bytes
+        let mut b = FrameBuilder::new();
+        b.push(stable_hash(&long_key), &long_key, &big_value);
+        let frame = b.freeze();
+        let (h, k, v) = frame.iter().next().unwrap();
+        assert_eq!(h, stable_hash(&long_key));
+        assert_eq!(k, &long_key[..]);
+        assert_eq!(v, &big_value[..]);
+        assert!(Frame::parse(frame.data().clone()).is_ok());
+    }
+
+    #[test]
+    fn empty_frame_behaves() {
+        let frame = Frame::empty();
+        assert!(frame.is_empty());
+        assert_eq!(frame.iter().count(), 0);
+        assert_eq!(frame.iter_shared().count(), 0);
+        assert_eq!(Frame::parse(Bytes::new()).unwrap().entries(), 0);
+    }
+
+    #[test]
+    fn builder_reports_sizes() {
+        let mut b = FrameBuilder::with_capacity(64);
+        assert!(b.is_empty());
+        b.push(7, b"abc", b"de");
+        assert_eq!(b.len(), 1);
+        // 8 (hash) + 1 (klen) + 3 + 1 (vlen) + 2
+        assert_eq!(b.payload_bytes(), 15);
+        let f = b.freeze();
+        assert_eq!(f.payload_bytes(), 15);
+    }
+}

@@ -8,6 +8,27 @@
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// Debug-only instrumentation: counts [`stable_hash`] invocations so
+/// tests can assert the hash-once invariant of the frame data plane
+/// (the key is hashed at `emit` and the value rides in-frame; nothing
+/// downstream may hash it again). Compiled out of release builds.
+#[cfg(debug_assertions)]
+pub mod hash_counter {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    #[inline]
+    pub(super) fn bump() {
+        CALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total [`super::stable_hash`] calls in this process so far.
+    pub fn count() -> u64 {
+        CALLS.load(Ordering::Relaxed)
+    }
+}
+
 #[inline]
 fn mix(hash: u64, word: u64) -> u64 {
     (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
@@ -15,6 +36,8 @@ fn mix(hash: u64, word: u64) -> u64 {
 
 /// Deterministic 64-bit hash of a byte string.
 pub fn stable_hash(bytes: &[u8]) -> u64 {
+    #[cfg(debug_assertions)]
+    hash_counter::bump();
     let mut hash = 0u64;
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {

@@ -15,9 +15,11 @@
 //! It is *not* self-describing: both ends must agree on the type, which
 //! the typed flowlet layer guarantees statically.
 
+pub mod frame;
 pub mod hash;
 mod varint;
 
+pub use frame::{Frame, FrameBuilder, FrameIter, SharedFrameIter};
 pub use hash::{partition, stable_hash};
 pub use varint::{read_varint, write_varint, zigzag_decode, zigzag_encode};
 

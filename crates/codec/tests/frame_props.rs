@@ -1,0 +1,128 @@
+//! Property tests for the frame wire format: arbitrary key/value
+//! bytes must round-trip through `FrameBuilder` → `Frame` unchanged,
+//! in order, with the pushed hash intact — for both the borrowed
+//! iterator and the zero-copy shared iterator — and the raw buffer
+//! must survive a `Frame::parse` re-validation.
+
+use hamr_codec::frame::{Frame, FrameBuilder};
+use hamr_codec::stable_hash;
+use proptest::prelude::*;
+
+fn build(pairs: &[(Vec<u8>, Vec<u8>)]) -> Frame {
+    let mut b = FrameBuilder::new();
+    for (k, v) in pairs {
+        b.push(stable_hash(k), k, v);
+    }
+    b.freeze()
+}
+
+fn assert_frame_matches(frame: &Frame, pairs: &[(Vec<u8>, Vec<u8>)]) {
+    assert_eq!(frame.entries(), pairs.len());
+    // Borrowed iteration.
+    let got: Vec<(u64, Vec<u8>, Vec<u8>)> = frame
+        .iter()
+        .map(|(h, k, v)| (h, k.to_vec(), v.to_vec()))
+        .collect();
+    let want: Vec<(u64, Vec<u8>, Vec<u8>)> = pairs
+        .iter()
+        .map(|(k, v)| (stable_hash(k), k.clone(), v.clone()))
+        .collect();
+    assert_eq!(got, want);
+    // Zero-copy shared iteration sees the same entries, and its views
+    // alias the frame's buffer rather than copies of it.
+    let buf_range = {
+        let b = &frame.data()[..];
+        (b.as_ptr() as usize, b.as_ptr() as usize + b.len())
+    };
+    for ((h, k, v), (wh, wk, wv)) in frame.iter_shared().zip(want.iter()) {
+        assert_eq!(h, *wh);
+        assert_eq!(&k[..], &wk[..]);
+        assert_eq!(&v[..], &wv[..]);
+        if !k.is_empty() {
+            let p = k.as_ptr() as usize;
+            assert!(p >= buf_range.0 && p + k.len() <= buf_range.1);
+        }
+        if !v.is_empty() {
+            let p = v.as_ptr() as usize;
+            assert!(p >= buf_range.0 && p + v.len() <= buf_range.1);
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary small pairs (including empty keys and empty values)
+    /// round-trip in order with their hashes.
+    #[test]
+    fn roundtrip_arbitrary_pairs(
+        pairs in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..48),
+             prop::collection::vec(any::<u8>(), 0..96)),
+            0..24,
+        )
+    ) {
+        let frame = build(&pairs);
+        assert_frame_matches(&frame, &pairs);
+        prop_assert_eq!(
+            frame.payload_bytes(),
+            frame.data().len()
+        );
+    }
+
+    /// A frame's raw bytes re-validate via `Frame::parse`, and the
+    /// parsed frame yields identical entries.
+    #[test]
+    fn parse_accepts_own_encoding(
+        pairs in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 0..32),
+             prop::collection::vec(any::<u8>(), 0..32)),
+            0..16,
+        )
+    ) {
+        let frame = build(&pairs);
+        let reparsed = Frame::parse(frame.data().clone()).expect("own bytes must parse");
+        prop_assert_eq!(reparsed.entries(), frame.entries());
+        assert_frame_matches(&reparsed, &pairs);
+    }
+
+    /// Truncating the buffer mid-entry must be rejected, not read out
+    /// of bounds. (Cutting at an exact entry boundary is legitimately
+    /// a shorter valid frame, so only strictly-interior cuts and cuts
+    /// inside the 8-byte hash are exercised.)
+    #[test]
+    fn parse_rejects_truncation(
+        key in prop::collection::vec(any::<u8>(), 1..32),
+        value in prop::collection::vec(any::<u8>(), 1..32),
+        cut in 1usize..1000,
+    ) {
+        let frame = build(&[(key, value)]);
+        let len = frame.data().len();
+        let cut = 1 + cut % (len - 1); // 1..len, never 0 (empty = valid)
+        let truncated = frame.data().slice(..cut);
+        prop_assert!(Frame::parse(truncated).is_err());
+    }
+
+    /// Values longer than u16::MAX force multi-byte varint lengths and
+    /// still round-trip exactly.
+    #[test]
+    fn roundtrip_large_values(
+        key in prop::collection::vec(any::<u8>(), 0..8),
+        fill in any::<u8>(),
+        extra in 0usize..600,
+    ) {
+        let value = vec![fill; 65_536 + extra];
+        let pairs = vec![(key, value)];
+        let frame = build(&pairs);
+        assert_frame_matches(&frame, &pairs);
+        // klen/vlen varints are no longer single bytes here.
+        prop_assert!(frame.data().len() > 65_536 + 8);
+    }
+}
+
+#[test]
+fn empty_frame_roundtrips() {
+    let frame = build(&[]);
+    assert_eq!(frame.entries(), 0);
+    assert!(frame.is_empty());
+    assert_eq!(frame.iter().count(), 0);
+    assert!(Frame::parse(frame.data().clone()).is_ok());
+}

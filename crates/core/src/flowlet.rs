@@ -51,13 +51,15 @@ impl<'a> Emitter<'a> {
         Emitter { out }
     }
 
-    /// Emit a record on output port `port`.
+    /// Emit a record on output port `port`. The key and value are
+    /// copied straight into the port's open frame — no per-record
+    /// allocation — and the key is hashed exactly once for routing.
     ///
     /// # Panics
     /// Panics if `port` is not a connected output of this flowlet —
     /// that is a wiring bug in the job graph, not a data condition.
     #[inline]
-    pub fn emit(&mut self, port: usize, key: Bytes, value: Bytes) {
+    pub fn emit(&mut self, port: usize, key: &[u8], value: &[u8]) {
         self.out.emit(port, key, value);
     }
 
@@ -72,26 +74,28 @@ impl<'a> Emitter<'a> {
         self.out.ports()
     }
 
-    /// Typed emit: encode `key`/`value` with [`Codec`] and send on `port`.
+    /// Typed emit: encode `key`/`value` with [`Codec`] and send on
+    /// `port`. Encodes into a scratch buffer reused across emissions,
+    /// so steady-state typed emits allocate nothing.
     #[inline]
     pub fn emit_t<K: Codec, V: Codec>(&mut self, port: usize, key: &K, value: &V) {
-        self.emit(port, key.to_bytes(), value.to_bytes());
+        self.out.emit_encoded(port, key, value);
     }
 
     /// Emit one record to *every* connected output port — the
     /// data-reuse pattern where one loaded dataset feeds several
     /// downstream flowlets (paper §3.2).
     #[inline]
-    pub fn emit_all(&mut self, key: Bytes, value: Bytes) {
+    pub fn emit_all(&mut self, key: &[u8], value: &[u8]) {
         for port in 0..self.ports() {
-            self.emit(port, key.clone(), value.clone());
+            self.emit(port, key, value);
         }
     }
 
-    /// Typed [`Emitter::emit_all`].
+    /// Typed [`Emitter::emit_all`]: encodes once, emits everywhere.
     #[inline]
     pub fn emit_all_t<K: Codec, V: Codec>(&mut self, key: &K, value: &V) {
-        self.emit_all(key.to_bytes(), value.to_bytes());
+        self.out.emit_all_encoded(key, value);
     }
 
     /// Typed captured-output emit.

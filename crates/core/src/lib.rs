@@ -72,7 +72,7 @@ pub use flowlet::{
 };
 pub use graph::{Exchange, FlowletId, FlowletKind, JobBuilder, JobGraph};
 pub use metrics::{FlowletMetrics, JobMetrics, NodeMetrics};
-pub use record::{Bin, Record};
+pub use record::{FrameBin, Record};
 
 /// Node index within a cluster, shared with the substrates.
 pub type NodeId = usize;

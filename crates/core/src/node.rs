@@ -32,7 +32,7 @@ use crate::flowlet::{AccBox, TaskContext};
 use crate::graph::{EdgeId, FlowletId, FlowletKind, JobGraph};
 use crate::metrics::{FlowletMetrics, NodeMetrics};
 use crate::outbuf::{PortSpec, TaskOutput};
-use crate::record::{Bin, Record};
+use crate::record::{FrameBin, Record};
 use crate::reduce_state::{FireShard, PartialState, ReduceState};
 use crate::NodeId;
 use bytes::Bytes;
@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 /// Messages exchanged between node runtimes over the fabric.
 pub(crate) enum NetMsg {
     /// A bin of records for `bin.edge`'s destination flowlet.
-    Bin(Bin),
+    Bin(FrameBin),
     /// The sender's instance of `edge`'s source flowlet has finished
     /// producing on `edge`.
     EdgeComplete { edge: EdgeId },
@@ -78,7 +78,7 @@ enum Work {
         /// True when the receipt was already acknowledged (barrier-mode
         /// holds ack on arrival so upstream windows keep moving).
         acked: bool,
-        bin: Bin,
+        bin: FrameBin,
     },
     Complete,
     Marker {
@@ -99,17 +99,17 @@ enum Task {
     MapBin {
         flowlet: FlowletId,
         ack: Option<(NodeId, EdgeId)>,
-        bin: Bin,
+        bin: FrameBin,
     },
     PartialFold {
         flowlet: FlowletId,
         ack: Option<(NodeId, EdgeId)>,
-        bin: Bin,
+        bin: FrameBin,
     },
     ReduceIngest {
         flowlet: FlowletId,
         ack: Option<(NodeId, EdgeId)>,
-        bin: Bin,
+        bin: FrameBin,
     },
     FireReduce {
         flowlet: FlowletId,
@@ -150,7 +150,7 @@ impl Task {
 /// A worker's report after executing one task.
 struct TaskDone {
     flowlet: FlowletId,
-    bins: Vec<(NodeId, Bin)>,
+    bins: Vec<(NodeId, FrameBin)>,
     captured: Vec<Record>,
     ack_to: Option<(NodeId, EdgeId)>,
     /// For stream tasks: (epoch, more-epochs-follow).
@@ -248,8 +248,8 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                 };
                 records_in = bin.len() as u64;
                 let mut em = crate::flowlet::Emitter::new(&mut out);
-                for rec in &bin.records {
-                    m.map(&shared.ctx, &rec.key, &rec.value, &mut em);
+                for (_hash, key, value) in bin.frame.iter() {
+                    m.map(&shared.ctx, key, value, &mut em);
                 }
                 ack_to = ack;
             }
@@ -261,7 +261,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                 let state = shared.partial[flowlet]
                     .as_ref()
                     .expect("partial state exists");
-                state.fold_bin(worker_id, r.as_ref(), bin.records);
+                state.fold_bin(worker_id, r.as_ref(), &bin);
                 ack_to = ack;
             }
             Task::ReduceIngest { ack, bin, .. } => {
@@ -270,7 +270,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                     .lock()
                     .clone()
                     .expect("reduce state exists");
-                state.ingest(worker_id, bin.records).expect("spill failed");
+                state.ingest(worker_id, &bin).expect("spill failed");
                 ack_to = ack;
             }
             Task::FireReduce { mut shard, .. } => {
@@ -426,7 +426,7 @@ struct NodeRuntime {
     inflight: Vec<usize>,
     /// Bins held back by flow control, with the time they were parked
     /// (feeds the stall-time metric and resume trace events).
-    deferred: VecDeque<(FlowletId, NodeId, Bin, Instant)>,
+    deferred: VecDeque<(FlowletId, NodeId, FrameBin, Instant)>,
     outstanding: usize,
     captured: HashMap<FlowletId, Vec<Record>>,
     fmetrics: Vec<FlowletMetrics>,
@@ -752,7 +752,7 @@ impl NodeRuntime {
         }
     }
 
-    fn ship_or_defer(&mut self, f: FlowletId, dst: NodeId, bin: Bin) {
+    fn ship_or_defer(&mut self, f: FlowletId, dst: NodeId, bin: FrameBin) {
         let slot = bin.edge * self.nodes + dst;
         if self.inflight[slot] < self.cfg.out_window_bins {
             self.inflight[slot] += 1;
@@ -765,6 +765,7 @@ impl NodeRuntime {
                     edge: bin.edge as u32,
                     dst: dst as u32,
                     records: bin.len() as u32,
+                    bytes: bin.payload_bytes() as u64,
                 },
             );
             let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
@@ -815,6 +816,7 @@ impl NodeRuntime {
                         edge: bin.edge as u32,
                         dst: dst as u32,
                         records: bin.len() as u32,
+                        bytes: bin.payload_bytes() as u64,
                     },
                 );
                 let _ = self.endpoint.send(dst, NetMsg::Bin(bin));

@@ -1,18 +1,25 @@
-//! Task-side output buffering: partitioning emissions into bins.
+//! Task-side output buffering: partitioning emissions into frame bins.
 //!
 //! Each running task owns a [`TaskOutput`]. Emissions are routed by the
-//! port's [`Exchange`] to destination nodes and packed into [`Bin`]s of
-//! at most `bin_capacity` records; full bins move to the `finished`
-//! list, which the node runtime ships (or defers, under flow control)
-//! when the task ends. Buffering per task keeps workers lock-free while
-//! they run — the paper's "inside a flowlet task, instructions execute
-//! sequentially".
+//! port's [`Exchange`] to destination nodes and appended to a per-slot
+//! [`FrameBuilder`] — one contiguous buffer per (port, destination)
+//! instead of a `Vec` of per-record allocations. Full frames (at
+//! `bin_capacity` records) move to the `finished` list, which the node
+//! runtime ships (or defers, under flow control) when the task ends.
+//! Buffering per task keeps workers lock-free while they run — the
+//! paper's "inside a flowlet task, instructions execute sequentially".
+//!
+//! The key is hashed exactly once here, at emission; the 64-bit hash
+//! rides in front of the entry so downstream consumers (reduce
+//! sub-sharding, partial-reduce striping) never hash it again.
+//! Broadcast ports build one frame and ship cheap clones of it to every
+//! node — encode once, refcount per destination.
 
 use crate::graph::{EdgeId, Exchange};
-use crate::record::{Bin, Record};
+use crate::record::{FrameBin, Record};
 use crate::NodeId;
 use bytes::Bytes;
-use hamr_codec::partition;
+use hamr_codec::{stable_hash, FrameBuilder};
 
 /// One output port as seen by a task.
 #[derive(Debug, Clone, Copy)]
@@ -27,13 +34,17 @@ pub(crate) struct TaskOutput {
     node: NodeId,
     nodes: usize,
     bin_capacity: usize,
-    /// Open (partially filled) bin per (port, destination node).
-    open: Vec<Option<Bin>>,
+    /// Open (partially filled) frame per (port, destination node).
+    /// Broadcast ports use only their first slot: one frame is built
+    /// and cloned to every destination when it closes.
+    open: Vec<Option<FrameBuilder>>,
     /// Packed bins ready to ship, with their destination.
-    finished: Vec<(NodeId, Bin)>,
+    finished: Vec<(NodeId, FrameBin)>,
     /// Records captured as job output.
     captured: Vec<Record>,
     capture_enabled: bool,
+    /// Reusable encode buffer for typed emits (see `emit_encoded`).
+    scratch: Vec<u8>,
     flowlet_name: String,
 }
 
@@ -56,6 +67,7 @@ impl TaskOutput {
             finished: Vec::new(),
             captured: Vec::new(),
             capture_enabled,
+            scratch: Vec::new(),
             flowlet_name,
         }
     }
@@ -64,22 +76,31 @@ impl TaskOutput {
         self.ports.len()
     }
 
+    /// Sizing hint for a fresh frame buffer: enough for `bin_capacity`
+    /// small records without growing, capped so huge capacities don't
+    /// pre-commit memory.
     #[inline]
-    fn push_to(&mut self, port: usize, dst: NodeId, record: Record) {
+    fn frame_capacity_hint(&self) -> usize {
+        (self.bin_capacity.min(1024)) * 32
+    }
+
+    #[inline]
+    fn append(&mut self, port: usize, dst: NodeId, hash: u64, key: &[u8], value: &[u8]) {
         let slot = port * self.nodes + dst;
-        let bin = self.open[slot].get_or_insert_with(|| {
-            Bin::with_capacity(self.ports[port].edge, self.bin_capacity.min(1024))
-        });
-        bin.push(record);
-        if bin.len() >= self.bin_capacity {
-            let full = self.open[slot].take().expect("bin present");
-            self.finished.push((dst, full));
+        let hint = self.frame_capacity_hint();
+        let builder = self.open[slot].get_or_insert_with(|| FrameBuilder::with_capacity(hint));
+        builder.push(hash, key, value);
+        if builder.len() >= self.bin_capacity {
+            let full = self.open[slot].take().expect("builder present");
+            self.finished
+                .push((dst, FrameBin::new(self.ports[port].edge, full.freeze())));
         }
     }
 
-    /// Route one record out of `port`.
+    /// Route one record out of `port`. The key is hashed here, once;
+    /// every downstream use of the hash reads it from the frame.
     #[inline]
-    pub(crate) fn emit(&mut self, port: usize, key: Bytes, value: Bytes) {
+    pub(crate) fn emit(&mut self, port: usize, key: &[u8], value: &[u8]) {
         let spec = match self.ports.get(port) {
             Some(s) => *s,
             None => panic!(
@@ -88,29 +109,83 @@ impl TaskOutput {
                 self.ports.len()
             ),
         };
+        let hash = stable_hash(key);
         match spec.exchange {
             Exchange::Hash => {
-                let dst = partition(&key, self.nodes);
-                self.push_to(port, dst, Record::new(key, value));
+                let dst = (hash % self.nodes as u64) as usize;
+                self.append(port, dst, hash, key, value);
             }
             Exchange::Local => {
                 let node = self.node;
-                self.push_to(port, node, Record::new(key, value));
+                self.append(port, node, hash, key, value);
             }
             Exchange::Broadcast => {
-                for dst in 0..self.nodes {
-                    self.push_to(port, dst, Record::new(key.clone(), value.clone()));
+                // Encode once into the port's shared builder; clones go
+                // out per destination when the frame closes.
+                let slot = port * self.nodes;
+                let hint = self.frame_capacity_hint();
+                let builder =
+                    self.open[slot].get_or_insert_with(|| FrameBuilder::with_capacity(hint));
+                builder.push(hash, key, value);
+                if builder.len() >= self.bin_capacity {
+                    let full = self.open[slot].take().expect("builder present");
+                    self.broadcast_frame(spec.edge, full);
                 }
             }
             Exchange::KeyNode => {
-                let mut input = &key[..];
+                let mut input = key;
                 let node = hamr_codec::read_varint(&mut input)
                     .expect("Exchange::KeyNode requires a u64 node-id key")
                     as usize;
                 let dst = node % self.nodes;
-                self.push_to(port, dst, Record::new(key, value));
+                self.append(port, dst, hash, key, value);
             }
         }
+    }
+
+    /// Ship one broadcast frame to every node as refcounted clones.
+    fn broadcast_frame(&mut self, edge: EdgeId, builder: FrameBuilder) {
+        let frame = builder.freeze();
+        for dst in 0..self.nodes {
+            self.finished
+                .push((dst, FrameBin::new(edge, frame.clone())));
+        }
+    }
+
+    /// Encode a typed pair through the reusable scratch buffer and emit
+    /// it — zero allocations per record once the scratch has grown.
+    #[inline]
+    pub(crate) fn emit_encoded<K: hamr_codec::Codec, V: hamr_codec::Codec>(
+        &mut self,
+        port: usize,
+        key: &K,
+        value: &V,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        key.encode(&mut scratch);
+        let split = scratch.len();
+        value.encode(&mut scratch);
+        self.emit(port, &scratch[..split], &scratch[split..]);
+        self.scratch = scratch;
+    }
+
+    /// Encode a typed pair once and emit it on every port.
+    #[inline]
+    pub(crate) fn emit_all_encoded<K: hamr_codec::Codec, V: hamr_codec::Codec>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        key.encode(&mut scratch);
+        let split = scratch.len();
+        value.encode(&mut scratch);
+        for port in 0..self.ports.len() {
+            self.emit(port, &scratch[..split], &scratch[split..]);
+        }
+        self.scratch = scratch;
     }
 
     /// Record a captured job-output pair.
@@ -120,13 +195,21 @@ impl TaskOutput {
         }
     }
 
-    /// Finish the task: flush partial bins and hand everything over.
-    pub(crate) fn into_parts(mut self) -> (Vec<(NodeId, Bin)>, Vec<Record>) {
+    /// Finish the task: flush partial frames and hand everything over.
+    pub(crate) fn into_parts(mut self) -> (Vec<(NodeId, FrameBin)>, Vec<Record>) {
         for slot in 0..self.open.len() {
-            if let Some(bin) = self.open[slot].take() {
-                if !bin.is_empty() {
+            if let Some(builder) = self.open[slot].take() {
+                if builder.is_empty() {
+                    continue;
+                }
+                let port = slot / self.nodes;
+                let spec = self.ports[port];
+                if matches!(spec.exchange, Exchange::Broadcast) {
+                    self.broadcast_frame(spec.edge, builder);
+                } else {
                     let dst = slot % self.nodes;
-                    self.finished.push((dst, bin));
+                    self.finished
+                        .push((dst, FrameBin::new(spec.edge, builder.freeze())));
                 }
             }
         }
@@ -137,10 +220,7 @@ impl TaskOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn b(s: &str) -> Bytes {
-        Bytes::copy_from_slice(s.as_bytes())
-    }
+    use hamr_codec::partition;
 
     fn out(ports: Vec<PortSpec>, node: NodeId, nodes: usize, cap: usize) -> TaskOutput {
         TaskOutput::new(ports, node, nodes, cap, true, "test".into())
@@ -157,7 +237,7 @@ mod tests {
             4,
             100,
         );
-        o.emit(0, b("k"), b("v"));
+        o.emit(0, b"k", b"v");
         let (bins, _) = o.into_parts();
         assert_eq!(bins.len(), 1);
         assert_eq!(bins[0].0, 2);
@@ -178,13 +258,15 @@ mod tests {
             1000,
         );
         for i in 0..100u64 {
-            o.emit(0, Bytes::from(format!("key{i}")), b("v"));
+            o.emit(0, format!("key{i}").as_bytes(), b"v");
         }
         let (bins, _) = o.into_parts();
-        // Each key must be in the bin for its partition.
+        // Each key must be in the bin for its partition, and the
+        // in-frame hash must agree with re-hashing the key.
         for (dst, bin) in &bins {
-            for r in &bin.records {
-                assert_eq!(partition(&r.key, nodes), *dst);
+            for (hash, key, _) in bin.frame.iter() {
+                assert_eq!(hash, stable_hash(key));
+                assert_eq!(partition(key, nodes), *dst);
             }
         }
         let total: usize = bins.iter().map(|(_, b)| b.len()).sum();
@@ -205,12 +287,12 @@ mod tests {
             100,
         );
         for node in 0..6u64 {
-            o.emit(0, hamr_codec::Codec::to_bytes(&node), b("v"));
+            o.emit(0, &hamr_codec::Codec::to_bytes(&node), b"v");
         }
         let (bins, _) = o.into_parts();
         for (dst, bin) in &bins {
-            for r in &bin.records {
-                let mut input = &r.key[..];
+            for (_, key, _) in bin.frame.iter() {
+                let mut input = key;
                 let node = hamr_codec::read_varint(&mut input).unwrap() as usize;
                 assert_eq!(node % nodes, *dst);
             }
@@ -230,11 +312,63 @@ mod tests {
             3,
             10,
         );
-        o.emit(0, b("k"), b("v"));
+        o.emit(0, b"k", b"v");
         let (bins, _) = o.into_parts();
         let mut dsts: Vec<_> = bins.iter().map(|(d, _)| *d).collect();
         dsts.sort_unstable();
         assert_eq!(dsts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn broadcast_encodes_once_and_clones() {
+        let mut o = out(
+            vec![PortSpec {
+                edge: 1,
+                exchange: Exchange::Broadcast,
+            }],
+            0,
+            3,
+            10,
+        );
+        o.emit(0, b"key", b"value");
+        o.emit(0, b"key2", b"value2");
+        let (bins, _) = o.into_parts();
+        assert_eq!(bins.len(), 3);
+        // All three destinations share one payload allocation.
+        let first = bins[0].1.frame.data().as_ptr();
+        for (_, bin) in &bins {
+            assert_eq!(bin.frame.data().as_ptr(), first);
+            assert_eq!(bin.len(), 2);
+        }
+    }
+
+    #[test]
+    fn broadcast_closes_full_frames_per_capacity() {
+        let nodes = 2;
+        let mut o = out(
+            vec![PortSpec {
+                edge: 0,
+                exchange: Exchange::Broadcast,
+            }],
+            0,
+            nodes,
+            3,
+        );
+        for i in 0..7u64 {
+            o.emit(0, &i.to_le_bytes(), b"v");
+        }
+        let (bins, _) = o.into_parts();
+        // 7 records at capacity 3 -> frames of 3, 3, 1, each cloned to
+        // both nodes.
+        assert_eq!(bins.len(), 3 * nodes);
+        for dst in 0..nodes {
+            let sizes: Vec<_> = bins
+                .iter()
+                .filter(|(d, _)| *d == dst)
+                .map(|(_, b)| b.len())
+                .collect();
+            assert_eq!(sizes, vec![3, 3, 1]);
+        }
     }
 
     #[test]
@@ -249,7 +383,7 @@ mod tests {
             3,
         );
         for i in 0..7u64 {
-            o.emit(0, Bytes::from(i.to_le_bytes().to_vec()), b("v"));
+            o.emit(0, &i.to_le_bytes(), b"v");
         }
         let (bins, _) = o.into_parts();
         // 7 records at capacity 3 -> bins of 3, 3, 1.
@@ -258,7 +392,28 @@ mod tests {
     }
 
     #[test]
+    fn emit_encoded_round_trips_typed_pairs() {
+        let mut o = out(
+            vec![PortSpec {
+                edge: 0,
+                exchange: Exchange::Local,
+            }],
+            0,
+            1,
+            10,
+        );
+        o.emit_encoded(0, &"word".to_string(), &7u64);
+        let (bins, _) = o.into_parts();
+        let (hash, key, value) = bins[0].1.frame.iter().next().unwrap();
+        assert_eq!(hash, stable_hash(key));
+        let k: String = hamr_codec::Codec::from_bytes(key).unwrap();
+        let v: u64 = hamr_codec::Codec::from_bytes(value).unwrap();
+        assert_eq!((k.as_str(), v), ("word", 7));
+    }
+
+    #[test]
     fn capture_collects_when_enabled() {
+        let b = |s: &str| Bytes::copy_from_slice(s.as_bytes());
         let mut o = out(vec![], 0, 1, 10);
         o.capture(b("k"), b("v"));
         let (bins, captured) = o.into_parts();
@@ -269,6 +424,7 @@ mod tests {
 
     #[test]
     fn capture_ignored_when_disabled() {
+        let b = |s: &str| Bytes::copy_from_slice(s.as_bytes());
         let mut o = TaskOutput::new(vec![], 0, 1, 10, false, "test".into());
         o.capture(b("k"), b("v"));
         let (_, captured) = o.into_parts();
@@ -287,7 +443,7 @@ mod tests {
             1,
             10,
         );
-        o.emit(1, b("k"), b("v"));
+        o.emit(1, b"k", b"v");
     }
 
     #[test]
@@ -307,8 +463,8 @@ mod tests {
             2,
             100,
         );
-        o.emit(0, b("a"), b("1"));
-        o.emit(1, b("b"), b("2"));
+        o.emit(0, b"a", b"1");
+        o.emit(1, b"b", b"2");
         let (bins, _) = o.into_parts();
         let edges: std::collections::BTreeSet<_> = bins.iter().map(|(_, b)| b.edge).collect();
         assert_eq!(edges.into_iter().collect::<Vec<_>>(), vec![10, 11]);

@@ -1,13 +1,19 @@
-//! Records and bins: the engine's data units.
+//! Records and frame bins: the engine's data units.
 //!
-//! A [`Record`] is an erased key-value pair. A [`Bin`] is a batch of
-//! records addressed to one edge of the flowlet graph — the paper's
-//! "minimum data required to enable a flowlet" and the unit the
-//! scheduler fires tasks against.
+//! A [`FrameBin`] is a contiguous batch of `(hash, key, value)` entries
+//! addressed to one edge of the flowlet graph — the paper's "minimum
+//! data required to enable a flowlet" and the unit the scheduler fires
+//! tasks against. The payload is a single shared buffer ([`Frame`]),
+//! so cloning a bin (broadcast) is a refcount bump and consumers slice
+//! keys and values out of it without copying.
+//!
+//! [`Record`] survives as the erased key-value pair handed back to the
+//! driver as captured job output; it is no longer on the shuffle path.
 
 use bytes::Bytes;
+use hamr_codec::{stable_hash, Frame, FrameBuilder};
 
-/// One erased key-value pair.
+/// One erased key-value pair (captured job output).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     pub key: Bytes,
@@ -18,69 +24,55 @@ impl Record {
     pub fn new(key: Bytes, value: Bytes) -> Self {
         Record { key, value }
     }
-
-    /// Serialized footprint: both payloads plus ~2 varint length bytes
-    /// each, matching what the shuffle actually ships.
-    #[inline]
-    pub fn wire_size(&self) -> usize {
-        self.key.len() + self.value.len() + 4
-    }
 }
 
-/// A batch of records flowing along one graph edge toward one node.
+/// A batch of records flowing along one graph edge toward one node,
+/// packed into one contiguous frame.
 #[derive(Debug, Clone)]
-pub struct Bin {
+pub struct FrameBin {
     /// Which edge of the job graph this bin travels on.
     pub edge: usize,
-    /// Records in arrival order.
-    pub records: Vec<Record>,
-    /// Cached sum of record wire sizes.
-    bytes: usize,
+    /// The packed `(hash, key, value)` payload.
+    pub frame: Frame,
 }
 
-impl Bin {
-    pub fn new(edge: usize) -> Self {
-        Bin {
-            edge,
-            records: Vec::new(),
-            bytes: 0,
+impl FrameBin {
+    pub fn new(edge: usize, frame: Frame) -> Self {
+        FrameBin { edge, frame }
+    }
+
+    /// Build a bin from key-value pairs, hashing each key — a test and
+    /// bench convenience; the hot path goes through `TaskOutput`.
+    pub fn from_pairs(edge: usize, pairs: &[(&[u8], &[u8])]) -> Self {
+        let mut b = FrameBuilder::new();
+        for (k, v) in pairs {
+            b.push(stable_hash(k), k, v);
         }
+        FrameBin::new(edge, b.freeze())
     }
 
-    pub fn with_capacity(edge: usize, cap: usize) -> Self {
-        Bin {
-            edge,
-            records: Vec::with_capacity(cap),
-            bytes: 0,
-        }
-    }
-
-    #[inline]
-    pub fn push(&mut self, record: Record) {
-        self.bytes += record.wire_size();
-        self.records.push(record);
-    }
-
+    /// Number of records in the bin.
     #[inline]
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.frame.entries()
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.frame.is_empty()
     }
 
     /// Serialized payload size (drives the network bandwidth model).
+    /// Exact: the frame's encoded bytes are what the wire would carry.
     #[inline]
     pub fn payload_bytes(&self) -> usize {
-        self.bytes
+        self.frame.payload_bytes()
     }
 
     /// Wire size including a small fixed header.
     #[inline]
     pub fn wire_size(&self) -> usize {
-        self.bytes + 16
+        self.payload_bytes() + 16
     }
 }
 
@@ -88,35 +80,45 @@ impl Bin {
 mod tests {
     use super::*;
 
-    fn rec(k: &str, v: &str) -> Record {
-        Record::new(
-            Bytes::copy_from_slice(k.as_bytes()),
-            Bytes::copy_from_slice(v.as_bytes()),
-        )
-    }
-
     #[test]
-    fn record_wire_size_counts_payload_and_overhead() {
-        assert_eq!(rec("ab", "cde").wire_size(), 2 + 3 + 4);
-        assert_eq!(rec("", "").wire_size(), 4);
-    }
-
-    #[test]
-    fn bin_accumulates_sizes() {
-        let mut bin = Bin::new(3);
-        assert!(bin.is_empty());
-        bin.push(rec("k1", "v1"));
-        bin.push(rec("k2", "value2"));
-        assert_eq!(bin.len(), 2);
+    fn frame_bin_reports_frame_sizes() {
+        let bin = FrameBin::from_pairs(3, &[(b"k1", b"v1"), (b"k2", b"value2")]);
         assert_eq!(bin.edge, 3);
-        assert_eq!(bin.payload_bytes(), (2 + 2 + 4) + (2 + 6 + 4));
+        assert_eq!(bin.len(), 2);
+        assert!(!bin.is_empty());
+        // Each entry: 8 (hash) + 1 (klen) + key + 1 (vlen) + value.
+        assert_eq!(
+            bin.payload_bytes(),
+            (8 + 1 + 2 + 1 + 2) + (8 + 1 + 2 + 1 + 6)
+        );
         assert_eq!(bin.wire_size(), bin.payload_bytes() + 16);
     }
 
     #[test]
-    fn with_capacity_preallocates() {
-        let bin = Bin::with_capacity(0, 64);
-        assert!(bin.records.capacity() >= 64);
+    fn from_pairs_hashes_each_key() {
+        let bin = FrameBin::from_pairs(0, &[(b"alpha", b"1")]);
+        let (h, k, v) = bin.frame.iter().next().unwrap();
+        assert_eq!(h, stable_hash(b"alpha"));
+        assert_eq!(k, b"alpha");
+        assert_eq!(v, b"1");
+    }
+
+    #[test]
+    fn clone_shares_the_frame_allocation() {
+        let bin = FrameBin::from_pairs(1, &[(b"k", b"v")]);
+        let copy = bin.clone();
+        assert_eq!(
+            bin.frame.data().as_ptr(),
+            copy.frame.data().as_ptr(),
+            "broadcast clones must not copy the payload"
+        );
+    }
+
+    #[test]
+    fn empty_bin() {
+        let bin = FrameBin::new(0, Frame::empty());
+        assert!(bin.is_empty());
         assert_eq!(bin.payload_bytes(), 0);
+        assert_eq!(bin.wire_size(), 16);
     }
 }

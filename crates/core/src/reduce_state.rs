@@ -11,13 +11,21 @@
 //!   lock-striped map (paper-faithful; §5.2 blames exactly this for the
 //!   HistogramRatings slowdown) or keep per-worker maps merged at
 //!   flush time (the paper's proposed fix).
+//!
+//! Both consume [`FrameBin`]s and reuse the 64-bit hash that rides in
+//! front of every frame entry — the key was hashed once at emission and
+//! is never hashed again here. Reduce ingestion slices keys and values
+//! zero-copy out of the frame ([`hamr_codec::Frame::iter_shared`]),
+//! since the grouped state retains most of the frame's bytes anyway.
+//! Partial-reduce folding borrows entries and copies only the key, only
+//! on first sight: accumulators outlive the frame, and pinning a whole
+//! frame allocation per retained key would hoard memory.
 
 use crate::config::ContentionMode;
 use crate::flowlet::{AccBox, PartialReduceFn};
-use crate::record::Record;
+use crate::record::FrameBin;
 use crate::spill::{write_run, GroupedMerge, RunReader, SortedStream};
 use bytes::Bytes;
-use hamr_codec::stable_hash;
 use hamr_simdisk::{Disk, DiskError};
 use hamr_trace::{EventKind, Tracer};
 use parking_lot::Mutex;
@@ -29,12 +37,13 @@ use std::collections::HashMap;
 const GROUP_OVERHEAD: usize = 48;
 const VALUE_OVERHEAD: usize = 8;
 
-/// Sub-shard index for a key. Uses the *upper* hash bits: the lower
-/// bits already picked the node (`hash % nodes`), so using them again
-/// would collapse every key on a node into one shard.
+/// Sub-shard index for a key, from its emission-time hash. Uses the
+/// *upper* hash bits: the lower bits already picked the node
+/// (`hash % nodes`), so using them again would collapse every key on a
+/// node into one shard.
 #[inline]
-fn sub_shard(key: &[u8], shards: usize) -> usize {
-    ((stable_hash(key) >> 32) % shards as u64) as usize
+fn sub_shard(hash: u64, shards: usize) -> usize {
+    ((hash >> 32) % shards as u64) as usize
 }
 
 struct ReduceShard {
@@ -87,23 +96,25 @@ impl ReduceState {
         }
     }
 
-    /// Fold one bin of records into the grouped state, spilling the
-    /// touched shard if it crosses its budget slice. `worker` labels
-    /// any spill this triggers in the trace.
-    pub(crate) fn ingest(&self, worker: usize, records: Vec<Record>) -> Result<(), DiskError> {
+    /// Fold one bin into the grouped state, spilling the touched shard
+    /// if it crosses its budget slice. Keys and values are zero-copy
+    /// sub-views of the bin's frame; sub-shard selection reuses the
+    /// in-frame hash. `worker` labels any spill this triggers in the
+    /// trace.
+    pub(crate) fn ingest(&self, worker: usize, bin: &FrameBin) -> Result<(), DiskError> {
         let per_shard_budget = (self.budget / self.shards.len()).max(1);
-        for rec in records {
-            let s = sub_shard(&rec.key, self.shards.len());
+        for (hash, key, value) in bin.frame.iter_shared() {
+            let s = sub_shard(hash, self.shards.len());
             let mut shard = self.shards[s].lock();
-            let added = match shard.groups.get_mut(&rec.key) {
+            let added = match shard.groups.get_mut(&key) {
                 Some(values) => {
-                    let add = rec.value.len() + VALUE_OVERHEAD;
-                    values.push(rec.value);
+                    let add = value.len() + VALUE_OVERHEAD;
+                    values.push(value);
                     add
                 }
                 None => {
-                    let add = rec.key.len() + rec.value.len() + GROUP_OVERHEAD + VALUE_OVERHEAD;
-                    shard.groups.insert(rec.key, vec![rec.value]);
+                    let add = key.len() + value.len() + GROUP_OVERHEAD + VALUE_OVERHEAD;
+                    shard.groups.insert(key, vec![value]);
                     add
                 }
             };
@@ -238,39 +249,42 @@ impl PartialState {
         }
     }
 
-    /// Fold a bin of records into the accumulators. `worker` selects
-    /// the private map in `PerWorker` mode.
-    pub(crate) fn fold_bin(
-        &self,
-        worker: usize,
-        reducer: &dyn PartialReduceFn,
-        records: Vec<Record>,
-    ) {
+    /// Fold a bin into the accumulators. Entries are borrowed from the
+    /// frame; stripe selection reuses the in-frame hash. `worker`
+    /// selects the private map in `PerWorker` mode.
+    pub(crate) fn fold_bin(&self, worker: usize, reducer: &dyn PartialReduceFn, bin: &FrameBin) {
         match self {
             PartialState::Shared { stripes } => {
-                for rec in records {
+                for (hash, key, value) in bin.frame.iter() {
                     // Per-record lock acquisition is the point: this is
                     // the shared-variable update the paper describes.
-                    let stripe = sub_shard(&rec.key, stripes.len());
+                    let stripe = sub_shard(hash, stripes.len());
                     let mut map = stripes[stripe].lock();
-                    Self::fold_into(&mut map, reducer, rec);
+                    Self::fold_into(&mut map, reducer, key, value);
                 }
             }
             PartialState::PerWorker { maps } => {
                 let mut map = maps[worker % maps.len()].lock();
-                for rec in records {
-                    Self::fold_into(&mut map, reducer, rec);
+                for (_, key, value) in bin.frame.iter() {
+                    Self::fold_into(&mut map, reducer, key, value);
                 }
             }
         }
     }
 
-    fn fold_into(map: &mut HashMap<Bytes, AccBox>, reducer: &dyn PartialReduceFn, rec: Record) {
-        match map.get_mut(&rec.key) {
-            Some(acc) => reducer.fold(&rec.key, acc, &rec.value),
+    fn fold_into(
+        map: &mut HashMap<Bytes, AccBox>,
+        reducer: &dyn PartialReduceFn,
+        key: &[u8],
+        value: &[u8],
+    ) {
+        match map.get_mut(key) {
+            Some(acc) => reducer.fold(key, acc, value),
             None => {
-                let acc = reducer.init(&rec.key, &rec.value);
-                map.insert(rec.key, acc);
+                let acc = reducer.init(key, value);
+                // First sight of the key: copy it out of the frame so
+                // the accumulator map doesn't pin frame allocations.
+                map.insert(Bytes::copy_from_slice(key), acc);
             }
         }
     }
@@ -327,14 +341,15 @@ impl PartialState {
 mod tests {
     use super::*;
     use crate::flowlet::{Emitter, TaskContext};
+    use hamr_codec::stable_hash;
     use hamr_simdisk::DiskConfig;
 
     fn b(s: &str) -> Bytes {
         Bytes::copy_from_slice(s.as_bytes())
     }
 
-    fn rec(k: &str, v: &str) -> Record {
-        Record::new(b(k), b(v))
+    fn bin(pairs: &[(&[u8], &[u8])]) -> FrameBin {
+        FrameBin::from_pairs(0, pairs)
     }
 
     fn test_state(shards: usize, budget: usize, disk: Disk) -> ReduceState {
@@ -356,7 +371,7 @@ mod tests {
     fn reduce_state_groups_by_key() {
         let disk = Disk::new(DiskConfig::instant());
         let st = test_state(4, 1 << 20, disk);
-        st.ingest(0, vec![rec("a", "1"), rec("b", "2"), rec("a", "3")])
+        st.ingest(0, &bin(&[(b"a", b"1"), (b"b", b"2"), (b"a", b"3")]))
             .unwrap();
         let groups = drain_all(st.into_fire_shards().unwrap());
         assert_eq!(groups.len(), 2);
@@ -368,19 +383,31 @@ mod tests {
     }
 
     #[test]
+    fn ingested_values_are_frame_views() {
+        let disk = Disk::new(DiskConfig::instant());
+        let st = test_state(1, 1 << 20, disk);
+        let bin = bin(&[(b"key", b"value-stays-in-frame")]);
+        let base = bin.frame.data().as_ptr() as usize;
+        let end = base + bin.frame.payload_bytes();
+        st.ingest(0, &bin).unwrap();
+        let groups = drain_all(st.into_fire_shards().unwrap());
+        let p = groups[0].1[0].as_ptr() as usize;
+        assert!(
+            p >= base && p < end,
+            "stored value should alias the frame buffer"
+        );
+    }
+
+    #[test]
     fn tiny_budget_forces_spill_and_merge_preserves_groups() {
         let disk = Disk::new(DiskConfig::instant());
         // Budget so small every ingest spills.
         let st = test_state(2, 64, disk.clone());
         for i in 0..50u64 {
-            st.ingest(
-                0,
-                vec![Record::new(
-                    Bytes::from(format!("key{}", i % 10)),
-                    Bytes::from(format!("v{i}")),
-                )],
-            )
-            .unwrap();
+            let key = format!("key{}", i % 10);
+            let value = format!("v{i}");
+            st.ingest(0, &bin(&[(key.as_bytes(), value.as_bytes())]))
+                .unwrap();
         }
         assert!(st.spilled_bytes() > 0, "expected spills");
         assert!(!disk.is_empty(), "spill files on disk");
@@ -394,7 +421,7 @@ mod tests {
     fn no_spill_under_budget() {
         let disk = Disk::new(DiskConfig::instant());
         let st = test_state(4, 1 << 20, disk.clone());
-        st.ingest(0, vec![rec("a", "1")]).unwrap();
+        st.ingest(0, &bin(&[(b"a", b"1")])).unwrap();
         assert_eq!(st.spilled_bytes(), 0);
         assert!(disk.is_empty());
     }
@@ -435,13 +462,9 @@ mod tests {
         st.fold_bin(
             0,
             &SumReducer,
-            vec![
-                Record::new(b("x"), u64b(1)),
-                Record::new(b("y"), u64b(10)),
-                Record::new(b("x"), u64b(2)),
-            ],
+            &bin(&[(b"x", &u64b(1)), (b"y", &u64b(10)), (b"x", &u64b(2))]),
         );
-        st.fold_bin(1, &SumReducer, vec![Record::new(b("x"), u64b(4))]);
+        st.fold_bin(1, &SumReducer, &bin(&[(b"x", &u64b(4))]));
         assert_eq!(st.key_count(), 2);
         let sums = partial_sums(&st);
         assert_eq!(sums, vec![(b("x"), 7), (b("y"), 10)]);
@@ -453,7 +476,7 @@ mod tests {
     fn per_worker_partial_state_merges_on_drain() {
         let st = PartialState::new(ContentionMode::Sharded, 3);
         for worker in 0..3 {
-            st.fold_bin(worker, &SumReducer, vec![Record::new(b("x"), u64b(5))]);
+            st.fold_bin(worker, &SumReducer, &bin(&[(b"x", &u64b(5))]));
         }
         assert_eq!(st.key_count(), 1);
         let sums = partial_sums(&st);
@@ -470,7 +493,7 @@ mod tests {
                     let st = Arc::clone(&st);
                     std::thread::spawn(move || {
                         for _ in 0..200 {
-                            st.fold_bin(w, &SumReducer, vec![Record::new(b("hot"), u64b(1))]);
+                            st.fold_bin(w, &SumReducer, &bin(&[(b"hot", &u64b(1))]));
                         }
                     })
                 })
@@ -494,7 +517,7 @@ mod tests {
         for i in 0..100_000u64 {
             let key = i.to_le_bytes();
             if hamr_codec::partition(&key, nodes) == 3 {
-                used.insert(sub_shard(&key, shards));
+                used.insert(sub_shard(stable_hash(&key), shards));
                 found += 1;
                 if found > 200 {
                     break;

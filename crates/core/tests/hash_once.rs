@@ -1,0 +1,71 @@
+//! Asserts the frame data plane's hash-once invariant: every key is
+//! hashed exactly once, at emission. Routing, reduce sub-sharding and
+//! partial-reduce striping all reuse the in-frame hash instead of
+//! re-hashing the key.
+//!
+//! This file deliberately holds a single test: the instrumentation is a
+//! process-global counter (`hamr_codec::hash::hash_counter`), so the
+//! test needs its own integration-test binary — cargo runs each test
+//! file as a separate process, keeping parallel tests in other binaries
+//! from polluting the count.
+
+// The counter only exists in debug builds; in release this whole test
+// compiles away (and so does the instrumentation).
+#![cfg(debug_assertions)]
+
+use hamr_codec::hash::hash_counter;
+use hamr_core::{typed, Cluster, ClusterConfig, Emitter, Exchange, JobBuilder};
+
+#[test]
+fn keys_hash_exactly_once_per_emission() {
+    let lines: Vec<String> = vec![
+        "the quick brown fox".into(),
+        "the lazy dog".into(),
+        "the quick dog".into(),
+        "fox".into(),
+    ];
+    let n_lines = lines.len() as u64;
+    let n_words: u64 = lines
+        .iter()
+        .map(|l| l.split_whitespace().count() as u64)
+        .sum();
+
+    let cluster = Cluster::new(ClusterConfig::local(3, 2));
+    let mut job = JobBuilder::new("hash-once");
+    let loader = job.add_loader("lines", typed::vec_loader(lines));
+    let map = job.add_map(
+        "split",
+        typed::map_fn(|_k: u64, line: String, out: &mut Emitter| {
+            for w in line.split_whitespace() {
+                out.emit_t(0, &w.to_string(), &1u64);
+            }
+        }),
+    );
+    let red = job.add_reduce(
+        "count",
+        typed::reduce_fn(|k: String, vs: Vec<u64>, out: &mut Emitter| {
+            // output_t captures job output; captured records are not
+            // routed, so they must not be hashed.
+            out.output_t(&k, &vs.iter().sum::<u64>());
+        }),
+    );
+    job.connect(loader, map, Exchange::Local);
+    job.connect(map, red, Exchange::Hash);
+    job.capture_output(red);
+
+    let before = hash_counter::count();
+    let result = cluster.run(job.build().unwrap()).unwrap();
+    let hashes = hash_counter::count() - before;
+
+    // Sanity: the job actually ran and produced the expected groups.
+    assert_eq!(result.typed_output::<String, u64>(red).len(), 6);
+
+    // One hash per loader emission (line) + one per map emission
+    // (word). Reduce ingest, sub-sharding, and captured output add
+    // zero: they reuse the hash carried in the frame.
+    let emissions = n_lines + n_words;
+    assert_eq!(
+        hashes, emissions,
+        "expected exactly {emissions} stable_hash calls (one per emission), got {hashes}"
+    );
+}

@@ -2,7 +2,7 @@
 //! group by key, run the reducer, and write `part-r-<n>` to the DFS.
 
 use crate::api::ReduceOutput;
-use crate::{decode_kv, encode_kv, JobConf};
+use crate::{encode_kv, JobConf};
 use bytes::Bytes;
 use hamr_dfs::{Dfs, DfsError};
 use std::cmp::Reverse;
@@ -24,7 +24,18 @@ pub(crate) fn run_reduce_task(
     chunks: Vec<Arc<Vec<u8>>>,
     dfs: &Dfs,
 ) -> Result<ReduceTaskResult, DfsError> {
-    let mut sources: Vec<ChunkIter> = chunks.iter().map(|c| ChunkIter::new(c)).collect();
+    // The map side dropped its reference after sending, so each chunk
+    // unwraps into a shared buffer without copying; keys and values are
+    // then sliced out of it zero-copy instead of allocated per record.
+    let mut sources: Vec<ChunkIter> = chunks
+        .into_iter()
+        .map(|c| {
+            let data = Arc::try_unwrap(c)
+                .map(Bytes::from)
+                .unwrap_or_else(|shared| Bytes::copy_from_slice(&shared));
+            ChunkIter::new(data)
+        })
+        .collect();
     let mut heap: BinaryHeap<Reverse<(Bytes, usize, Bytes)>> = BinaryHeap::new();
     for (i, src) in sources.iter_mut().enumerate() {
         if let Some((k, v)) = src.next() {
@@ -74,18 +85,39 @@ pub(crate) fn run_reduce_task(
     })
 }
 
-/// Decoding iterator over one chunk's KV records.
-struct ChunkIter<'a> {
-    input: &'a [u8],
+/// Iterator over one chunk's KV records, slicing each key and value
+/// zero-copy out of the chunk's shared buffer.
+struct ChunkIter {
+    chunk: Bytes,
+    pos: usize,
 }
 
-impl<'a> ChunkIter<'a> {
-    fn new(chunk: &'a [u8]) -> Self {
-        ChunkIter { input: chunk }
+impl ChunkIter {
+    fn new(chunk: Bytes) -> Self {
+        ChunkIter { chunk, pos: 0 }
     }
 
     fn next(&mut self) -> Option<(Bytes, Bytes)> {
-        decode_kv(&mut self.input)
+        let mut input = &self.chunk[self.pos..];
+        if input.is_empty() {
+            return None;
+        }
+        let klen = hamr_codec::read_varint(&mut input).ok()? as usize;
+        let key_start = self.chunk.len() - input.len();
+        if input.len() < klen {
+            return None;
+        }
+        input = &input[klen..];
+        let vlen = hamr_codec::read_varint(&mut input).ok()? as usize;
+        let value_start = self.chunk.len() - input.len();
+        if input.len() < vlen {
+            return None;
+        }
+        self.pos = value_start + vlen;
+        Some((
+            self.chunk.slice(key_start..key_start + klen),
+            self.chunk.slice(value_start..value_start + vlen),
+        ))
     }
 }
 
@@ -93,6 +125,7 @@ impl<'a> ChunkIter<'a> {
 mod tests {
     use super::*;
     use crate::api::{line_map_fn, reduce_fn};
+    use crate::decode_kv;
     use hamr_codec::Codec;
     use hamr_dfs::DfsConfig;
     use hamr_simdisk::Disk;

@@ -257,6 +257,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 edge,
                 dst,
                 records,
+                bytes,
             } => em.push(instant(
                 "bin-shipped",
                 "dataflow",
@@ -268,6 +269,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     ("edge", *edge as u64),
                     ("dst", *dst as u64),
                     ("records", *records as u64),
+                    ("bytes", *bytes),
                 ],
             )),
             EventKind::NetSend { to, bytes } => em.push(instant(

@@ -88,12 +88,14 @@ pub enum EventKind {
         records_in: u64,
         records_out: u64,
     },
-    /// A bin left this node for `dst` on `edge`.
+    /// A bin left this node for `dst` on `edge`. `bytes` is the exact
+    /// encoded frame payload size.
     BinShipped {
         flowlet: u32,
         edge: u32,
         dst: u32,
         records: u32,
+        bytes: u64,
     },
     /// Flow control deferred a finished bin (window to `dst` full).
     FlowControlStall { flowlet: u32, edge: u32, dst: u32 },

@@ -116,6 +116,7 @@ impl Benchmark for Classification {
             elapsed: start.elapsed(),
             checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
             records: recs.len() as u64,
+            ..Default::default()
         })
     }
 
@@ -147,6 +148,7 @@ impl Benchmark for Classification {
             elapsed: start.elapsed(),
             checksum,
             records,
+            ..Default::default()
         })
     }
 }

@@ -164,7 +164,7 @@ pub fn unique_path(prefix: &str) -> String {
 }
 
 /// One engine's result on one benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BenchOutput {
     /// Wall-clock execution time (the paper's Table 2 metric).
     pub elapsed: Duration,
@@ -173,6 +173,13 @@ pub struct BenchOutput {
     pub checksum: u64,
     /// Number of semantic output records.
     pub records: u64,
+    /// Records emitted map-side into the shuffle (pre-combiner), so the
+    /// two engines are comparable. 0 when the workload does not report
+    /// it — only the perf-harness benchmarks plumb this through.
+    pub shuffle_records: u64,
+    /// Bytes that crossed node boundaries during the run. 0 when not
+    /// reported.
+    pub shuffled_bytes: u64,
 }
 
 #[cfg(test)]

@@ -83,6 +83,7 @@ impl HistogramMovies {
             elapsed: start.elapsed(),
             checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
             records: recs.len() as u64,
+            ..Default::default()
         })
     }
 
@@ -115,6 +116,7 @@ impl HistogramMovies {
             elapsed: start.elapsed(),
             checksum,
             records,
+            ..Default::default()
         })
     }
 }

@@ -73,10 +73,18 @@ impl HistogramRatings {
             .run(job.build().map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
         let recs = result.output(sum);
+        let shuffle_records = result
+            .metrics
+            .flowlets
+            .get(&rating_map)
+            .map(|f| f.records_out)
+            .unwrap_or(0);
         Ok(BenchOutput {
             elapsed: start.elapsed(),
             checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
             records: recs.len() as u64,
+            shuffle_records,
+            shuffled_bytes: result.metrics.shuffled_bytes,
         })
     }
 
@@ -103,12 +111,14 @@ impl HistogramRatings {
         if combiner {
             conf = conf.with_combiner(reducer);
         }
-        env.mr.run(&conf).map_err(|e| e.to_string())?;
+        let stats = env.mr.run(&conf).map_err(|e| e.to_string())?;
         let (checksum, records) = mr_output_checksum(env, &output)?;
         Ok(BenchOutput {
             elapsed: start.elapsed(),
             checksum,
             records,
+            shuffle_records: stats.map_records_out,
+            shuffled_bytes: stats.shuffled_bytes,
         })
     }
 }

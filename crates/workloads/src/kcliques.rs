@@ -163,6 +163,7 @@ impl Benchmark for KCliques {
             elapsed: start.elapsed(),
             checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
             records: recs.len() as u64,
+            ..Default::default()
         })
     }
 
@@ -283,6 +284,7 @@ impl Benchmark for KCliques {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
+            ..Default::default()
         })
     }
 }

@@ -230,6 +230,7 @@ impl KMeans {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
+            ..Default::default()
         })
     }
 }
@@ -337,6 +338,7 @@ impl Benchmark for KMeans {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
+            ..Default::default()
         })
     }
 
@@ -376,6 +378,7 @@ impl Benchmark for KMeans {
             elapsed: start.elapsed(),
             checksum,
             records,
+            ..Default::default()
         })
     }
 }

@@ -155,6 +155,7 @@ impl Benchmark for NaiveBayes {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
+            ..Default::default()
         })
     }
 
@@ -208,6 +209,7 @@ impl Benchmark for NaiveBayes {
             elapsed: start.elapsed(),
             checksum,
             records,
+            ..Default::default()
         })
     }
 }

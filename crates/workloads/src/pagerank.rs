@@ -66,8 +66,9 @@ impl Default for PageRank {
 
 impl PageRank {
     /// Build the shared per-iteration tail: MergeRed → ContMap →
-    /// DiffSum. Returns (entry flowlet = MergeRed, capture flowlet).
-    fn add_iteration_tail(job: &mut JobBuilder) -> (usize, usize) {
+    /// DiffSum. Returns (entry flowlet = MergeRed, ContMap, capture
+    /// flowlet).
+    fn add_iteration_tail(job: &mut JobBuilder) -> (usize, usize, usize) {
         let merge_red = job.add_reduce(
             "MergeRed",
             typed::reduce_ctx_fn(|ctx, page: u64, contribs: Vec<u64>, out: &mut Emitter| {
@@ -90,7 +91,7 @@ impl PageRank {
         job.connect(merge_red, cont_map, Exchange::Local);
         job.connect(cont_map, diff_sum, Exchange::Hash);
         job.capture_output(diff_sum);
-        (merge_red, diff_sum)
+        (merge_red, cont_map, diff_sum)
     }
 }
 
@@ -112,9 +113,13 @@ impl Benchmark for PageRank {
         let start = Instant::now();
         // Clear any prior PageRank state in the KV store (reruns).
         env.hamr.kv().clear();
+        let mut shuffle_records = 0u64;
+        let mut shuffled_bytes = 0u64;
         for iter in 0..self.iterations {
             let mut job = JobBuilder::new(format!("pagerank-iter{iter}"));
-            if iter == 0 {
+            // Flowlets whose output edge is a Hash exchange — their
+            // records_out is what crosses the shuffle this iteration.
+            let hash_sources = if iter == 0 {
                 // Iteration 1: build adjacency in memory while computing
                 // the first contributions (Alg. 2 lines 3–5).
                 let loader = job.add_loader("EdgeFileLoader", typed::dfs_line_loader(INPUT));
@@ -139,10 +144,11 @@ impl Benchmark for PageRank {
                         out.emit_t(0, &src, &0u64);
                     }),
                 );
-                let (merge_red, _) = Self::add_iteration_tail(&mut job);
+                let (merge_red, cont_map, _) = Self::add_iteration_tail(&mut job);
                 job.connect(loader, parse, Exchange::Local);
                 job.connect(parse, hash_join, Exchange::Hash);
                 job.connect(hash_join, merge_red, Exchange::Hash);
+                vec![parse, hash_join, cont_map]
             } else {
                 // Later iterations: everything from memory (Alg. 2 line 7).
                 let loader = job.add_loader(
@@ -174,12 +180,20 @@ impl Benchmark for PageRank {
                         },
                     ),
                 );
-                let (merge_red, _) = Self::add_iteration_tail(&mut job);
+                let (merge_red, cont_map, _) = Self::add_iteration_tail(&mut job);
                 job.connect(loader, merge_red, Exchange::Hash);
-            }
-            env.hamr
+                vec![loader, cont_map]
+            };
+            let result = env
+                .hamr
                 .run(job.build().map_err(|e| e.to_string())?)
                 .map_err(|e| e.to_string())?;
+            shuffled_bytes += result.metrics.shuffled_bytes;
+            for f in hash_sources {
+                if let Some(m) = result.metrics.flowlets.get(&f) {
+                    shuffle_records += m.records_out;
+                }
+            }
         }
         // Final ranks live in the KV store, distributed by page.
         let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -194,11 +208,15 @@ impl Benchmark for PageRank {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
+            shuffle_records,
+            shuffled_bytes,
         })
     }
 
     fn run_mapred(&self, env: &Env) -> Result<BenchOutput, String> {
         let start = Instant::now();
+        let mut shuffle_records = 0u64;
+        let mut shuffled_bytes = 0u64;
         // Job 0: build the adjacency file. Values are tagged
         // (0 = adjacency, 1 = rank) so iteration jobs can join them.
         let adj_path = unique_path("pagerank/adj");
@@ -217,7 +235,9 @@ impl Benchmark for PageRank {
                 },
             )),
         );
-        env.mr.run(&adj_job).map_err(|e| e.to_string())?;
+        let stats = env.mr.run(&adj_job).map_err(|e| e.to_string())?;
+        shuffle_records += stats.map_records_out;
+        shuffled_bytes += stats.shuffled_bytes;
 
         let mut ranks_path: Option<String> = None;
         for iter in 0..self.iterations {
@@ -257,7 +277,9 @@ impl Benchmark for PageRank {
                 )),
             )
             .with_input_format(InputFormat::KeyValue);
-            env.mr.run(&contrib_job).map_err(|e| e.to_string())?;
+            let stats = env.mr.run(&contrib_job).map_err(|e| e.to_string())?;
+            shuffle_records += stats.map_records_out;
+            shuffled_bytes += stats.shuffled_bytes;
 
             // Job B: rank update.
             let new_ranks = unique_path(&format!("pagerank/ranks{iter}"));
@@ -274,7 +296,9 @@ impl Benchmark for PageRank {
                 )),
             )
             .with_input_format(InputFormat::KeyValue);
-            env.mr.run(&update_job).map_err(|e| e.to_string())?;
+            let stats = env.mr.run(&update_job).map_err(|e| e.to_string())?;
+            shuffle_records += stats.map_records_out;
+            shuffled_bytes += stats.shuffled_bytes;
             ranks_path = Some(new_ranks);
         }
 
@@ -293,6 +317,8 @@ impl Benchmark for PageRank {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
+            shuffle_records,
+            shuffled_bytes,
         })
     }
 }
