@@ -1,17 +1,23 @@
 //! `benchjson` — fixed-seed perf snapshot of both engines.
 //!
-//! Runs WordCount, PageRank (3 iterations) and HistogramRatings on the
-//! HAMR and MapReduce engines at fixed seeds and sizes, and writes a
-//! machine-readable `BENCH_pr2.json` (schema documented in
-//! EXPERIMENTS.md). Alongside the JSON it writes a `--raw-out` TSV that
-//! a later run can consume via `--baseline` to report speedup ratios —
-//! that is how PRs prove data-plane wins against the parent commit.
+//! Runs WordCount, PageRank (3 iterations) and HistogramRatings —
+//! plus skew-stressed PageRank/HistogramRatings variants that
+//! concentrate the work on a few hot keys — on the HAMR and MapReduce
+//! engines at fixed seeds and sizes, and writes a machine-readable
+//! `BENCH_pr3.json` (schema documented in EXPERIMENTS.md). HAMR runs
+//! twice: under the default work-stealing scheduler (`hamr`) and under
+//! the centralized scheduler it replaced (`hamr-central`), so every
+//! snapshot carries its own scheduler ablation. Alongside the JSON it
+//! writes a `--raw-out` TSV that a later run can consume via
+//! `--baseline` to report speedup ratios — that is how PRs prove
+//! data-plane wins against the parent commit.
 //!
 //! ```text
-//! benchjson [--quick] [--reps N] [--out BENCH_pr2.json]
+//! benchjson [--quick] [--reps N] [--out BENCH_pr3.json]
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
 //! ```
 
+use hamr_core::SchedMode;
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::pagerank::PageRank;
 use hamr_workloads::wordcount::WordCount;
@@ -58,6 +64,9 @@ struct Row {
     checksum: u64,
     allocations: u64,
     allocations_per_record: f64,
+    steals: u64,
+    park_seconds: f64,
+    occupancy_imbalance: f64,
 }
 
 impl Row {
@@ -90,6 +99,9 @@ impl Row {
             checksum: out.checksum,
             allocations: allocs,
             allocations_per_record: per_rec(allocs as f64),
+            steals: out.steals,
+            park_seconds: out.park_seconds,
+            occupancy_imbalance: out.occupancy_imbalance,
         }
     }
 
@@ -100,7 +112,9 @@ impl Row {
                 "\"wall_seconds\":{:.6},\"shuffle_records\":{},",
                 "\"records_per_sec\":{:.1},\"shuffled_bytes\":{},",
                 "\"output_records\":{},\"checksum\":\"{:016x}\",",
-                "\"allocations\":{},\"allocations_per_record\":{:.3}}}"
+                "\"allocations\":{},\"allocations_per_record\":{:.3},",
+                "\"steals\":{},\"park_seconds\":{:.6},",
+                "\"occupancy_imbalance\":{:.4}}}"
             ),
             self.benchmark,
             self.engine,
@@ -112,18 +126,24 @@ impl Row {
             self.checksum,
             self.allocations,
             self.allocations_per_record,
+            self.steals,
+            self.park_seconds,
+            self.occupancy_imbalance,
         )
     }
 
     fn tsv(&self) -> String {
         format!(
-            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}",
+            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}",
             self.benchmark,
             self.engine,
             self.records_per_sec,
             self.wall_seconds,
             self.shuffled_bytes,
             self.allocations_per_record,
+            self.steals,
+            self.park_seconds,
+            self.occupancy_imbalance,
         )
     }
 }
@@ -137,12 +157,15 @@ struct BaselineRow {
     allocations_per_record: f64,
 }
 
+/// Parses both the 6-column TSVs written before the scheduler columns
+/// existed and the current 9-column form (extra columns carry steal /
+/// park / occupancy figures the ratio report does not need).
 fn parse_baseline(path: &str) -> Result<BTreeMap<(String, String), BaselineRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut rows = BTreeMap::new();
     for line in text.lines() {
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 6 {
+        if cols.len() != 6 && cols.len() != 9 {
             return Err(format!("{path}: malformed line {line:?}"));
         }
         let parse = |s: &str| s.parse::<f64>().map_err(|e| format!("{path}: {e}"));
@@ -171,7 +194,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         reps: 3,
-        out: "BENCH_pr2.json".to_string(),
+        out: "BENCH_pr3.json".to_string(),
         raw_out: None,
         baseline: None,
     };
@@ -196,14 +219,36 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn benchmarks() -> Vec<Box<dyn Benchmark>> {
+/// (row label, benchmark). The `-skew` rows reuse the same workload
+/// code with hot-key parameter choices: a few keys draw nearly all
+/// records, which is where the work-stealing scheduler earns its keep.
+fn benchmarks() -> Vec<(&'static str, Box<dyn Benchmark>)> {
     vec![
-        Box::new(WordCount::default()),
-        Box::new(PageRank {
-            iterations: 3,
-            ..Default::default()
-        }),
-        Box::new(HistogramRatings::default()),
+        ("WordCount", Box::new(WordCount::default())),
+        (
+            "PageRank",
+            Box::new(PageRank {
+                iterations: 3,
+                ..Default::default()
+            }),
+        ),
+        ("HistogramRatings", Box::new(HistogramRatings::default())),
+        (
+            "PageRank-skew",
+            Box::new(PageRank {
+                pages: 2_000,
+                max_out_links: 400,
+                iterations: 3,
+            }),
+        ),
+        (
+            "HistogramRatings-skew",
+            Box::new(HistogramRatings {
+                movies: 16,
+                users: 50_000,
+                max_ratings_per_movie: 100_000,
+            }),
+        ),
     ]
 }
 
@@ -223,42 +268,60 @@ fn main() {
     let params = SimParams::test(nodes, threads).with_scale(scale);
 
     let mut rows: Vec<Row> = Vec::new();
-    for bench in benchmarks() {
+    for (label, bench) in benchmarks() {
         let mut hamr_runs: Vec<(BenchOutput, u64)> = Vec::new();
+        let mut central_runs: Vec<(BenchOutput, u64)> = Vec::new();
         let mut mr_runs: Vec<(BenchOutput, u64)> = Vec::new();
         for _rep in 0..args.reps {
-            // A fresh environment per rep keeps runs identical: same
-            // seeds, empty DFS, cold KV store.
-            let env = Env::new(params.clone());
-            bench.seed(&env).unwrap_or_else(|e| {
-                eprintln!("benchjson: seed {}: {e}", bench.name());
-                std::process::exit(1);
-            });
-            for (engine, runs) in [("hamr", &mut hamr_runs), ("mapred", &mut mr_runs)] {
+            // Fresh environments per rep keep runs identical: same
+            // seeds, empty DFS, cold KV store. The scheduler mode is
+            // pinned per environment so `HAMR_SCHED` cannot skew the
+            // comparison.
+            let env_ws = Env::with_hamr_sched(params.clone(), SchedMode::WorkStealing);
+            let env_central = Env::with_hamr_sched(params.clone(), SchedMode::Centralized);
+            for env in [&env_ws, &env_central] {
+                bench.seed(env).unwrap_or_else(|e| {
+                    eprintln!("benchjson: seed {label}: {e}");
+                    std::process::exit(1);
+                });
+            }
+            type EngineRuns<'a> = (&'a str, &'a Env, &'a mut Vec<(BenchOutput, u64)>);
+            let trio: [EngineRuns; 3] = [
+                ("hamr", &env_ws, &mut hamr_runs),
+                ("hamr-central", &env_central, &mut central_runs),
+                ("mapred", &env_ws, &mut mr_runs),
+            ];
+            for (engine, env, runs) in trio {
                 let before = ALLOCS.load(Ordering::Relaxed);
                 let out = match engine {
-                    "hamr" => bench.run_hamr(&env),
-                    _ => bench.run_mapred(&env),
+                    "mapred" => bench.run_mapred(env),
+                    _ => bench.run_hamr(env),
                 }
                 .unwrap_or_else(|e| {
-                    eprintln!("benchjson: {} ({engine}): {e}", bench.name());
+                    eprintln!("benchjson: {label} ({engine}): {e}");
                     std::process::exit(1);
                 });
                 let allocs = ALLOCS.load(Ordering::Relaxed).wrapping_sub(before);
                 runs.push((out, allocs));
             }
         }
-        let hamr = Row::from_runs(bench.name(), "hamr", &hamr_runs);
-        let mr = Row::from_runs(bench.name(), "mapred", &mr_runs);
+        let hamr = Row::from_runs(label, "hamr", &hamr_runs);
+        let central = Row::from_runs(label, "hamr-central", &central_runs);
+        let mr = Row::from_runs(label, "mapred", &mr_runs);
         eprintln!(
-            "{:<18} hamr {:>12.0} rec/s ({:.3}s)   mapred {:>12.0} rec/s ({:.3}s)",
-            bench.name(),
+            "{:<22} hamr {:>12.0} rec/s ({:.3}s, {} steals)   \
+             hamr-central {:>12.0} rec/s ({:.3}s)   mapred {:>12.0} rec/s ({:.3}s)",
+            label,
             hamr.records_per_sec,
             hamr.wall_seconds,
+            hamr.steals,
+            central.records_per_sec,
+            central.wall_seconds,
             mr.records_per_sec,
             mr.wall_seconds,
         );
         rows.push(hamr);
+        rows.push(central);
         rows.push(mr);
     }
 
@@ -274,7 +337,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"hamr-benchjson/1\",\n");
+    json.push_str("{\n  \"schema\": \"hamr-benchjson/2\",\n");
     json.push_str(&format!(
         "  \"params\": {{\"nodes\": {nodes}, \"threads_per_node\": {threads}, \
          \"scale\": {scale}, \"seed\": 42, \"reps\": {}, \"quick\": {}}},\n",

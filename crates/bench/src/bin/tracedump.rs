@@ -14,8 +14,8 @@
 use hamr_core::{typed, Emitter, Exchange, JobBuilder, JobResult, RuntimeConfig};
 use hamr_mapred::{line_map_fn, reduce_fn, JobConf, ReduceOutput};
 use hamr_trace::{
-    chrome_trace_json, render_summary, EventKind, FlowletSummaryRow, LatencyHistogram, RingSink,
-    TaskKind, TraceEvent, Tracer,
+    chrome_trace_json, render_occupancy, render_summary, worker_occupancy, EventKind,
+    FlowletSummaryRow, LatencyHistogram, RingSink, TaskKind, TraceEvent, Tracer,
 };
 use hamr_workloads::gen::movies::parse_movie_line;
 use hamr_workloads::histogram_ratings::HistogramRatings;
@@ -195,10 +195,20 @@ fn main() {
     println!("{}", render_summary(&hr.metrics.summary_rows()));
 
     let events = sink.drain();
+    // Per-worker scheduler view: task counts, busy time, steals, and
+    // park time per lane across both runs. The work-stealing scheduler
+    // (the default) shows nonzero steal/park columns; under
+    // HAMR_SCHED=centralized they are all dashes.
+    println!("== HAMR worker occupancy (both runs) ==");
+    println!("{}", render_occupancy(&worker_occupancy(&events)));
     println!(
-        "hamr: {} events, {} flow-control stalls (skewed run)",
+        "hamr: {} events, {} flow-control stalls (skewed run), {} steals",
         events.len(),
-        count_stalls(&events)
+        count_stalls(&events),
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TaskStolen { .. }))
+            .count()
     );
     std::fs::write("trace_hamr.json", chrome_trace_json(&events)).expect("write trace_hamr.json");
     println!("wrote trace_hamr.json\n");

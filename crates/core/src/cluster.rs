@@ -7,7 +7,7 @@
 //! between jobs instead of round-tripping through the file system.
 
 use crate::config::ClusterConfig;
-use crate::error::RunError;
+use crate::error::{ConfigError, RunError};
 use crate::flowlet::TaskContext;
 use crate::graph::{FlowletId, JobGraph};
 use crate::metrics::JobMetrics;
@@ -33,28 +33,62 @@ pub struct Cluster {
 
 impl Cluster {
     /// Build a cluster (disks, DFS, KV store) from a configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (zero nodes, zero worker
+    /// threads, …). Use [`try_new`] to get a typed [`ConfigError`]
+    /// instead.
+    ///
+    /// [`try_new`]: Cluster::try_new
     pub fn new(config: ClusterConfig) -> Self {
+        match Cluster::try_new(config) {
+            Ok(cluster) => cluster,
+            Err(err) => panic!("invalid cluster config: {err}"),
+        }
+    }
+
+    /// Build a cluster, rejecting invalid configurations with a typed
+    /// [`ConfigError`] instead of panicking.
+    pub fn try_new(config: ClusterConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let disks: Vec<Disk> = (0..config.nodes)
             .map(|_| Disk::new(config.disk.clone()))
             .collect();
         let dfs = Dfs::new(disks.clone(), config.dfs.clone());
-        Cluster::with_substrates(config, disks, dfs)
+        Cluster::try_with_substrates(config, disks, dfs)
     }
 
     /// Build a cluster over *existing* substrates — used by the
     /// benchmark harness so HAMR and the Hadoop baseline read the same
     /// disks and DFS namespace.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; see
+    /// [`try_with_substrates`](Cluster::try_with_substrates).
     pub fn with_substrates(config: ClusterConfig, disks: Vec<Disk>, dfs: Dfs) -> Self {
-        assert!(config.nodes > 0, "cluster needs at least one node");
-        assert!(config.threads_per_node > 0, "need at least one worker");
+        match Cluster::try_with_substrates(config, disks, dfs) {
+            Ok(cluster) => cluster,
+            Err(err) => panic!("invalid cluster config: {err}"),
+        }
+    }
+
+    /// Fallible form of [`with_substrates`](Cluster::with_substrates):
+    /// validates the configuration and returns a [`ConfigError`]
+    /// instead of panicking.
+    pub fn try_with_substrates(
+        config: ClusterConfig,
+        disks: Vec<Disk>,
+        dfs: Dfs,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         assert_eq!(disks.len(), config.nodes, "one disk per node");
         let kv = KvStore::new(config.nodes);
-        Cluster {
+        Ok(Cluster {
             config,
             disks,
             dfs,
             kv,
-        }
+        })
     }
 
     pub fn config(&self) -> &ClusterConfig {

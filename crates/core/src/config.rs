@@ -18,6 +18,46 @@ pub enum ContentionMode {
     Sharded,
 }
 
+/// How a node schedules ready flowlet tasks onto its worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Decentralized work stealing (the default): each worker owns a
+    /// LIFO deque, steals FIFO from peers when dry, and parks on a
+    /// bounded timeout only when the node is drained. The runtime
+    /// thread shrinks to an ingress/egress pump.
+    WorkStealing,
+    /// The pre-refactor control plane: one runtime thread owns all
+    /// scheduling state and hands tasks to workers over a shared
+    /// channel. Kept as an A/B baseline and differential-test oracle.
+    Centralized,
+    /// Single-threaded, seeded replay: no worker threads at all; a
+    /// seeded PRNG picks the next ready task and runs it inline on the
+    /// runtime thread. Deterministic interleaving for differential
+    /// tests.
+    Deterministic { seed: u64 },
+}
+
+impl SchedMode {
+    /// Parse the `HAMR_SCHED` environment override used by the CI
+    /// matrix: `ws`/`work-stealing`, `centralized`/`central`, or
+    /// `det[:seed]`.
+    pub fn from_env_str(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ws" | "work-stealing" | "worksteal" | "workstealing" => Some(SchedMode::WorkStealing),
+            "centralized" | "central" => Some(SchedMode::Centralized),
+            other => {
+                let rest = other.strip_prefix("det")?;
+                let seed = match rest.strip_prefix(':') {
+                    Some(n) => n.parse().ok()?,
+                    None if rest.is_empty() => 0,
+                    None => return None,
+                };
+                Some(SchedMode::Deterministic { seed })
+            }
+        }
+    }
+}
+
 /// Engine tuning knobs, per node.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -44,6 +84,8 @@ pub struct RuntimeConfig {
     /// Number of parallel shards used when firing reduce/partial-reduce
     /// completion work. Defaults to the worker count.
     pub fire_shards: usize,
+    /// Task scheduling strategy (see [`SchedMode`]).
+    pub sched: SchedMode,
 }
 
 impl Default for RuntimeConfig {
@@ -57,6 +99,13 @@ impl Default for RuntimeConfig {
             barrier_mode: false,
             contention: ContentionMode::SharedLocked,
             fire_shards: 0, // 0 = use worker count
+            // The CI matrix exercises both control planes by exporting
+            // HAMR_SCHED; explicit `sched` assignments in code (e.g.
+            // the differential tests) are unaffected by the env var.
+            sched: std::env::var("HAMR_SCHED")
+                .ok()
+                .and_then(|s| SchedMode::from_env_str(&s))
+                .unwrap_or(SchedMode::WorkStealing),
         }
     }
 }
@@ -79,6 +128,27 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Check the configuration for values the runtime cannot operate
+    /// with. Called by [`crate::Cluster::try_new`]; kept public so
+    /// harnesses can validate user-supplied configs before spending
+    /// time building substrates.
+    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.threads_per_node == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.runtime.bin_capacity == 0 {
+            return Err(ConfigError::ZeroBinCapacity);
+        }
+        if self.runtime.out_window_bins == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        Ok(())
+    }
+
     /// An instant (untimed) cluster for correctness tests: `nodes`
     /// nodes with `threads` workers each, no modeled delays.
     pub fn local(nodes: usize, threads: usize) -> Self {
@@ -226,5 +296,58 @@ mod tests {
         assert!(r.out_window_bins > 0);
         assert!(r.defer_high_water >= r.out_window_bins);
         assert_eq!(r.contention, ContentionMode::SharedLocked);
+    }
+
+    #[test]
+    fn sched_mode_env_strings_parse() {
+        assert_eq!(SchedMode::from_env_str("ws"), Some(SchedMode::WorkStealing));
+        assert_eq!(
+            SchedMode::from_env_str("work-stealing"),
+            Some(SchedMode::WorkStealing)
+        );
+        assert_eq!(
+            SchedMode::from_env_str("centralized"),
+            Some(SchedMode::Centralized)
+        );
+        assert_eq!(
+            SchedMode::from_env_str("det"),
+            Some(SchedMode::Deterministic { seed: 0 })
+        );
+        assert_eq!(
+            SchedMode::from_env_str("det:42"),
+            Some(SchedMode::Deterministic { seed: 42 })
+        );
+        assert_eq!(SchedMode::from_env_str("bogus"), None);
+        assert_eq!(SchedMode::from_env_str("det:notanumber"), None);
+    }
+
+    #[test]
+    fn validate_accepts_sane_config() {
+        assert!(ClusterConfig::local(2, 2).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads() {
+        let c = ClusterConfig::local(2, 0);
+        assert_eq!(c.validate(), Err(crate::error::ConfigError::ZeroThreads));
+    }
+
+    #[test]
+    fn validate_rejects_zero_nodes() {
+        let c = ClusterConfig::local(0, 2);
+        assert_eq!(c.validate(), Err(crate::error::ConfigError::ZeroNodes));
+    }
+
+    #[test]
+    fn validate_rejects_zero_window_and_bin_capacity() {
+        let mut c = ClusterConfig::local(2, 2);
+        c.runtime.out_window_bins = 0;
+        assert_eq!(c.validate(), Err(crate::error::ConfigError::ZeroWindow));
+        let mut c = ClusterConfig::local(2, 2);
+        c.runtime.bin_capacity = 0;
+        assert_eq!(
+            c.validate(),
+            Err(crate::error::ConfigError::ZeroBinCapacity)
+        );
     }
 }

@@ -51,6 +51,37 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Errors detected while validating a [`crate::ClusterConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `nodes == 0`: a cluster needs at least one node.
+    ZeroNodes,
+    /// `threads_per_node == 0`: every node needs at least one worker.
+    ZeroThreads,
+    /// `runtime.bin_capacity == 0`: bins could never fill or ship.
+    ZeroBinCapacity,
+    /// `runtime.out_window_bins == 0`: flow control would deadlock
+    /// every producer immediately.
+    ZeroWindow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => write!(f, "cluster config has zero nodes"),
+            ConfigError::ZeroThreads => {
+                write!(f, "cluster config has zero worker threads per node")
+            }
+            ConfigError::ZeroBinCapacity => write!(f, "runtime config has zero bin capacity"),
+            ConfigError::ZeroWindow => {
+                write!(f, "runtime config has a zero flow-control window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Errors surfaced while running a job.
 #[derive(Debug)]
 pub enum RunError {

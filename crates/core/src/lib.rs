@@ -58,15 +58,17 @@ mod node;
 mod outbuf;
 mod record;
 mod reduce_state;
+mod sched;
 mod spill;
 pub mod stream;
 pub mod typed;
 
 pub use cluster::{Cluster, JobResult};
 pub use config::{
-    ClusterConfig, ContentionMode, RuntimeConfig, SimClusterSpec, PAPER_CLUSTER, SCALED_CLUSTER,
+    ClusterConfig, ContentionMode, RuntimeConfig, SchedMode, SimClusterSpec, PAPER_CLUSTER,
+    SCALED_CLUSTER,
 };
-pub use error::{GraphError, RunError};
+pub use error::{ConfigError, GraphError, RunError};
 pub use flowlet::{
     Emitter, Loader, MapFn, PartialReduceFn, ReduceFn, SplitSpec, StreamSource, TaskContext,
 };

@@ -40,6 +40,15 @@ pub struct NodeMetrics {
     pub bins_in: u64,
     /// Records received from the fabric.
     pub records_in: u64,
+    /// Work-stealing: steal operations that fetched at least one task
+    /// (zero under the centralized/deterministic schedulers).
+    pub steals: u64,
+    /// Work-stealing: total tasks relocated by steals.
+    pub stolen_tasks: u64,
+    /// Tasks executed per worker — the occupancy distribution.
+    pub tasks_per_worker: Vec<u64>,
+    /// Time each worker spent parked waiting for work.
+    pub park_per_worker: Vec<Duration>,
 }
 
 impl NodeMetrics {
@@ -64,6 +73,27 @@ impl NodeMetrics {
     pub fn utilization_clamped(&self, threads: usize) -> f64 {
         self.utilization(threads).min(1.0)
     }
+
+    /// Total time this node's workers spent parked.
+    pub fn park_time(&self) -> Duration {
+        self.park_per_worker.iter().sum()
+    }
+
+    /// Coefficient of variation of tasks-per-worker (0 = every worker
+    /// ran the same number of tasks). The scheduler's balance measure,
+    /// per node.
+    pub fn occupancy_imbalance(&self) -> f64 {
+        if self.tasks_per_worker.len() < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.tasks_per_worker.iter().map(|&t| t as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        var.sqrt() / mean
+    }
 }
 
 /// Whole-job metrics, merged across nodes by the driver.
@@ -86,6 +116,33 @@ impl JobMetrics {
     /// Sum of flow-control stall events.
     pub fn total_stalls(&self) -> u64 {
         self.flowlets.values().map(|f| f.flow_control_stalls).sum()
+    }
+
+    /// Sum of successful steal operations over all nodes.
+    pub fn total_steals(&self) -> u64 {
+        self.nodes.iter().map(|n| n.steals).sum()
+    }
+
+    /// Sum of tasks relocated by steals over all nodes.
+    pub fn total_stolen_tasks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stolen_tasks).sum()
+    }
+
+    /// Sum of worker park time over all nodes.
+    pub fn total_park_time(&self) -> Duration {
+        self.nodes.iter().map(|n| n.park_time()).sum()
+    }
+
+    /// Mean per-node occupancy imbalance (tasks-per-worker CV).
+    pub fn mean_occupancy_imbalance(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .map(|n| n.occupancy_imbalance())
+            .sum::<f64>()
+            / self.nodes.len() as f64
     }
 
     /// Mean node utilization.
@@ -213,6 +270,32 @@ mod tests {
             });
         }
         assert!(jm.busy_imbalance() > 1.0);
+    }
+
+    #[test]
+    fn steal_and_park_totals_aggregate_nodes() {
+        let mut jm = JobMetrics::default();
+        jm.nodes.push(NodeMetrics {
+            steals: 5,
+            stolen_tasks: 12,
+            tasks_per_worker: vec![10, 10],
+            park_per_worker: vec![Duration::from_millis(3), Duration::from_millis(1)],
+            ..Default::default()
+        });
+        jm.nodes.push(NodeMetrics {
+            steals: 2,
+            stolen_tasks: 4,
+            tasks_per_worker: vec![8, 12],
+            park_per_worker: vec![Duration::ZERO, Duration::from_millis(2)],
+            ..Default::default()
+        });
+        assert_eq!(jm.total_steals(), 7);
+        assert_eq!(jm.total_stolen_tasks(), 16);
+        assert_eq!(jm.total_park_time(), Duration::from_millis(6));
+        // Node 0 is perfectly balanced, node 1 is not.
+        assert!(jm.nodes[0].occupancy_imbalance() < 1e-9);
+        assert!(jm.nodes[1].occupancy_imbalance() > 0.1);
+        assert!(jm.mean_occupancy_imbalance() > 0.0);
     }
 
     #[test]

@@ -2,10 +2,24 @@
 //!
 //! Every cluster node runs one of these. It owns the whole flowlet
 //! graph (per the paper — unlike Dryad's per-node subgraphs), a bin
-//! queue fed by the network fabric, and a worker thread pool. A single
-//! runtime thread owns all scheduling state; workers only execute user
-//! flowlet code and report results back over a channel, so the
-//! scheduler itself needs no locks.
+//! queue fed by the network fabric, and a worker thread pool. The
+//! runtime thread owns the per-flowlet *admission* state machine
+//! (which bins may become tasks, when completion fires); how admitted
+//! tasks reach worker threads depends on [`SchedMode`]:
+//!
+//! * **WorkStealing** (default) — the runtime thread shrinks to an
+//!   ingress/egress pump: it admits tasks into the node's
+//!   [`sched::Pool`] injector and processes completion/ack bookkeeping.
+//!   Workers fetch from their own LIFO deque, steal FIFO from peers,
+//!   and ship finished bins *directly* through the shared
+//!   [`FlowControl`] — a flow-control defer/resume never round-trips
+//!   the runtime thread.
+//! * **Centralized** — the pre-refactor control plane: one shared
+//!   channel, workers only execute and report back; the runtime thread
+//!   ships every bin itself. Kept as an A/B baseline and differential
+//!   oracle.
+//! * **Deterministic** — no worker threads; a seeded PRNG replays one
+//!   task interleaving inline on the runtime thread.
 //!
 //! ## Scheduling (paper §2, Fig. 2)
 //! * A flowlet **task** is the finest unit: one loader split, one bin
@@ -25,15 +39,19 @@
 //! flowlet stops the current execution immediately and will be
 //! scheduled in a later time". Loader concurrency is additionally
 //! throttled. Progress is deadlock-free because the graph is acyclic:
-//! sinks never defer, so windows always eventually drain.
+//! sinks never defer, so windows always eventually drain. The window
+//! and deferred-queue state live in [`FlowControl`] (see `outbuf.rs`),
+//! shared between the runtime thread and (under work stealing) the
+//! workers.
 
-use crate::config::RuntimeConfig;
+use crate::config::{RuntimeConfig, SchedMode};
 use crate::flowlet::{AccBox, TaskContext};
 use crate::graph::{EdgeId, FlowletId, FlowletKind, JobGraph};
 use crate::metrics::{FlowletMetrics, NodeMetrics};
-use crate::outbuf::{PortSpec, TaskOutput};
+use crate::outbuf::{FlowControl, PortSpec, TaskOutput};
 use crate::record::{FrameBin, Record};
 use crate::reduce_state::{FireShard, PartialState, ReduceState};
+use crate::sched::{Pool, Source};
 use crate::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -345,6 +363,75 @@ fn worker_loop(
     }
 }
 
+/// Send the acknowledgement and ship (or defer) the bins of a finished
+/// task, draining `done` of both so the runtime thread only does state
+/// bookkeeping. Called by the executing thread itself: under work
+/// stealing that is the worker, so egress never waits on the runtime
+/// loop; under centralized/deterministic it is the runtime thread.
+fn ship_done(flow: &FlowControl, endpoint: &Endpoint<NetMsg>, lane: u32, done: &mut TaskDone) {
+    if done.panic.is_some() {
+        // Keep the ack and bins unshipped; the runtime aborts the job.
+        return;
+    }
+    if let Some((origin, edge)) = done.ack_to.take() {
+        let _ = endpoint.send(origin, NetMsg::Ack { edge });
+    }
+    for (dst, bin) in done.bins.drain(..) {
+        flow.ship_or_defer(lane, done.flowlet, dst, bin);
+    }
+}
+
+/// Work-stealing worker: fetch from the pool (own deque → injector →
+/// steal sweep), execute, ship results directly, park bounded when the
+/// node is drained.
+fn ws_worker_loop(
+    worker: usize,
+    shared: Arc<WorkerShared>,
+    pool: Arc<Pool<Task>>,
+    flow: Arc<FlowControl>,
+    endpoint: Endpoint<NetMsg>,
+    done_tx: Sender<TaskDone>,
+) {
+    let node = shared.ctx.node as u32;
+    let lane = worker as u32;
+    loop {
+        match pool.try_fetch(worker) {
+            Some((task, src)) => {
+                if let Source::Stolen { victim } = src {
+                    shared.tracer.emit(
+                        node,
+                        lane,
+                        EventKind::TaskStolen {
+                            thief: lane,
+                            victim: victim as u32,
+                            flowlet: task.flowlet() as u32,
+                        },
+                    );
+                }
+                let mut done = execute_task(&shared, worker, task);
+                ship_done(&flow, &endpoint, lane, &mut done);
+                if done_tx.send(done).is_err() {
+                    return;
+                }
+            }
+            None => {
+                if pool.is_shutdown() {
+                    return;
+                }
+                shared.tracer.emit(node, lane, EventKind::WorkerParked);
+                let parked = pool.park(worker);
+                shared.tracer.emit(
+                    node,
+                    lane,
+                    EventKind::WorkerUnparked {
+                        parked_us: parked.as_micros() as u64,
+                    },
+                );
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Active,
@@ -364,7 +451,6 @@ struct Instance {
     input_expected: usize,
     markers: HashMap<u64, usize>,
     running: usize,
-    deferred: usize,
     phase: Phase,
     // loader
     splits_total: usize,
@@ -409,6 +495,27 @@ pub(crate) fn run_node(
     NodeRuntime::new(node, graph, cfg, threads, ctx, endpoint, inbox, tracer).run()
 }
 
+/// The task execution backend, selected by [`SchedMode`].
+enum Exec {
+    /// One shared channel; workers only execute, the runtime ships.
+    Centralized {
+        task_tx: Option<Sender<Task>>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    },
+    /// Per-worker deques + injector; workers ship their own results.
+    WorkStealing {
+        pool: Arc<Pool<Task>>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    },
+    /// Seeded single-threaded replay: ready tasks accumulate here and
+    /// an LCG picks which runs next, inline on the runtime thread.
+    Deterministic {
+        ready: Vec<Task>,
+        rng: u64,
+        next_worker: usize,
+    },
+}
+
 struct NodeRuntime {
     node: NodeId,
     nodes: usize,
@@ -417,16 +524,13 @@ struct NodeRuntime {
     threads: usize,
     endpoint: Endpoint<NetMsg>,
     inbox: Receiver<Envelope<NetMsg>>,
-    task_tx: Option<Sender<Task>>,
+    exec: Exec,
     done_rx: Receiver<TaskDone>,
-    workers: Vec<std::thread::JoinHandle<()>>,
     shared: Arc<WorkerShared>,
     instances: Vec<Instance>,
-    /// In-flight (unacked) bins per (edge, destination node).
-    inflight: Vec<usize>,
-    /// Bins held back by flow control, with the time they were parked
-    /// (feeds the stall-time metric and resume trace events).
-    deferred: VecDeque<(FlowletId, NodeId, FrameBin, Instant)>,
+    /// Outbound windows + deferred queue, shared with workers under
+    /// work stealing.
+    flow: Arc<FlowControl>,
     outstanding: usize,
     captured: HashMap<FlowletId, Vec<Record>>,
     fmetrics: Vec<FlowletMetrics>,
@@ -486,19 +590,63 @@ impl NodeRuntime {
             reduce,
             tracer: tracer.clone(),
         });
-        let (task_tx, task_rx) = unbounded::<Task>();
+        let flow = Arc::new(FlowControl::new(
+            node,
+            nodes,
+            cfg.out_window_bins,
+            graph.edges.len(),
+            graph.flowlets.len(),
+            endpoint.clone(),
+            tracer.clone(),
+        ));
         let (done_tx, done_rx) = unbounded::<TaskDone>();
-        let workers = (0..threads)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                let rx = task_rx.clone();
-                let tx = done_tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("hamr-n{node}-w{w}"))
-                    .spawn(move || worker_loop(w, shared, rx, tx))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let exec = match cfg.sched {
+            SchedMode::Centralized => {
+                let (task_tx, task_rx) = unbounded::<Task>();
+                let workers = (0..threads)
+                    .map(|w| {
+                        let shared = Arc::clone(&shared);
+                        let rx = task_rx.clone();
+                        let tx = done_tx.clone();
+                        std::thread::Builder::new()
+                            .name(format!("hamr-n{node}-w{w}"))
+                            .spawn(move || worker_loop(w, shared, rx, tx))
+                            .expect("spawn worker")
+                    })
+                    .collect();
+                Exec::Centralized {
+                    task_tx: Some(task_tx),
+                    workers,
+                }
+            }
+            SchedMode::WorkStealing => {
+                let pool = Arc::new(Pool::new(threads));
+                let workers = (0..threads)
+                    .map(|w| {
+                        let shared = Arc::clone(&shared);
+                        let pool = Arc::clone(&pool);
+                        let flow = Arc::clone(&flow);
+                        let endpoint = endpoint.clone();
+                        let tx = done_tx.clone();
+                        std::thread::Builder::new()
+                            .name(format!("hamr-n{node}-w{w}"))
+                            .spawn(move || ws_worker_loop(w, shared, pool, flow, endpoint, tx))
+                            .expect("spawn worker")
+                    })
+                    .collect();
+                Exec::WorkStealing { pool, workers }
+            }
+            SchedMode::Deterministic { seed } => Exec::Deterministic {
+                // Splitmix-style scramble so seed 0 and per-node offsets
+                // still give distinct streams.
+                rng: seed
+                    .wrapping_add(node as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    | 1,
+                ready: Vec::new(),
+                next_worker: 0,
+            },
+        };
         // Build per-flowlet instances.
         let instances = graph
             .flowlets
@@ -515,7 +663,6 @@ impl NodeRuntime {
                     input_expected: def.in_edges.len() * nodes,
                     markers: HashMap::new(),
                     running: 0,
-                    deferred: 0,
                     phase: Phase::Active,
                     splits_total,
                     splits_next: 0,
@@ -538,7 +685,6 @@ impl NodeRuntime {
                 ..Default::default()
             })
             .collect();
-        let inflight = vec![0; graph.edges.len() * nodes];
         NodeRuntime {
             node,
             nodes,
@@ -547,13 +693,11 @@ impl NodeRuntime {
             threads,
             endpoint,
             inbox,
-            task_tx: Some(task_tx),
+            exec,
             done_rx,
-            workers,
             shared,
             instances,
-            inflight,
-            deferred: VecDeque::new(),
+            flow,
             outstanding: 0,
             captured: HashMap::new(),
             fmetrics,
@@ -583,6 +727,9 @@ impl NodeRuntime {
                 break;
             }
             self.pump();
+            if self.deterministic_step() {
+                progressed = true;
+            }
             if self.all_complete() {
                 break;
             }
@@ -609,11 +756,41 @@ impl NodeRuntime {
                 default(Duration::from_millis(20)) => {}
             }
         }
-        // Tear down workers.
-        self.task_tx.take();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Tear down the execution backend and collect scheduler stats.
+        let exec = std::mem::replace(
+            &mut self.exec,
+            Exec::Deterministic {
+                ready: Vec::new(),
+                rng: 0,
+                next_worker: 0,
+            },
+        );
+        match exec {
+            Exec::Centralized {
+                mut task_tx,
+                mut workers,
+            } => {
+                task_tx.take();
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            Exec::WorkStealing { pool, mut workers } => {
+                pool.shutdown();
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+                for w in 0..pool.workers() {
+                    self.nmetrics.steals += pool.steals(w);
+                    self.nmetrics.stolen_tasks += pool.stolen_tasks(w);
+                    self.nmetrics.tasks_per_worker.push(pool.tasks(w));
+                    self.nmetrics.park_per_worker.push(pool.park_time(w));
+                }
+            }
+            Exec::Deterministic { .. } => {}
         }
+        // Flow-control counters accumulated off the runtime thread.
+        self.flow.fold_into(&mut self.fmetrics);
         self.nmetrics.busy = self.busy;
         self.nmetrics.elapsed = self.start.elapsed();
         NodeOutcome {
@@ -623,6 +800,34 @@ impl NodeRuntime {
             node_metrics: std::mem::take(&mut self.nmetrics),
             error: self.error.take(),
         }
+    }
+
+    /// Deterministic mode: run one seeded-random ready task inline on
+    /// the runtime thread. Returns true if a task ran. No-op in the
+    /// threaded modes.
+    fn deterministic_step(&mut self) -> bool {
+        let threads = self.threads;
+        let (task, worker) = match &mut self.exec {
+            Exec::Deterministic {
+                ready,
+                rng,
+                next_worker,
+            } if !ready.is_empty() => {
+                *rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let idx = ((*rng >> 33) as usize) % ready.len();
+                let task = ready.swap_remove(idx);
+                let worker = *next_worker;
+                *next_worker = (*next_worker + 1) % threads;
+                (task, worker)
+            }
+            _ => return false,
+        };
+        let mut done = execute_task(&self.shared, worker, task);
+        ship_done(&self.flow, &self.endpoint, WORKER_RUNTIME, &mut done);
+        self.handle_done(done);
+        true
     }
 
     fn stall_report(&self) -> String {
@@ -635,22 +840,26 @@ impl NodeRuntime {
                     inst.phase,
                     inst.pending.len(),
                     inst.running,
-                    inst.deferred,
+                    self.flow.deferred_for(id),
                     inst.complete_seen,
                     inst.input_expected,
                 ));
             }
         }
+        let mut inflight_nonzero = Vec::new();
+        for edge in 0..self.graph.edges.len() {
+            for dst in 0..self.nodes {
+                let v = self.flow.inflight(edge, dst);
+                if v > 0 {
+                    inflight_nonzero.push((edge, dst, v));
+                }
+            }
+        }
         format!(
             "outstanding={} inflight_nonzero={:?} deferred={} [{}]",
             self.outstanding,
-            self.inflight
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v > 0)
-                .map(|(i, &v)| (i / self.nodes, i % self.nodes, v))
-                .collect::<Vec<_>>(),
-            self.deferred.len(),
+            inflight_nonzero,
+            self.flow.total_deferred(),
             parts.join("; ")
         )
     }
@@ -682,10 +891,7 @@ impl NodeRuntime {
                     .push_back(Work::Marker { epoch });
             }
             NetMsg::Ack { edge } => {
-                let slot = edge * self.nodes + env.from;
-                debug_assert!(self.inflight[slot] > 0);
-                self.inflight[slot] = self.inflight[slot].saturating_sub(1);
-                self.drain_deferred();
+                self.flow.on_ack(edge, env.from, WORKER_RUNTIME);
             }
             NetMsg::Abort { reason } => {
                 self.error = Some(format!("aborted: {reason}"));
@@ -745,101 +951,64 @@ impl NodeRuntime {
         if let Some((origin, edge)) = done.ack_to {
             let _ = self.endpoint.send(origin, NetMsg::Ack { edge });
         }
-        // Let older deferred bins go first if windows have opened.
-        self.drain_deferred();
+        // Centralized/deterministic: the runtime ships. Under work
+        // stealing the worker already drained these (ship_done), so the
+        // loop body never runs.
         for (dst, bin) in done.bins {
-            self.ship_or_defer(f, dst, bin);
+            self.flow.ship_or_defer(WORKER_RUNTIME, f, dst, bin);
         }
-    }
-
-    fn ship_or_defer(&mut self, f: FlowletId, dst: NodeId, bin: FrameBin) {
-        let slot = bin.edge * self.nodes + dst;
-        if self.inflight[slot] < self.cfg.out_window_bins {
-            self.inflight[slot] += 1;
-            self.fmetrics[f].bins_out += 1;
-            self.tracer.emit(
-                self.node as u32,
-                WORKER_RUNTIME,
-                EventKind::BinShipped {
-                    flowlet: f as u32,
-                    edge: bin.edge as u32,
-                    dst: dst as u32,
-                    records: bin.len() as u32,
-                    bytes: bin.payload_bytes() as u64,
-                },
-            );
-            let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
-        } else {
-            self.fmetrics[f].flow_control_stalls += 1;
-            self.instances[f].deferred += 1;
-            self.tracer.emit(
-                self.node as u32,
-                WORKER_RUNTIME,
-                EventKind::FlowControlStall {
-                    flowlet: f as u32,
-                    edge: bin.edge as u32,
-                    dst: dst as u32,
-                },
-            );
-            self.deferred.push_back((f, dst, bin, Instant::now()));
-        }
-    }
-
-    fn drain_deferred(&mut self) {
-        if self.deferred.is_empty() {
-            return;
-        }
-        let mut still = VecDeque::with_capacity(self.deferred.len());
-        while let Some((f, dst, bin, since)) = self.deferred.pop_front() {
-            let slot = bin.edge * self.nodes + dst;
-            if self.inflight[slot] < self.cfg.out_window_bins {
-                self.inflight[slot] += 1;
-                self.fmetrics[f].bins_out += 1;
-                self.instances[f].deferred -= 1;
-                let stalled = since.elapsed();
-                self.fmetrics[f].stall_time += stalled;
-                self.tracer.emit(
-                    self.node as u32,
-                    WORKER_RUNTIME,
-                    EventKind::FlowControlResume {
-                        flowlet: f as u32,
-                        edge: bin.edge as u32,
-                        dst: dst as u32,
-                        stalled_us: stalled.as_micros() as u64,
-                    },
-                );
-                self.tracer.emit(
-                    self.node as u32,
-                    WORKER_RUNTIME,
-                    EventKind::BinShipped {
-                        flowlet: f as u32,
-                        edge: bin.edge as u32,
-                        dst: dst as u32,
-                        records: bin.len() as u32,
-                        bytes: bin.payload_bytes() as u64,
-                    },
-                );
-                let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
-            } else {
-                still.push_back((f, dst, bin, since));
-            }
-        }
-        self.deferred = still;
     }
 
     fn dispatch(&mut self, task: Task) {
         let f = task.flowlet();
         self.instances[f].running += 1;
         self.outstanding += 1;
-        if let Some(tx) = &self.task_tx {
-            let _ = tx.send(task);
+        match &mut self.exec {
+            Exec::Centralized { task_tx, .. } => {
+                if let Some(tx) = task_tx {
+                    let _ = tx.send(task);
+                }
+            }
+            Exec::WorkStealing { pool, .. } => pool.submit(task),
+            Exec::Deterministic { ready, .. } => ready.push(task),
         }
     }
 
-    /// Capacity for dispatching more tasks right now. Twice the worker
-    /// count keeps workers fed without hoarding scheduling decisions.
+    /// Dispatch a burst of related tasks (a reduce fire's shards) in
+    /// one submission, so under work stealing the whole pool wakes at
+    /// once instead of one worker per round-robin token.
+    fn dispatch_batch(&mut self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        for t in &tasks {
+            self.instances[t.flowlet()].running += 1;
+            self.outstanding += 1;
+        }
+        match &mut self.exec {
+            Exec::Centralized { task_tx, .. } => {
+                if let Some(tx) = task_tx {
+                    for t in tasks {
+                        let _ = tx.send(t);
+                    }
+                }
+            }
+            Exec::WorkStealing { pool, .. } => pool.submit_batch(tasks),
+            Exec::Deterministic { ready, .. } => ready.extend(tasks),
+        }
+    }
+
+    /// Capacity for admitting more tasks right now. Centralized keeps a
+    /// shallow backlog (twice the workers) since one thread makes every
+    /// decision anyway; work stealing admits deeper (four per worker)
+    /// because queued tasks sit in per-worker deques where idle peers
+    /// can steal them, and `defer_high_water` still bounds memory.
     fn has_capacity(&self) -> bool {
-        self.outstanding < self.threads * 2
+        let cap = match &self.exec {
+            Exec::WorkStealing { .. } => self.threads * 4,
+            _ => self.threads * 2,
+        };
+        self.outstanding < cap
     }
 
     fn pump(&mut self) {
@@ -866,8 +1035,8 @@ impl NodeRuntime {
             if inst.phase != Phase::Active
                 || inst.splits_next >= inst.splits_total
                 || inst.loader_running >= self.cfg.loader_concurrency
-                || inst.deferred > 0
-                || self.deferred.len() >= self.cfg.defer_high_water
+                || self.flow.deferred_for(f) > 0
+                || self.flow.total_deferred() >= self.cfg.defer_high_water
                 || !self.has_capacity()
             {
                 return;
@@ -884,7 +1053,7 @@ impl NodeRuntime {
         let owed = {
             let inst = &self.instances[f];
             match inst.marker_owed {
-                Some(epoch) if inst.running == 0 && inst.deferred == 0 => Some(epoch),
+                Some(epoch) if inst.running == 0 && self.flow.deferred_for(f) == 0 => Some(epoch),
                 Some(_) => return, // still flushing the epoch
                 None => None,
             }
@@ -900,7 +1069,7 @@ impl NodeRuntime {
             inst.phase == Phase::Active
                 && !inst.stream_finished
                 && !inst.stream_task_out
-                && inst.deferred == 0
+                && self.flow.deferred_for(f) == 0
                 && self.has_capacity()
         };
         if can_start {
@@ -931,7 +1100,7 @@ impl NodeRuntime {
                     Some(Work::Bin { .. }) => {
                         if barrier_hold {
                             Action::HoldBin
-                        } else if inst.deferred > 0 || !self.has_capacity() {
+                        } else if self.flow.deferred_for(f) > 0 || !self.has_capacity() {
                             // Suspended by flow control, or pool full.
                             Action::Stop
                         } else {
@@ -941,7 +1110,7 @@ impl NodeRuntime {
                     Some(Work::Marker { .. }) => {
                         // Epoch boundary: every earlier bin must be fully
                         // processed and shipped before it can act.
-                        if inst.running > 0 || inst.deferred > 0 {
+                        if inst.running > 0 || self.flow.deferred_for(f) > 0 {
                             Action::Stop
                         } else {
                             Action::CountMarker
@@ -1092,16 +1261,17 @@ impl NodeRuntime {
             self.cfg.fire_shards
         };
         let chunk = entries.len().div_ceil(shards);
-        let mut n = 0;
+        let mut tasks = Vec::new();
         while !entries.is_empty() {
             let rest = entries.split_off(chunk.min(entries.len()));
             let batch = std::mem::replace(&mut entries, rest);
-            self.dispatch(Task::FirePartial {
+            tasks.push(Task::FirePartial {
                 flowlet: f,
                 entries: batch,
             });
-            n += 1;
         }
+        let n = tasks.len();
+        self.dispatch_batch(tasks);
         n
     }
 
@@ -1111,7 +1281,7 @@ impl NodeRuntime {
             let inst = &self.instances[f];
             (
                 inst.phase,
-                inst.running == 0 && inst.deferred == 0,
+                inst.running == 0 && self.flow.deferred_for(f) == 0,
                 inst.fire_left,
             )
         };
@@ -1175,7 +1345,14 @@ impl NodeRuntime {
         self.fmetrics[f].spilled_bytes += state.spilled_bytes();
         match state.into_fire_shards() {
             Ok(shards) => {
-                let n = shards.len();
+                // Empty shards would only inflate task/steal counts;
+                // skip them before dispatch.
+                let tasks: Vec<Task> = shards
+                    .into_iter()
+                    .filter(|s| !s.is_empty())
+                    .map(|shard| Task::FireReduce { flowlet: f, shard })
+                    .collect();
+                let n = tasks.len();
                 self.tracer.emit(
                     self.node as u32,
                     WORKER_RUNTIME,
@@ -1184,9 +1361,7 @@ impl NodeRuntime {
                         shards: n as u32,
                     },
                 );
-                for shard in shards {
-                    self.dispatch(Task::FireReduce { flowlet: f, shard });
-                }
+                self.dispatch_batch(tasks);
                 self.instances[f].phase = Phase::FiringReduce;
                 self.instances[f].fire_left = n;
                 if n == 0 {

@@ -213,6 +213,18 @@ impl FireShard {
             FireShard::Merge(m) => m.next_group(),
         }
     }
+
+    /// True when the shard holds no groups. Fire shards are scheduled
+    /// as independent (stealable) tasks; empty shards are filtered out
+    /// before dispatch so they don't inflate task and steal counts.
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            FireShard::Memory(it) => it.len() == 0,
+            // A merge shard only exists because runs were spilled, so
+            // it always yields at least one group.
+            FireShard::Merge(_) => false,
+        }
+    }
 }
 
 /// Accumulator state for one partial-reduce flowlet instance.

@@ -296,6 +296,39 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 ev.t_us,
                 &[("flowlet", *flowlet as u64), ("shards", *shards as u64)],
             )),
+            EventKind::TaskStolen {
+                thief,
+                victim,
+                flowlet,
+            } => em.push(instant(
+                "task-stolen",
+                "sched",
+                ev.node,
+                ev.worker,
+                ev.t_us,
+                &[
+                    ("thief", *thief as u64),
+                    ("victim", *victim as u64),
+                    ("flowlet", *flowlet as u64),
+                ],
+            )),
+            EventKind::WorkerParked => {
+                em.push(instant("parked", "sched", ev.node, ev.worker, ev.t_us, &[]))
+            }
+            EventKind::WorkerUnparked { parked_us } => {
+                // Like FlowControlResume: synthesize the park interval
+                // retroactively, since only the wake-up knows how long
+                // the worker slept.
+                em.push(complete_slice(
+                    "parked",
+                    "sched",
+                    ev.node,
+                    ev.worker,
+                    ev.t_us.saturating_sub(*parked_us),
+                    *parked_us,
+                    &[],
+                ));
+            }
             EventKind::DiskRead { bytes } => em.push(instant(
                 "disk-read",
                 "disk",
@@ -473,6 +506,45 @@ mod tests {
                     .and_then(Json::as_str)
                     == Some("net")
         }));
+    }
+
+    #[test]
+    fn steal_and_park_events_round_trip() {
+        let doc = chrome_trace_json(&[
+            ev(
+                100,
+                0,
+                1,
+                EventKind::TaskStolen {
+                    thief: 1,
+                    victim: 0,
+                    flowlet: 3,
+                },
+            ),
+            ev(200, 0, 1, EventKind::WorkerParked),
+            ev(1400, 0, 1, EventKind::WorkerUnparked { parked_us: 1200 }),
+        ]);
+        let evs = events_of(&doc);
+        let steal = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("task-stolen"))
+            .expect("steal instant present");
+        assert_eq!(steal.get("ph").unwrap().as_str(), Some("i"));
+        let args = steal.get("args").unwrap();
+        assert_eq!(args.get("thief").unwrap().as_u64(), Some(1));
+        assert_eq!(args.get("victim").unwrap().as_u64(), Some(0));
+        assert_eq!(args.get("flowlet").unwrap().as_u64(), Some(3));
+        // The unpark synthesizes a retroactive park slice covering the
+        // slept interval.
+        let park = evs
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("parked")
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            })
+            .expect("park slice present");
+        assert_eq!(park.get("ts").unwrap().as_u64(), Some(200));
+        assert_eq!(park.get("dur").unwrap().as_u64(), Some(1200));
     }
 
     #[test]

@@ -22,7 +22,9 @@ mod summary;
 
 pub use chrome::chrome_trace_json;
 pub use hist::LatencyHistogram;
-pub use summary::{render_summary, FlowletSummaryRow};
+pub use summary::{
+    render_occupancy, render_summary, worker_occupancy, FlowletSummaryRow, WorkerOccupancyRow,
+};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -117,6 +119,18 @@ pub enum EventKind {
     NetDeliver { from: u32, bytes: u64 },
     /// A reduce flowlet fired, splitting into `shards` parallel shards.
     ReduceFire { flowlet: u32, shards: u32 },
+    /// Work stealing: worker `thief` (the event's lane) took tasks from
+    /// worker `victim`'s deque; the first stolen task belongs to
+    /// `flowlet`.
+    TaskStolen {
+        thief: u32,
+        victim: u32,
+        flowlet: u32,
+    },
+    /// A worker found the node drained and is about to park.
+    WorkerParked,
+    /// The matching wake-up; `parked_us` is how long the worker slept.
+    WorkerUnparked { parked_us: u64 },
     /// The disk model served a read.
     DiskRead { bytes: u64 },
     /// The disk model served a write.

@@ -1,6 +1,8 @@
-//! Plain-text per-flowlet summary rendering.
+//! Plain-text per-flowlet summary rendering and per-worker occupancy
+//! analysis.
 
-use crate::LatencyHistogram;
+use crate::{EventKind, LatencyHistogram, TraceEvent};
+use std::collections::BTreeMap;
 
 /// One row of the per-flowlet summary table. Engines fill these from
 /// their aggregated metrics; `render_summary` turns them into text.
@@ -117,6 +119,141 @@ pub fn render_summary(rows: &[FlowletSummaryRow]) -> String {
     out
 }
 
+/// Per-worker occupancy derived from a trace: how many tasks each
+/// worker lane ran, how long it was busy, how often it stole, and how
+/// long it sat parked. The scheduler's balance report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerOccupancyRow {
+    pub node: u32,
+    pub worker: u32,
+    /// Tasks completed on this lane (`TaskEnd` count).
+    pub tasks: u64,
+    /// Sum of matched `TaskStart`/`TaskEnd` span durations.
+    pub busy_us: u64,
+    /// Successful steal operations by this lane.
+    pub steals: u64,
+    /// Park intervals (`WorkerUnparked` count).
+    pub parks: u64,
+    /// Total time parked.
+    pub parked_us: u64,
+    /// Distribution of this lane's task latencies.
+    pub latency: LatencyHistogram,
+}
+
+/// Fold a trace into per-(node, worker) occupancy rows, sorted by
+/// (node, worker). Only real worker lanes appear — the synthetic
+/// runtime/net/disk lanes are excluded.
+pub fn worker_occupancy(events: &[TraceEvent]) -> Vec<WorkerOccupancyRow> {
+    let mut evs: Vec<&TraceEvent> = events.iter().collect();
+    evs.sort_by_key(|e| e.t_us);
+    let mut rows: BTreeMap<(u32, u32), WorkerOccupancyRow> = BTreeMap::new();
+    // Innermost-start matching, as in the Chrome exporter.
+    type OpenTask = (u64, crate::TaskKind, u32);
+    let mut open: BTreeMap<(u32, u32), Vec<OpenTask>> = BTreeMap::new();
+    for ev in evs {
+        if ev.worker >= crate::WORKER_DISK {
+            continue; // synthetic lanes
+        }
+        let row = rows
+            .entry((ev.node, ev.worker))
+            .or_insert_with(|| WorkerOccupancyRow {
+                node: ev.node,
+                worker: ev.worker,
+                ..Default::default()
+            });
+        match &ev.kind {
+            EventKind::TaskStart { task, flowlet } => {
+                open.entry((ev.node, ev.worker))
+                    .or_default()
+                    .push((ev.t_us, *task, *flowlet));
+            }
+            EventKind::TaskEnd { task, flowlet, .. } => {
+                row.tasks += 1;
+                let stack = open.entry((ev.node, ev.worker)).or_default();
+                if let Some(i) = stack
+                    .iter()
+                    .rposition(|(_, t, f)| t == task && f == flowlet)
+                {
+                    let (ts, _, _) = stack.remove(i);
+                    let dur = ev.t_us.saturating_sub(ts);
+                    row.busy_us += dur;
+                    row.latency.record_us(dur);
+                }
+            }
+            EventKind::TaskStolen { .. } => row.steals += 1,
+            EventKind::WorkerUnparked { parked_us } => {
+                row.parks += 1;
+                row.parked_us += parked_us;
+            }
+            _ => {}
+        }
+    }
+    rows.into_values().collect()
+}
+
+/// Render an aligned per-worker occupancy table.
+pub fn render_occupancy(rows: &[WorkerOccupancyRow]) -> String {
+    const HEADERS: [&str; 7] = [
+        "node", "worker", "tasks", "busy", "steals", "parks", "parked",
+    ];
+    let cells: Vec<[String; 7]> = rows
+        .iter()
+        .map(|r| {
+            [
+                r.node.to_string(),
+                r.worker.to_string(),
+                r.tasks.to_string(),
+                fmt_us(r.busy_us),
+                if r.steals == 0 {
+                    "-".to_string()
+                } else {
+                    r.steals.to_string()
+                },
+                if r.parks == 0 {
+                    "-".to_string()
+                } else {
+                    r.parks.to_string()
+                },
+                if r.parked_us == 0 {
+                    "-".to_string()
+                } else {
+                    fmt_us(r.parked_us)
+                },
+            ]
+        })
+        .collect();
+    let mut widths: Vec<usize> = HEADERS.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(c.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let emit_row = |out: &mut String, cols: &[String]| {
+        for (i, (c, w)) in cols.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(c);
+            for _ in c.chars().count()..*w {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header: Vec<String> = HEADERS.iter().map(|h| h.to_string()).collect();
+    emit_row(&mut out, &header);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    emit_row(&mut out, &rule);
+    for row in &cells {
+        emit_row(&mut out, row);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +314,75 @@ mod tests {
         let table = render_summary(&[]);
         assert!(table.starts_with("flowlet"));
         assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn occupancy_folds_tasks_steals_and_parks() {
+        use crate::TaskKind;
+        let ev = |t_us, node, worker, kind| TraceEvent {
+            t_us,
+            node,
+            worker,
+            kind,
+        };
+        let events = vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::TaskStart {
+                    task: TaskKind::MapBin,
+                    flowlet: 1,
+                },
+            ),
+            ev(
+                100,
+                0,
+                0,
+                EventKind::TaskEnd {
+                    task: TaskKind::MapBin,
+                    flowlet: 1,
+                    records_in: 4,
+                    records_out: 4,
+                },
+            ),
+            ev(
+                50,
+                0,
+                1,
+                EventKind::TaskStolen {
+                    thief: 1,
+                    victim: 0,
+                    flowlet: 1,
+                },
+            ),
+            ev(400, 0, 1, EventKind::WorkerUnparked { parked_us: 300 }),
+            // Synthetic lanes are excluded.
+            ev(
+                10,
+                0,
+                crate::WORKER_RUNTIME,
+                EventKind::BinShipped {
+                    flowlet: 1,
+                    edge: 0,
+                    dst: 1,
+                    records: 4,
+                    bytes: 64,
+                },
+            ),
+        ];
+        let rows = worker_occupancy(&events);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].node, rows[0].worker), (0, 0));
+        assert_eq!(rows[0].tasks, 1);
+        assert_eq!(rows[0].busy_us, 100);
+        assert_eq!(rows[1].steals, 1);
+        assert_eq!(rows[1].parks, 1);
+        assert_eq!(rows[1].parked_us, 300);
+        let table = render_occupancy(&rows);
+        assert!(table.starts_with("node"));
+        assert!(table.lines().count() == 4);
+        assert!(table.contains("300us"));
     }
 
     #[test]

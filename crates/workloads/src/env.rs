@@ -134,6 +134,16 @@ impl Env {
         env.hamr = Cluster::with_substrates(config, env.disks.clone(), env.dfs.clone());
         env
     }
+
+    /// Build an Env whose HAMR cluster runs under a specific scheduler
+    /// (overrides the `HAMR_SCHED` environment default).
+    pub fn with_hamr_sched(params: SimParams, sched: hamr_core::SchedMode) -> Self {
+        let runtime = hamr_core::RuntimeConfig {
+            sched,
+            ..Default::default()
+        };
+        Env::with_hamr_runtime(params, runtime)
+    }
 }
 
 impl Env {
@@ -180,6 +190,32 @@ pub struct BenchOutput {
     /// Bytes that crossed node boundaries during the run. 0 when not
     /// reported.
     pub shuffled_bytes: u64,
+    /// Successful work-steal operations across all nodes. 0 for the
+    /// MapReduce engine and for HAMR under the centralized or
+    /// deterministic schedulers.
+    pub steals: u64,
+    /// Total tasks relocated by steals.
+    pub stolen_tasks: u64,
+    /// Total worker time spent parked waiting for work, in seconds.
+    pub park_seconds: f64,
+    /// Mean per-node occupancy imbalance (CV of tasks-per-worker;
+    /// 0 = every worker ran the same number of tasks).
+    pub occupancy_imbalance: f64,
+}
+
+impl BenchOutput {
+    /// Fold a HAMR run's scheduler counters into this output. For
+    /// multi-job benchmarks (PageRank, K-Means) call once per job:
+    /// steal and park totals accumulate, imbalance keeps a running
+    /// mean.
+    pub fn fold_sched_metrics(&mut self, m: &hamr_core::JobMetrics, jobs_so_far: u64) {
+        self.steals += m.total_steals();
+        self.stolen_tasks += m.total_stolen_tasks();
+        self.park_seconds += m.total_park_time().as_secs_f64();
+        let n = jobs_so_far as f64;
+        self.occupancy_imbalance =
+            (self.occupancy_imbalance * n + m.mean_occupancy_imbalance()) / (n + 1.0);
+    }
 }
 
 #[cfg(test)]

@@ -79,13 +79,16 @@ impl HistogramRatings {
             .get(&rating_map)
             .map(|f| f.records_out)
             .unwrap_or(0);
-        Ok(BenchOutput {
+        let mut out = BenchOutput {
             elapsed: start.elapsed(),
             checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
             records: recs.len() as u64,
             shuffle_records,
             shuffled_bytes: result.metrics.shuffled_bytes,
-        })
+            ..Default::default()
+        };
+        out.fold_sched_metrics(&result.metrics, 0);
+        Ok(out)
     }
 
     pub fn run_mapred_with(&self, env: &Env, combiner: bool) -> Result<BenchOutput, String> {
@@ -119,6 +122,7 @@ impl HistogramRatings {
             records,
             shuffle_records: stats.map_records_out,
             shuffled_bytes: stats.shuffled_bytes,
+            ..Default::default()
         })
     }
 }

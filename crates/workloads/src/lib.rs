@@ -53,6 +53,67 @@ pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+/// Skew-stressed variants of all eight benchmarks, in the same order
+/// as [`all_benchmarks`]. A handful of hot keys draw almost all the
+/// traffic: whole frames land on one destination, partial-reduce
+/// stripes collide on one sub-shard, and reduce groups are few and
+/// huge. Used by the cross-engine and cross-scheduler differential
+/// tests — correctness must hold with no "balanced input" favors.
+pub fn skewed_variants() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(kmeans::KMeans {
+            movies: 3,
+            users: 300,
+            max_ratings_per_movie: 1_500,
+            k: 2,
+        }),
+        Box::new(classification::Classification {
+            movies: 3,
+            users: 300,
+            max_ratings_per_movie: 1_500,
+            k: 2,
+        }),
+        // Few pages, many links: the webgraph's Zipfian in-degree makes
+        // one page collect nearly every rank contribution.
+        Box::new(pagerank::PageRank {
+            pages: 12,
+            max_out_links: 10,
+            iterations: 3,
+        }),
+        // Dense RMAT corner: 2^3 vertices with many edges piles the
+        // adjacency onto the RMAT hot quadrant.
+        Box::new(kcliques::KCliques {
+            vertex_scale: 3,
+            edges: 600,
+            k: 3,
+        }),
+        // Three-word vocabulary: the Zipf draw makes one word dominate.
+        Box::new(wordcount::WordCount {
+            lines: 4_000,
+            words_per_line: 12,
+            vocab: 3,
+        }),
+        Box::new(histogram_movies::HistogramMovies {
+            movies: 2,
+            users: 400,
+            max_ratings_per_movie: 2_000,
+        }),
+        Box::new(histogram_ratings::HistogramRatings {
+            movies: 2,
+            users: 400,
+            max_ratings_per_movie: 2_000,
+        }),
+        // One label, tiny vocabulary: every training pair hits the same
+        // few aggregation keys.
+        Box::new(naive_bayes::NaiveBayes {
+            docs: 1_500,
+            words_per_doc: 20,
+            vocab: 6,
+            labels: 1,
+        }),
+    ]
+}
+
 /// Order-independent checksum over output pairs (used to compare the
 /// two engines' results).
 pub fn pair_checksum<'a>(pairs: impl Iterator<Item = (&'a [u8], &'a [u8])>) -> u64 {
@@ -86,6 +147,13 @@ mod tests {
             pair_checksum(a.iter().copied()),
             pair_checksum(b.iter().copied())
         );
+    }
+
+    #[test]
+    fn skewed_variants_mirror_the_benchmark_list() {
+        let names: Vec<_> = all_benchmarks().iter().map(|b| b.name()).collect();
+        let skewed: Vec<_> = skewed_variants().iter().map(|b| b.name()).collect();
+        assert_eq!(names, skewed);
     }
 
     #[test]

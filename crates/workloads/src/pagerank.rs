@@ -115,6 +115,7 @@ impl Benchmark for PageRank {
         env.hamr.kv().clear();
         let mut shuffle_records = 0u64;
         let mut shuffled_bytes = 0u64;
+        let mut sched = BenchOutput::default();
         for iter in 0..self.iterations {
             let mut job = JobBuilder::new(format!("pagerank-iter{iter}"));
             // Flowlets whose output edge is a Hash exchange — their
@@ -194,6 +195,7 @@ impl Benchmark for PageRank {
                     shuffle_records += m.records_out;
                 }
             }
+            sched.fold_sched_metrics(&result.metrics, iter as u64);
         }
         // Final ranks live in the KV store, distributed by page.
         let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -210,6 +212,7 @@ impl Benchmark for PageRank {
             records: pairs.len() as u64,
             shuffle_records,
             shuffled_bytes,
+            ..sched
         })
     }
 
@@ -319,6 +322,7 @@ impl Benchmark for PageRank {
             records: pairs.len() as u64,
             shuffle_records,
             shuffled_bytes,
+            ..Default::default()
         })
     }
 }

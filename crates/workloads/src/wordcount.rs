@@ -83,13 +83,16 @@ impl WordCount {
             .get(&split)
             .map(|f| f.records_out)
             .unwrap_or(0);
-        Ok(BenchOutput {
+        let mut out = BenchOutput {
             elapsed: start.elapsed(),
             checksum: pair_checksum(recs.iter().map(|r| (&r.key[..], &r.value[..]))),
             records: recs.len() as u64,
             shuffle_records,
             shuffled_bytes: result.metrics.shuffled_bytes,
-        })
+            ..Default::default()
+        };
+        out.fold_sched_metrics(&result.metrics, 0);
+        Ok(out)
     }
 
     /// Hadoop run with/without combiner.
@@ -124,6 +127,7 @@ impl WordCount {
             records,
             shuffle_records: stats.map_records_out,
             shuffled_bytes: stats.shuffled_bytes,
+            ..Default::default()
         })
     }
 }

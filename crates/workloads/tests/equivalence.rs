@@ -72,93 +72,58 @@ fn kcliques_engines_agree() {
 }
 
 // ---------------------------------------------------------------
-// Skewed inputs: a handful of hot keys draw almost all the traffic,
-// so whole frames land on one destination, partial-reduce stripes
-// collide on one sub-shard, and reduce groups are few and huge. The
-// engines must still agree exactly — the frame data plane's hash
-// routing and in-frame sub-sharding get no "balanced input" favors.
+// Skewed inputs (see `hamr_workloads::skewed_variants` for why the
+// parameters are what they are): the engines must still agree exactly
+// — the frame data plane's hash routing and in-frame sub-sharding get
+// no "balanced input" favors.
 // ---------------------------------------------------------------
+
+fn check_skewed(name: &str) {
+    let bench = hamr_workloads::skewed_variants()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| panic!("no skewed variant named {name}"));
+    check(bench.as_ref());
+}
 
 #[test]
 fn wordcount_engines_agree_skewed() {
-    // Three-word vocabulary: the Zipf draw makes one word dominate.
-    check(&hamr_workloads::wordcount::WordCount {
-        lines: 4_000,
-        words_per_line: 12,
-        vocab: 3,
-    });
+    check_skewed("WordCount");
 }
 
 #[test]
 fn histogram_movies_engines_agree_skewed() {
-    check(&hamr_workloads::histogram_movies::HistogramMovies {
-        movies: 2,
-        users: 400,
-        max_ratings_per_movie: 2_000,
-    });
+    check_skewed("HistogramMovies");
 }
 
 #[test]
 fn histogram_ratings_engines_agree_skewed() {
-    check(&hamr_workloads::histogram_ratings::HistogramRatings {
-        movies: 2,
-        users: 400,
-        max_ratings_per_movie: 2_000,
-    });
+    check_skewed("HistogramRatings");
 }
 
 #[test]
 fn naive_bayes_engines_agree_skewed() {
-    // One label, tiny vocabulary: every training pair hits the same
-    // few aggregation keys.
-    check(&hamr_workloads::naive_bayes::NaiveBayes {
-        docs: 1_500,
-        words_per_doc: 20,
-        vocab: 6,
-        labels: 1,
-    });
+    check_skewed("NaiveBayes");
 }
 
 #[test]
 fn kmeans_engines_agree_skewed() {
-    check(&hamr_workloads::kmeans::KMeans {
-        movies: 3,
-        users: 300,
-        max_ratings_per_movie: 1_500,
-        k: 2,
-    });
+    check_skewed("K-Means");
 }
 
 #[test]
 fn classification_engines_agree_skewed() {
-    check(&hamr_workloads::classification::Classification {
-        movies: 3,
-        users: 300,
-        max_ratings_per_movie: 1_500,
-        k: 2,
-    });
+    check_skewed("Classification");
 }
 
 #[test]
 fn pagerank_engines_agree_skewed() {
-    // Few pages, many links: the webgraph's Zipfian in-degree makes
-    // one page collect nearly every rank contribution.
-    check(&hamr_workloads::pagerank::PageRank {
-        pages: 12,
-        max_out_links: 10,
-        iterations: 3,
-    });
+    check_skewed("PageRank");
 }
 
 #[test]
 fn kcliques_engines_agree_skewed() {
-    // Dense RMAT corner: 2^3 vertices with many edges piles the
-    // adjacency onto the RMAT hot quadrant.
-    check(&hamr_workloads::kcliques::KCliques {
-        vertex_scale: 3,
-        edges: 600,
-        k: 3,
-    });
+    check_skewed("KCliques");
 }
 
 #[test]

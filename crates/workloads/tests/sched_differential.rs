@@ -1,0 +1,60 @@
+//! Cross-scheduler differential: every workload must compute the same
+//! answer under all three scheduler modes. The work-stealing scheduler
+//! moves tasks between workers mid-flight and the deterministic
+//! scheduler replays them in a seed-fixed order — neither is allowed
+//! to change a single output bit relative to the centralized baseline.
+//!
+//! Each mode is pinned through `Env::with_hamr_sched`, so these tests
+//! hold regardless of any `HAMR_SCHED` environment override.
+
+use hamr_core::SchedMode;
+use hamr_workloads::{all_benchmarks, skewed_variants, Benchmark, Env, SimParams};
+
+const MODES: [SchedMode; 3] = [
+    SchedMode::Centralized,
+    SchedMode::WorkStealing,
+    SchedMode::Deterministic { seed: 7 },
+];
+
+/// Run one benchmark under every scheduler mode (fresh environment per
+/// mode; the generators are seed-deterministic, so each environment
+/// holds a bit-identical input) and demand identical results.
+fn check(bench: &dyn Benchmark) {
+    let mut baseline: Option<(u64, u64)> = None;
+    for mode in MODES {
+        let env = Env::with_hamr_sched(SimParams::test(3, 2), mode);
+        bench.seed(&env).expect("seed");
+        let out = bench.run_hamr(&env).expect("hamr run");
+        assert!(
+            out.records > 0,
+            "{} produced no output under {mode:?}",
+            bench.name()
+        );
+        match baseline {
+            None => baseline = Some((out.checksum, out.records)),
+            Some((checksum, records)) => {
+                assert_eq!(
+                    (out.checksum, out.records),
+                    (checksum, records),
+                    "{}: {mode:?} disagrees with {:?}",
+                    bench.name(),
+                    MODES[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_workloads_agree_across_schedulers() {
+    for bench in all_benchmarks() {
+        check(bench.as_ref());
+    }
+}
+
+#[test]
+fn skewed_workloads_agree_across_schedulers() {
+    for bench in skewed_variants() {
+        check(bench.as_ref());
+    }
+}
