@@ -4,20 +4,35 @@
 //! plus skew-stressed PageRank/HistogramRatings variants that
 //! concentrate the work on a few hot keys — on the HAMR and MapReduce
 //! engines at fixed seeds and sizes, and writes a machine-readable
-//! `BENCH_pr3.json` (schema documented in EXPERIMENTS.md). HAMR runs
-//! twice: under the default work-stealing scheduler (`hamr`) and under
-//! the centralized scheduler it replaced (`hamr-central`), so every
-//! snapshot carries its own scheduler ablation. Alongside the JSON it
-//! writes a `--raw-out` TSV that a later run can consume via
-//! `--baseline` to report speedup ratios — that is how PRs prove
-//! data-plane wins against the parent commit.
+//! `BENCH_pr4.json` (schema `hamr-benchjson/3`, documented in
+//! EXPERIMENTS.md). HAMR runs twice: under the default work-stealing
+//! scheduler (`hamr`) and under the centralized scheduler it replaced
+//! (`hamr-central`), so every snapshot carries its own scheduler
+//! ablation.
+//!
+//! The timing reps run untraced. Afterwards each (benchmark, engine)
+//! pair gets ONE extra run with the causal profiler attached (via the
+//! clusters' ambient-profiler hook, so the `Benchmark` trait stays
+//! engine-agnostic); `analyze` over that run's event log fills the
+//! `critical_path_ms` / `stall_share` / `net_share` columns on every
+//! row. The profiled walls never enter the timing columns.
+//!
+//! Alongside the JSON it writes a `--raw-out` TSV that a later run can
+//! consume via `--baseline` to report speedup ratios — that is how PRs
+//! prove data-plane wins against the parent commit. `--profile-dir D`
+//! additionally writes each profiled run's full causal report to
+//! `D/causal_{benchmark}_{engine}.json`; `--fail-on-overhead PCT`
+//! exits nonzero when any profiled run exceeds its untraced wall by
+//! more than PCT% (+50ms slack) — the CI sampler-overhead gate.
 //!
 //! ```text
-//! benchjson [--quick] [--reps N] [--out BENCH_pr3.json]
+//! benchjson [--quick] [--reps N] [--out BENCH_pr4.json]
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
+//!           [--profile-dir DIR] [--fail-on-overhead PCT]
 //! ```
 
 use hamr_core::SchedMode;
+use hamr_trace::{analyze, RingSink, Telemetry, Tracer};
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::pagerank::PageRank;
 use hamr_workloads::wordcount::WordCount;
@@ -25,6 +40,7 @@ use hamr_workloads::{BenchOutput, Benchmark, Env, SimParams};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counts every heap allocation so the harness reports a measured
 /// allocations-per-record figure, not an estimate from first principles.
@@ -67,6 +83,23 @@ struct Row {
     steals: u64,
     park_seconds: f64,
     occupancy_imbalance: f64,
+    /// Length of the longest produce→consume dependency chain in the
+    /// profiled run, milliseconds.
+    critical_path_ms: f64,
+    /// Share of lane time the profiled run spent blocked on flow
+    /// control / on the network (causal attribution buckets).
+    stall_share: f64,
+    net_share: f64,
+}
+
+/// Causal columns measured on the one profiled run per row.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProfileCols {
+    critical_path_ms: f64,
+    stall_share: f64,
+    net_share: f64,
+    /// Profiled run's wall seconds — for the overhead gate only.
+    wall_seconds: f64,
 }
 
 impl Row {
@@ -102,7 +135,17 @@ impl Row {
             steals: out.steals,
             park_seconds: out.park_seconds,
             occupancy_imbalance: out.occupancy_imbalance,
+            critical_path_ms: 0.0,
+            stall_share: 0.0,
+            net_share: 0.0,
         }
+    }
+
+    fn with_profile(mut self, p: ProfileCols) -> Row {
+        self.critical_path_ms = p.critical_path_ms;
+        self.stall_share = p.stall_share;
+        self.net_share = p.net_share;
+        self
     }
 
     fn json(&self) -> String {
@@ -114,7 +157,9 @@ impl Row {
                 "\"output_records\":{},\"checksum\":\"{:016x}\",",
                 "\"allocations\":{},\"allocations_per_record\":{:.3},",
                 "\"steals\":{},\"park_seconds\":{:.6},",
-                "\"occupancy_imbalance\":{:.4}}}"
+                "\"occupancy_imbalance\":{:.4},",
+                "\"critical_path_ms\":{:.3},\"stall_share\":{:.4},",
+                "\"net_share\":{:.4}}}"
             ),
             self.benchmark,
             self.engine,
@@ -129,12 +174,15 @@ impl Row {
             self.steals,
             self.park_seconds,
             self.occupancy_imbalance,
+            self.critical_path_ms,
+            self.stall_share,
+            self.net_share,
         )
     }
 
     fn tsv(&self) -> String {
         format!(
-            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}",
+            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}\t{:.3}\t{:.4}\t{:.4}",
             self.benchmark,
             self.engine,
             self.records_per_sec,
@@ -144,6 +192,9 @@ impl Row {
             self.steals,
             self.park_seconds,
             self.occupancy_imbalance,
+            self.critical_path_ms,
+            self.stall_share,
+            self.net_share,
         )
     }
 }
@@ -157,15 +208,16 @@ struct BaselineRow {
     allocations_per_record: f64,
 }
 
-/// Parses both the 6-column TSVs written before the scheduler columns
-/// existed and the current 9-column form (extra columns carry steal /
-/// park / occupancy figures the ratio report does not need).
+/// Parses the 6-column TSVs written before the scheduler columns
+/// existed, the 9-column form, and the current 12-column form (extra
+/// columns carry steal / park / occupancy and causal-profile figures
+/// the ratio report does not need).
 fn parse_baseline(path: &str) -> Result<BTreeMap<(String, String), BaselineRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut rows = BTreeMap::new();
     for line in text.lines() {
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 6 && cols.len() != 9 {
+        if cols.len() != 6 && cols.len() != 9 && cols.len() != 12 {
             return Err(format!("{path}: malformed line {line:?}"));
         }
         let parse = |s: &str| s.parse::<f64>().map_err(|e| format!("{path}: {e}"));
@@ -188,15 +240,19 @@ struct Args {
     out: String,
     raw_out: Option<String>,
     baseline: Option<String>,
+    profile_dir: Option<String>,
+    fail_on_overhead: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         reps: 3,
-        out: "BENCH_pr3.json".to_string(),
+        out: "BENCH_pr4.json".to_string(),
         raw_out: None,
         baseline: None,
+        profile_dir: None,
+        fail_on_overhead: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -207,6 +263,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = value("--out")?,
             "--raw-out" => args.raw_out = Some(value("--raw-out")?),
             "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--profile-dir" => args.profile_dir = Some(value("--profile-dir")?),
+            "--fail-on-overhead" => {
+                args.fail_on_overhead = Some(
+                    value("--fail-on-overhead")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -252,6 +316,54 @@ fn benchmarks() -> Vec<(&'static str, Box<dyn Benchmark>)> {
     ]
 }
 
+/// One profiled run of `bench` on `engine`: fresh environment, ring
+/// sink, event tracing and telemetry sampling all on, attached through
+/// the clusters' ambient-profiler hook so the `Benchmark` trait stays
+/// engine-agnostic. Returns the causal columns for the row; with
+/// `profile_dir` also writes the full causal report as JSON.
+fn profile_run(
+    bench: &dyn Benchmark,
+    label: &str,
+    engine: &str,
+    params: &SimParams,
+    sched: SchedMode,
+    profile_dir: Option<&str>,
+) -> Result<ProfileCols, String> {
+    let env = Env::with_hamr_sched(params.clone(), sched);
+    bench.seed(&env)?;
+    let sink = Arc::new(RingSink::new(64, 1 << 18));
+    let tracer = Tracer::new(sink.clone());
+    let telemetry = Telemetry::with_default_interval();
+    env.hamr.attach_profiler(tracer.clone(), telemetry.clone());
+    env.mr.attach_profiler(tracer, telemetry);
+    let out = match engine {
+        "mapred" => bench.run_mapred(&env),
+        _ => bench.run_hamr(&env),
+    }?;
+    env.hamr.detach_profiler();
+    env.mr.detach_profiler();
+    let dropped = sink.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "benchjson: WARNING: {label} ({engine}): trace sink dropped {dropped} \
+             events; causal columns are built on a truncated log"
+        );
+    }
+    let events = sink.drain();
+    let report = analyze(&events, dropped);
+    if let Some(dir) = profile_dir {
+        let path = format!("{dir}/causal_{label}_{engine}.json");
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let shares = report.shares();
+    Ok(ProfileCols {
+        critical_path_ms: report.critical_path.total_us as f64 / 1000.0,
+        stall_share: shares[2],
+        net_share: shares[3],
+        wall_seconds: out.elapsed.as_secs_f64(),
+    })
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -267,7 +379,16 @@ fn main() {
     let scale = if args.quick { 0.05 } else { 1.0 };
     let params = SimParams::test(nodes, threads).with_scale(scale);
 
+    if let Some(dir) = &args.profile_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("benchjson: create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     let mut rows: Vec<Row> = Vec::new();
+    // (label, engine, untraced wall, profiled wall) for the overhead gate.
+    let mut overheads: Vec<(String, &'static str, f64, f64)> = Vec::new();
     for (label, bench) in benchmarks() {
         let mut hamr_runs: Vec<(BenchOutput, u64)> = Vec::new();
         let mut central_runs: Vec<(BenchOutput, u64)> = Vec::new();
@@ -305,9 +426,36 @@ fn main() {
                 runs.push((out, allocs));
             }
         }
-        let hamr = Row::from_runs(label, "hamr", &hamr_runs);
-        let central = Row::from_runs(label, "hamr-central", &central_runs);
-        let mr = Row::from_runs(label, "mapred", &mr_runs);
+        let mut hamr = Row::from_runs(label, "hamr", &hamr_runs);
+        let mut central = Row::from_runs(label, "hamr-central", &central_runs);
+        let mut mr = Row::from_runs(label, "mapred", &mr_runs);
+        // One extra profiled run per row fills the causal columns; its
+        // wall never enters the timing columns above.
+        for (row, sched) in [
+            (&mut hamr, SchedMode::WorkStealing),
+            (&mut central, SchedMode::Centralized),
+            (&mut mr, SchedMode::WorkStealing),
+        ] {
+            let cols = profile_run(
+                bench.as_ref(),
+                label,
+                row.engine,
+                &params,
+                sched,
+                args.profile_dir.as_deref(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("benchjson: profile {label} ({}): {e}", row.engine);
+                std::process::exit(1);
+            });
+            overheads.push((
+                label.to_string(),
+                row.engine,
+                row.wall_seconds,
+                cols.wall_seconds,
+            ));
+            *row = row.clone().with_profile(cols);
+        }
         eprintln!(
             "{:<22} hamr {:>12.0} rec/s ({:.3}s, {} steals)   \
              hamr-central {:>12.0} rec/s ({:.3}s)   mapred {:>12.0} rec/s ({:.3}s)",
@@ -337,7 +485,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"hamr-benchjson/2\",\n");
+    json.push_str("{\n  \"schema\": \"hamr-benchjson/3\",\n");
     json.push_str(&format!(
         "  \"params\": {{\"nodes\": {nodes}, \"threads_per_node\": {threads}, \
          \"scale\": {scale}, \"seed\": 42, \"reps\": {}, \"quick\": {}}},\n",
@@ -400,5 +548,33 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {raw}");
+    }
+
+    // Sampler-overhead gate: the profiled runs (tracer + 1ms telemetry
+    // sampler) must stay within the budget of their untraced
+    // counterparts. 50ms absolute slack absorbs scheduling noise on the
+    // sub-second --quick walls.
+    if let Some(pct) = args.fail_on_overhead {
+        let slack = 0.050;
+        let mut failed = false;
+        for (label, engine, untraced, profiled) in &overheads {
+            let budget = untraced * (1.0 + pct / 100.0) + slack;
+            let over = 100.0 * (profiled - untraced) / untraced.max(1e-9);
+            if *profiled > budget {
+                eprintln!(
+                    "benchjson: OVERHEAD: {label} ({engine}): profiled {profiled:.3}s vs \
+                     untraced {untraced:.3}s (+{over:.1}%) exceeds {pct}% + {slack}s slack"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "benchjson: overhead ok: {label} ({engine}): \
+                     profiled {profiled:.3}s vs untraced {untraced:.3}s ({over:+.1}%)"
+                );
+            }
+        }
+        if failed {
+            std::process::exit(3);
+        }
     }
 }

@@ -7,6 +7,15 @@
 //!   * `trace_hamr.json`   — both HAMR runs (load at ui.perfetto.dev)
 //!   * `trace_mapred.json` — both MapReduce runs
 //!
+//! Flags:
+//!   * `--causal`     — additionally run the causal profiler over each
+//!     run's events: wall-time attribution table, top stall edges, and
+//!     the critical path, plus `causal_*.json` reports.
+//!   * `--timeseries` — sample live telemetry (bin-queue depths, window
+//!     occupancy, in-flight fabric bytes, worker occupancy) during the
+//!     skewed run; writes `timeseries_hamr.csv` / `.prom` and embeds
+//!     counter tracks in `trace_hamr.json`.
+//!
 //! The skewed HAMR run shrinks the flow-control window to one bin so
 //! the trace visibly shows `flow-control-stall` / resume pairs on the
 //! loader→map→reduce path; the balanced WordCount run shows none.
@@ -14,8 +23,10 @@
 use hamr_core::{typed, Emitter, Exchange, JobBuilder, JobResult, RuntimeConfig};
 use hamr_mapred::{line_map_fn, reduce_fn, JobConf, ReduceOutput};
 use hamr_trace::{
-    chrome_trace_json, render_occupancy, render_summary, worker_occupancy, EventKind,
-    FlowletSummaryRow, LatencyHistogram, RingSink, TaskKind, TraceEvent, Tracer,
+    analyze, chrome_trace_json, chrome_trace_json_with_counters, render_attribution,
+    render_critical_path, render_occupancy, render_stall_edges, render_summary, worker_occupancy,
+    EventKind, FlowletSummaryRow, LatencyHistogram, RingSink, TaskKind, Telemetry, TraceEvent,
+    Tracer,
 };
 use hamr_workloads::gen::movies::parse_movie_line;
 use hamr_workloads::histogram_ratings::HistogramRatings;
@@ -47,7 +58,7 @@ fn run_hamr_wordcount(env: &Env, tracer: Tracer) -> JobResult {
         .expect("wordcount run")
 }
 
-fn run_hamr_histratings(env: &Env, tracer: Tracer) -> JobResult {
+fn run_hamr_histratings(env: &Env, tracer: Tracer, telemetry: Telemetry) -> JobResult {
     let mut job = JobBuilder::new("histogram-ratings");
     let loader = job.add_loader("TextLoader", typed::dfs_line_loader(HR_INPUT));
     let rating_map = job.add_map(
@@ -65,7 +76,7 @@ fn run_hamr_histratings(env: &Env, tracer: Tracer) -> JobResult {
     job.connect(rating_map, sum, Exchange::Hash);
     job.capture_output(sum);
     env.hamr
-        .run_traced(job.build().expect("histratings graph"), tracer)
+        .run_profiled(job.build().expect("histratings graph"), tracer, telemetry)
         .expect("histratings run")
 }
 
@@ -164,7 +175,42 @@ fn count_stalls(events: &[TraceEvent]) -> usize {
         .count()
 }
 
+/// Warn when the ring sink dropped events: every analysis downstream
+/// of a lossy trace is built on a truncated log.
+fn warn_dropped(label: &str, dropped: u64) {
+    if dropped > 0 {
+        eprintln!(
+            "WARNING: {label}: {dropped} events dropped by the trace ring \
+             — raise RingSink capacity for complete lineage"
+        );
+    }
+}
+
+/// Run the causal profiler over one run's events and print the report.
+fn causal_report(label: &str, events: &[TraceEvent], dropped: u64) {
+    let report = analyze(events, dropped);
+    println!("== causal attribution: {label} ==");
+    print!("{}", render_attribution(&report));
+    println!("top stall edges:");
+    print!("{}", render_stall_edges(&report));
+    print!("{}", render_critical_path(&report));
+    println!(
+        "spans: {}/{} complete\n",
+        report.spans_complete, report.spans_seen
+    );
+    let path = format!(
+        "causal_{}.json",
+        label.replace([' ', '('], "_").replace(')', "")
+    );
+    std::fs::write(&path, report.to_json()).expect("write causal report");
+    println!("wrote {path}\n");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let causal = args.iter().any(|a| a == "--causal");
+    let timeseries = args.iter().any(|a| a == "--timeseries");
+
     // ---- HAMR engine -------------------------------------------------
     let sink = Arc::new(RingSink::new(64, 1 << 16));
     let tracer = Tracer::new(sink.clone());
@@ -175,6 +221,14 @@ fn main() {
     let wc = run_hamr_wordcount(&env, tracer.clone());
     println!("== HAMR wordcount (balanced) ==");
     println!("{}", render_summary(&wc.metrics.summary_rows()));
+    // Drain per run so the causal profiler sees each job in isolation;
+    // the chrome export concatenates them again (same tracer epoch).
+    let events_wc = sink.drain();
+    let dropped_wc = sink.dropped();
+    warn_dropped("hamr wordcount", dropped_wc);
+    if causal {
+        causal_report("hamr_wordcount", &events_wc, dropped_wc);
+    }
 
     // Skewed five-key histogram with a one-bin flow-control window:
     // the hash shuffle funnels everything into five partitions, the
@@ -190,11 +244,23 @@ fn main() {
     HistogramRatings::default()
         .seed(&env_skew)
         .expect("seed histratings");
-    let hr = run_hamr_histratings(&env_skew, tracer.clone());
+    let telemetry = if timeseries {
+        Telemetry::with_default_interval()
+    } else {
+        Telemetry::disabled()
+    };
+    let hr = run_hamr_histratings(&env_skew, tracer.clone(), telemetry.clone());
     println!("== HAMR histogram-ratings (skewed, window=1) ==");
     println!("{}", render_summary(&hr.metrics.summary_rows()));
+    let events_hr = sink.drain();
+    let dropped_hr = sink.dropped().saturating_sub(dropped_wc);
+    warn_dropped("hamr histogram-ratings", dropped_hr);
+    if causal {
+        causal_report("hamr_histratings_skewed", &events_hr, dropped_hr);
+    }
 
-    let events = sink.drain();
+    let mut events = events_wc;
+    events.extend(events_hr);
     // Per-worker scheduler view: task counts, busy time, steals, and
     // park time per lane across both runs. The work-stealing scheduler
     // (the default) shows nonzero steal/park columns; under
@@ -210,7 +276,28 @@ fn main() {
             .filter(|e| matches!(e.kind, EventKind::TaskStolen { .. }))
             .count()
     );
-    std::fs::write("trace_hamr.json", chrome_trace_json(&events)).expect("write trace_hamr.json");
+    if timeseries {
+        let series = telemetry.series();
+        std::fs::write("timeseries_hamr.csv", series.to_csv()).expect("write timeseries csv");
+        std::fs::write("timeseries_hamr.prom", series.to_prometheus())
+            .expect("write timeseries prom");
+        println!(
+            "sampled {} telemetry points across {} gauges; wrote timeseries_hamr.csv / .prom",
+            series.samples.len(),
+            series.names.len()
+        );
+        // Counter tracks ride along in the chrome export. Their clock is
+        // the skewed run's telemetry epoch, so they cluster at the tail
+        // of the combined timeline.
+        std::fs::write(
+            "trace_hamr.json",
+            chrome_trace_json_with_counters(&events, &series),
+        )
+        .expect("write trace_hamr.json");
+    } else {
+        std::fs::write("trace_hamr.json", chrome_trace_json(&events))
+            .expect("write trace_hamr.json");
+    }
     println!("wrote trace_hamr.json\n");
 
     // ---- MapReduce baseline ------------------------------------------
@@ -229,9 +316,14 @@ fn main() {
         .expect("mapred histratings");
 
     let events_mr = sink_mr.drain();
+    let dropped_mr = sink_mr.dropped();
+    warn_dropped("mapred", dropped_mr);
     println!("== MapReduce wordcount + histogram-ratings ==");
     println!("{}", render_summary(&mr_summary_rows(&events_mr)));
     println!("mapred: {} events", events_mr.len());
+    if causal {
+        causal_report("mapred_both", &events_mr, dropped_mr);
+    }
     std::fs::write("trace_mapred.json", chrome_trace_json(&events_mr))
         .expect("write trace_mapred.json");
     println!("wrote trace_mapred.json");

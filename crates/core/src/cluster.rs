@@ -18,9 +18,9 @@ use hamr_dfs::Dfs;
 use hamr_kvstore::KvStore;
 use hamr_simdisk::Disk;
 use hamr_simnet::Fabric;
-use hamr_trace::Tracer;
+use hamr_trace::{Telemetry, Tracer};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A simulated HAMR cluster: N node runtimes over shared substrates.
@@ -29,6 +29,12 @@ pub struct Cluster {
     disks: Vec<Disk>,
     dfs: Dfs,
     kv: KvStore,
+    /// Ambient profiler: when set, plain [`run`](Cluster::run) calls
+    /// behave as [`run_profiled`](Cluster::run_profiled) with these
+    /// sinks. Lets harnesses profile code paths that only hand them a
+    /// `&Cluster` (the `Benchmark` trait) without threading a tracer
+    /// through every workload signature.
+    profiler: Mutex<Option<(Tracer, Telemetry)>>,
 }
 
 impl Cluster {
@@ -88,6 +94,7 @@ impl Cluster {
             disks,
             dfs,
             kv,
+            profiler: Mutex::new(None),
         })
     }
 
@@ -114,9 +121,34 @@ impl Cluster {
         &self.disks[node]
     }
 
-    /// Run one job to completion (tracing disabled).
+    /// Run one job to completion. Tracing is disabled unless an
+    /// ambient profiler is attached via
+    /// [`attach_profiler`](Cluster::attach_profiler).
     pub fn run(&self, graph: JobGraph) -> Result<JobResult, RunError> {
-        self.run_traced(graph, Tracer::disabled())
+        let ambient = self
+            .profiler
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        match ambient {
+            Some((tracer, telemetry)) => self.run_profiled(graph, tracer, telemetry),
+            None => self.run_traced(graph, Tracer::disabled()),
+        }
+    }
+
+    /// Attach an ambient profiler: until
+    /// [`detach_profiler`](Cluster::detach_profiler), every plain
+    /// [`run`](Cluster::run) emits trace events through `tracer` and
+    /// samples gauges through `telemetry`, exactly as if the caller had
+    /// used [`run_profiled`](Cluster::run_profiled) directly.
+    pub fn attach_profiler(&self, tracer: Tracer, telemetry: Telemetry) {
+        *self.profiler.lock().unwrap_or_else(|p| p.into_inner()) = Some((tracer, telemetry));
+    }
+
+    /// Remove the ambient profiler; subsequent [`run`](Cluster::run)
+    /// calls execute untraced again.
+    pub fn detach_profiler(&self) {
+        *self.profiler.lock().unwrap_or_else(|p| p.into_inner()) = None;
     }
 
     /// Run one job to completion, emitting trace events through
@@ -125,14 +157,33 @@ impl Cluster {
     ///
     /// [`run`]: Cluster::run
     pub fn run_traced(&self, graph: JobGraph, tracer: Tracer) -> Result<JobResult, RunError> {
+        self.run_profiled(graph, tracer, Telemetry::disabled())
+    }
+
+    /// Run one job with both event tracing and periodic telemetry
+    /// sampling. The sampler thread starts only when `telemetry` is
+    /// enabled, runs for the duration of the job, and is stopped (with
+    /// one final sample) before this returns.
+    pub fn run_profiled(
+        &self,
+        graph: JobGraph,
+        tracer: Tracer,
+        telemetry: Telemetry,
+    ) -> Result<JobResult, RunError> {
         let graph = Arc::new(graph);
         let n = self.config.nodes;
-        let fabric = Fabric::<NetMsg>::new_traced(n, self.config.net.clone(), tracer.clone());
+        let fabric =
+            Fabric::<NetMsg>::new_profiled(n, self.config.net.clone(), tracer.clone(), &telemetry);
         // The disks are long-lived substrates shared across jobs; bind
         // them to this run's tracer only for its duration.
         if tracer.enabled() {
             for (node, disk) in self.disks.iter().enumerate() {
                 disk.attach_tracer(tracer.clone(), node as u32);
+            }
+        }
+        if telemetry.enabled() {
+            for (node, disk) in self.disks.iter().enumerate() {
+                disk.attach_gauge(&telemetry, node as u32);
             }
         }
         let start = Instant::now();
@@ -144,6 +195,7 @@ impl Cluster {
             let cfg = self.config.runtime.clone();
             let threads = self.config.threads_per_node;
             let tracer = tracer.clone();
+            let telemetry = telemetry.clone();
             let ctx = TaskContext {
                 node,
                 nodes: n,
@@ -154,10 +206,18 @@ impl Cluster {
             };
             let handle = std::thread::Builder::new()
                 .name(format!("hamr-node-{node}"))
-                .spawn(move || run_node(node, graph, cfg, threads, ctx, endpoint, inbox, tracer))
+                .spawn(move || {
+                    run_node(
+                        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry,
+                    )
+                })
                 .expect("spawn node runtime");
             handles.push(handle);
         }
+        // Start the sampler (no-op when telemetry is disabled). Node
+        // runtimes may still be registering gauges on their own threads;
+        // late registrations are back-filled with zeros in the series.
+        telemetry.start();
         let mut outputs: HashMap<FlowletId, Vec<Record>> = HashMap::new();
         let mut metrics = JobMetrics::default();
         let mut first_error: Option<RunError> = None;
@@ -207,10 +267,16 @@ impl Cluster {
         let net = fabric.metrics();
         metrics.shuffled_bytes = net.remote_bytes();
         metrics.shuffled_messages = net.remote_messages();
+        telemetry.stop();
         fabric.shutdown();
         if tracer.enabled() {
             for disk in &self.disks {
                 disk.detach_tracer();
+            }
+        }
+        if telemetry.enabled() {
+            for disk in &self.disks {
+                disk.detach_gauge();
             }
         }
         if let Some(err) = first_error {

@@ -56,7 +56,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hamr_simnet::{Endpoint, Envelope, Payload};
-use hamr_trace::{EventKind, TaskKind, Tracer, WORKER_RUNTIME};
+use hamr_trace::{EventKind, Gauge, TaskKind, Telemetry, Tracer, NO_SPAN, WORKER_RUNTIME};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -163,6 +163,17 @@ impl Task {
             Task::FirePartial { .. } => TaskKind::FirePartial,
         }
     }
+
+    /// Lineage span of the bin this task consumes, if any. Links the
+    /// consuming `TaskStart` back to the producer's `BinEmitted`.
+    fn span(&self) -> u64 {
+        match self {
+            Task::MapBin { bin, .. }
+            | Task::PartialFold { bin, .. }
+            | Task::ReduceIngest { bin, .. } => bin.span,
+            _ => NO_SPAN,
+        }
+    }
 }
 
 /// A worker's report after executing one task.
@@ -189,10 +200,12 @@ struct WorkerShared {
     partial: Vec<Option<Arc<PartialState>>>,
     reduce: Vec<Mutex<Option<Arc<ReduceState>>>>,
     tracer: Tracer,
+    /// Telemetry gauge: workers currently executing a task on this node.
+    busy_gauge: Gauge,
 }
 
 impl WorkerShared {
-    fn make_output(&self, flowlet: FlowletId) -> TaskOutput {
+    fn make_output(&self, flowlet: FlowletId, lane: u32) -> TaskOutput {
         let def = &self.graph.flowlets[flowlet];
         let ports = self
             .graph
@@ -207,6 +220,9 @@ impl WorkerShared {
             self.bin_capacity,
             def.capture,
             def.name.clone(),
+            flowlet as u32,
+            lane,
+            self.tracer.clone(),
         )
     }
 }
@@ -215,12 +231,14 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
     let start = Instant::now();
     let flowlet = task.flowlet();
     let trace_kind = task.trace_kind();
+    shared.busy_gauge.add(1);
     shared.tracer.emit(
         shared.ctx.node as u32,
         worker_id as u32,
         EventKind::TaskStart {
             task: trace_kind,
             flowlet: flowlet as u32,
+            span: task.span(),
         },
     );
     let is_loader_split = matches!(task, Task::LoaderSplit { .. });
@@ -239,7 +257,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
         panic: None,
     };
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let mut out = shared.make_output(flowlet);
+        let mut out = shared.make_output(flowlet, worker_id as u32);
         let kind = &shared.graph.flowlets[flowlet].kind;
         let mut records_in = 0u64;
         let mut ack_to = None;
@@ -336,6 +354,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
         }
     }
     done.duration = start.elapsed();
+    shared.busy_gauge.sub(1);
     shared.tracer.emit(
         shared.ctx.node as u32,
         worker_id as u32,
@@ -491,8 +510,12 @@ pub(crate) fn run_node(
     endpoint: Endpoint<NetMsg>,
     inbox: Receiver<Envelope<NetMsg>>,
     tracer: Tracer,
+    telemetry: Telemetry,
 ) -> NodeOutcome {
-    NodeRuntime::new(node, graph, cfg, threads, ctx, endpoint, inbox, tracer).run()
+    NodeRuntime::new(
+        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry,
+    )
+    .run()
 }
 
 /// The task execution backend, selected by [`SchedMode`].
@@ -539,6 +562,10 @@ struct NodeRuntime {
     start: Instant,
     error: Option<String>,
     tracer: Tracer,
+    /// Telemetry gauges: per-flowlet bin-queue depth, indexed by flowlet.
+    queue_gauges: Vec<Gauge>,
+    /// Telemetry gauge: bytes resident in queued (pending + held) bins.
+    pending_bytes_gauge: Gauge,
 }
 
 impl NodeRuntime {
@@ -552,6 +579,7 @@ impl NodeRuntime {
         endpoint: Endpoint<NetMsg>,
         inbox: Receiver<Envelope<NetMsg>>,
         tracer: Tracer,
+        telemetry: Telemetry,
     ) -> Self {
         let nodes = ctx.nodes;
         let fire_shards = if cfg.fire_shards == 0 {
@@ -578,6 +606,10 @@ impl NodeRuntime {
                     tracer.clone(),
                     node as u32,
                     id as u32,
+                    telemetry.register(
+                        node as u32,
+                        format!("node{node}/f{id}/reduce_resident_bytes"),
+                    ),
                 ))),
                 _ => None,
             }));
@@ -589,6 +621,7 @@ impl NodeRuntime {
             partial,
             reduce,
             tracer: tracer.clone(),
+            busy_gauge: telemetry.register(node as u32, format!("node{node}/workers_busy")),
         });
         let flow = Arc::new(FlowControl::new(
             node,
@@ -598,7 +631,13 @@ impl NodeRuntime {
             graph.flowlets.len(),
             endpoint.clone(),
             tracer.clone(),
+            &telemetry,
         ));
+        let queue_gauges = (0..graph.flowlets.len())
+            .map(|f| telemetry.register(node as u32, format!("node{node}/f{f}/queue_depth")))
+            .collect();
+        let pending_bytes_gauge =
+            telemetry.register(node as u32, format!("node{node}/pending_bin_bytes"));
         let (done_tx, done_rx) = unbounded::<TaskDone>();
         let exec = match cfg.sched {
             SchedMode::Centralized => {
@@ -706,6 +745,8 @@ impl NodeRuntime {
             start: Instant::now(),
             error: None,
             tracer,
+            queue_gauges,
+            pending_bytes_gauge,
         }
     }
 
@@ -874,6 +915,18 @@ impl NodeRuntime {
                 let dst = self.graph.edges[bin.edge].dst;
                 self.nmetrics.bins_in += 1;
                 self.nmetrics.records_in += bin.len() as u64;
+                self.tracer.emit(
+                    self.node as u32,
+                    WORKER_RUNTIME,
+                    EventKind::BinIngress {
+                        flowlet: dst as u32,
+                        edge: bin.edge as u32,
+                        from: env.from as u32,
+                        span: bin.span,
+                    },
+                );
+                self.queue_gauges[dst].add(1);
+                self.pending_bytes_gauge.add(bin.payload_bytes() as i64);
                 self.instances[dst].pending.push_back(Work::Bin {
                     from: env.from,
                     acked: false,
@@ -1158,6 +1211,8 @@ impl NodeRuntime {
                     else {
                         unreachable!()
                     };
+                    self.queue_gauges[f].sub(1);
+                    self.pending_bytes_gauge.sub(bin.payload_bytes() as i64);
                     let ack = if acked { None } else { Some((from, bin.edge)) };
                     let task = match self.flowlet_tag(f) {
                         Tag::Map => Task::MapBin {

@@ -23,7 +23,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use hamr_codec::{stable_hash, FrameBuilder};
 use hamr_simnet::Endpoint;
-use hamr_trace::{EventKind, Tracer};
+use hamr_trace::{EventKind, Gauge, Telemetry, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -80,9 +80,14 @@ pub(crate) struct FlowControl {
     /// Cached queue length so the hot no-backlog path skips the lock.
     total_deferred: AtomicUsize,
     per_flowlet: Vec<FlowletFlow>,
+    /// Telemetry: bins parked in the deferred queue.
+    deferred_gauge: Gauge,
+    /// Telemetry: total occupied window slots (unacked bins in flight).
+    window_gauge: Gauge,
 }
 
 impl FlowControl {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         node: NodeId,
         nodes: usize,
@@ -91,6 +96,7 @@ impl FlowControl {
         flowlets: usize,
         endpoint: Endpoint<NetMsg>,
         tracer: Tracer,
+        telemetry: &Telemetry,
     ) -> Self {
         FlowControl {
             nodes,
@@ -109,6 +115,8 @@ impl FlowControl {
                     stall_us: AtomicU64::new(0),
                 })
                 .collect(),
+            deferred_gauge: telemetry.register(node as u32, format!("node{node}/deferred_bins")),
+            window_gauge: telemetry.register(node as u32, format!("node{node}/window_inflight")),
         }
     }
 
@@ -134,6 +142,7 @@ impl FlowControl {
     pub(crate) fn ship_or_defer(&self, lane: u32, f: FlowletId, dst: NodeId, bin: FrameBin) {
         let slot = bin.edge * self.nodes + dst;
         if self.try_reserve(slot) {
+            self.window_gauge.add(1);
             self.per_flowlet[f].bins_out.fetch_add(1, Ordering::Relaxed);
             self.tracer.emit(
                 self.node as u32,
@@ -144,6 +153,7 @@ impl FlowControl {
                     dst: dst as u32,
                     records: bin.len() as u32,
                     bytes: bin.payload_bytes() as u64,
+                    span: bin.span,
                 },
             );
             let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
@@ -151,6 +161,7 @@ impl FlowControl {
         }
         self.per_flowlet[f].stalls.fetch_add(1, Ordering::Relaxed);
         self.per_flowlet[f].deferred.fetch_add(1, Ordering::AcqRel);
+        self.deferred_gauge.add(1);
         self.tracer.emit(
             self.node as u32,
             lane,
@@ -158,6 +169,7 @@ impl FlowControl {
                 flowlet: f as u32,
                 edge: bin.edge as u32,
                 dst: dst as u32,
+                span: bin.span,
             },
         );
         {
@@ -182,6 +194,7 @@ impl FlowControl {
         let slot = edge * self.nodes + from;
         let prev = self.inflight[slot].fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "ack for edge {edge} without an in-flight bin");
+        self.window_gauge.sub(1);
         self.drain(lane);
     }
 
@@ -204,6 +217,8 @@ impl FlowControl {
             flow.bins_out.fetch_add(1, Ordering::Relaxed);
             flow.stall_us
                 .fetch_add(stalled.as_micros() as u64, Ordering::Relaxed);
+            self.window_gauge.add(1);
+            self.deferred_gauge.sub(1);
             self.tracer.emit(
                 self.node as u32,
                 lane,
@@ -212,6 +227,7 @@ impl FlowControl {
                     edge: d.bin.edge as u32,
                     dst: d.dst as u32,
                     stalled_us: stalled.as_micros() as u64,
+                    span: d.bin.span,
                 },
             );
             self.tracer.emit(
@@ -223,6 +239,7 @@ impl FlowControl {
                     dst: d.dst as u32,
                     records: d.bin.len() as u32,
                     bytes: d.bin.payload_bytes() as u64,
+                    span: d.bin.span,
                 },
             );
             let flowlet = d.flowlet;
@@ -290,9 +307,15 @@ pub(crate) struct TaskOutput {
     /// Reusable encode buffer for typed emits (see `emit_encoded`).
     scratch: Vec<u8>,
     flowlet_name: String,
+    /// Producing flowlet id + trace lane of the executing thread: the
+    /// provenance stamped on every minted bin span.
+    flowlet_id: u32,
+    lane: u32,
+    tracer: Tracer,
 }
 
 impl TaskOutput {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         ports: Vec<PortSpec>,
         node: NodeId,
@@ -300,6 +323,9 @@ impl TaskOutput {
         bin_capacity: usize,
         capture_enabled: bool,
         flowlet_name: String,
+        flowlet_id: u32,
+        lane: u32,
+        tracer: Tracer,
     ) -> Self {
         let slots = ports.len() * nodes;
         TaskOutput {
@@ -313,7 +339,32 @@ impl TaskOutput {
             capture_enabled,
             scratch: Vec::new(),
             flowlet_name,
+            flowlet_id,
+            lane,
+            tracer,
         }
+    }
+
+    /// Close a finished frame into a bin, minting its lineage span and
+    /// emitting `BinEmitted` when tracing is on. Disabled tracing costs
+    /// one branch: the bin keeps span 0 and no id is allocated.
+    fn close_bin(&mut self, dst: NodeId, edge: EdgeId, frame: hamr_codec::Frame) {
+        let mut bin = FrameBin::new(edge, frame);
+        if self.tracer.enabled() {
+            bin.span = hamr_trace::next_span_id();
+            self.tracer.emit(
+                self.node as u32,
+                self.lane,
+                EventKind::BinEmitted {
+                    flowlet: self.flowlet_id,
+                    edge: edge as u32,
+                    dst: dst as u32,
+                    span: bin.span,
+                    records: bin.len() as u32,
+                },
+            );
+        }
+        self.finished.push((dst, bin));
     }
 
     pub(crate) fn ports(&self) -> usize {
@@ -336,8 +387,7 @@ impl TaskOutput {
         builder.push(hash, key, value);
         if builder.len() >= self.bin_capacity {
             let full = self.open[slot].take().expect("builder present");
-            self.finished
-                .push((dst, FrameBin::new(self.ports[port].edge, full.freeze())));
+            self.close_bin(dst, self.ports[port].edge, full.freeze());
         }
     }
 
@@ -388,11 +438,12 @@ impl TaskOutput {
     }
 
     /// Ship one broadcast frame to every node as refcounted clones.
+    /// Each destination's clone gets its own lineage span: the copies
+    /// travel (and may stall) independently.
     fn broadcast_frame(&mut self, edge: EdgeId, builder: FrameBuilder) {
         let frame = builder.freeze();
         for dst in 0..self.nodes {
-            self.finished
-                .push((dst, FrameBin::new(edge, frame.clone())));
+            self.close_bin(dst, edge, frame.clone());
         }
     }
 
@@ -452,8 +503,7 @@ impl TaskOutput {
                     self.broadcast_frame(spec.edge, builder);
                 } else {
                     let dst = slot % self.nodes;
-                    self.finished
-                        .push((dst, FrameBin::new(spec.edge, builder.freeze())));
+                    self.close_bin(dst, spec.edge, builder.freeze());
                 }
             }
         }
@@ -467,7 +517,17 @@ mod tests {
     use hamr_codec::partition;
 
     fn out(ports: Vec<PortSpec>, node: NodeId, nodes: usize, cap: usize) -> TaskOutput {
-        TaskOutput::new(ports, node, nodes, cap, true, "test".into())
+        TaskOutput::new(
+            ports,
+            node,
+            nodes,
+            cap,
+            true,
+            "test".into(),
+            0,
+            0,
+            Tracer::disabled(),
+        )
     }
 
     #[test]
@@ -669,7 +729,17 @@ mod tests {
     #[test]
     fn capture_ignored_when_disabled() {
         let b = |s: &str| Bytes::copy_from_slice(s.as_bytes());
-        let mut o = TaskOutput::new(vec![], 0, 1, 10, false, "test".into());
+        let mut o = TaskOutput::new(
+            vec![],
+            0,
+            1,
+            10,
+            false,
+            "test".into(),
+            0,
+            0,
+            Tracer::disabled(),
+        );
         o.capture(b("k"), b("v"));
         let (_, captured) = o.into_parts();
         assert!(captured.is_empty());

@@ -34,11 +34,24 @@ pub struct FrameBin {
     pub edge: usize,
     /// The packed `(hash, key, value)` payload.
     pub frame: Frame,
+    /// Lineage span id for causal profiling; `0` (= `NO_SPAN`) when
+    /// tracing is off, so the untraced hot path pays one `u64` copy.
+    pub span: u64,
 }
 
 impl FrameBin {
     pub fn new(edge: usize, frame: Frame) -> Self {
-        FrameBin { edge, frame }
+        FrameBin {
+            edge,
+            frame,
+            span: hamr_trace::NO_SPAN,
+        }
+    }
+
+    /// Attach a lineage span (builder style, used at emit time).
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = span;
+        self
     }
 
     /// Build a bin from key-value pairs, hashing each key — a test and

@@ -27,7 +27,7 @@ use crate::record::FrameBin;
 use crate::spill::{write_run, GroupedMerge, RunReader, SortedStream};
 use bytes::Bytes;
 use hamr_simdisk::{Disk, DiskError};
-use hamr_trace::{EventKind, Tracer};
+use hamr_trace::{EventKind, Gauge, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -63,9 +63,13 @@ pub(crate) struct ReduceState {
     tracer: Tracer,
     node: u32,
     flowlet: u32,
+    /// Telemetry gauge mirroring bytes resident across all in-memory
+    /// shards (spilled bytes leave the gauge when the shard drains).
+    resident_gauge: Gauge,
 }
 
 impl ReduceState {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shards: usize,
         budget: usize,
@@ -74,6 +78,7 @@ impl ReduceState {
         tracer: Tracer,
         node: u32,
         flowlet: u32,
+        resident_gauge: Gauge,
     ) -> Self {
         assert!(shards > 0);
         ReduceState {
@@ -93,6 +98,7 @@ impl ReduceState {
             tracer,
             node,
             flowlet,
+            resident_gauge,
         }
     }
 
@@ -119,6 +125,7 @@ impl ReduceState {
                 }
             };
             shard.bytes += added;
+            self.resident_gauge.add(added as i64);
             if shard.bytes > per_shard_budget {
                 self.spill_locked(worker, &mut shard)?;
             }
@@ -133,6 +140,7 @@ impl ReduceState {
                 entries.push((key.clone(), v));
             }
         }
+        self.resident_gauge.sub(shard.bytes as i64);
         shard.bytes = 0;
         if entries.is_empty() {
             return Ok(());
@@ -169,6 +177,9 @@ impl ReduceState {
     /// Split into independent per-shard group iterators for firing.
     pub(crate) fn into_fire_shards(self) -> Result<Vec<FireShard>, DiskError> {
         let disk = self.disk;
+        // The grouped state hands its bytes to the fire iterators;
+        // from telemetry's perspective it no longer holds them.
+        self.resident_gauge.set(0);
         self.shards
             .into_iter()
             .map(|m| {
@@ -365,7 +376,16 @@ mod tests {
     }
 
     fn test_state(shards: usize, budget: usize, disk: Disk) -> ReduceState {
-        ReduceState::new(shards, budget, disk, "t".into(), Tracer::disabled(), 0, 0)
+        ReduceState::new(
+            shards,
+            budget,
+            disk,
+            "t".into(),
+            Tracer::disabled(),
+            0,
+            0,
+            Gauge::disabled(),
+        )
     }
 
     fn drain_all(mut shards: Vec<FireShard>) -> Vec<(Bytes, Vec<Bytes>)> {

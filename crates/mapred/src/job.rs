@@ -7,7 +7,7 @@ use crossbeam::channel::Receiver;
 use hamr_dfs::{Dfs, DfsError, Split};
 use hamr_simdisk::{Disk, DiskError};
 use hamr_simnet::{Envelope, Fabric, NetConfig, NetError, Payload};
-use hamr_trace::{EventKind, TaskKind, Tracer};
+use hamr_trace::{EventKind, TaskKind, Telemetry, Tracer, NO_SPAN, WORKER_RUNTIME};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -141,6 +141,8 @@ pub struct JobStats {
 struct ShuffleMsg {
     reducer: usize,
     data: Arc<Vec<u8>>,
+    /// Lineage span id (`NO_SPAN` when tracing is off).
+    span: u64,
 }
 
 impl Payload for ShuffleMsg {
@@ -181,6 +183,12 @@ pub struct MrCluster {
     disks: Vec<Disk>,
     dfs: Dfs,
     next_job: AtomicU64,
+    /// Ambient profiler: when set, plain [`run`](MrCluster::run) calls
+    /// behave as [`run_profiled`](MrCluster::run_profiled) with these
+    /// sinks — mirrors `hamr_core::Cluster` so benchmark harnesses can
+    /// profile both engines through the engine-agnostic `Benchmark`
+    /// trait.
+    profiler: Mutex<Option<(Tracer, Telemetry)>>,
 }
 
 impl MrCluster {
@@ -194,6 +202,7 @@ impl MrCluster {
             disks,
             dfs,
             next_job: AtomicU64::new(1),
+            profiler: Mutex::new(None),
         }
     }
 
@@ -212,9 +221,29 @@ impl MrCluster {
         &self.config
     }
 
-    /// Run one job to completion.
+    /// Run one job to completion. Tracing is disabled unless an
+    /// ambient profiler is attached via
+    /// [`attach_profiler`](MrCluster::attach_profiler).
     pub fn run(&self, conf: &JobConf) -> Result<JobStats, MrError> {
-        self.run_traced(conf, Tracer::disabled())
+        let ambient = self.profiler.lock().clone();
+        match ambient {
+            Some((tracer, telemetry)) => self.run_profiled(conf, tracer, telemetry),
+            None => self.run_traced(conf, Tracer::disabled()),
+        }
+    }
+
+    /// Attach an ambient profiler: until
+    /// [`detach_profiler`](MrCluster::detach_profiler), every plain
+    /// [`run`](MrCluster::run) emits trace events through `tracer` and
+    /// samples gauges through `telemetry`.
+    pub fn attach_profiler(&self, tracer: Tracer, telemetry: Telemetry) {
+        *self.profiler.lock() = Some((tracer, telemetry));
+    }
+
+    /// Remove the ambient profiler; subsequent [`run`](MrCluster::run)
+    /// calls execute untraced again.
+    pub fn detach_profiler(&self) {
+        *self.profiler.lock() = None;
     }
 
     /// Run one job to completion, emitting trace events through `tracer`.
@@ -226,6 +255,17 @@ impl MrCluster {
     /// activity via each node's disk tracer when attached by the
     /// caller.
     pub fn run_traced(&self, conf: &JobConf, tracer: Tracer) -> Result<JobStats, MrError> {
+        self.run_profiled(conf, tracer, Telemetry::disabled())
+    }
+
+    /// Run one job with tracing and periodic telemetry sampling. The
+    /// sampler covers both phases and is stopped before this returns.
+    pub fn run_profiled(
+        &self,
+        conf: &JobConf,
+        tracer: Tracer,
+        telemetry: Telemetry,
+    ) -> Result<JobStats, MrError> {
         let start = Instant::now();
         let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
         if !self.config.startup.job.is_zero() {
@@ -243,11 +283,24 @@ impl MrCluster {
             splits.extend(self.dfs.splits(path)?);
         }
         let map_task_count = splits.len();
-        let fabric =
-            Fabric::<ShuffleMsg>::new_traced(nodes, self.config.net.clone(), tracer.clone());
+        let fabric = Fabric::<ShuffleMsg>::new_profiled(
+            nodes,
+            self.config.net.clone(),
+            tracer.clone(),
+            &telemetry,
+        );
+        let active_gauges: Vec<_> = (0..nodes)
+            .map(|n| telemetry.register(n as u32, format!("node{n}/mr_active_tasks")))
+            .collect();
+        telemetry.start();
         if tracer.enabled() {
             for (node, disk) in self.disks.iter().enumerate() {
                 disk.attach_tracer(tracer.clone(), node as u32);
+            }
+        }
+        if telemetry.enabled() {
+            for (node, disk) in self.disks.iter().enumerate() {
+                disk.attach_gauge(&telemetry, node as u32);
             }
         }
         let stats = Arc::new(Mutex::new(JobStats {
@@ -264,8 +317,9 @@ impl MrCluster {
             let local_reducers: Vec<usize> = (0..reducers).filter(|r| r % nodes == node).collect();
             let expected = map_task_count * local_reducers.len();
             let rx = fabric.receiver(node)?;
+            let tracer = tracer.clone();
             recv_handles.push(std::thread::spawn(move || {
-                collect_chunks(rx, &local_reducers, expected)
+                collect_chunks(rx, &local_reducers, expected, node, &tracer)
             }));
         }
 
@@ -275,6 +329,7 @@ impl MrCluster {
         let splits = Arc::new(splits);
         let conf_arc = Arc::new(conf.clone());
         let mut map_handles = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for node in 0..nodes {
             for slot in 0..self.config.map_slots {
                 let scheduler = Arc::clone(&scheduler);
@@ -288,6 +343,7 @@ impl MrCluster {
                 let startup = self.config.startup;
                 let sort_buffer = self.config.sort_buffer;
                 let tracer = tracer.clone();
+                let active = active_gauges[node].clone();
                 map_handles.push(std::thread::spawn(move || {
                     loop {
                         if first_error.lock().is_some() {
@@ -299,12 +355,14 @@ impl MrCluster {
                         if !startup.task.is_zero() {
                             std::thread::sleep(startup.task);
                         }
+                        active.add(1);
                         tracer.emit(
                             node as u32,
                             slot as u32,
                             EventKind::TaskStart {
                                 task: TaskKind::MrMap,
                                 flowlet: 0,
+                                span: NO_SPAN,
                             },
                         );
                         let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -333,6 +391,7 @@ impl MrCluster {
                                 return;
                             }
                         };
+                        active.sub(1);
                         tracer.emit(
                             node as u32,
                             slot as u32,
@@ -357,9 +416,41 @@ impl MrCluster {
                             };
                             shuffled += out.bytes as u64;
                             let dst = out.partition % fabric.len();
+                            let bytes = data.len() as u64;
+                            let mut span = NO_SPAN;
+                            if tracer.enabled() {
+                                // Shuffle chunks get lineage spans just
+                                // like HAMR bins: emitted and shipped in
+                                // one step (no flow-control window here).
+                                span = hamr_trace::next_span_id();
+                                tracer.emit(
+                                    node as u32,
+                                    slot as u32,
+                                    EventKind::BinEmitted {
+                                        flowlet: 0,
+                                        edge: 0,
+                                        dst: dst as u32,
+                                        span,
+                                        records: 0,
+                                    },
+                                );
+                                tracer.emit(
+                                    node as u32,
+                                    slot as u32,
+                                    EventKind::BinShipped {
+                                        flowlet: 0,
+                                        edge: 0,
+                                        dst: dst as u32,
+                                        records: 0,
+                                        bytes,
+                                        span,
+                                    },
+                                );
+                            }
                             let msg = ShuffleMsg {
                                 reducer: out.partition,
                                 data,
+                                span,
                             };
                             if let Err(e) = fabric.send(node, dst, msg) {
                                 first_error.lock().get_or_insert(e.into());
@@ -390,8 +481,14 @@ impl MrCluster {
                     disk.detach_tracer();
                 }
             }
+            if telemetry.enabled() {
+                for disk in &self.disks {
+                    disk.detach_gauge();
+                }
+            }
         };
         if let Some(e) = first_error.lock().take() {
+            telemetry.stop();
             fabric.shutdown();
             detach_disks();
             return Err(e);
@@ -418,6 +515,7 @@ impl MrCluster {
                 let first_error = Arc::clone(&first_error);
                 let startup = self.config.startup;
                 let tracer = tracer.clone();
+                let active = active_gauges[node].clone();
                 reduce_handles.push(std::thread::spawn(move || loop {
                     if first_error.lock().is_some() {
                         return;
@@ -428,17 +526,20 @@ impl MrCluster {
                     if !startup.task.is_zero() {
                         std::thread::sleep(startup.task);
                     }
+                    active.add(1);
                     tracer.emit(
                         node as u32,
                         slot as u32,
                         EventKind::TaskStart {
                             task: TaskKind::MrReduce,
                             flowlet: 1,
+                            span: NO_SPAN,
                         },
                     );
                     let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         run_reduce_task(&conf, r, node, chunks, &dfs)
                     }));
+                    active.sub(1);
                     match run {
                         Ok(Ok(res)) => {
                             tracer.emit(
@@ -472,6 +573,7 @@ impl MrCluster {
         for h in reduce_handles {
             let _ = h.join();
         }
+        telemetry.stop();
         detach_disks();
         if let Some(e) = first_error.lock().take() {
             return Err(e);
@@ -488,6 +590,8 @@ fn collect_chunks(
     rx: Receiver<Envelope<ShuffleMsg>>,
     local_reducers: &[usize],
     expected: usize,
+    node: usize,
+    tracer: &Tracer,
 ) -> VecDeque<(usize, Vec<Arc<Vec<u8>>>)> {
     let mut buckets: std::collections::HashMap<usize, Vec<Arc<Vec<u8>>>> =
         local_reducers.iter().map(|&r| (r, Vec::new())).collect();
@@ -496,6 +600,16 @@ fn collect_chunks(
         let Ok(env) = rx.recv() else {
             break; // fabric shut down early (error path)
         };
+        tracer.emit(
+            node as u32,
+            WORKER_RUNTIME,
+            EventKind::BinIngress {
+                flowlet: 1,
+                edge: 0,
+                from: env.from as u32,
+                span: env.msg.span,
+            },
+        );
         if let Some(bucket) = buckets.get_mut(&env.msg.reducer) {
             bucket.push(env.msg.data);
             received += 1;

@@ -24,7 +24,7 @@ mod throttle;
 
 pub use throttle::Throttle;
 
-use hamr_trace::{EventKind, Tracer, WORKER_DISK};
+use hamr_trace::{EventKind, Gauge, Telemetry, Tracer, WORKER_DISK};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -123,6 +123,9 @@ struct DiskInner {
     /// one relaxed load instead of an RwLock acquisition.
     trace_on: AtomicBool,
     tracer: RwLock<Option<(Tracer, u32)>>,
+    /// Telemetry gauge mirroring bytes resident on this disk; disabled
+    /// (a no-op) outside profiled runs.
+    used_gauge: RwLock<Gauge>,
 }
 
 /// One node's local disk. Cheap to clone (shared handle).
@@ -142,6 +145,7 @@ impl Disk {
                 temp_counter: AtomicU64::new(0),
                 trace_on: AtomicBool::new(false),
                 tracer: RwLock::new(None),
+                used_gauge: RwLock::new(Gauge::disabled()),
             }),
         }
     }
@@ -159,6 +163,21 @@ impl Disk {
     pub fn detach_tracer(&self) {
         self.inner.trace_on.store(false, Ordering::Release);
         *self.inner.tracer.write() = None;
+    }
+
+    /// Bind a telemetry gauge tracking bytes resident on this disk
+    /// (`node{n}/disk_used_bytes`). The gauge is seeded with the
+    /// current usage so subsequent seal/delete deltas stay exact; like
+    /// the tracer, attach before a profiled run and detach after.
+    pub fn attach_gauge(&self, telemetry: &Telemetry, node: u32) {
+        let gauge = telemetry.register(node, format!("node{node}/disk_used_bytes"));
+        gauge.set(self.used_bytes() as i64);
+        *self.inner.used_gauge.write() = gauge;
+    }
+
+    /// Stop mirroring usage into telemetry.
+    pub fn detach_gauge(&self) {
+        *self.inner.used_gauge.write() = Gauge::disabled();
     }
 
     fn trace_io(&self, read: bool, bytes: usize) {
@@ -253,7 +272,9 @@ impl Disk {
 
     /// Remove a file; succeeds silently if absent (like `rm -f`).
     pub fn delete(&self, name: &str) {
-        self.inner.files.write().remove(name);
+        if let Some(old) = self.inner.files.write().remove(name) {
+            self.inner.used_gauge.read().sub(old.len() as i64);
+        }
     }
 
     pub fn exists(&self, name: &str) -> bool {
@@ -373,11 +394,18 @@ impl FileWriter {
         }
         let data = std::mem::take(&mut self.buf);
         let len = data.len();
-        self.disk
+        let old = self
+            .disk
             .inner
             .files
             .write()
             .insert(self.name.clone(), Arc::new(data));
+        let old_len = old.map(|d| d.len()).unwrap_or(0);
+        self.disk
+            .inner
+            .used_gauge
+            .read()
+            .add(len as i64 - old_len as i64);
         len
     }
 }

@@ -4,7 +4,7 @@ use crate::metrics::{MetricsInner, NetMetrics};
 use crate::timer::TimerThread;
 use crate::{NetConfig, NodeId, Payload};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hamr_trace::{EventKind, Tracer, WORKER_NET};
+use hamr_trace::{EventKind, Gauge, Telemetry, Tracer, WORKER_NET};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -51,6 +51,8 @@ pub(crate) struct FabricInner<M: Payload> {
     pub(crate) metrics: MetricsInner,
     timer: Option<TimerThread<M>>,
     tracer: Tracer,
+    /// Telemetry gauge: bytes sent but not yet delivered, cluster-wide.
+    inflight_gauge: Gauge,
 }
 
 /// An in-process network connecting `n` nodes.
@@ -77,6 +79,18 @@ impl<M: Payload> Fabric<M> {
     /// Like [`new`](Fabric::new), but sends and deliveries emit
     /// `NetSend`/`NetDeliver` trace events through `tracer`.
     pub fn new_traced(n: usize, config: NetConfig, tracer: Tracer) -> Self {
+        Fabric::new_profiled(n, config, tracer, &Telemetry::disabled())
+    }
+
+    /// Like [`new_traced`](Fabric::new_traced), and additionally
+    /// registers a cluster-wide `net/inflight_bytes` gauge with
+    /// `telemetry` tracking bytes sent but not yet delivered.
+    pub fn new_profiled(
+        n: usize,
+        config: NetConfig,
+        tracer: Tracer,
+        telemetry: &Telemetry,
+    ) -> Self {
         assert!(n > 0, "fabric needs at least one node");
         let endpoints: Vec<EndpointInner<M>> = (0..n)
             .map(|_| {
@@ -87,11 +101,16 @@ impl<M: Payload> Fabric<M> {
                 }
             })
             .collect();
+        let inflight_gauge = telemetry.register(u32::MAX, "net/inflight_bytes");
         let timer = if config.is_instant() {
             None
         } else {
             let sinks = endpoints.iter().map(|ep| ep.tx.clone()).collect();
-            Some(TimerThread::spawn(sinks, tracer.clone()))
+            Some(TimerThread::spawn(
+                sinks,
+                tracer.clone(),
+                inflight_gauge.clone(),
+            ))
         };
         Fabric {
             inner: Arc::new(FabricInner {
@@ -100,6 +119,7 @@ impl<M: Payload> Fabric<M> {
                 metrics: MetricsInner::new(n),
                 timer,
                 tracer,
+                inflight_gauge,
             }),
         }
     }
@@ -154,6 +174,7 @@ impl<M: Payload> Fabric<M> {
                 bytes: size as u64,
             },
         );
+        self.inner.inflight_gauge.add(size as i64);
         let env = Envelope { from, to, msg };
         match &self.inner.timer {
             None => self.deliver_now(env, size),
@@ -170,6 +191,7 @@ impl<M: Payload> Fabric<M> {
     }
 
     fn deliver_now(&self, env: Envelope<M>, size: usize) -> Result<(), NetError> {
+        self.inner.inflight_gauge.sub(size as i64);
         self.inner.tracer.emit(
             env.to as u32,
             WORKER_NET,

@@ -18,7 +18,7 @@
 use crate::fabric::Envelope;
 use crate::{NetConfig, Payload};
 use crossbeam::channel::Sender;
-use hamr_trace::{EventKind, Tracer, WORKER_NET};
+use hamr_trace::{EventKind, Gauge, Tracer, WORKER_NET};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -69,6 +69,7 @@ struct Shared<M: Payload> {
     sinks: Vec<Sender<Envelope<M>>>,
     nodes: usize,
     tracer: Tracer,
+    inflight_gauge: Gauge,
 }
 
 pub(crate) struct TimerThread<M: Payload> {
@@ -77,7 +78,11 @@ pub(crate) struct TimerThread<M: Payload> {
 }
 
 impl<M: Payload> TimerThread<M> {
-    pub(crate) fn spawn(sinks: Vec<Sender<Envelope<M>>>, tracer: Tracer) -> Self {
+    pub(crate) fn spawn(
+        sinks: Vec<Sender<Envelope<M>>>,
+        tracer: Tracer,
+        inflight_gauge: Gauge,
+    ) -> Self {
         let nodes = sinks.len();
         let shared = Arc::new(Shared {
             state: Mutex::new(TimerState {
@@ -91,6 +96,7 @@ impl<M: Payload> TimerThread<M> {
             sinks,
             nodes,
             tracer,
+            inflight_gauge,
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -179,6 +185,7 @@ fn run_timer<M: Payload>(shared: Arc<Shared<M>>) {
             // Release the lock while pushing into a possibly-contended
             // channel, then retake it.
             drop(state);
+            shared.inflight_gauge.sub(flight.size as i64);
             shared.tracer.emit(
                 flight.env.to as u32,
                 WORKER_NET,

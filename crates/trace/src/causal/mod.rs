@@ -1,0 +1,405 @@
+//! Causal profiling: turn a raw event log into an explanation.
+//!
+//! [`analyze`] reconstructs bin lineage ([`lineage::Lineage`]), runs
+//! the exact wall-time partition ([`attribution`]) and extracts the
+//! critical path ([`critical`]), producing a [`CausalReport`] that can
+//! be rendered as text tables or JSON.
+
+pub mod attribution;
+pub mod critical;
+pub mod lineage;
+
+pub use attribution::{Buckets, FlowletBuckets, NodeBuckets, StallEdge};
+pub use critical::CriticalPath;
+pub use lineage::{Lineage, SpanRecord, TaskSpan};
+
+use crate::TraceEvent;
+
+/// The full causal-profiling report for one job run.
+#[derive(Debug, Clone, Default)]
+pub struct CausalReport {
+    /// Event-log window (first / last event timestamp, microseconds).
+    pub t0_us: u64,
+    pub t1_us: u64,
+    /// `t1 - t0`.
+    pub wall_us: u64,
+    /// Worker lanes observed across the cluster.
+    pub lanes: u32,
+    /// Lane-summed buckets over all nodes;
+    /// `total.total() == lanes × wall_us` exactly.
+    pub total: Buckets,
+    pub per_node: Vec<NodeBuckets>,
+    pub per_flowlet: Vec<FlowletBuckets>,
+    /// (edge, dst) flow-control slots ranked by cumulative stall.
+    pub stall_edges: Vec<StallEdge>,
+    pub critical_path: CriticalPath,
+    /// Bins that got a lineage span.
+    pub spans_seen: u64,
+    /// Spans whose full produce→consume chain was recovered.
+    pub spans_complete: u64,
+    /// Events the sink dropped — when > 0 the report is built on a
+    /// truncated log and every number below is suspect.
+    pub dropped_events: u64,
+}
+
+impl CausalReport {
+    /// Bucket shares of total lane time, in bucket order
+    /// (compute, disk, stall, net, idle). Zero when the log is empty.
+    pub fn shares(&self) -> [f64; 5] {
+        let total = self.total.total();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let t = total as f64;
+        [
+            self.total.compute_us as f64 / t,
+            self.total.disk_us as f64 / t,
+            self.total.stall_us as f64 / t,
+            self.total.net_us as f64 / t,
+            self.total.idle_us as f64 / t,
+        ]
+    }
+
+    /// Serialize the whole report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let shares = self.shares();
+        let mut out = format!(
+            "{{\"wall_us\":{},\"t0_us\":{},\"t1_us\":{},\"lanes\":{},\
+             \"dropped_events\":{},\"spans_seen\":{},\"spans_complete\":{},",
+            self.wall_us,
+            self.t0_us,
+            self.t1_us,
+            self.lanes,
+            self.dropped_events,
+            self.spans_seen,
+            self.spans_complete
+        );
+        out.push_str(&format!(
+            "\"shares\":{{\"compute\":{:.6},\"disk\":{:.6},\"stall\":{:.6},\
+             \"net\":{:.6},\"idle\":{:.6}}},",
+            shares[0], shares[1], shares[2], shares[3], shares[4]
+        ));
+        let b = |b: &Buckets| {
+            format!(
+                "{{\"compute_us\":{},\"disk_us\":{},\"stall_us\":{},\
+                 \"net_us\":{},\"idle_us\":{}}}",
+                b.compute_us, b.disk_us, b.stall_us, b.net_us, b.idle_us
+            )
+        };
+        out.push_str(&format!("\"total\":{},", b(&self.total)));
+        out.push_str("\"per_node\":[");
+        for (i, n) in self.per_node.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"node\":{},\"lanes\":{},\"buckets\":{}}}",
+                n.node,
+                n.lanes,
+                b(&n.buckets)
+            ));
+        }
+        out.push_str("],\"per_flowlet\":[");
+        for (i, f) in self.per_flowlet.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"flowlet\":{},\"compute_us\":{},\"disk_us\":{},\
+                 \"stall_bin_us\":{},\"net_bin_us\":{},\"bins\":{},\"records\":{}}}",
+                f.flowlet, f.compute_us, f.disk_us, f.stall_bin_us, f.net_bin_us, f.bins, f.records
+            ));
+        }
+        out.push_str("],\"stall_edges\":[");
+        for (i, s) in self.stall_edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"flowlet\":{},\"edge\":{},\"dst\":{},\"stalls\":{},\"stalled_us\":{}}}",
+                s.flowlet, s.edge, s.dst, s.stalls, s.stalled_us
+            ));
+        }
+        let cp = &self.critical_path;
+        out.push_str(&format!(
+            "],\"critical_path\":{{\"total_us\":{},\"compute_us\":{},\
+             \"net_us\":{},\"stall_us\":{},\"queue_us\":{},\"hops\":{}}}}}",
+            cp.total_us, cp.compute_us, cp.net_us, cp.stall_us, cp.queue_us, cp.hops
+        ));
+        out
+    }
+}
+
+/// Analyze a timestamp-sorted event log. `dropped_events` comes from
+/// the sink (e.g. [`crate::RingSink::dropped`]) and is carried into the
+/// report so downstream consumers can see whether the log is complete.
+pub fn analyze(events: &[TraceEvent], dropped_events: u64) -> CausalReport {
+    let lineage = Lineage::build(events);
+    let attr = attribution::attribute(events, &lineage);
+    let cp = critical::critical_path(&lineage);
+    CausalReport {
+        t0_us: attr.t0_us,
+        t1_us: attr.t1_us,
+        wall_us: attr.wall_us,
+        lanes: attr.per_node.iter().map(|n| n.lanes).sum(),
+        total: attr.total,
+        per_node: attr.per_node,
+        per_flowlet: attr.per_flowlet,
+        stall_edges: attr.stall_edges,
+        critical_path: cp,
+        spans_seen: lineage.spans.len() as u64,
+        spans_complete: lineage.spans.values().filter(|s| s.is_complete()).count() as u64,
+        dropped_events,
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Per-node wall-time attribution table (plus a cluster totals row).
+pub fn render_attribution(report: &CausalReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wall {}  ({} worker lanes; buckets are shares of lane time)\n",
+        fmt_us(report.wall_us),
+        report.lanes
+    ));
+    if report.dropped_events > 0 {
+        out.push_str(&format!(
+            "WARNING: {} events dropped by the trace sink — attribution is \
+             built on a truncated log; raise RingSink capacity\n",
+            report.dropped_events
+        ));
+    }
+    out.push_str(&format!(
+        "{:<8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "node", "lanes", "compute", "disk", "stall", "net", "idle"
+    ));
+    let row = |label: String, lanes: u32, b: &Buckets| {
+        let t = b.total();
+        format!(
+            "{:<8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            label,
+            lanes,
+            pct(b.compute_us, t),
+            pct(b.disk_us, t),
+            pct(b.stall_us, t),
+            pct(b.net_us, t),
+            pct(b.idle_us, t)
+        )
+    };
+    for n in &report.per_node {
+        out.push_str(&row(format!("node{}", n.node), n.lanes, &n.buckets));
+    }
+    out.push_str(&row("TOTAL".into(), report.lanes, &report.total));
+    out.push_str(&format!(
+        "{:<8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "(us)",
+        "",
+        fmt_us(report.total.compute_us),
+        fmt_us(report.total.disk_us),
+        fmt_us(report.total.stall_us),
+        fmt_us(report.total.net_us),
+        fmt_us(report.total.idle_us),
+    ));
+    out
+}
+
+/// The top-stall-edges ranking: which flow-control slots serialized
+/// the run.
+pub fn render_stall_edges(report: &CausalReport) -> String {
+    if report.stall_edges.is_empty() {
+        return "no flow-control stalls recorded\n".into();
+    }
+    let mut out = format!(
+        "{:<24} {:>8} {:>12} {:>10}\n",
+        "stall edge", "stalls", "stalled", "avg/bin"
+    );
+    for s in report.stall_edges.iter().take(10) {
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>10}\n",
+            format!("f{} edge{} -> node{}", s.flowlet, s.edge, s.dst),
+            s.stalls,
+            fmt_us(s.stalled_us),
+            fmt_us(s.stalled_us / s.stalls.max(1)),
+        ));
+    }
+    out
+}
+
+/// Critical-path summary line.
+pub fn render_critical_path(report: &CausalReport) -> String {
+    let cp = &report.critical_path;
+    format!(
+        "critical path: {} over {} hops  (compute {} | net {} | stall {} | queue {})  — {} of wall\n",
+        fmt_us(cp.total_us),
+        cp.hops,
+        fmt_us(cp.compute_us),
+        fmt_us(cp.net_us),
+        fmt_us(cp.stall_us),
+        fmt_us(cp.queue_us),
+        pct(cp.total_us, report.wall_us),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, TaskKind};
+
+    fn ev(t_us: u64, node: u32, worker: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t_us,
+            node,
+            worker,
+            kind,
+        }
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::TaskStart {
+                    task: TaskKind::MapBin,
+                    flowlet: 0,
+                    span: 0,
+                },
+            ),
+            ev(
+                40,
+                0,
+                0,
+                EventKind::BinEmitted {
+                    flowlet: 0,
+                    edge: 0,
+                    dst: 1,
+                    span: 9,
+                    records: 4,
+                },
+            ),
+            ev(
+                40,
+                0,
+                0,
+                EventKind::BinShipped {
+                    flowlet: 0,
+                    edge: 0,
+                    dst: 1,
+                    records: 4,
+                    bytes: 64,
+                    span: 9,
+                },
+            ),
+            ev(
+                50,
+                0,
+                0,
+                EventKind::TaskEnd {
+                    task: TaskKind::MapBin,
+                    flowlet: 0,
+                    records_in: 4,
+                    records_out: 4,
+                },
+            ),
+            ev(
+                60,
+                1,
+                0,
+                EventKind::BinIngress {
+                    flowlet: 1,
+                    edge: 0,
+                    from: 0,
+                    span: 9,
+                },
+            ),
+            ev(
+                70,
+                1,
+                0,
+                EventKind::TaskStart {
+                    task: TaskKind::ReduceIngest,
+                    flowlet: 1,
+                    span: 9,
+                },
+            ),
+            ev(
+                100,
+                1,
+                0,
+                EventKind::TaskEnd {
+                    task: TaskKind::ReduceIngest,
+                    flowlet: 1,
+                    records_in: 4,
+                    records_out: 0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn buckets_partition_lane_time_exactly() {
+        let report = analyze(&sample_events(), 0);
+        assert_eq!(report.wall_us, 100);
+        assert_eq!(report.lanes, 2);
+        assert_eq!(
+            report.total.total(),
+            report.lanes as u64 * report.wall_us,
+            "exact conservation"
+        );
+        // Node 0's lane: 50us compute + 50us idle.
+        let n0 = &report.per_node[0].buckets;
+        assert_eq!(n0.compute_us, 50);
+        // Node 1's lane: 30us compute, 20us net (ship 40 → ingress 60),
+        // the rest idle.
+        let n1 = &report.per_node[1].buckets;
+        assert_eq!(n1.compute_us, 30);
+        assert_eq!(n1.net_us, 20);
+        assert_eq!(report.spans_seen, 1);
+        assert_eq!(report.spans_complete, 1);
+    }
+
+    #[test]
+    fn report_json_parses() {
+        let report = analyze(&sample_events(), 3);
+        let json = crate::json::parse(&report.to_json()).expect("valid json");
+        assert_eq!(json.get("dropped_events").and_then(|d| d.as_u64()), Some(3));
+        assert!(json.get("critical_path").is_some());
+        assert!(json.get("per_node").and_then(|n| n.as_arr()).is_some());
+    }
+
+    #[test]
+    fn renders_do_not_panic_and_warn_on_drops() {
+        let report = analyze(&sample_events(), 7);
+        let table = render_attribution(&report);
+        assert!(table.contains("WARNING: 7 events dropped"));
+        assert!(render_stall_edges(&report).contains("no flow-control stalls"));
+        assert!(render_critical_path(&report).contains("critical path"));
+    }
+
+    #[test]
+    fn empty_log_is_harmless() {
+        let report = analyze(&[], 0);
+        assert_eq!(report.wall_us, 0);
+        assert_eq!(report.shares(), [0.0; 5]);
+        let _ = report.to_json();
+        let _ = render_attribution(&report);
+    }
+}

@@ -15,7 +15,7 @@
 //! * `"M"` metadata events name processes and the synthetic lanes.
 
 use crate::json::escape;
-use crate::{EventKind, TraceEvent, WORKER_DISK, WORKER_NET, WORKER_RUNTIME};
+use crate::{EventKind, TimeSeries, TraceEvent, WORKER_DISK, WORKER_NET, WORKER_RUNTIME};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -144,6 +144,20 @@ fn metadata(name: &str, node: u32, tid: Option<u64>, value: &str) -> String {
 /// `TaskStart`s (e.g. from a truncated ring buffer) are dropped;
 /// unpaired `TaskEnd`s become instants so nothing is silently lost.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    render(events, None)
+}
+
+/// Like [`chrome_trace_json`], plus `"ph":"C"` counter tracks from a
+/// sampled gauge [`TimeSeries`] — queue depths, window occupancy and
+/// friends render as area charts alongside the task timeline.
+pub fn chrome_trace_json_with_counters(events: &[TraceEvent], series: &TimeSeries) -> String {
+    render(events, Some(series))
+}
+
+/// Synthetic pid for cluster-wide (non-per-node) counter tracks.
+const CLUSTER_PID: u64 = 1_000_000;
+
+fn render(events: &[TraceEvent], series: Option<&TimeSeries>) -> String {
     let mut evs: Vec<&TraceEvent> = events.iter().collect();
     evs.sort_by_key(|e| e.t_us);
 
@@ -158,7 +172,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     for ev in &evs {
         lanes_seen.insert((ev.node, ev.worker));
         match &ev.kind {
-            EventKind::TaskStart { task, flowlet } => {
+            EventKind::TaskStart { task, flowlet, .. } => {
                 task_stack
                     .entry((ev.node, ev.worker))
                     .or_default()
@@ -206,6 +220,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                 edge,
                 dst,
                 stalled_us,
+                span,
             } => {
                 em.push(complete_slice(
                     "flow-control stall",
@@ -218,10 +233,16 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                         ("flowlet", *flowlet as u64),
                         ("edge", *edge as u64),
                         ("dst", *dst as u64),
+                        ("span", *span),
                     ],
                 ));
             }
-            EventKind::FlowControlStall { flowlet, edge, dst } => {
+            EventKind::FlowControlStall {
+                flowlet,
+                edge,
+                dst,
+                span,
+            } => {
                 em.push(instant(
                     "stall",
                     "flow-control",
@@ -232,6 +253,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                         ("flowlet", *flowlet as u64),
                         ("edge", *edge as u64),
                         ("dst", *dst as u64),
+                        ("span", *span),
                     ],
                 ));
             }
@@ -252,12 +274,33 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     &[("flowlet", *flowlet as u64), ("bytes", *bytes)],
                 ));
             }
+            EventKind::BinEmitted {
+                flowlet,
+                edge,
+                dst,
+                span,
+                records,
+            } => em.push(instant(
+                "bin-emitted",
+                "dataflow",
+                ev.node,
+                ev.worker,
+                ev.t_us,
+                &[
+                    ("flowlet", *flowlet as u64),
+                    ("edge", *edge as u64),
+                    ("dst", *dst as u64),
+                    ("span", *span),
+                    ("records", *records as u64),
+                ],
+            )),
             EventKind::BinShipped {
                 flowlet,
                 edge,
                 dst,
                 records,
                 bytes,
+                span,
             } => em.push(instant(
                 "bin-shipped",
                 "dataflow",
@@ -270,6 +313,25 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
                     ("dst", *dst as u64),
                     ("records", *records as u64),
                     ("bytes", *bytes),
+                    ("span", *span),
+                ],
+            )),
+            EventKind::BinIngress {
+                flowlet,
+                edge,
+                from,
+                span,
+            } => em.push(instant(
+                "bin-ingress",
+                "dataflow",
+                ev.node,
+                ev.worker,
+                ev.t_us,
+                &[
+                    ("flowlet", *flowlet as u64),
+                    ("edge", *edge as u64),
+                    ("from", *from as u64),
+                    ("span", *span),
                 ],
             )),
             EventKind::NetSend { to, bytes } => em.push(instant(
@@ -348,6 +410,31 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         }
     }
 
+    // Sampled gauges become counter tracks on their owning node's
+    // process (cluster-wide gauges on a synthetic "cluster" process).
+    let mut cluster_counters = false;
+    if let Some(series) = series {
+        for sample in &series.samples {
+            for (g, name) in series.names.iter().enumerate() {
+                let value = sample.values.get(g).copied().unwrap_or(0);
+                let node = series.nodes.get(g).copied().unwrap_or(u32::MAX);
+                let pid = if node == u32::MAX {
+                    cluster_counters = true;
+                    CLUSTER_PID
+                } else {
+                    node as u64
+                };
+                em.push(format!(
+                    "\"name\":\"{}\",\"ph\":\"C\",\"pid\":{},\"ts\":{},\"args\":{{\"value\":{}}}",
+                    escape(name),
+                    pid,
+                    sample.t_us,
+                    value,
+                ));
+            }
+        }
+    }
+
     // Name processes and lanes so the timeline is readable.
     let nodes: BTreeSet<u32> = lanes_seen.iter().map(|(n, _)| *n).collect();
     for node in nodes {
@@ -356,6 +443,12 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             node,
             None,
             &format!("node {node}"),
+        ));
+    }
+    if cluster_counters {
+        em.push(format!(
+            "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{CLUSTER_PID},\
+             \"args\":{{\"name\":\"cluster\"}}"
         ));
     }
     for (node, worker) in &lanes_seen {
@@ -405,6 +498,7 @@ mod tests {
                 EventKind::TaskStart {
                     task: TaskKind::MapBin,
                     flowlet: 2,
+                    span: 0,
                 },
             ),
             ev(
@@ -445,6 +539,7 @@ mod tests {
                 edge: 0,
                 dst: 2,
                 stalled_us: 1200,
+                span: 0,
             },
         )]);
         let evs = events_of(&doc);
@@ -558,6 +653,7 @@ mod tests {
                 EventKind::TaskStart {
                     task: TaskKind::FireReduce,
                     flowlet: 1,
+                    span: 0,
                 },
             ),
             ev(
@@ -567,6 +663,7 @@ mod tests {
                 EventKind::TaskStart {
                     task: TaskKind::ReduceIngest,
                     flowlet: 1,
+                    span: 0,
                 },
             ),
             ev(

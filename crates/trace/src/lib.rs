@@ -15,21 +15,43 @@
 //!   latency percentiles (from [`LatencyHistogram`]) and cumulative
 //!   flow-control stall time.
 
+pub mod causal;
 mod chrome;
 mod hist;
 pub mod json;
 mod summary;
+mod telemetry;
 
-pub use chrome::chrome_trace_json;
+pub use causal::{
+    analyze, render_attribution, render_critical_path, render_stall_edges, Buckets, CausalReport,
+    CriticalPath, FlowletBuckets, NodeBuckets, StallEdge,
+};
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
 pub use hist::LatencyHistogram;
 pub use summary::{
     render_occupancy, render_summary, worker_occupancy, FlowletSummaryRow, WorkerOccupancyRow,
 };
+pub use telemetry::{Gauge, Sample, Telemetry, TimeSeries};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Bin-lineage span identifiers. `0` means "no span" — the value bins
+/// carry when tracing is disabled, so the hot path never touches the
+/// global counter. Real spans start at 1 and are unique process-wide,
+/// which keeps IDs unique across nodes (every simulated node lives in
+/// this process) without any coordination at ship time.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a fresh non-zero span id for a bin.
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The "no span" sentinel carried by bins when tracing is off.
+pub const NO_SPAN: u64 = 0;
 
 /// Synthetic worker lanes for events not produced by a worker thread.
 /// Real workers use their pool index (0, 1, ...).
@@ -81,14 +103,31 @@ impl TaskKind {
 /// The payload of one trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
-    /// A worker began executing a task.
-    TaskStart { task: TaskKind, flowlet: u32 },
+    /// A worker began executing a task. `span` is the lineage span of
+    /// the bin the task consumes (0 for tasks that consume no bin:
+    /// loader splits, stream epochs, reduce/partial fires).
+    TaskStart {
+        task: TaskKind,
+        flowlet: u32,
+        span: u64,
+    },
     /// The matching task finished.
     TaskEnd {
         task: TaskKind,
         flowlet: u32,
         records_in: u64,
         records_out: u64,
+    },
+    /// A producing task closed a full output bin destined for `dst` on
+    /// `edge` and minted lineage span `span` for it. Emitted before any
+    /// flow-control decision, so `BinEmitted → (FlowControlStall?) →
+    /// BinShipped → BinIngress → TaskStart` is the per-bin chain.
+    BinEmitted {
+        flowlet: u32,
+        edge: u32,
+        dst: u32,
+        span: u64,
+        records: u32,
     },
     /// A bin left this node for `dst` on `edge`. `bytes` is the exact
     /// encoded frame payload size.
@@ -98,9 +137,23 @@ pub enum EventKind {
         dst: u32,
         records: u32,
         bytes: u64,
+        span: u64,
+    },
+    /// A shipped bin arrived at its destination node's runtime and was
+    /// queued for a consuming task (event node = receiver).
+    BinIngress {
+        flowlet: u32,
+        edge: u32,
+        from: u32,
+        span: u64,
     },
     /// Flow control deferred a finished bin (window to `dst` full).
-    FlowControlStall { flowlet: u32, edge: u32, dst: u32 },
+    FlowControlStall {
+        flowlet: u32,
+        edge: u32,
+        dst: u32,
+        span: u64,
+    },
     /// A previously deferred bin finally shipped; `stalled_us` is how
     /// long it sat in the deferred queue.
     FlowControlResume {
@@ -108,6 +161,7 @@ pub enum EventKind {
         edge: u32,
         dst: u32,
         stalled_us: u64,
+        span: u64,
     },
     /// Reduce state began spilling a shard to local disk.
     SpillStart { flowlet: u32 },
@@ -312,6 +366,7 @@ mod tests {
             EventKind::TaskStart {
                 task: TaskKind::MapBin,
                 flowlet: 3,
+                span: NO_SPAN,
             },
         );
         t.emit(

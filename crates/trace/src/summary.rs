@@ -162,7 +162,7 @@ pub fn worker_occupancy(events: &[TraceEvent]) -> Vec<WorkerOccupancyRow> {
                 ..Default::default()
             });
         match &ev.kind {
-            EventKind::TaskStart { task, flowlet } => {
+            EventKind::TaskStart { task, flowlet, .. } => {
                 open.entry((ev.node, ev.worker))
                     .or_default()
                     .push((ev.t_us, *task, *flowlet));
@@ -333,6 +333,7 @@ mod tests {
                 EventKind::TaskStart {
                     task: TaskKind::MapBin,
                     flowlet: 1,
+                    span: 0,
                 },
             ),
             ev(
@@ -368,6 +369,7 @@ mod tests {
                     dst: 1,
                     records: 4,
                     bytes: 64,
+                    span: 0,
                 },
             ),
         ];

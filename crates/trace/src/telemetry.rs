@@ -1,0 +1,497 @@
+//! Live telemetry: periodically sampled gauges.
+//!
+//! The event log answers "what happened"; gauges answer "how full was
+//! everything while it happened". Engine components register named
+//! [`Gauge`]s against a [`Telemetry`] handle and bump them from the hot
+//! path; a background sampler thread snapshots every gauge on a fixed
+//! interval (default 1ms) into an in-memory time series.
+//!
+//! Like [`crate::Tracer`], a disabled `Telemetry` is an `Option<Arc>`
+//! that is `None`: `register` hands back a no-op gauge (one branch per
+//! update) and the sampler thread is never started.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A single sampled value cell. Cloning shares the cell. All updates
+/// are relaxed atomics — gauges are statistics, not synchronization.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A gauge that ignores every update (what a disabled
+    /// [`Telemetry`] hands out).
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+struct GaugeSlot {
+    name: String,
+    /// Node the gauge belongs to (drives the Chrome counter-track pid);
+    /// cluster-wide gauges use `u32::MAX`.
+    node: u32,
+    cell: Arc<AtomicI64>,
+}
+
+/// One sampler snapshot: every registered gauge's value at `t_us`.
+/// `values[i]` corresponds to the i-th registered gauge *at sample
+/// time*; gauges registered later simply have no value in earlier
+/// samples (exporters pad with 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    pub t_us: u64,
+    pub values: Vec<i64>,
+}
+
+struct Inner {
+    epoch: Instant,
+    interval: Duration,
+    gauges: Mutex<Vec<GaugeSlot>>,
+    samples: Mutex<Vec<Sample>>,
+    stop: AtomicBool,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Cheap, cloneable handle; components call [`Telemetry::register`] at
+/// setup and bump the returned gauges at runtime.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// A live telemetry collector sampling every `interval`.
+    pub fn new(interval: Duration) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                interval,
+                gauges: Mutex::new(Vec::new()),
+                samples: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+                thread: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// The default 1ms sampler.
+    pub fn with_default_interval() -> Self {
+        Telemetry::new(Duration::from_millis(1))
+    }
+
+    /// A collector that registers no gauges and never samples.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register a named gauge owned by `node` (pass `u32::MAX` for
+    /// cluster-wide gauges). Disabled telemetry returns a no-op gauge.
+    pub fn register(&self, node: u32, name: impl Into<String>) -> Gauge {
+        match &self.inner {
+            None => Gauge::disabled(),
+            Some(inner) => {
+                let cell = Arc::new(AtomicI64::new(0));
+                inner
+                    .gauges
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(GaugeSlot {
+                        name: name.into(),
+                        node,
+                        cell: Arc::clone(&cell),
+                    });
+                Gauge { cell: Some(cell) }
+            }
+        }
+    }
+
+    /// Take one snapshot now. No-op when disabled. The sampler thread
+    /// calls this on its interval; tests drive it manually via
+    /// [`Telemetry::tick_at`] for deterministic timestamps.
+    pub fn tick(&self) {
+        if let Some(inner) = &self.inner {
+            let t_us = inner.epoch.elapsed().as_micros() as u64;
+            Self::sample_into(inner, t_us);
+        }
+    }
+
+    /// Take one snapshot stamped with an explicit timestamp (for
+    /// deterministic, manually-driven sampling in tests).
+    pub fn tick_at(&self, t_us: u64) {
+        if let Some(inner) = &self.inner {
+            Self::sample_into(inner, t_us);
+        }
+    }
+
+    fn sample_into(inner: &Inner, t_us: u64) {
+        let values: Vec<i64> = inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|g| g.cell.load(Ordering::Relaxed))
+            .collect();
+        inner
+            .samples
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Sample { t_us, values });
+    }
+
+    /// Start the background sampler thread. No-op when disabled or
+    /// already running.
+    pub fn start(&self) {
+        let Some(inner) = &self.inner else { return };
+        let mut slot = inner.thread.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_some() {
+            return;
+        }
+        inner.stop.store(false, Ordering::Relaxed);
+        let worker = Arc::clone(inner);
+        *slot = Some(
+            std::thread::Builder::new()
+                .name("hamr-telemetry".into())
+                .spawn(move || {
+                    while !worker.stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(worker.interval);
+                        let t_us = worker.epoch.elapsed().as_micros() as u64;
+                        Telemetry::sample_into(&worker, t_us);
+                    }
+                })
+                .expect("spawn telemetry sampler thread"),
+        );
+    }
+
+    /// Stop and join the sampler thread (takes one final sample so
+    /// short runs always have at least one data point).
+    pub fn stop(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.stop.store(true, Ordering::Relaxed);
+        let handle = inner
+            .thread
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        self.tick();
+    }
+
+    /// Snapshot the collected series (gauge names + samples so far).
+    pub fn series(&self) -> TimeSeries {
+        match &self.inner {
+            None => TimeSeries::default(),
+            Some(inner) => {
+                let gauges = inner.gauges.lock().unwrap_or_else(|p| p.into_inner());
+                TimeSeries {
+                    names: gauges.iter().map(|g| g.name.clone()).collect(),
+                    nodes: gauges.iter().map(|g| g.node).collect(),
+                    samples: inner
+                        .samples
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .clone(),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// The sampled gauge series, ready for export.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    pub names: Vec<String>,
+    /// Owning node per gauge, aligned with `names` (`u32::MAX` =
+    /// cluster-wide).
+    pub nodes: Vec<u32>,
+    pub samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() || self.names.is_empty()
+    }
+
+    fn value(&self, sample: &Sample, gauge: usize) -> i64 {
+        sample.values.get(gauge).copied().unwrap_or(0)
+    }
+
+    /// Wide CSV: one row per sample, one column per gauge.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_us");
+        for name in &self.names {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for sample in &self.samples {
+            out.push_str(&sample.t_us.to_string());
+            for g in 0..self.names.len() {
+                out.push(',');
+                out.push_str(&self.value(sample, g).to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON object: `{"gauges": [...], "t_us": [...], "series": {name: [...]}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"gauges\":[");
+        for (i, name) in self.names.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&crate::json::escape(name));
+            out.push('"');
+        }
+        out.push_str("],\"t_us\":[");
+        for (i, sample) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&sample.t_us.to_string());
+        }
+        out.push_str("],\"series\":{");
+        for (g, name) in self.names.iter().enumerate() {
+            if g > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&crate::json::escape(name));
+            out.push_str("\":[");
+            for (i, sample) in self.samples.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&self.value(sample, g).to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Prometheus-style text exposition of the *final* sample. Gauge
+    /// names like `node0/f1/queue_depth` become
+    /// `hamr_queue_depth{node="0",flowlet="1"}`.
+    pub fn to_prometheus(&self) -> String {
+        let Some(last) = self.samples.last() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (g, name) in self.names.iter().enumerate() {
+            let (metric, labels) = prometheus_name(name);
+            out.push_str("# TYPE hamr_");
+            out.push_str(&metric);
+            out.push_str(" gauge\nhamr_");
+            out.push_str(&metric);
+            out.push_str(&labels);
+            out.push(' ');
+            out.push_str(&self.value(last, g).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Split a `node0/f1/queue_depth`-style gauge name into a Prometheus
+/// metric name and a label set.
+fn prometheus_name(name: &str) -> (String, String) {
+    let parts: Vec<&str> = name.split('/').collect();
+    let metric = parts.last().unwrap_or(&"gauge").replace(['-', ' '], "_");
+    let mut labels = Vec::new();
+    for part in &parts[..parts.len().saturating_sub(1)] {
+        if let Some(n) = part.strip_prefix("node") {
+            labels.push(format!("node=\"{n}\""));
+        } else if let Some(f) = part.strip_prefix('f') {
+            if f.chars().all(|c| c.is_ascii_digit()) {
+                labels.push(format!("flowlet=\"{f}\""));
+                continue;
+            }
+            labels.push(format!("scope=\"{part}\""));
+        } else {
+            labels.push(format!("scope=\"{part}\""));
+        }
+    }
+    let labels = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", labels.join(","))
+    };
+    (metric, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        let g = t.register(0, "node0/whatever");
+        g.add(5);
+        assert_eq!(g.get(), 0);
+        t.tick();
+        t.start();
+        t.stop();
+        assert!(t.series().is_empty());
+    }
+
+    #[test]
+    fn manual_ticks_capture_gauge_values() {
+        let t = Telemetry::new(Duration::from_millis(1));
+        let a = t.register(0, "node0/a");
+        let b = t.register(1, "node1/b");
+        a.set(3);
+        t.tick_at(10);
+        b.add(7);
+        a.sub(1);
+        t.tick_at(20);
+        let series = t.series();
+        assert_eq!(series.names, vec!["node0/a", "node1/b"]);
+        assert_eq!(series.nodes, vec![0, 1]);
+        assert_eq!(series.samples.len(), 2);
+        assert_eq!(
+            series.samples[0],
+            Sample {
+                t_us: 10,
+                values: vec![3, 0]
+            }
+        );
+        assert_eq!(
+            series.samples[1],
+            Sample {
+                t_us: 20,
+                values: vec![2, 7]
+            }
+        );
+    }
+
+    #[test]
+    fn late_registration_pads_with_zero() {
+        let t = Telemetry::new(Duration::from_millis(1));
+        let a = t.register(0, "node0/a");
+        a.set(1);
+        t.tick_at(5);
+        let b = t.register(0, "node0/b");
+        b.set(9);
+        t.tick_at(6);
+        let csv = t.series().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_us,node0/a,node0/b");
+        assert_eq!(lines[1], "5,1,0", "early sample padded for late gauge");
+        assert_eq!(lines[2], "6,1,9");
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let t = Telemetry::new(Duration::from_millis(1));
+        let g = t.register(2, "node2/f1/queue_depth");
+        g.set(4);
+        t.tick_at(100);
+        let series = t.series();
+        let json = crate::json::parse(&series.to_json()).expect("valid json");
+        assert_eq!(
+            json.get("gauges").and_then(|g| g.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+        let prom = series.to_prometheus();
+        assert!(prom.contains("hamr_queue_depth{node=\"2\",flowlet=\"1\"} 4"));
+    }
+
+    /// Determinism: the same gauge mutations and tick schedule produce
+    /// byte-identical series — the property the deterministic SchedMode
+    /// relies on when comparing profiled replays.
+    #[test]
+    fn identical_schedules_produce_identical_series() {
+        let run = |seed: i64| {
+            let t = Telemetry::new(Duration::from_millis(1));
+            let q = t.register(0, "node0/f0/queue_depth");
+            let w = t.register(1, "node1/window_inflight");
+            let mut state = seed;
+            for tick in 0..50u64 {
+                // Seeded LCG drives the same mutation sequence per seed.
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                q.set((state % 17).abs());
+                w.add((state % 5).abs());
+                t.tick_at(tick * 100);
+            }
+            let s = t.series();
+            (s.to_csv(), s.to_json(), s.to_prometheus())
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42).0, run(43).0, "different seeds must differ");
+    }
+
+    #[test]
+    fn background_sampler_starts_and_stops() {
+        let t = Telemetry::new(Duration::from_micros(200));
+        let g = t.register(0, "node0/x");
+        g.set(11);
+        t.start();
+        t.start(); // idempotent
+        std::thread::sleep(Duration::from_millis(5));
+        t.stop();
+        let series = t.series();
+        assert!(!series.is_empty(), "sampler collected at least one sample");
+        assert!(series.samples.iter().all(|s| s.values == vec![11]));
+        let n = series.samples.len();
+        t.tick();
+        assert_eq!(t.series().samples.len(), n + 1, "manual tick after stop");
+    }
+}
