@@ -25,13 +25,20 @@
 //! exits nonzero when any profiled run exceeds its untraced wall by
 //! more than PCT% (+50ms slack) — the CI sampler-overhead gate.
 //!
+//! `--audited` additionally runs every (benchmark, engine) pair once
+//! under the self-verification layer (`run_audited` semantics via the
+//! clusters' ambient supervisor/audit hooks): the bin-custody ledger
+//! must balance and the watchdog must stay silent, and the audited
+//! wall joins the `--fail-on-overhead` gate as `<engine>-audited` so
+//! CI proves the ledger's cost stays inside the same budget.
+//!
 //! ```text
 //! benchjson [--quick] [--reps N] [--out BENCH_pr4.json]
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
-//!           [--profile-dir DIR] [--fail-on-overhead PCT]
+//!           [--profile-dir DIR] [--fail-on-overhead PCT] [--audited]
 //! ```
 
-use hamr_core::SchedMode;
+use hamr_core::{SchedMode, Supervision};
 use hamr_trace::{analyze, RingSink, Telemetry, Tracer};
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::pagerank::PageRank;
@@ -242,6 +249,7 @@ struct Args {
     baseline: Option<String>,
     profile_dir: Option<String>,
     fail_on_overhead: Option<f64>,
+    audited: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -253,6 +261,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         profile_dir: None,
         fail_on_overhead: None,
+        audited: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -271,6 +280,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("{e}"))?,
                 )
             }
+            "--audited" => args.audited = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -364,6 +374,54 @@ fn profile_run(
     })
 }
 
+/// One audited run of `bench` on `engine`: the ambient supervisor
+/// (HAMR) / ambient audit (MapReduce) tally every bin through the
+/// emit → ship → deliver → consume custody ledger while the watchdog
+/// monitors liveness. Returns the audited wall seconds for the
+/// overhead gate; a conservation violation or a hang/backpressure
+/// trip is fatal, a straggler warning is reported but tolerated.
+fn audited_run(
+    bench: &dyn Benchmark,
+    label: &str,
+    engine: &str,
+    params: &SimParams,
+    sched: SchedMode,
+) -> Result<f64, String> {
+    let env = Env::with_hamr_sched(params.clone(), sched);
+    bench.seed(&env)?;
+    env.hamr.attach_supervisor(Supervision::default());
+    env.mr.attach_audit();
+    let out = match engine {
+        "mapred" => bench.run_mapred(&env),
+        _ => bench.run_hamr(&env),
+    }?;
+    let report = match engine {
+        "mapred" => env.mr.last_audit(),
+        _ => env.hamr.last_audit(),
+    }
+    .ok_or("audited run recorded no ledger")?;
+    report
+        .check()
+        .map_err(|v| format!("bin custody violated: {}", v[0]))?;
+    for ev in env.hamr.watchdog_events() {
+        match ev.class {
+            hamr_trace::WatchdogClass::Straggler => eprintln!(
+                "benchjson: WARNING: {label} ({engine}): straggler warning: {}",
+                ev.detail
+            ),
+            _ => {
+                return Err(format!(
+                    "watchdog tripped ({:?} at epoch {}): {}",
+                    ev.class, ev.epoch, ev.detail
+                ))
+            }
+        }
+    }
+    env.hamr.detach_supervisor();
+    env.mr.detach_audit();
+    Ok(out.elapsed.as_secs_f64())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -455,6 +513,23 @@ fn main() {
                 cols.wall_seconds,
             ));
             *row = row.clone().with_profile(cols);
+        }
+        // One audited run per row: conservation must hold, the
+        // watchdog must stay silent, and the wall joins the overhead
+        // gate under an `-audited` engine label.
+        if args.audited {
+            for (row, sched, gate_label) in [
+                (&hamr, SchedMode::WorkStealing, "hamr-audited"),
+                (&central, SchedMode::Centralized, "hamr-central-audited"),
+                (&mr, SchedMode::WorkStealing, "mapred-audited"),
+            ] {
+                let wall = audited_run(bench.as_ref(), label, row.engine, &params, sched)
+                    .unwrap_or_else(|e| {
+                        eprintln!("benchjson: audited {label} ({}): {e}", row.engine);
+                        std::process::exit(4);
+                    });
+                overheads.push((label.to_string(), gate_label, row.wall_seconds, wall));
+            }
         }
         eprintln!(
             "{:<22} hamr {:>12.0} rec/s ({:.3}s, {} steals)   \

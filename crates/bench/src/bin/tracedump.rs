@@ -15,6 +15,11 @@
 //!     occupancy, in-flight fabric bytes, worker occupancy) during the
 //!     skewed run; writes `timeseries_hamr.csv` / `.prom` and embeds
 //!     counter tracks in `trace_hamr.json`.
+//!   * `--doctor <doctor_<job>.json>` — post-mortem mode: read a
+//!     flight-recorder dump written by a supervised run and print the
+//!     ranked diagnosis (stuck edge/node, custody ledger, gauge hot
+//!     spots, event tail). Exits 2 if the file is missing or not a
+//!     flight-recorder document, 1 if the record shows a trip or error.
 //!
 //! The skewed HAMR run shrinks the flow-control window to one bin so
 //! the trace visibly shows `flow-control-stall` / resume pairs on the
@@ -206,8 +211,41 @@ fn causal_report(label: &str, events: &[TraceEvent], dropped: u64) {
     println!("wrote {path}\n");
 }
 
+/// `tracedump --doctor <file>`: print a flight-recorder diagnosis.
+///
+/// Exit codes: 0 = clean record, 1 = the record shows a watchdog trip
+/// or job error, 2 = the input file is missing or unparsable. A bad
+/// input must never look like a clean bill of health.
+fn run_doctor(path: &str) -> i32 {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("tracedump: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    match hamr_trace::FlightRecord::parse(&raw) {
+        Ok(record) => {
+            let bad = record.trip.is_some() || record.error.is_some();
+            print!("{}", record.render());
+            i32::from(bad)
+        }
+        Err(e) => {
+            eprintln!("tracedump: {path} is not a flight-recorder dump: {e}");
+            2
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--doctor") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: tracedump --doctor <doctor_<job>.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(run_doctor(path));
+    }
     let causal = args.iter().any(|a| a == "--causal");
     let timeseries = args.iter().any(|a| a == "--timeseries");
 

@@ -13,15 +13,66 @@ use crate::graph::{FlowletId, JobGraph};
 use crate::metrics::JobMetrics;
 use crate::node::{run_node, NetMsg};
 use crate::record::Record;
+use crate::watchdog::{Watchdog, WatchdogAction, WatchdogConfig, WatchdogEvent};
 use hamr_codec::Codec;
 use hamr_dfs::Dfs;
 use hamr_kvstore::KvStore;
 use hamr_simdisk::Disk;
 use hamr_simnet::Fabric;
-use hamr_trace::{Telemetry, Tracer};
+use hamr_trace::{
+    Audit, AuditReport, FlightRecord, GaugeValue, RingSink, Telemetry, Tracer, WatchdogTrip,
+};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Settings for a supervised run: the watchdog, and the flight
+/// recorder that turns a trip or failure into a `doctor_<job>.json`
+/// post-mortem dump for `tracedump --doctor`.
+#[derive(Debug, Clone)]
+pub struct Supervision {
+    pub watchdog: WatchdogConfig,
+    /// Per-lane capacity of the flight-recorder event ring (one lane
+    /// per node). 0 disables event capture; the audit ledger and
+    /// gauges are still dumped.
+    pub flight_events: usize,
+    /// Newest events kept in a doctor dump.
+    pub keep_last: usize,
+    /// Where `doctor_<job>.json` is written on a watchdog trip or job
+    /// failure. `None` disables dumping.
+    pub doctor_dir: Option<PathBuf>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            watchdog: WatchdogConfig::from_env(),
+            flight_events: 128,
+            keep_last: 200,
+            doctor_dir: Some(PathBuf::from(".")),
+        }
+    }
+}
+
+/// Make a job name safe as a file-name fragment.
+fn file_slug(name: &str) -> String {
+    let slug: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if slug.is_empty() {
+        "job".into()
+    } else {
+        slug
+    }
+}
 
 /// A simulated HAMR cluster: N node runtimes over shared substrates.
 pub struct Cluster {
@@ -35,6 +86,17 @@ pub struct Cluster {
     /// `&Cluster` (the `Benchmark` trait) without threading a tracer
     /// through every workload signature.
     profiler: Mutex<Option<(Tracer, Telemetry)>>,
+    /// Ambient supervisor: when set, plain [`run`](Cluster::run) calls
+    /// behave as [`run_supervised`](Cluster::run_supervised), recording
+    /// the audit report and watchdog events for inspection via
+    /// [`last_audit`](Cluster::last_audit) and
+    /// [`watchdog_events`](Cluster::watchdog_events). Lets harnesses
+    /// self-verify code paths that only hand them a `&Cluster`.
+    supervisor: Mutex<Option<Supervision>>,
+    /// Audit report of the most recent supervised run.
+    last_audit: Mutex<Option<AuditReport>>,
+    /// Watchdog incidents of the most recent supervised run.
+    wd_events: Mutex<Vec<WatchdogEvent>>,
 }
 
 impl Cluster {
@@ -95,6 +157,9 @@ impl Cluster {
             dfs,
             kv,
             profiler: Mutex::new(None),
+            supervisor: Mutex::new(None),
+            last_audit: Mutex::new(None),
+            wd_events: Mutex::new(Vec::new()),
         })
     }
 
@@ -125,6 +190,14 @@ impl Cluster {
     /// ambient profiler is attached via
     /// [`attach_profiler`](Cluster::attach_profiler).
     pub fn run(&self, graph: JobGraph) -> Result<JobResult, RunError> {
+        let sup = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(sup) = sup {
+            return self.run_supervised(graph, sup).map(|(result, _)| result);
+        }
         let ambient = self
             .profiler
             .lock()
@@ -151,6 +224,134 @@ impl Cluster {
         *self.profiler.lock().unwrap_or_else(|p| p.into_inner()) = None;
     }
 
+    /// Attach an ambient supervisor: until
+    /// [`detach_supervisor`](Cluster::detach_supervisor), every plain
+    /// [`run`](Cluster::run) executes as
+    /// [`run_supervised`](Cluster::run_supervised) with these settings.
+    pub fn attach_supervisor(&self, sup: Supervision) {
+        *self.supervisor.lock().unwrap_or_else(|p| p.into_inner()) = Some(sup);
+    }
+
+    /// Remove the ambient supervisor.
+    pub fn detach_supervisor(&self) {
+        *self.supervisor.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    /// Audit report of the most recent supervised run, if any.
+    pub fn last_audit(&self) -> Option<AuditReport> {
+        self.last_audit
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Watchdog incidents classified during the most recent supervised
+    /// run (empty for a healthy run).
+    pub fn watchdog_events(&self) -> Vec<WatchdogEvent> {
+        self.wd_events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Run one job with the full self-verification layer at default
+    /// settings: every bin is tallied through the
+    /// emit → ship → deliver → consume custody chain, a watchdog
+    /// monitors liveness, and a trip or failure dumps a
+    /// `doctor_<job>.json` flight record. Returns the job result
+    /// together with the conservation [`AuditReport`] — call
+    /// [`AuditReport::check`] to prove no bin was dropped, duplicated,
+    /// or left behind.
+    pub fn run_audited(&self, graph: JobGraph) -> Result<(JobResult, AuditReport), RunError> {
+        self.run_supervised(graph, Supervision::default())
+    }
+
+    /// [`run_audited`](Cluster::run_audited) with explicit settings.
+    pub fn run_supervised(
+        &self,
+        graph: JobGraph,
+        sup: Supervision,
+    ) -> Result<(JobResult, AuditReport), RunError> {
+        let n = self.config.nodes;
+        let job_name = graph.name.clone();
+        let audit = Audit::new(graph.edges.len() as u32, n as u32);
+        // Reuse ambient profiler sinks when attached; otherwise record
+        // the last-K events into a bounded ring (the flight recorder)
+        // and let the watchdog drive a private telemetry clock.
+        let ambient = self
+            .profiler
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        let own_sinks = ambient.is_none();
+        let mut ring = None;
+        let (tracer, telemetry) = match ambient {
+            Some((tracer, telemetry)) => (tracer, telemetry),
+            None => {
+                let tracer = if sup.flight_events > 0 {
+                    let sink = Arc::new(RingSink::new(n.max(1), sup.flight_events));
+                    ring = Some(Arc::clone(&sink));
+                    Tracer::new(sink)
+                } else {
+                    Tracer::disabled()
+                };
+                (tracer, Telemetry::new(sup.watchdog.epoch))
+            }
+        };
+        let watchdog =
+            (sup.watchdog.action != WatchdogAction::Off).then(|| (sup.watchdog.clone(), own_sinks));
+        let (result, events, trip) = self.run_inner(
+            graph,
+            tracer,
+            telemetry.clone(),
+            audit.clone(),
+            !own_sinks,
+            watchdog,
+        );
+        let report = audit.report();
+        *self.last_audit.lock().unwrap_or_else(|p| p.into_inner()) = Some(report.clone());
+        *self.wd_events.lock().unwrap_or_else(|p| p.into_inner()) = events;
+        if trip.is_some() || result.is_err() {
+            if let Some(dir) = &sup.doctor_dir {
+                let ring_events = ring.map(|r| r.drain()).unwrap_or_default();
+                let record = FlightRecord::capture(
+                    &job_name,
+                    "hamr",
+                    trip.clone().map(|e| WatchdogTrip {
+                        class: e.class,
+                        epoch: e.epoch,
+                        detail: e.detail,
+                    }),
+                    result.as_ref().err().map(|e| e.to_string()),
+                    &ring_events,
+                    sup.keep_last,
+                    report.clone(),
+                    telemetry
+                        .gauge_values()
+                        .into_iter()
+                        .map(|(name, node, value)| GaugeValue { name, node, value })
+                        .collect(),
+                );
+                let path = dir.join(format!("doctor_{}.json", file_slug(&job_name)));
+                let _ = std::fs::write(&path, record.to_json());
+            }
+        }
+        match result {
+            Ok(job) => Ok((job, report)),
+            // An abort-action trip caused the failure: surface the
+            // watchdog's diagnosis, not the secondary abort error.
+            Err(_) if trip.is_some() => {
+                let t = trip.expect("checked");
+                Err(RunError::Watchdog {
+                    class: t.class,
+                    epoch: t.epoch,
+                    detail: t.detail,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Run one job to completion, emitting trace events through
     /// `tracer`. With `Tracer::disabled()` this is exactly [`run`]:
     /// every emit site is a single branch on a `None`.
@@ -170,10 +371,37 @@ impl Cluster {
         tracer: Tracer,
         telemetry: Telemetry,
     ) -> Result<JobResult, RunError> {
+        self.run_inner(graph, tracer, telemetry, Audit::disabled(), true, None)
+            .0
+    }
+
+    /// The shared run body. `start_sampler` starts/stops the telemetry
+    /// sampler thread around the job (supervised runs that own their
+    /// telemetry skip it — the watchdog drives `tick_at` instead).
+    /// `watchdog` is `(config, drive_ticks)` for supervised runs.
+    /// Returns the raw result plus everything the watchdog classified.
+    fn run_inner(
+        &self,
+        graph: JobGraph,
+        tracer: Tracer,
+        telemetry: Telemetry,
+        audit: Audit,
+        start_sampler: bool,
+        watchdog: Option<(WatchdogConfig, bool)>,
+    ) -> (
+        Result<JobResult, RunError>,
+        Vec<WatchdogEvent>,
+        Option<WatchdogEvent>,
+    ) {
         let graph = Arc::new(graph);
         let n = self.config.nodes;
-        let fabric =
-            Fabric::<NetMsg>::new_profiled(n, self.config.net.clone(), tracer.clone(), &telemetry);
+        let fabric = Fabric::<NetMsg>::new_audited(
+            n,
+            self.config.net.clone(),
+            tracer.clone(),
+            &telemetry,
+            audit.clone(),
+        );
         // The disks are long-lived substrates shared across jobs; bind
         // them to this run's tracer only for its duration.
         if tracer.enabled() {
@@ -186,16 +414,42 @@ impl Cluster {
                 disk.attach_gauge(&telemetry, node as u32);
             }
         }
+        // Supervision: the watchdog aborts a wedged job by broadcasting
+        // through a spare endpoint (control traffic, not audited).
+        let watchdog = watchdog.map(|(cfg, drive_ticks)| {
+            let abort_ep = fabric.endpoint(0).expect("fresh fabric has node 0");
+            let abort = Box::new(move |event: &WatchdogEvent| {
+                let reason = Arc::new(format!(
+                    "watchdog {} at epoch {}: {}",
+                    event.class.name(),
+                    event.epoch,
+                    event.detail
+                ));
+                let _ = abort_ep.broadcast(|_| NetMsg::Abort {
+                    reason: Arc::clone(&reason),
+                });
+            });
+            Watchdog::spawn(
+                cfg,
+                audit.clone(),
+                telemetry.clone(),
+                tracer.clone(),
+                n,
+                drive_ticks,
+                abort,
+            )
+        });
         let start = Instant::now();
         let mut handles = Vec::with_capacity(n);
         for node in 0..n {
-            let inbox = fabric.receiver(node)?;
-            let endpoint = fabric.endpoint(node)?;
+            let inbox = fabric.receiver(node).expect("one receiver per node");
+            let endpoint = fabric.endpoint(node).expect("node id in range");
             let graph = Arc::clone(&graph);
             let cfg = self.config.runtime.clone();
             let threads = self.config.threads_per_node;
             let tracer = tracer.clone();
             let telemetry = telemetry.clone();
+            let audit = audit.clone();
             let ctx = TaskContext {
                 node,
                 nodes: n,
@@ -208,7 +462,7 @@ impl Cluster {
                 .name(format!("hamr-node-{node}"))
                 .spawn(move || {
                     run_node(
-                        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry,
+                        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit,
                     )
                 })
                 .expect("spawn node runtime");
@@ -217,7 +471,9 @@ impl Cluster {
         // Start the sampler (no-op when telemetry is disabled). Node
         // runtimes may still be registering gauges on their own threads;
         // late registrations are back-filled with zeros in the series.
-        telemetry.start();
+        if start_sampler {
+            telemetry.start();
+        }
         let mut outputs: HashMap<FlowletId, Vec<Record>> = HashMap::new();
         let mut metrics = JobMetrics::default();
         let mut first_error: Option<RunError> = None;
@@ -264,10 +520,18 @@ impl Cluster {
                 }
             }
         }
+        // Every node has joined: stop the watchdog before tearing the
+        // sinks down so it never reads a dead fabric's state.
+        let (wd_events, wd_trip) = match watchdog {
+            Some(wd) => wd.stop(),
+            None => (Vec::new(), None),
+        };
         let net = fabric.metrics();
         metrics.shuffled_bytes = net.remote_bytes();
         metrics.shuffled_messages = net.remote_messages();
-        telemetry.stop();
+        if start_sampler {
+            telemetry.stop();
+        }
         fabric.shutdown();
         if tracer.enabled() {
             for disk in &self.disks {
@@ -279,14 +543,15 @@ impl Cluster {
                 disk.detach_gauge();
             }
         }
-        if let Some(err) = first_error {
-            return Err(err);
-        }
-        Ok(JobResult {
-            outputs,
-            metrics,
-            elapsed: start.elapsed(),
-        })
+        let result = match first_error {
+            Some(err) => Err(err),
+            None => Ok(JobResult {
+                outputs,
+                metrics,
+                elapsed: start.elapsed(),
+            }),
+        };
+        (result, wd_events, wd_trip)
     }
 }
 

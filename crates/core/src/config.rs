@@ -58,6 +58,25 @@ impl SchedMode {
     }
 }
 
+/// Deliberate runtime sabotage for watchdog / flight-recorder tests.
+/// Production configs always use `None`; the other arms re-create the
+/// two silent failure modes the self-verification layer must catch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// No fault: the engine behaves normally.
+    #[default]
+    None,
+    /// `node` never broadcasts `EdgeComplete` for its finished
+    /// flowlets, so downstream flowlets cluster-wide wait forever on an
+    /// input that will never be announced complete — a pure *hang*
+    /// (all bins move and are consumed; workers go idle).
+    SwallowEdgeComplete { node: usize },
+    /// `node` drops every flow-control `Ack` it receives, so its send
+    /// windows never reopen: with a small `out_window_bins` its
+    /// producers defer bins forever — a *backpressure deadlock*.
+    DropAcks { node: usize },
+}
+
 /// Engine tuning knobs, per node.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -86,6 +105,9 @@ pub struct RuntimeConfig {
     pub fire_shards: usize,
     /// Task scheduling strategy (see [`SchedMode`]).
     pub sched: SchedMode,
+    /// Deliberate sabotage for self-verification tests (see
+    /// [`FaultInjection`]). Always `None` outside tests.
+    pub fault: FaultInjection,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +128,7 @@ impl Default for RuntimeConfig {
                 .ok()
                 .and_then(|s| SchedMode::from_env_str(&s))
                 .unwrap_or(SchedMode::WorkStealing),
+            fault: FaultInjection::None,
         }
     }
 }

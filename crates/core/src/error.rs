@@ -95,6 +95,14 @@ pub enum RunError {
     Disk(hamr_simdisk::DiskError),
     /// The DFS failed (loaders reading splits, sinks writing output).
     Dfs(hamr_dfs::DfsError),
+    /// The watchdog classified the run as unhealthy and aborted it
+    /// instead of hanging forever. `detail` names the stuck edge/node;
+    /// the matching flight-recorder dump carries the full post-mortem.
+    Watchdog {
+        class: hamr_trace::WatchdogClass,
+        epoch: u64,
+        detail: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -107,6 +115,15 @@ impl fmt::Display for RunError {
             RunError::Net(e) => write!(f, "network error: {e}"),
             RunError::Disk(e) => write!(f, "disk error: {e}"),
             RunError::Dfs(e) => write!(f, "dfs error: {e}"),
+            RunError::Watchdog {
+                class,
+                epoch,
+                detail,
+            } => write!(
+                f,
+                "watchdog aborted the job at epoch {epoch} ({}): {detail}",
+                class.name()
+            ),
         }
     }
 }

@@ -62,11 +62,12 @@ mod sched;
 mod spill;
 pub mod stream;
 pub mod typed;
+mod watchdog;
 
-pub use cluster::{Cluster, JobResult};
+pub use cluster::{Cluster, JobResult, Supervision};
 pub use config::{
-    ClusterConfig, ContentionMode, RuntimeConfig, SchedMode, SimClusterSpec, PAPER_CLUSTER,
-    SCALED_CLUSTER,
+    ClusterConfig, ContentionMode, FaultInjection, RuntimeConfig, SchedMode, SimClusterSpec,
+    PAPER_CLUSTER, SCALED_CLUSTER,
 };
 pub use error::{ConfigError, GraphError, RunError};
 pub use flowlet::{
@@ -75,6 +76,7 @@ pub use flowlet::{
 pub use graph::{Exchange, FlowletId, FlowletKind, JobBuilder, JobGraph};
 pub use metrics::{FlowletMetrics, JobMetrics, NodeMetrics};
 pub use record::{FrameBin, Record};
+pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};
 
 /// Node index within a cluster, shared with the substrates.
 pub type NodeId = usize;

@@ -44,7 +44,7 @@
 //! shared between the runtime thread and (under work stealing) the
 //! workers.
 
-use crate::config::{RuntimeConfig, SchedMode};
+use crate::config::{FaultInjection, RuntimeConfig, SchedMode};
 use crate::flowlet::{AccBox, TaskContext};
 use crate::graph::{EdgeId, FlowletId, FlowletKind, JobGraph};
 use crate::metrics::{FlowletMetrics, NodeMetrics};
@@ -56,7 +56,10 @@ use crate::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hamr_simnet::{Endpoint, Envelope, Payload};
-use hamr_trace::{EventKind, Gauge, TaskKind, Telemetry, Tracer, NO_SPAN, WORKER_RUNTIME};
+use hamr_trace::{
+    Audit, AuditBin, AuditStage, EventKind, Gauge, TaskKind, Telemetry, Tracer, NO_SPAN,
+    WORKER_RUNTIME,
+};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -84,6 +87,19 @@ impl Payload for NetMsg {
         match self {
             NetMsg::Bin(b) => b.wire_size(),
             _ => 24,
+        }
+    }
+
+    /// Only data bins enter the audit ledger; acks, completion
+    /// messages, markers, and aborts are control traffic.
+    fn audit_bin(&self) -> Option<AuditBin> {
+        match self {
+            NetMsg::Bin(b) => Some(AuditBin {
+                edge: b.edge as u32,
+                records: b.len() as u64,
+                bytes: b.payload_bytes() as u64,
+            }),
+            _ => None,
         }
     }
 }
@@ -200,6 +216,7 @@ struct WorkerShared {
     partial: Vec<Option<Arc<PartialState>>>,
     reduce: Vec<Mutex<Option<Arc<ReduceState>>>>,
     tracer: Tracer,
+    audit: Audit,
     /// Telemetry gauge: workers currently executing a task on this node.
     busy_gauge: Gauge,
 }
@@ -223,7 +240,21 @@ impl WorkerShared {
             flowlet as u32,
             lane,
             self.tracer.clone(),
+            self.audit.clone(),
         )
+    }
+
+    /// Tally consume custody for a bin about to be processed: the final
+    /// checkpoint of the ledger's emit -> ship -> deliver -> consume
+    /// conservation chain.
+    fn audit_consume(&self, bin: &FrameBin) {
+        self.audit.record(
+            AuditStage::Consume,
+            bin.edge as u32,
+            self.ctx.node as u32,
+            bin.len() as u64,
+            bin.payload_bytes() as u64,
+        );
     }
 }
 
@@ -283,6 +314,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                     unreachable!("map task for non-map")
                 };
                 records_in = bin.len() as u64;
+                shared.audit_consume(&bin);
                 let mut em = crate::flowlet::Emitter::new(&mut out);
                 for (_hash, key, value) in bin.frame.iter() {
                     m.map(&shared.ctx, key, value, &mut em);
@@ -294,6 +326,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                     unreachable!("partial task for non-partial")
                 };
                 records_in = bin.len() as u64;
+                shared.audit_consume(&bin);
                 let state = shared.partial[flowlet]
                     .as_ref()
                     .expect("partial state exists");
@@ -302,6 +335,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
             }
             Task::ReduceIngest { ack, bin, .. } => {
                 records_in = bin.len() as u64;
+                shared.audit_consume(&bin);
                 let state = shared.reduce[flowlet]
                     .lock()
                     .clone()
@@ -511,9 +545,10 @@ pub(crate) fn run_node(
     inbox: Receiver<Envelope<NetMsg>>,
     tracer: Tracer,
     telemetry: Telemetry,
+    audit: Audit,
 ) -> NodeOutcome {
     NodeRuntime::new(
-        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry,
+        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit,
     )
     .run()
 }
@@ -580,6 +615,7 @@ impl NodeRuntime {
         inbox: Receiver<Envelope<NetMsg>>,
         tracer: Tracer,
         telemetry: Telemetry,
+        audit: Audit,
     ) -> Self {
         let nodes = ctx.nodes;
         let fire_shards = if cfg.fire_shards == 0 {
@@ -621,6 +657,7 @@ impl NodeRuntime {
             partial,
             reduce,
             tracer: tracer.clone(),
+            audit: audit.clone(),
             busy_gauge: telemetry.register(node as u32, format!("node{node}/workers_busy")),
         });
         let flow = Arc::new(FlowControl::new(
@@ -631,6 +668,7 @@ impl NodeRuntime {
             graph.flowlets.len(),
             endpoint.clone(),
             tracer.clone(),
+            audit,
             &telemetry,
         ));
         let queue_gauges = (0..graph.flowlets.len())
@@ -944,6 +982,13 @@ impl NodeRuntime {
                     .push_back(Work::Marker { epoch });
             }
             NetMsg::Ack { edge } => {
+                // Fault injection: a node that drops acks never opens
+                // its windows, so with a small window and a skewed input
+                // the producers wedge into a true backpressure deadlock.
+                if matches!(self.cfg.fault, FaultInjection::DropAcks { node } if node == self.node)
+                {
+                    return;
+                }
                 self.flow.on_ack(edge, env.from, WORKER_RUNTIME);
             }
             NetMsg::Abort { reason } => {
@@ -1431,10 +1476,16 @@ impl NodeRuntime {
 
     /// Broadcast completion on every out-edge and retire the flowlet.
     fn begin_complete(&mut self, f: FlowletId) {
+        // Fault injection: swallow the completion broadcast so every
+        // downstream consumer waits forever on this node's EdgeComplete
+        // — a pure hang with all workers idle.
+        let swallow = matches!(self.cfg.fault, FaultInjection::SwallowEdgeComplete { node } if node == self.node);
         let graph = Arc::clone(&self.graph);
-        for &edge in &graph.flowlets[f].out_edges {
-            for dst in 0..self.nodes {
-                let _ = self.endpoint.send(dst, NetMsg::EdgeComplete { edge });
+        if !swallow {
+            for &edge in &graph.flowlets[f].out_edges {
+                for dst in 0..self.nodes {
+                    let _ = self.endpoint.send(dst, NetMsg::EdgeComplete { edge });
+                }
             }
         }
         self.instances[f].phase = Phase::Complete;

@@ -23,7 +23,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use hamr_codec::{stable_hash, FrameBuilder};
 use hamr_simnet::Endpoint;
-use hamr_trace::{EventKind, Gauge, Telemetry, Tracer};
+use hamr_trace::{Audit, AuditStage, EventKind, Gauge, Telemetry, Tracer};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -74,6 +74,7 @@ pub(crate) struct FlowControl {
     window: usize,
     endpoint: Endpoint<NetMsg>,
     tracer: Tracer,
+    audit: Audit,
     /// In-flight (unacked) bins per (edge, destination node) slot.
     inflight: Vec<AtomicUsize>,
     deferred: Mutex<VecDeque<Deferred>>,
@@ -96,6 +97,7 @@ impl FlowControl {
         flowlets: usize,
         endpoint: Endpoint<NetMsg>,
         tracer: Tracer,
+        audit: Audit,
         telemetry: &Telemetry,
     ) -> Self {
         FlowControl {
@@ -104,6 +106,7 @@ impl FlowControl {
             window,
             endpoint,
             tracer,
+            audit,
             inflight: (0..edges * nodes).map(|_| AtomicUsize::new(0)).collect(),
             deferred: Mutex::new(VecDeque::new()),
             total_deferred: AtomicUsize::new(0),
@@ -155,6 +158,13 @@ impl FlowControl {
                     bytes: bin.payload_bytes() as u64,
                     span: bin.span,
                 },
+            );
+            self.audit.record(
+                AuditStage::Ship,
+                bin.edge as u32,
+                dst as u32,
+                bin.len() as u64,
+                bin.payload_bytes() as u64,
             );
             let _ = self.endpoint.send(dst, NetMsg::Bin(bin));
             return;
@@ -242,6 +252,13 @@ impl FlowControl {
                     span: d.bin.span,
                 },
             );
+            self.audit.record(
+                AuditStage::Ship,
+                d.bin.edge as u32,
+                d.dst as u32,
+                d.bin.len() as u64,
+                d.bin.payload_bytes() as u64,
+            );
             let flowlet = d.flowlet;
             let _ = self.endpoint.send(d.dst, NetMsg::Bin(d.bin));
             // Decrement only after the send: once the runtime observes
@@ -312,6 +329,7 @@ pub(crate) struct TaskOutput {
     flowlet_id: u32,
     lane: u32,
     tracer: Tracer,
+    audit: Audit,
 }
 
 impl TaskOutput {
@@ -326,6 +344,7 @@ impl TaskOutput {
         flowlet_id: u32,
         lane: u32,
         tracer: Tracer,
+        audit: Audit,
     ) -> Self {
         let slots = ports.len() * nodes;
         TaskOutput {
@@ -342,6 +361,7 @@ impl TaskOutput {
             flowlet_id,
             lane,
             tracer,
+            audit,
         }
     }
 
@@ -350,6 +370,15 @@ impl TaskOutput {
     /// one branch: the bin keeps span 0 and no id is allocated.
     fn close_bin(&mut self, dst: NodeId, edge: EdgeId, frame: hamr_codec::Frame) {
         let mut bin = FrameBin::new(edge, frame);
+        // Emit custody is tallied regardless of tracing: the audit
+        // ledger must balance even when the trace stream is off.
+        self.audit.record(
+            AuditStage::Emit,
+            edge as u32,
+            dst as u32,
+            bin.len() as u64,
+            bin.payload_bytes() as u64,
+        );
         if self.tracer.enabled() {
             bin.span = hamr_trace::next_span_id();
             self.tracer.emit(
@@ -527,6 +556,7 @@ mod tests {
             0,
             0,
             Tracer::disabled(),
+            Audit::disabled(),
         )
     }
 
@@ -739,6 +769,7 @@ mod tests {
             0,
             0,
             Tracer::disabled(),
+            Audit::disabled(),
         );
         o.capture(b("k"), b("v"));
         let (_, captured) = o.into_parts();

@@ -7,7 +7,10 @@ use crossbeam::channel::Receiver;
 use hamr_dfs::{Dfs, DfsError, Split};
 use hamr_simdisk::{Disk, DiskError};
 use hamr_simnet::{Envelope, Fabric, NetConfig, NetError, Payload};
-use hamr_trace::{EventKind, TaskKind, Telemetry, Tracer, NO_SPAN, WORKER_RUNTIME};
+use hamr_trace::{
+    Audit, AuditBin, AuditReport, AuditStage, EventKind, TaskKind, Telemetry, Tracer, NO_SPAN,
+    WORKER_RUNTIME,
+};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -149,6 +152,17 @@ impl Payload for ShuffleMsg {
     fn wire_size(&self) -> usize {
         self.data.len() + 16
     }
+
+    /// Shuffle chunks are the MapReduce analogue of HAMR bins: one
+    /// ledger edge (0), no record counts (the engine moves opaque
+    /// sorted runs), payload bytes carry the conservation proof.
+    fn audit_bin(&self) -> Option<AuditBin> {
+        Some(AuditBin {
+            edge: 0,
+            records: 0,
+            bytes: self.data.len() as u64,
+        })
+    }
 }
 
 /// Simple work queue with locality: per-node deques plus stealing.
@@ -189,6 +203,12 @@ pub struct MrCluster {
     /// profile both engines through the engine-agnostic `Benchmark`
     /// trait.
     profiler: Mutex<Option<(Tracer, Telemetry)>>,
+    /// Ambient audit: when set, plain [`run`](MrCluster::run) calls
+    /// tally shuffle custody into a fresh ledger and store the report
+    /// in [`last_audit`](MrCluster::last_audit) — the engine-agnostic
+    /// counterpart of `hamr_core::Cluster::attach_supervisor`.
+    auditing: Mutex<bool>,
+    last_audit: Mutex<Option<AuditReport>>,
 }
 
 impl MrCluster {
@@ -203,6 +223,8 @@ impl MrCluster {
             dfs,
             next_job: AtomicU64::new(1),
             profiler: Mutex::new(None),
+            auditing: Mutex::new(false),
+            last_audit: Mutex::new(None),
         }
     }
 
@@ -225,11 +247,24 @@ impl MrCluster {
     /// ambient profiler is attached via
     /// [`attach_profiler`](MrCluster::attach_profiler).
     pub fn run(&self, conf: &JobConf) -> Result<JobStats, MrError> {
-        let ambient = self.profiler.lock().clone();
-        match ambient {
-            Some((tracer, telemetry)) => self.run_profiled(conf, tracer, telemetry),
-            None => self.run_traced(conf, Tracer::disabled()),
+        let (tracer, telemetry) = self.ambient_sinks();
+        let audit = if *self.auditing.lock() {
+            Audit::new(1, self.config.nodes as u32)
+        } else {
+            Audit::disabled()
+        };
+        let result = self.run_inner(conf, tracer, telemetry, audit.clone());
+        if audit.enabled() {
+            *self.last_audit.lock() = Some(audit.report());
         }
+        result
+    }
+
+    fn ambient_sinks(&self) -> (Tracer, Telemetry) {
+        self.profiler
+            .lock()
+            .clone()
+            .unwrap_or_else(|| (Tracer::disabled(), Telemetry::disabled()))
     }
 
     /// Attach an ambient profiler: until
@@ -244,6 +279,40 @@ impl MrCluster {
     /// calls execute untraced again.
     pub fn detach_profiler(&self) {
         *self.profiler.lock() = None;
+    }
+
+    /// Attach ambient auditing: until
+    /// [`detach_audit`](MrCluster::detach_audit), every plain
+    /// [`run`](MrCluster::run) tallies shuffle custody and stores the
+    /// resulting [`AuditReport`] for [`last_audit`](MrCluster::last_audit).
+    pub fn attach_audit(&self) {
+        *self.auditing.lock() = true;
+    }
+
+    /// Stop ambient auditing; subsequent [`run`](MrCluster::run) calls
+    /// skip the ledger again.
+    pub fn detach_audit(&self) {
+        *self.auditing.lock() = false;
+    }
+
+    /// The audit report of the most recent audited run, if any.
+    pub fn last_audit(&self) -> Option<AuditReport> {
+        self.last_audit.lock().clone()
+    }
+
+    /// Run one job with a shuffle custody ledger and return the proof
+    /// alongside the stats. Every shuffle chunk is tallied at four
+    /// custody points — emitted by the map task, shipped onto the
+    /// fabric, delivered by the simulated network, consumed by the
+    /// reducer-side collector — and the returned
+    /// [`AuditReport::check`] proves conservation.
+    pub fn run_audited(&self, conf: &JobConf) -> Result<(JobStats, AuditReport), MrError> {
+        let (tracer, telemetry) = self.ambient_sinks();
+        let audit = Audit::new(1, self.config.nodes as u32);
+        let stats = self.run_inner(conf, tracer, telemetry, audit.clone())?;
+        let report = audit.report();
+        *self.last_audit.lock() = Some(report.clone());
+        Ok((stats, report))
     }
 
     /// Run one job to completion, emitting trace events through `tracer`.
@@ -266,6 +335,16 @@ impl MrCluster {
         tracer: Tracer,
         telemetry: Telemetry,
     ) -> Result<JobStats, MrError> {
+        self.run_inner(conf, tracer, telemetry, Audit::disabled())
+    }
+
+    fn run_inner(
+        &self,
+        conf: &JobConf,
+        tracer: Tracer,
+        telemetry: Telemetry,
+        audit: Audit,
+    ) -> Result<JobStats, MrError> {
         let start = Instant::now();
         let job_id = self.next_job.fetch_add(1, Ordering::Relaxed);
         if !self.config.startup.job.is_zero() {
@@ -283,11 +362,12 @@ impl MrCluster {
             splits.extend(self.dfs.splits(path)?);
         }
         let map_task_count = splits.len();
-        let fabric = Fabric::<ShuffleMsg>::new_profiled(
+        let fabric = Fabric::<ShuffleMsg>::new_audited(
             nodes,
             self.config.net.clone(),
             tracer.clone(),
             &telemetry,
+            audit.clone(),
         );
         let active_gauges: Vec<_> = (0..nodes)
             .map(|n| telemetry.register(n as u32, format!("node{n}/mr_active_tasks")))
@@ -318,8 +398,9 @@ impl MrCluster {
             let expected = map_task_count * local_reducers.len();
             let rx = fabric.receiver(node)?;
             let tracer = tracer.clone();
+            let audit = audit.clone();
             recv_handles.push(std::thread::spawn(move || {
-                collect_chunks(rx, &local_reducers, expected, node, &tracer)
+                collect_chunks(rx, &local_reducers, expected, node, &tracer, &audit)
             }));
         }
 
@@ -343,6 +424,7 @@ impl MrCluster {
                 let startup = self.config.startup;
                 let sort_buffer = self.config.sort_buffer;
                 let tracer = tracer.clone();
+                let audit = audit.clone();
                 let active = active_gauges[node].clone();
                 map_handles.push(std::thread::spawn(move || {
                     loop {
@@ -417,6 +499,12 @@ impl MrCluster {
                             shuffled += out.bytes as u64;
                             let dst = out.partition % fabric.len();
                             let bytes = data.len() as u64;
+                            // The map side holds both the emit and ship
+                            // custody points: shuffle chunks go straight
+                            // from the task to the fabric, with no
+                            // flow-control window in between.
+                            audit.record(AuditStage::Emit, 0, dst as u32, 0, bytes);
+                            audit.record(AuditStage::Ship, 0, dst as u32, 0, bytes);
                             let mut span = NO_SPAN;
                             if tracer.enabled() {
                                 // Shuffle chunks get lineage spans just
@@ -592,6 +680,7 @@ fn collect_chunks(
     expected: usize,
     node: usize,
     tracer: &Tracer,
+    audit: &Audit,
 ) -> VecDeque<(usize, Vec<Arc<Vec<u8>>>)> {
     let mut buckets: std::collections::HashMap<usize, Vec<Arc<Vec<u8>>>> =
         local_reducers.iter().map(|&r| (r, Vec::new())).collect();
@@ -611,6 +700,13 @@ fn collect_chunks(
             },
         );
         if let Some(bucket) = buckets.get_mut(&env.msg.reducer) {
+            audit.record(
+                AuditStage::Consume,
+                0,
+                node as u32,
+                0,
+                env.msg.data.len() as u64,
+            );
             bucket.push(env.msg.data);
             received += 1;
         }

@@ -285,3 +285,47 @@ fn startup_costs_add_measurable_time() {
         stats.elapsed
     );
 }
+
+#[test]
+fn audited_run_proves_shuffle_conservation() {
+    let cluster = MrCluster::in_memory(3, 2);
+    write_corpus(
+        &cluster,
+        "in.txt",
+        &["the quick brown fox", "the lazy dog", "the quick dog"],
+    );
+    let (stats, report) = cluster
+        .run_audited(&wordcount_job("in.txt", "out"))
+        .unwrap();
+    report.check().unwrap_or_else(|v| {
+        panic!("shuffle custody leaked: {v:?}");
+    });
+    // Every map task serves one chunk per reducer, and all of them
+    // must make it across all four custody points.
+    let shipped = report.total(hamr_trace::AuditStage::Ship);
+    assert_eq!(
+        shipped.bins,
+        (stats.map_tasks * stats.reduce_tasks) as u64,
+        "one shuffle chunk per (map task, reducer)"
+    );
+    assert_eq!(shipped.bytes, stats.shuffled_bytes);
+    assert_eq!(
+        cluster.last_audit().expect("report stored").rows,
+        report.rows
+    );
+    let counts = read_outputs(&cluster, "out");
+    assert_eq!(counts["the"], 3);
+}
+
+#[test]
+fn ambient_audit_covers_plain_runs() {
+    let cluster = MrCluster::in_memory(2, 1);
+    write_corpus(&cluster, "in.txt", &["a b a", "b a"]);
+    assert!(cluster.last_audit().is_none());
+    cluster.attach_audit();
+    cluster.run(&wordcount_job("in.txt", "out")).unwrap();
+    let report = cluster.last_audit().expect("ambient audit ran");
+    report.check().expect("conservation holds");
+    assert!(report.total(hamr_trace::AuditStage::Consume).bins > 0);
+    cluster.detach_audit();
+}

@@ -4,7 +4,7 @@ use crate::metrics::{MetricsInner, NetMetrics};
 use crate::timer::TimerThread;
 use crate::{NetConfig, NodeId, Payload};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hamr_trace::{EventKind, Gauge, Telemetry, Tracer, WORKER_NET};
+use hamr_trace::{Audit, AuditStage, EventKind, Gauge, Telemetry, Tracer, WORKER_NET};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -53,6 +53,8 @@ pub(crate) struct FabricInner<M: Payload> {
     tracer: Tracer,
     /// Telemetry gauge: bytes sent but not yet delivered, cluster-wide.
     inflight_gauge: Gauge,
+    /// Bin custody ledger; the fabric owns the *deliver* tally.
+    audit: Audit,
 }
 
 /// An in-process network connecting `n` nodes.
@@ -91,6 +93,19 @@ impl<M: Payload> Fabric<M> {
         tracer: Tracer,
         telemetry: &Telemetry,
     ) -> Self {
+        Fabric::new_audited(n, config, tracer, telemetry, Audit::disabled())
+    }
+
+    /// Like [`new_profiled`](Fabric::new_profiled), and additionally
+    /// tallies the *deliver* custody point of every bin-carrying
+    /// message (per [`Payload::audit_bin`]) into `audit`.
+    pub fn new_audited(
+        n: usize,
+        config: NetConfig,
+        tracer: Tracer,
+        telemetry: &Telemetry,
+        audit: Audit,
+    ) -> Self {
         assert!(n > 0, "fabric needs at least one node");
         let endpoints: Vec<EndpointInner<M>> = (0..n)
             .map(|_| {
@@ -110,6 +125,7 @@ impl<M: Payload> Fabric<M> {
                 sinks,
                 tracer.clone(),
                 inflight_gauge.clone(),
+                audit.clone(),
             ))
         };
         Fabric {
@@ -120,6 +136,7 @@ impl<M: Payload> Fabric<M> {
                 timer,
                 tracer,
                 inflight_gauge,
+                audit,
             }),
         }
     }
@@ -192,6 +209,17 @@ impl<M: Payload> Fabric<M> {
 
     fn deliver_now(&self, env: Envelope<M>, size: usize) -> Result<(), NetError> {
         self.inner.inflight_gauge.sub(size as i64);
+        if self.inner.audit.enabled() {
+            if let Some(b) = env.msg.audit_bin() {
+                self.inner.audit.record(
+                    AuditStage::Deliver,
+                    b.edge,
+                    env.to as u32,
+                    b.records,
+                    b.bytes,
+                );
+            }
+        }
         self.inner.tracer.emit(
             env.to as u32,
             WORKER_NET,

@@ -34,6 +34,14 @@ pub type NodeId = usize;
 pub trait Payload: Send + 'static {
     /// Approximate serialized size in bytes (headers included is fine).
     fn wire_size(&self) -> usize;
+
+    /// What this message reports to the bin custody audit at the
+    /// *deliver* point: `Some` for messages that carry a dataflow bin,
+    /// `None` (the default) for control traffic — acks, markers,
+    /// completion notices — which must stay out of the ledger.
+    fn audit_bin(&self) -> Option<hamr_trace::AuditBin> {
+        None
+    }
 }
 
 /// Delivery model configuration.

@@ -18,7 +18,7 @@
 use crate::fabric::Envelope;
 use crate::{NetConfig, Payload};
 use crossbeam::channel::Sender;
-use hamr_trace::{EventKind, Gauge, Tracer, WORKER_NET};
+use hamr_trace::{Audit, AuditStage, EventKind, Gauge, Tracer, WORKER_NET};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -70,6 +70,7 @@ struct Shared<M: Payload> {
     nodes: usize,
     tracer: Tracer,
     inflight_gauge: Gauge,
+    audit: Audit,
 }
 
 pub(crate) struct TimerThread<M: Payload> {
@@ -82,6 +83,7 @@ impl<M: Payload> TimerThread<M> {
         sinks: Vec<Sender<Envelope<M>>>,
         tracer: Tracer,
         inflight_gauge: Gauge,
+        audit: Audit,
     ) -> Self {
         let nodes = sinks.len();
         let shared = Arc::new(Shared {
@@ -97,6 +99,7 @@ impl<M: Payload> TimerThread<M> {
             nodes,
             tracer,
             inflight_gauge,
+            audit,
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -186,6 +189,17 @@ fn run_timer<M: Payload>(shared: Arc<Shared<M>>) {
             // channel, then retake it.
             drop(state);
             shared.inflight_gauge.sub(flight.size as i64);
+            if shared.audit.enabled() {
+                if let Some(b) = flight.env.msg.audit_bin() {
+                    shared.audit.record(
+                        AuditStage::Deliver,
+                        b.edge,
+                        flight.env.to as u32,
+                        b.records,
+                        b.bytes,
+                    );
+                }
+            }
             shared.tracer.emit(
                 flight.env.to as u32,
                 WORKER_NET,

@@ -407,6 +407,14 @@ fn render(events: &[TraceEvent], series: Option<&TimeSeries>) -> String {
                 ev.t_us,
                 &[("bytes", *bytes)],
             )),
+            EventKind::Watchdog { class, epoch } => em.push(instant(
+                &format!("watchdog-{}", class.name()),
+                "watchdog",
+                ev.node,
+                ev.worker,
+                ev.t_us,
+                &[("epoch", *epoch)],
+            )),
         }
     }
 

@@ -15,6 +15,7 @@
 //!   latency percentiles (from [`LatencyHistogram`]) and cumulative
 //!   flow-control stall time.
 
+pub mod audit;
 pub mod causal;
 mod chrome;
 mod hist;
@@ -22,6 +23,10 @@ pub mod json;
 mod summary;
 mod telemetry;
 
+pub use audit::{
+    Audit, AuditBin, AuditReport, AuditRow, AuditStage, AuditViolation, FlightRecord, GaugeValue,
+    RecordedEvent, StageCount, WatchdogTrip,
+};
 pub use causal::{
     analyze, render_attribution, render_critical_path, render_stall_edges, Buckets, CausalReport,
     CriticalPath, FlowletBuckets, NodeBuckets, StallEdge,
@@ -189,6 +194,45 @@ pub enum EventKind {
     DiskRead { bytes: u64 },
     /// The disk model served a write.
     DiskWrite { bytes: u64 },
+    /// The watchdog classified a run-health incident at monitoring
+    /// epoch `epoch` (event node = the node the diagnosis points at,
+    /// or 0 for cluster-wide incidents).
+    Watchdog { class: WatchdogClass, epoch: u64 },
+}
+
+/// How the watchdog classified a no-progress (or skewed-progress)
+/// window. Lives in the trace crate so the event stream, the flight
+/// recorder and the doctor all share one vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WatchdogClass {
+    /// Deferred bins exist and flow-control windows are full, but the
+    /// fabric delivers nothing: a backpressure deadlock.
+    Backpressure,
+    /// Zero queued work, zero busy workers, zero deliveries — yet the
+    /// job has not completed: something never signalled.
+    Hang,
+    /// The cluster is progressing but per-node progress is badly
+    /// skewed: one or more nodes lag far behind.
+    Straggler,
+}
+
+impl WatchdogClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            WatchdogClass::Backpressure => "backpressure",
+            WatchdogClass::Hang => "hang",
+            WatchdogClass::Straggler => "straggler",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "backpressure" => Some(WatchdogClass::Backpressure),
+            "hang" => Some(WatchdogClass::Hang),
+            "straggler" => Some(WatchdogClass::Straggler),
+            _ => None,
+        }
+    }
 }
 
 /// One event: when, where, and what.

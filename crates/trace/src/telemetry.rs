@@ -11,7 +11,7 @@
 //! update) and the sampler thread is never started.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -86,6 +86,10 @@ struct Inner {
     gauges: Mutex<Vec<GaugeSlot>>,
     samples: Mutex<Vec<Sample>>,
     stop: AtomicBool,
+    /// Wakes the sampler out of its interval sleep so `stop` returns
+    /// promptly even with a long interval (zero-duration runs).
+    wake: Condvar,
+    wake_lock: Mutex<()>,
     thread: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -106,6 +110,8 @@ impl Telemetry {
                 gauges: Mutex::new(Vec::new()),
                 samples: Mutex::new(Vec::new()),
                 stop: AtomicBool::new(false),
+                wake: Condvar::new(),
+                wake_lock: Mutex::new(()),
                 thread: Mutex::new(None),
             })),
         }
@@ -192,12 +198,22 @@ impl Telemetry {
         *slot = Some(
             std::thread::Builder::new()
                 .name("hamr-telemetry".into())
-                .spawn(move || {
-                    while !worker.stop.load(Ordering::Relaxed) {
-                        std::thread::sleep(worker.interval);
-                        let t_us = worker.epoch.elapsed().as_micros() as u64;
-                        Telemetry::sample_into(&worker, t_us);
+                .spawn(move || loop {
+                    let guard = worker.wake_lock.lock().unwrap_or_else(|p| p.into_inner());
+                    if worker.stop.load(Ordering::Relaxed) {
+                        break;
                     }
+                    drop(
+                        worker
+                            .wake
+                            .wait_timeout(guard, worker.interval)
+                            .unwrap_or_else(|p| p.into_inner()),
+                    );
+                    if worker.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let t_us = worker.epoch.elapsed().as_micros() as u64;
+                    Telemetry::sample_into(&worker, t_us);
                 })
                 .expect("spawn telemetry sampler thread"),
         );
@@ -207,7 +223,13 @@ impl Telemetry {
     /// short runs always have at least one data point).
     pub fn stop(&self) {
         let Some(inner) = &self.inner else { return };
-        inner.stop.store(true, Ordering::Relaxed);
+        {
+            // Set the flag under the sampler's lock so the thread can
+            // never recheck-then-sleep after we decide to stop.
+            let _guard = inner.wake_lock.lock().unwrap_or_else(|p| p.into_inner());
+            inner.stop.store(true, Ordering::Relaxed);
+            inner.wake.notify_all();
+        }
         let handle = inner
             .thread
             .lock()
@@ -217,6 +239,22 @@ impl Telemetry {
             let _ = handle.join();
         }
         self.tick();
+    }
+
+    /// Snapshot every registered gauge's *current* value as
+    /// `(name, node, value)` triples — what the watchdog reads each
+    /// epoch and the flight recorder dumps at post-mortem time.
+    pub fn gauge_values(&self) -> Vec<(String, u32, i64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .gauges
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .iter()
+                .map(|g| (g.name.clone(), g.node, g.cell.load(Ordering::Relaxed)))
+                .collect(),
+        }
     }
 
     /// Snapshot the collected series (gauge names + samples so far).
@@ -346,23 +384,50 @@ impl TimeSeries {
     }
 }
 
+/// Escape a Prometheus label *value*: the exposition format requires
+/// `\`, `"` and newlines inside quoted label values to be escaped.
+fn prometheus_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Split a `node0/f1/queue_depth`-style gauge name into a Prometheus
 /// metric name and a label set.
 fn prometheus_name(name: &str) -> (String, String) {
     let parts: Vec<&str> = name.split('/').collect();
-    let metric = parts.last().unwrap_or(&"gauge").replace(['-', ' '], "_");
+    // Metric names allow only [a-zA-Z0-9_:]; anything else folds to '_'.
+    let metric: String = parts
+        .last()
+        .unwrap_or(&"gauge")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
     let mut labels = Vec::new();
     for part in &parts[..parts.len().saturating_sub(1)] {
         if let Some(n) = part.strip_prefix("node") {
-            labels.push(format!("node=\"{n}\""));
+            labels.push(format!("node=\"{}\"", prometheus_label_escape(n)));
         } else if let Some(f) = part.strip_prefix('f') {
             if f.chars().all(|c| c.is_ascii_digit()) {
                 labels.push(format!("flowlet=\"{f}\""));
                 continue;
             }
-            labels.push(format!("scope=\"{part}\""));
+            labels.push(format!("scope=\"{}\"", prometheus_label_escape(part)));
         } else {
-            labels.push(format!("scope=\"{part}\""));
+            labels.push(format!("scope=\"{}\"", prometheus_label_escape(part)));
         }
     }
     let labels = if labels.is_empty() {
@@ -476,6 +541,72 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed must replay identically");
         assert_ne!(run(42).0, run(43).0, "different seeds must differ");
+    }
+
+    #[test]
+    fn gauge_values_snapshot_current_state() {
+        let t = Telemetry::new(Duration::from_millis(1));
+        let a = t.register(0, "node0/deferred_bins");
+        let b = t.register(2, "node2/f1/queue_depth");
+        a.set(5);
+        b.set(-3);
+        assert_eq!(
+            t.gauge_values(),
+            vec![
+                ("node0/deferred_bins".to_string(), 0, 5),
+                ("node2/f1/queue_depth".to_string(), 2, -3),
+            ]
+        );
+        assert!(Telemetry::disabled().gauge_values().is_empty());
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values_and_sanitizes_metric_names() {
+        let t = Telemetry::new(Duration::from_millis(1));
+        // A hostile scope segment: quotes, backslash and newline in the
+        // label value; quotes in the metric segment.
+        t.register(0, "node0/disk \"a\\b\"/resident\nbytes");
+        t.tick_at(1);
+        let prom = t.series().to_prometheus();
+        assert!(
+            prom.contains("scope=\"disk \\\"a\\\\b\\\"\""),
+            "label value must be escaped: {prom}"
+        );
+        assert!(
+            prom.contains("hamr_resident_bytes"),
+            "metric name must be sanitized: {prom}"
+        );
+        assert!(
+            !prom
+                .lines()
+                .any(|l| !l.starts_with('#') && l.contains('\n')),
+            "no raw newlines inside a sample line"
+        );
+    }
+
+    #[test]
+    fn zero_duration_run_produces_valid_empty_output() {
+        // Sampler started and stopped before the interval elapses, with
+        // no gauges registered: every export must still be well-formed.
+        let t = Telemetry::new(Duration::from_secs(3600));
+        t.start();
+        t.stop();
+        let series = t.series();
+        assert!(series.is_empty());
+        assert_eq!(series.names, Vec::<String>::new());
+        let csv = series.to_csv();
+        assert!(csv.starts_with("t_us"), "header-only CSV: {csv:?}");
+        assert_eq!(series.to_prometheus(), "", "no gauges, no exposition");
+        crate::json::parse(&series.to_json()).expect("empty series still valid json");
+        // And with a gauge but zero samples (never started, never
+        // ticked): same well-formedness guarantees.
+        let t2 = Telemetry::new(Duration::from_secs(3600));
+        t2.register(0, "node0/x");
+        let s2 = t2.series();
+        assert!(s2.samples.is_empty());
+        assert_eq!(s2.to_prometheus(), "");
+        assert_eq!(s2.to_csv(), "t_us,node0/x\n");
+        crate::json::parse(&s2.to_json()).expect("valid json");
     }
 
     #[test]

@@ -3,13 +3,47 @@
 //! input. This is the correctness backbone of the whole evaluation —
 //! speedups are meaningless if the engines disagree.
 
+use hamr_core::{Supervision, WatchdogConfig};
 use hamr_workloads::{all_benchmarks, Benchmark, Env};
+
+/// Every equivalence run doubles as a self-verification run: both
+/// engines execute under the audit ledger (HAMR additionally under the
+/// watchdog), and a clean workload must balance its custody ledger and
+/// produce zero watchdog events.
+fn audited(env: &Env) {
+    env.hamr.attach_supervisor(Supervision {
+        // Pinned config so an ambient HAMR_WATCHDOG=off cannot hollow
+        // out the assertion; no doctor dumps from tests.
+        watchdog: WatchdogConfig::default(),
+        doctor_dir: None,
+        ..Default::default()
+    });
+    env.mr.attach_audit();
+}
+
+fn assert_clean(env: &Env, name: &str) {
+    let hamr_report = env.hamr.last_audit().expect("hamr audit ran");
+    hamr_report
+        .check()
+        .unwrap_or_else(|v| panic!("{name}: hamr bin custody violated: {v:?}"));
+    let events = env.hamr.watchdog_events();
+    assert!(
+        events.is_empty(),
+        "{name}: clean workload raised watchdog events: {events:?}"
+    );
+    let mr_report = env.mr.last_audit().expect("mapred audit ran");
+    mr_report
+        .check()
+        .unwrap_or_else(|v| panic!("{name}: mapred shuffle custody violated: {v:?}"));
+}
 
 fn check(bench: &dyn Benchmark) {
     let env = Env::test(3, 2);
     bench.seed(&env).expect("seed");
+    audited(&env);
     let hamr = bench.run_hamr(&env).expect("hamr run");
     let mr = bench.run_mapred(&env).expect("mapred run");
+    assert_clean(&env, bench.name());
     assert!(
         hamr.records > 0,
         "{}: HAMR produced no output",

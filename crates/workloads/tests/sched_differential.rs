@@ -7,7 +7,7 @@
 //! Each mode is pinned through `Env::with_hamr_sched`, so these tests
 //! hold regardless of any `HAMR_SCHED` environment override.
 
-use hamr_core::SchedMode;
+use hamr_core::{SchedMode, Supervision, WatchdogConfig};
 use hamr_workloads::{all_benchmarks, skewed_variants, Benchmark, Env, SimParams};
 
 const MODES: [SchedMode; 3] = [
@@ -24,7 +24,26 @@ fn check(bench: &dyn Benchmark) {
     for mode in MODES {
         let env = Env::with_hamr_sched(SimParams::test(3, 2), mode);
         bench.seed(&env).expect("seed");
+        // Every mode runs supervised: the custody ledger must balance
+        // and the watchdog must stay silent regardless of how the
+        // scheduler shuffles tasks between workers.
+        env.hamr.attach_supervisor(Supervision {
+            watchdog: WatchdogConfig::default(),
+            doctor_dir: None,
+            ..Default::default()
+        });
         let out = bench.run_hamr(&env).expect("hamr run");
+        env.hamr
+            .last_audit()
+            .expect("audit ran")
+            .check()
+            .unwrap_or_else(|v| panic!("{}: {mode:?}: bin custody violated: {v:?}", bench.name()));
+        let events = env.hamr.watchdog_events();
+        assert!(
+            events.is_empty(),
+            "{}: {mode:?}: clean workload raised watchdog events: {events:?}",
+            bench.name()
+        );
         assert!(
             out.records > 0,
             "{} produced no output under {mode:?}",
