@@ -32,22 +32,39 @@
 //! wall joins the `--fail-on-overhead` gate as `<engine>-audited` so
 //! CI proves the ledger's cost stays inside the same budget.
 //!
+//! `--compare BENCH.json` is the perf-regression gate: it reads a
+//! previously committed benchjson snapshot and exits 5 when throughput
+//! regressed more than `--compare-threshold` percent (default 10).
+//! When the baseline was taken at the same shape (same `quick`/scale)
+//! rows gate on absolute records/s; otherwise absolute rates are
+//! meaningless across shapes, so each benchmark gates on its
+//! hamr/mapred throughput *ratio* — machine- and scale-invariant.
+//!
+//! `--metrics-out FILE` runs WordCount once more with the cluster's
+//! introspection endpoint live, scrapes `/metrics` from a side thread
+//! while the run is in flight, and writes the final (both-engines)
+//! scrape — validated as parseable Prometheus text — to FILE. That is
+//! the snapshot artifact CI uploads.
+//!
 //! ```text
 //! benchjson [--quick] [--reps N] [--out BENCH_pr4.json]
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
 //!           [--profile-dir DIR] [--fail-on-overhead PCT] [--audited]
+//!           [--compare BENCH.json] [--compare-threshold PCT]
+//!           [--metrics-out FILE]
 //! ```
 
 use hamr_core::{SchedMode, Supervision};
-use hamr_trace::{analyze, RingSink, Telemetry, Tracer};
+use hamr_trace::{analyze, http_get, parse_prometheus, RingSink, Telemetry, Tracer};
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::pagerank::PageRank;
 use hamr_workloads::wordcount::WordCount;
 use hamr_workloads::{BenchOutput, Benchmark, Env, SimParams};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Counts every heap allocation so the harness reports a measured
 /// allocations-per-record figure, not an estimate from first principles.
@@ -241,6 +258,157 @@ fn parse_baseline(path: &str) -> Result<BTreeMap<(String, String), BaselineRow>,
     Ok(rows)
 }
 
+/// A committed benchjson snapshot parsed back for the `--compare`
+/// regression gate: the shape it was taken at plus per-(benchmark,
+/// engine) records/s.
+#[derive(Debug)]
+struct JsonBaseline {
+    quick: bool,
+    scale: f64,
+    rows: BTreeMap<(String, String), f64>,
+}
+
+/// Extract `"name":"value"` from a single JSON line (the snapshot
+/// writer emits one object per line, so line-local scanning suffices).
+fn json_str_field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract `"name": <number>` from a single JSON line.
+fn json_num_field(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse_json_baseline(path: &str) -> Result<JsonBaseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut quick = None;
+    let mut scale = None;
+    let mut rows = BTreeMap::new();
+    let mut in_results = false;
+    for line in text.lines() {
+        if line.contains("\"params\":") {
+            quick = Some(line.contains("\"quick\": true") || line.contains("\"quick\":true"));
+            scale = json_num_field(line, "scale");
+        } else if line.contains("\"results\":") {
+            in_results = true;
+        } else if in_results {
+            if line.trim_start().starts_with(']') {
+                // Stop before any "baseline" echo section that a
+                // `--baseline` run appended to the snapshot.
+                in_results = false;
+            } else if let (Some(b), Some(e), Some(rps)) = (
+                json_str_field(line, "benchmark"),
+                json_str_field(line, "engine"),
+                json_num_field(line, "records_per_sec"),
+            ) {
+                rows.insert((b, e), rps);
+            }
+        }
+    }
+    let quick = quick.ok_or(format!("{path}: no params.quick field"))?;
+    let scale = scale.ok_or(format!("{path}: no params.scale field"))?;
+    if rows.is_empty() {
+        return Err(format!("{path}: no result rows"));
+    }
+    Ok(JsonBaseline { quick, scale, rows })
+}
+
+/// The `--compare` gate. Returns true when a regression beyond `pct`
+/// percent was found. Same shape (quick + scale) as the baseline —
+/// gate absolute records/s per row; different shape — gate each
+/// benchmark's hamr/mapred throughput ratio, which survives both
+/// machine-speed and input-scale changes.
+fn compare_gate(base: &JsonBaseline, rows: &[Row], quick: bool, scale: f64, pct: f64) -> bool {
+    let mut failed = false;
+    let same_shape = base.quick == quick && (base.scale - scale).abs() < 1e-9;
+    if same_shape {
+        for row in rows {
+            let key = (row.benchmark.clone(), row.engine.to_string());
+            let Some(&b) = base.rows.get(&key) else {
+                eprintln!(
+                    "benchjson: compare: {} ({}) not in baseline, skipped",
+                    row.benchmark, row.engine
+                );
+                continue;
+            };
+            if b <= 0.0 {
+                continue;
+            }
+            let delta = 100.0 * (row.records_per_sec - b) / b;
+            if row.records_per_sec < b * (1.0 - pct / 100.0) {
+                eprintln!(
+                    "benchjson: REGRESSION: {} ({}): {:.0} rec/s vs baseline {:.0} \
+                     ({delta:+.1}%, allowed -{pct}%)",
+                    row.benchmark, row.engine, row.records_per_sec, b
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "benchjson: compare ok: {} ({}): {:.0} rec/s vs baseline {:.0} ({delta:+.1}%)",
+                    row.benchmark, row.engine, row.records_per_sec, b
+                );
+            }
+        }
+    } else {
+        eprintln!(
+            "benchjson: compare: baseline shape differs (quick={} scale={} vs quick={quick} \
+             scale={scale}); gating hamr/mapred throughput ratios instead",
+            base.quick, base.scale
+        );
+        for hamr_row in rows.iter().filter(|r| r.engine == "hamr") {
+            let Some(mr_row) = rows
+                .iter()
+                .find(|r| r.engine == "mapred" && r.benchmark == hamr_row.benchmark)
+            else {
+                continue;
+            };
+            let bh = base
+                .rows
+                .get(&(hamr_row.benchmark.clone(), "hamr".to_string()));
+            let bm = base
+                .rows
+                .get(&(hamr_row.benchmark.clone(), "mapred".to_string()));
+            let (Some(&bh), Some(&bm)) = (bh, bm) else {
+                eprintln!(
+                    "benchjson: compare: {} not in baseline, skipped",
+                    hamr_row.benchmark
+                );
+                continue;
+            };
+            if mr_row.records_per_sec <= 0.0 || bm <= 0.0 || bh <= 0.0 {
+                continue;
+            }
+            let cur = hamr_row.records_per_sec / mr_row.records_per_sec;
+            let old = bh / bm;
+            let delta = 100.0 * (cur - old) / old;
+            if cur < old * (1.0 - pct / 100.0) {
+                eprintln!(
+                    "benchjson: REGRESSION: {}: hamr/mapred ratio {cur:.3} vs baseline {old:.3} \
+                     ({delta:+.1}%, allowed -{pct}%)",
+                    hamr_row.benchmark
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "benchjson: compare ok: {}: hamr/mapred ratio {cur:.3} vs baseline {old:.3} \
+                     ({delta:+.1}%)",
+                    hamr_row.benchmark
+                );
+            }
+        }
+    }
+    failed
+}
+
 struct Args {
     quick: bool,
     reps: usize,
@@ -250,6 +418,9 @@ struct Args {
     profile_dir: Option<String>,
     fail_on_overhead: Option<f64>,
     audited: bool,
+    compare: Option<String>,
+    compare_threshold: f64,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -262,6 +433,9 @@ fn parse_args() -> Result<Args, String> {
         profile_dir: None,
         fail_on_overhead: None,
         audited: false,
+        compare: None,
+        compare_threshold: 10.0,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -281,6 +455,13 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--audited" => args.audited = true,
+            "--compare" => args.compare = Some(value("--compare")?),
+            "--compare-threshold" => {
+                args.compare_threshold = value("--compare-threshold")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -422,6 +603,55 @@ fn audited_run(
     Ok(out.elapsed.as_secs_f64())
 }
 
+/// One introspected run for the `--metrics-out` artifact: WordCount on
+/// both engines with the HAMR cluster's endpoint live, a side thread
+/// scraping `/metrics` while the run is in flight (proving the
+/// endpoint answers mid-run). Returns the final post-run scrape —
+/// which carries both engines' series — plus the count of successful
+/// mid-run scrapes.
+fn metrics_snapshot_run(params: &SimParams) -> Result<(String, u64), String> {
+    let bench = WordCount::default();
+    let env = Env::with_hamr_sched(params.clone(), SchedMode::WorkStealing);
+    bench.seed(&env)?;
+    let addr = env
+        .hamr
+        .serve_introspection(0)
+        .map_err(|e| format!("bind introspection endpoint: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut good = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok((200, body)) = http_get(addr, "/metrics", Duration::from_millis(250)) {
+                    if parse_prometheus(&body).is_ok() {
+                        good += 1;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            good
+        })
+    };
+    let run = bench.run_hamr(&env).and_then(|_| bench.run_mapred(&env));
+    stop.store(true, Ordering::Relaxed);
+    let mid_scrapes = scraper.join().unwrap_or(0);
+    run?;
+    let (status, body) =
+        http_get(addr, "/metrics", Duration::from_secs(2)).map_err(|e| format!("scrape: {e}"))?;
+    if status != 200 {
+        return Err(format!("scrape: HTTP {status}"));
+    }
+    let samples = parse_prometheus(&body).map_err(|e| format!("invalid Prometheus text: {e}"))?;
+    for engine in ["hamr", "mapred"] {
+        if !samples.iter().any(|s| s.label("engine") == Some(engine)) {
+            return Err(format!("snapshot carries no engine=\"{engine}\" series"));
+        }
+    }
+    env.hamr.stop_introspection();
+    Ok((body, mid_scrapes))
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -443,6 +673,20 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // Parse the regression baseline up front, before `--out` can
+    // overwrite it — CI compares against the committed snapshot while
+    // writing the fresh one to the same path.
+    let compare_base = match &args.compare {
+        Some(path) => match parse_json_baseline(path) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("benchjson: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
 
     let mut rows: Vec<Row> = Vec::new();
     // (label, engine, untraced wall, profiled wall) for the overhead gate.
@@ -625,6 +869,22 @@ fn main() {
         eprintln!("wrote {raw}");
     }
 
+    if let Some(path) = &args.metrics_out {
+        match metrics_snapshot_run(&params) {
+            Ok((body, mid_scrapes)) => {
+                if let Err(e) = std::fs::write(path, &body) {
+                    eprintln!("benchjson: write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path} ({mid_scrapes} successful mid-run scrapes)");
+            }
+            Err(e) => {
+                eprintln!("benchjson: metrics snapshot: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // Sampler-overhead gate: the profiled runs (tracer + 1ms telemetry
     // sampler) must stay within the budget of their untraced
     // counterparts. 50ms absolute slack absorbs scheduling noise on the
@@ -651,5 +911,16 @@ fn main() {
         if failed {
             std::process::exit(3);
         }
+    }
+
+    // Perf-regression gate, last so all diagnostics above still print.
+    if let Some(base) = &compare_base {
+        if compare_gate(base, &rows, args.quick, scale, args.compare_threshold) {
+            std::process::exit(5);
+        }
+        eprintln!(
+            "benchjson: compare gate passed (threshold {}%)",
+            args.compare_threshold
+        );
     }
 }

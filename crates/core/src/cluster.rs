@@ -10,6 +10,7 @@ use crate::config::ClusterConfig;
 use crate::error::{ConfigError, RunError};
 use crate::flowlet::TaskContext;
 use crate::graph::{FlowletId, JobGraph};
+use crate::introspect::{Health, Introspect, LiveRun};
 use crate::metrics::JobMetrics;
 use crate::node::{run_node, NetMsg};
 use crate::record::Record;
@@ -18,11 +19,13 @@ use hamr_codec::Codec;
 use hamr_dfs::Dfs;
 use hamr_kvstore::KvStore;
 use hamr_simdisk::Disk;
-use hamr_simnet::Fabric;
+use hamr_simnet::{Fabric, NetRegistry};
 use hamr_trace::{
-    Audit, AuditReport, FlightRecord, GaugeValue, RingSink, Telemetry, Tracer, WatchdogTrip,
+    Audit, AuditReport, FlightRecord, GaugeValue, Labels, MetricsRegistry, RingSink, Telemetry,
+    Tracer, WatchdogClass, WatchdogTrip,
 };
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -97,6 +100,9 @@ pub struct Cluster {
     last_audit: Mutex<Option<AuditReport>>,
     /// Watchdog incidents of the most recent supervised run.
     wd_events: Mutex<Vec<WatchdogEvent>>,
+    /// The introspection plane: unified metrics registry, run health,
+    /// and the (optional, `HAMR_HTTP`-gated) embedded HTTP endpoint.
+    introspect: Arc<Introspect>,
 }
 
 impl Cluster {
@@ -151,6 +157,8 @@ impl Cluster {
         config.validate()?;
         assert_eq!(disks.len(), config.nodes, "one disk per node");
         let kv = KvStore::new(config.nodes);
+        let introspect = Arc::new(Introspect::new());
+        introspect.serve_from_env();
         Ok(Cluster {
             config,
             disks,
@@ -160,7 +168,43 @@ impl Cluster {
             supervisor: Mutex::new(None),
             last_audit: Mutex::new(None),
             wd_events: Mutex::new(Vec::new()),
+            introspect,
         })
+    }
+
+    /// The cluster's unified metrics registry. Every run publishes
+    /// into it: net/disk counters live on the hot path, telemetry
+    /// gauges bridged while a job runs, job totals at completion, and
+    /// one epoch snapshot per job so iterative workloads get
+    /// per-iteration deltas via [`MetricsRegistry::epoch_deltas`].
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.introspect.registry
+    }
+
+    /// Current run-state as served by `/healthz`.
+    pub fn health(&self) -> Health {
+        self.introspect
+            .health
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Start the embedded introspection endpoint on
+    /// `127.0.0.1:port` (0 picks an ephemeral port), regardless of
+    /// `HAMR_HTTP`. Returns the bound address.
+    pub fn serve_introspection(&self, port: u16) -> std::io::Result<SocketAddr> {
+        self.introspect.serve(port)
+    }
+
+    /// Address of the introspection endpoint, if one is running.
+    pub fn introspection_addr(&self) -> Option<SocketAddr> {
+        self.introspect.addr()
+    }
+
+    /// Stop the introspection endpoint (idempotent).
+    pub fn stop_introspection(&self) {
+        self.introspect.stop();
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -298,6 +342,15 @@ impl Cluster {
                 (tracer, Telemetry::new(sup.watchdog.epoch))
             }
         };
+        // Overflowed flight-ring drops are visible in `/metrics` while
+        // the run is still going, not only in the post-mortem dump.
+        if let Some(ring) = &ring {
+            ring.mirror_drops(
+                self.introspect
+                    .registry
+                    .counter("trace_dropped_events_total", Labels::new().engine("hamr")),
+            );
+        }
         let watchdog =
             (sup.watchdog.action != WatchdogAction::Off).then(|| (sup.watchdog.clone(), own_sinks));
         let (result, events, trip) = self.run_inner(
@@ -307,12 +360,14 @@ impl Cluster {
             audit.clone(),
             !own_sinks,
             watchdog,
+            ring.clone(),
         );
         let report = audit.report();
         *self.last_audit.lock().unwrap_or_else(|p| p.into_inner()) = Some(report.clone());
         *self.wd_events.lock().unwrap_or_else(|p| p.into_inner()) = events;
         if trip.is_some() || result.is_err() {
             if let Some(dir) = &sup.doctor_dir {
+                let dropped_events = ring.as_ref().map(|r| r.dropped()).unwrap_or(0);
                 let ring_events = ring.map(|r| r.drain()).unwrap_or_default();
                 let record = FlightRecord::capture(
                     &job_name,
@@ -325,6 +380,7 @@ impl Cluster {
                     result.as_ref().err().map(|e| e.to_string()),
                     &ring_events,
                     sup.keep_last,
+                    dropped_events,
                     report.clone(),
                     telemetry
                         .gauge_values()
@@ -371,15 +427,26 @@ impl Cluster {
         tracer: Tracer,
         telemetry: Telemetry,
     ) -> Result<JobResult, RunError> {
-        self.run_inner(graph, tracer, telemetry, Audit::disabled(), true, None)
-            .0
+        self.run_inner(
+            graph,
+            tracer,
+            telemetry,
+            Audit::disabled(),
+            true,
+            None,
+            None,
+        )
+        .0
     }
 
     /// The shared run body. `start_sampler` starts/stops the telemetry
     /// sampler thread around the job (supervised runs that own their
     /// telemetry skip it — the watchdog drives `tick_at` instead).
     /// `watchdog` is `(config, drive_ticks)` for supervised runs.
+    /// `ring` is the flight-recorder sink, exposed to the live
+    /// `/doctor` endpoint for the duration of the run.
     /// Returns the raw result plus everything the watchdog classified.
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
         graph: JobGraph,
@@ -388,6 +455,7 @@ impl Cluster {
         audit: Audit,
         start_sampler: bool,
         watchdog: Option<(WatchdogConfig, bool)>,
+        ring: Option<Arc<RingSink>>,
     ) -> (
         Result<JobResult, RunError>,
         Vec<WatchdogEvent>,
@@ -395,15 +463,44 @@ impl Cluster {
     ) {
         let graph = Arc::new(graph);
         let n = self.config.nodes;
-        let fabric = Fabric::<NetMsg>::new_audited(
+        let registry = &self.introspect.registry;
+        let health = Arc::clone(&self.introspect.health);
+        {
+            let mut live = self
+                .introspect
+                .live
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            *live = LiveRun {
+                job: graph.name.clone(),
+                engine: "hamr",
+                ring,
+                telemetry: Some(telemetry.clone()),
+                audit: Some(audit.clone()),
+            };
+        }
+        health
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .running_jobs += 1;
+        // Live gauge series: every telemetry gauge this run registers
+        // also shows up in /metrics, sharing the same atomic cells.
+        telemetry.bind_registry(registry, "hamr");
+        let fabric = Fabric::<NetMsg>::new_instrumented(
             n,
             self.config.net.clone(),
             tracer.clone(),
             &telemetry,
             audit.clone(),
+            Some(NetRegistry::new(registry, "hamr", n)),
         );
         // The disks are long-lived substrates shared across jobs; bind
-        // them to this run's tracer only for its duration.
+        // them to this run's tracer only for its duration. Registry
+        // counters attach for every run — they are a handful of relaxed
+        // atomics per IO, and the series are cumulative.
+        for (node, disk) in self.disks.iter().enumerate() {
+            disk.attach_registry(registry, "hamr", node as u32);
+        }
         if tracer.enabled() {
             for (node, disk) in self.disks.iter().enumerate() {
                 disk.attach_tracer(tracer.clone(), node as u32);
@@ -429,6 +526,22 @@ impl Cluster {
                     reason: Arc::clone(&reason),
                 });
             });
+            // Post incidents into /healthz as they are classified —
+            // a wedged job reports itself while still wedged.
+            let notify_health = Arc::clone(&health);
+            let notify = Box::new(move |event: &WatchdogEvent| {
+                let mut h = notify_health.lock().unwrap_or_else(|p| p.into_inner());
+                if event.class == WatchdogClass::Straggler {
+                    h.warnings += 1;
+                } else {
+                    h.incident = Some(format!(
+                        "watchdog {} at epoch {}: {}",
+                        event.class.name(),
+                        event.epoch,
+                        event.detail
+                    ));
+                }
+            });
             Watchdog::spawn(
                 cfg,
                 audit.clone(),
@@ -436,6 +549,7 @@ impl Cluster {
                 tracer.clone(),
                 n,
                 drive_ticks,
+                notify,
                 abort,
             )
         });
@@ -541,6 +655,26 @@ impl Cluster {
         if telemetry.enabled() {
             for disk in &self.disks {
                 disk.detach_gauge();
+            }
+        }
+        for disk in &self.disks {
+            disk.detach_registry();
+        }
+        // Publish job totals and record one epoch per completed job —
+        // iterative workloads (one job per iteration) thereby get
+        // per-iteration deltas from `registry.epoch_deltas()` for free.
+        metrics.publish(&self.introspect.registry, &graph.name, "hamr");
+        self.introspect.registry.epoch_snapshot(&graph.name);
+        {
+            let mut h = health.lock().unwrap_or_else(|p| p.into_inner());
+            h.running_jobs = h.running_jobs.saturating_sub(1);
+            if first_error.is_some() {
+                h.jobs_failed += 1;
+            } else {
+                h.jobs_completed += 1;
+                // A cleanly completing job resolves any outstanding
+                // liveness incident.
+                h.incident = None;
             }
         }
         let result = match first_error {

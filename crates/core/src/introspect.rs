@@ -1,0 +1,299 @@
+//! The cluster's live introspection plane: the unified metrics
+//! registry plus the embedded HTTP endpoint that serves it.
+//!
+//! Every [`Cluster`](crate::Cluster) owns one [`Introspect`]. Runs
+//! publish into its [`MetricsRegistry`] (net/disk counters live, job
+//! metrics at completion, telemetry gauges bridged while a job runs)
+//! and, when enabled, a loopback [`HttpServer`] exposes three routes:
+//!
+//! * `/metrics` — every registered series in Prometheus text format,
+//!   scrapeable mid-run;
+//! * `/healthz` — JSON run-state: jobs running/completed/failed and
+//!   the most recent unresolved watchdog incident (503 while one is
+//!   active);
+//! * `/doctor` — a live flight-recorder dump (`FlightRecord` JSON)
+//!   built from the current run's trace ring, audit ledger, and
+//!   gauges — what `tracedump --doctor` reads post-mortem, but
+//!   available while the job is still wedged.
+//!
+//! The endpoint is off by default so tests and benchmarks stay
+//! hermetic; opt in with `HAMR_HTTP=auto` (ephemeral port),
+//! `HAMR_HTTP=<port>`, or [`Cluster::serve_introspection`].
+
+use hamr_trace::{
+    Audit, FlightRecord, GaugeValue, HttpResponse, HttpServer, MetricsRegistry, RingSink,
+    RouteHandler, Telemetry,
+};
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+
+/// How the embedded endpoint is configured, usually via `HAMR_HTTP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HttpMode {
+    /// No listener (the default — tests stay hermetic).
+    #[default]
+    Off,
+    /// Bind an ephemeral loopback port.
+    Auto,
+    /// Bind this specific loopback port.
+    Port(u16),
+}
+
+impl HttpMode {
+    /// Parse `HAMR_HTTP=off|auto|<port>` (unset means `Off`).
+    pub fn from_env() -> Self {
+        match std::env::var("HAMR_HTTP").as_deref() {
+            Err(_) | Ok("off") | Ok("") => HttpMode::Off,
+            Ok("auto") => HttpMode::Auto,
+            Ok(other) => match other.parse::<u16>() {
+                Ok(port) => HttpMode::Port(port),
+                Err(_) => panic!("HAMR_HTTP must be off|auto|<port>, got '{other}'"),
+            },
+        }
+    }
+}
+
+/// Live cluster run-state, served at `/healthz`.
+#[derive(Debug, Clone, Default)]
+pub struct Health {
+    /// Jobs currently inside `run_inner`.
+    pub running_jobs: u32,
+    pub jobs_completed: u64,
+    pub jobs_failed: u64,
+    /// Warn-only watchdog incidents observed (stragglers).
+    pub warnings: u64,
+    /// The most recent liveness incident (backpressure/hang) not yet
+    /// cleared by a cleanly completing job. `/healthz` serves 503
+    /// while this is set.
+    pub incident: Option<String>,
+}
+
+impl Health {
+    /// True when no liveness incident is outstanding.
+    pub fn healthy(&self) -> bool {
+        self.incident.is_none()
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"status\":\"{}\",\"running_jobs\":{},\"jobs_completed\":{},\
+             \"jobs_failed\":{},\"warnings\":{}",
+            if self.healthy() { "ok" } else { "incident" },
+            self.running_jobs,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.warnings,
+        );
+        if let Some(incident) = &self.incident {
+            let escaped: String = incident
+                .chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    '\n' => vec!['\\', 'n'],
+                    c if (c as u32) < 0x20 => vec![' '],
+                    c => vec![c],
+                })
+                .collect();
+            out.push_str(&format!(",\"incident\":\"{escaped}\""));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// What `/doctor` reads: handles into the most recent (possibly still
+/// running) supervised or profiled run.
+#[derive(Default)]
+pub(crate) struct LiveRun {
+    pub job: String,
+    pub engine: &'static str,
+    pub ring: Option<Arc<RingSink>>,
+    pub telemetry: Option<Telemetry>,
+    pub audit: Option<Audit>,
+}
+
+/// Newest events kept in a live `/doctor` response.
+const DOCTOR_KEEP_LAST: usize = 200;
+
+/// The introspection plane one cluster owns: registry + health +
+/// live-run handles + the (optional) embedded HTTP server.
+pub(crate) struct Introspect {
+    pub registry: MetricsRegistry,
+    pub health: Arc<Mutex<Health>>,
+    pub live: Arc<Mutex<LiveRun>>,
+    server: Mutex<Option<HttpServer>>,
+}
+
+impl Introspect {
+    pub fn new() -> Self {
+        Introspect {
+            registry: MetricsRegistry::new(),
+            health: Arc::new(Mutex::new(Health::default())),
+            live: Arc::new(Mutex::new(LiveRun::default())),
+            server: Mutex::new(None),
+        }
+    }
+
+    /// Start serving per [`HttpMode::from_env`]. A bind failure is
+    /// reported on stderr, never fatal — introspection must not take a
+    /// job down.
+    pub fn serve_from_env(&self) {
+        let port = match HttpMode::from_env() {
+            HttpMode::Off => return,
+            HttpMode::Auto => 0,
+            HttpMode::Port(p) => p,
+        };
+        match self.serve(port) {
+            // The ephemeral port is useless unless announced: `hamr top`
+            // needs an address to poll.
+            Ok(addr) => eprintln!("hamr: introspection endpoint on http://{addr}/metrics"),
+            Err(e) => {
+                eprintln!("hamr: introspection endpoint failed to bind port {port}: {e}")
+            }
+        }
+    }
+
+    /// Bind `127.0.0.1:port` (0 = ephemeral) and serve `/metrics`,
+    /// `/healthz`, `/doctor`. Replaces any previous server.
+    pub fn serve(&self, port: u16) -> std::io::Result<SocketAddr> {
+        let registry = self.registry.clone();
+        let health = Arc::clone(&self.health);
+        let live = Arc::clone(&self.live);
+        let handler: RouteHandler = Arc::new(move |path| match path {
+            "/metrics" | "/metrics/" => HttpResponse::text(registry.snapshot().to_prometheus()),
+            "/healthz" | "/healthz/" => {
+                let health = health.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                let status = if health.healthy() { 200 } else { 503 };
+                HttpResponse::json(health.to_json()).status(status)
+            }
+            "/doctor" | "/doctor/" => {
+                let live = live.lock().unwrap_or_else(|p| p.into_inner());
+                let events = live.ring.as_ref().map(|r| r.peek()).unwrap_or_default();
+                let dropped = live.ring.as_ref().map(|r| r.dropped()).unwrap_or(0);
+                let report = live
+                    .audit
+                    .as_ref()
+                    .map(|a| a.report())
+                    .unwrap_or_else(|| Audit::disabled().report());
+                let gauges = live
+                    .telemetry
+                    .as_ref()
+                    .map(|t| {
+                        t.gauge_values()
+                            .into_iter()
+                            .map(|(name, node, value)| GaugeValue { name, node, value })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let record = FlightRecord::capture(
+                    live.job.clone(),
+                    if live.engine.is_empty() {
+                        "hamr"
+                    } else {
+                        live.engine
+                    },
+                    None,
+                    None,
+                    &events,
+                    DOCTOR_KEEP_LAST,
+                    dropped,
+                    report,
+                    gauges,
+                );
+                HttpResponse::json(record.to_json())
+            }
+            _ => HttpResponse::not_found(),
+        });
+        let server = HttpServer::bind(port, handler)?;
+        let addr = server.addr();
+        *self.server.lock().unwrap_or_else(|p| p.into_inner()) = Some(server);
+        Ok(addr)
+    }
+
+    /// Address of the running server, if any.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.server
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .map(|s| s.addr())
+    }
+
+    /// Stop and drop the server (idempotent).
+    pub fn stop(&self) {
+        if let Some(mut server) = self.server.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            server.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamr_trace::{http_get, parse_prometheus, Labels};
+    use std::time::Duration;
+
+    #[test]
+    fn http_mode_parses_env_forms() {
+        std::env::remove_var("HAMR_HTTP");
+        assert_eq!(HttpMode::from_env(), HttpMode::Off);
+        std::env::set_var("HAMR_HTTP", "off");
+        assert_eq!(HttpMode::from_env(), HttpMode::Off);
+        std::env::set_var("HAMR_HTTP", "auto");
+        assert_eq!(HttpMode::from_env(), HttpMode::Auto);
+        std::env::set_var("HAMR_HTTP", "9099");
+        assert_eq!(HttpMode::from_env(), HttpMode::Port(9099));
+        std::env::remove_var("HAMR_HTTP");
+    }
+
+    #[test]
+    fn health_json_reports_incidents() {
+        let mut h = Health::default();
+        assert!(h.healthy());
+        assert!(h.to_json().contains("\"status\":\"ok\""));
+        h.incident = Some("backpressure on \"edge 1\"".into());
+        assert!(!h.healthy());
+        let json = h.to_json();
+        assert!(json.contains("\"status\":\"incident\""), "{json}");
+        assert!(json.contains("backpressure"), "{json}");
+    }
+
+    #[test]
+    fn endpoint_serves_metrics_healthz_and_doctor() {
+        let intro = Introspect::new();
+        intro
+            .registry
+            .counter("demo_total", Labels::new().engine("hamr"))
+            .add(7);
+        let addr = intro.serve(0).expect("bind ephemeral");
+        assert_eq!(intro.addr(), Some(addr));
+        let t = Duration::from_secs(2);
+        let (status, body) = http_get(addr, "/metrics", t).expect("GET /metrics");
+        assert_eq!(status, 200);
+        let samples = parse_prometheus(&body).expect("valid Prometheus text");
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "hamr_demo_total" && s.value == 7.0),
+            "{body}"
+        );
+        let (status, body) = http_get(addr, "/healthz", t).expect("GET /healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+        // An incident flips /healthz to 503 until cleared.
+        intro
+            .health
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .incident = Some("hang".into());
+        let (status, _) = http_get(addr, "/healthz", t).expect("GET /healthz");
+        assert_eq!(status, 503);
+        // /doctor renders even with no live run attached.
+        let (status, body) = http_get(addr, "/doctor", t).expect("GET /doctor");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"dropped_events\""), "{body}");
+        intro.stop();
+        intro.stop();
+    }
+}

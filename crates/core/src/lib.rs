@@ -53,6 +53,7 @@ mod config;
 mod error;
 mod flowlet;
 mod graph;
+mod introspect;
 mod metrics;
 mod node;
 mod outbuf;
@@ -74,6 +75,7 @@ pub use flowlet::{
     Emitter, Loader, MapFn, PartialReduceFn, ReduceFn, SplitSpec, StreamSource, TaskContext,
 };
 pub use graph::{Exchange, FlowletId, FlowletKind, JobBuilder, JobGraph};
+pub use introspect::{Health, HttpMode};
 pub use metrics::{FlowletMetrics, JobMetrics, NodeMetrics};
 pub use record::{FrameBin, Record};
 pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};

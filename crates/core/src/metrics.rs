@@ -1,6 +1,6 @@
 //! Execution metrics: what the evaluation chapters read off a run.
 
-use hamr_trace::{FlowletSummaryRow, LatencyHistogram};
+use hamr_trace::{FlowletSummaryRow, Labels, LatencyHistogram, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -179,6 +179,68 @@ impl JobMetrics {
             .collect()
     }
 
+    /// Fold this job's end-of-run metrics into the unified registry as
+    /// cumulative engine-labeled series. Per-flowlet and per-node
+    /// series deliberately omit the job label so iterative workloads
+    /// (one job per iteration) accumulate into a bounded series set;
+    /// the per-job dimension lives in `job_runs_total` and in the
+    /// epoch-snapshot labels the cluster records at every completion.
+    pub fn publish(&self, registry: &MetricsRegistry, job: &str, engine: &str) {
+        let eng = || Labels::new().engine(engine);
+        registry.counter("job_runs_total", eng().job(job)).inc();
+        registry
+            .counter("shuffled_bytes_total", eng())
+            .add(self.shuffled_bytes);
+        registry
+            .counter("shuffled_messages_total", eng())
+            .add(self.shuffled_messages);
+        registry
+            .counter("spilled_bytes_total", eng())
+            .add(self.total_spilled());
+        registry
+            .counter("flow_control_stalls_total", eng())
+            .add(self.total_stalls());
+        registry
+            .counter("steals_total", eng())
+            .add(self.total_steals());
+        registry
+            .counter("stolen_tasks_total", eng())
+            .add(self.total_stolen_tasks());
+        for (&f, fm) in &self.flowlets {
+            let labels = || eng().flowlet(f as u32);
+            registry
+                .counter("flowlet_tasks_total", labels())
+                .add(fm.tasks);
+            registry
+                .counter("flowlet_records_in_total", labels())
+                .add(fm.records_in);
+            registry
+                .counter("flowlet_records_out_total", labels())
+                .add(fm.records_out);
+            registry
+                .counter("flowlet_bins_out_total", labels())
+                .add(fm.bins_out);
+            registry
+                .counter("flowlet_stall_us_total", labels())
+                .add(fm.stall_time.as_micros() as u64);
+            registry
+                .histogram("flowlet_task_latency_us", labels())
+                .merge_from(&fm.task_latency);
+        }
+        for (n, nm) in self.nodes.iter().enumerate() {
+            let labels = || eng().node(n as u32);
+            registry
+                .counter("node_bins_in_total", labels())
+                .add(nm.bins_in);
+            registry
+                .counter("node_records_in_total", labels())
+                .add(nm.records_in);
+            registry
+                .counter("node_busy_us_total", labels())
+                .add(nm.busy.as_micros() as u64);
+        }
+    }
+
     /// Coefficient of variation of per-node busy time — the workload
     /// balance measure (0 = perfectly balanced).
     pub fn busy_imbalance(&self) -> f64 {
@@ -296,6 +358,58 @@ mod tests {
         assert!(jm.nodes[0].occupancy_imbalance() < 1e-9);
         assert!(jm.nodes[1].occupancy_imbalance() > 0.1);
         assert!(jm.mean_occupancy_imbalance() > 0.0);
+    }
+
+    #[test]
+    fn publish_streams_job_totals_into_registry() {
+        use hamr_trace::SampleValue;
+        let registry = MetricsRegistry::new();
+        let mut jm = JobMetrics {
+            shuffled_bytes: 1000,
+            shuffled_messages: 10,
+            ..Default::default()
+        };
+        let mut fm = FlowletMetrics {
+            name: "sum".into(),
+            kind: "partial_reduce",
+            tasks: 4,
+            records_in: 40,
+            records_out: 8,
+            ..Default::default()
+        };
+        fm.task_latency.record_us(120);
+        jm.flowlets.insert(1, fm);
+        jm.nodes.push(NodeMetrics {
+            bins_in: 6,
+            records_in: 40,
+            busy: Duration::from_micros(900),
+            ..Default::default()
+        });
+        jm.publish(&registry, "wordcount", "hamr");
+        // A second job accumulates into the same engine-level series.
+        jm.publish(&registry, "wordcount", "hamr");
+        let snap = registry.snapshot();
+        let eng = Labels::new().engine("hamr");
+        assert!(matches!(
+            snap.get("shuffled_bytes_total", &eng),
+            Some(SampleValue::Counter(2000))
+        ));
+        assert!(matches!(
+            snap.get("job_runs_total", &eng.clone().job("wordcount")),
+            Some(SampleValue::Counter(2))
+        ));
+        assert!(matches!(
+            snap.get("flowlet_records_in_total", &eng.clone().flowlet(1)),
+            Some(SampleValue::Counter(80))
+        ));
+        assert!(matches!(
+            snap.get("node_busy_us_total", &eng.clone().node(0)),
+            Some(SampleValue::Counter(1800))
+        ));
+        match snap.get("flowlet_task_latency_us", &eng.clone().flowlet(1)) {
+            Some(SampleValue::Histogram(h)) => assert_eq!(h.count, 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

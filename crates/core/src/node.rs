@@ -650,6 +650,11 @@ impl NodeRuntime {
                 _ => None,
             }));
         }
+        // A constant gauge alongside workers_busy, so occupancy
+        // (busy/workers) is computable from a single /metrics scrape.
+        telemetry
+            .register(node as u32, format!("node{node}/workers"))
+            .set(threads as i64);
         let shared = Arc::new(WorkerShared {
             graph: Arc::clone(&graph),
             ctx: ctx.clone(),

@@ -85,6 +85,10 @@ pub(crate) struct FlowControl {
     deferred_gauge: Gauge,
     /// Telemetry: total occupied window slots (unacked bins in flight).
     window_gauge: Gauge,
+    /// Telemetry: cumulative microseconds bins spent parked behind
+    /// full flow-control windows — the live stall-share signal
+    /// `hamr top` divides by wall-clock.
+    stall_gauge: Gauge,
 }
 
 impl FlowControl {
@@ -120,6 +124,7 @@ impl FlowControl {
                 .collect(),
             deferred_gauge: telemetry.register(node as u32, format!("node{node}/deferred_bins")),
             window_gauge: telemetry.register(node as u32, format!("node{node}/window_inflight")),
+            stall_gauge: telemetry.register(node as u32, format!("node{node}/stall_us_total")),
         }
     }
 
@@ -227,6 +232,7 @@ impl FlowControl {
             flow.bins_out.fetch_add(1, Ordering::Relaxed);
             flow.stall_us
                 .fetch_add(stalled.as_micros() as u64, Ordering::Relaxed);
+            self.stall_gauge.add(stalled.as_micros() as i64);
             self.window_gauge.add(1);
             self.deferred_gauge.sub(1);
             self.tracer.emit(

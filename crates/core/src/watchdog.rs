@@ -289,8 +289,11 @@ impl Watchdog {
     /// Start monitoring. When `drive_ticks` is set the watchdog also
     /// advances `telemetry`'s deterministic clock (`tick_at`) once per
     /// epoch — used when the supervised run owns the telemetry and no
-    /// sampler thread is running. `abort` is invoked (once) when an
-    /// abort-worthy incident fires under [`WatchdogAction::Abort`].
+    /// sampler thread is running. `notify` fires on *every* classified
+    /// incident (the cluster posts it into `/healthz` state); `abort`
+    /// is invoked (once) when an abort-worthy incident fires under
+    /// [`WatchdogAction::Abort`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         cfg: WatchdogConfig,
         audit: Audit,
@@ -298,6 +301,7 @@ impl Watchdog {
         tracer: Tracer,
         nodes: usize,
         drive_ticks: bool,
+        notify: Box<dyn Fn(&WatchdogEvent) + Send>,
         abort: Box<dyn Fn(&WatchdogEvent) + Send>,
     ) -> Self {
         let shared = Arc::new(WdShared {
@@ -318,6 +322,7 @@ impl Watchdog {
                     tracer,
                     nodes,
                     drive_ticks,
+                    notify,
                     abort,
                 )
             })
@@ -354,6 +359,7 @@ fn run_watchdog(
     tracer: Tracer,
     nodes: usize,
     drive_ticks: bool,
+    notify: Box<dyn Fn(&WatchdogEvent) + Send>,
     abort: Box<dyn Fn(&WatchdogEvent) + Send>,
 ) {
     let epoch_us = cfg.epoch.as_micros() as u64;
@@ -398,6 +404,7 @@ fn run_watchdog(
                 },
             );
             shared.events.lock().push(event.clone());
+            notify(&event);
             if abort_on_trip && event.class != WatchdogClass::Straggler {
                 *shared.trip.lock() = Some(event.clone());
                 abort(&event);

@@ -6,10 +6,10 @@ use crate::JobConf;
 use crossbeam::channel::Receiver;
 use hamr_dfs::{Dfs, DfsError, Split};
 use hamr_simdisk::{Disk, DiskError};
-use hamr_simnet::{Envelope, Fabric, NetConfig, NetError, Payload};
+use hamr_simnet::{Envelope, Fabric, NetConfig, NetError, NetRegistry, Payload};
 use hamr_trace::{
-    Audit, AuditBin, AuditReport, AuditStage, EventKind, TaskKind, Telemetry, Tracer, NO_SPAN,
-    WORKER_RUNTIME,
+    Audit, AuditBin, AuditReport, AuditStage, EventKind, Labels, MetricsRegistry, TaskKind,
+    Telemetry, Tracer, NO_SPAN, WORKER_RUNTIME,
 };
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -140,6 +140,57 @@ pub struct JobStats {
     pub output_bytes: u64,
 }
 
+impl JobStats {
+    /// Fold this job's totals into the unified registry as cumulative
+    /// engine-labeled series — the MapReduce counterpart of
+    /// `hamr_core::JobMetrics::publish`, sharing metric names where the
+    /// semantics match (`shuffled_bytes_total`, `spilled_bytes_total`)
+    /// so cross-engine comparisons are one label filter away.
+    pub fn publish(&self, registry: &MetricsRegistry, engine: &str) {
+        let eng = || Labels::new().engine(engine);
+        registry
+            .counter("job_runs_total", eng().job(self.name.clone()))
+            .inc();
+        registry
+            .counter("shuffled_bytes_total", eng())
+            .add(self.shuffled_bytes);
+        registry
+            .counter("spilled_bytes_total", eng())
+            .add(self.spilled_bytes);
+        registry.counter("spills_total", eng()).add(self.spills);
+        registry
+            .counter("map_tasks_total", eng())
+            .add(self.map_tasks as u64);
+        registry
+            .counter("local_map_tasks_total", eng())
+            .add(self.local_map_tasks as u64);
+        registry
+            .counter("reduce_tasks_total", eng())
+            .add(self.reduce_tasks as u64);
+        registry
+            .counter("map_records_in_total", eng())
+            .add(self.map_records_in);
+        registry
+            .counter("map_records_out_total", eng())
+            .add(self.map_records_out);
+        registry
+            .counter("reduce_records_in_total", eng())
+            .add(self.reduce_records_in);
+        registry
+            .counter("reduce_records_out_total", eng())
+            .add(self.reduce_records_out);
+        registry
+            .counter("output_bytes_total", eng())
+            .add(self.output_bytes);
+        registry
+            .histogram("mr_phase_us", eng())
+            .record(self.map_phase.as_micros() as u64);
+        registry
+            .histogram("mr_phase_us", eng())
+            .record(self.reduce_phase.as_micros() as u64);
+    }
+}
+
 /// A chunk of map output traveling to a reducer's node.
 struct ShuffleMsg {
     reducer: usize,
@@ -209,6 +260,11 @@ pub struct MrCluster {
     /// counterpart of `hamr_core::Cluster::attach_supervisor`.
     auditing: Mutex<bool>,
     last_audit: Mutex<Option<AuditReport>>,
+    /// Unified metrics registry (usually the HAMR cluster's, shared by
+    /// the benchmark env so `/metrics` covers both engines): when set,
+    /// runs stream net/disk counters live under `engine="mapred"`,
+    /// bridge telemetry gauges, and publish job totals at completion.
+    registry: Mutex<Option<MetricsRegistry>>,
 }
 
 impl MrCluster {
@@ -225,7 +281,20 @@ impl MrCluster {
             profiler: Mutex::new(None),
             auditing: Mutex::new(false),
             last_audit: Mutex::new(None),
+            registry: Mutex::new(None),
         }
+    }
+
+    /// Publish this engine's metrics into `registry` (typically the
+    /// HAMR cluster's, so one `/metrics` endpoint covers both engines)
+    /// until [`clear_registry`](MrCluster::clear_registry).
+    pub fn set_registry(&self, registry: MetricsRegistry) {
+        *self.registry.lock() = Some(registry);
+    }
+
+    /// Stop publishing into a shared registry.
+    pub fn clear_registry(&self) {
+        *self.registry.lock() = None;
     }
 
     /// Standalone in-memory cluster (tests).
@@ -362,12 +431,19 @@ impl MrCluster {
             splits.extend(self.dfs.splits(path)?);
         }
         let map_task_count = splits.len();
-        let fabric = Fabric::<ShuffleMsg>::new_audited(
+        let registry = self.registry.lock().clone();
+        if let Some(reg) = &registry {
+            telemetry.bind_registry(reg, "mapred");
+        }
+        let fabric = Fabric::<ShuffleMsg>::new_instrumented(
             nodes,
             self.config.net.clone(),
             tracer.clone(),
             &telemetry,
             audit.clone(),
+            registry
+                .as_ref()
+                .map(|reg| NetRegistry::new(reg, "mapred", nodes)),
         );
         let active_gauges: Vec<_> = (0..nodes)
             .map(|n| telemetry.register(n as u32, format!("node{n}/mr_active_tasks")))
@@ -381,6 +457,11 @@ impl MrCluster {
         if telemetry.enabled() {
             for (node, disk) in self.disks.iter().enumerate() {
                 disk.attach_gauge(&telemetry, node as u32);
+            }
+        }
+        if let Some(reg) = &registry {
+            for (node, disk) in self.disks.iter().enumerate() {
+                disk.attach_registry(reg, "mapred", node as u32);
             }
         }
         let stats = Arc::new(Mutex::new(JobStats {
@@ -574,6 +655,11 @@ impl MrCluster {
                     disk.detach_gauge();
                 }
             }
+            if registry.is_some() {
+                for disk in &self.disks {
+                    disk.detach_registry();
+                }
+            }
         };
         if let Some(e) = first_error.lock().take() {
             telemetry.stop();
@@ -669,6 +755,10 @@ impl MrCluster {
         let mut final_stats = stats.lock().clone();
         final_stats.reduce_phase = reduce_start.elapsed();
         final_stats.elapsed = start.elapsed();
+        if let Some(reg) = &registry {
+            final_stats.publish(reg, "mapred");
+            reg.epoch_snapshot(&final_stats.name);
+        }
         Ok(final_stats)
     }
 }

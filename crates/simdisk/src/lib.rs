@@ -24,7 +24,9 @@ mod throttle;
 
 pub use throttle::Throttle;
 
-use hamr_trace::{EventKind, Gauge, Telemetry, Tracer, WORKER_DISK};
+use hamr_trace::{
+    Counter, EventKind, Gauge, Labels, MetricsRegistry, Telemetry, Tracer, WORKER_DISK,
+};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
@@ -113,6 +115,16 @@ struct MetricsInner {
     read_ops: AtomicU64,
 }
 
+/// Live registry series for one disk: byte and op counters per
+/// direction. Disabled (all no-op) until [`Disk::attach_registry`].
+#[derive(Default)]
+struct DiskCounters {
+    read_bytes: Counter,
+    write_bytes: Counter,
+    read_ops: Counter,
+    write_ops: Counter,
+}
+
 struct DiskInner {
     config: DiskConfig,
     files: RwLock<HashMap<String, Arc<Vec<u8>>>>,
@@ -126,6 +138,9 @@ struct DiskInner {
     /// Telemetry gauge mirroring bytes resident on this disk; disabled
     /// (a no-op) outside profiled runs.
     used_gauge: RwLock<Gauge>,
+    /// Fast-path flag mirroring "registry counters attached".
+    reg_on: AtomicBool,
+    counters: RwLock<DiskCounters>,
 }
 
 /// One node's local disk. Cheap to clone (shared handle).
@@ -146,6 +161,8 @@ impl Disk {
                 trace_on: AtomicBool::new(false),
                 tracer: RwLock::new(None),
                 used_gauge: RwLock::new(Gauge::disabled()),
+                reg_on: AtomicBool::new(false),
+                counters: RwLock::new(DiskCounters::default()),
             }),
         }
     }
@@ -178,6 +195,43 @@ impl Disk {
     /// Stop mirroring usage into telemetry.
     pub fn detach_gauge(&self) {
         *self.inner.used_gauge.write() = Gauge::disabled();
+    }
+
+    /// Bind this disk's IO to the unified registry: every read/write
+    /// bumps `disk_{read,write}_bytes_total` and
+    /// `disk_{read,write}_ops_total` counters labeled with `engine` and
+    /// `node`. Counters are registered once and shared across attaches
+    /// (registry counters are cumulative), so the series covers all IO
+    /// performed while any run had the registry attached.
+    pub fn attach_registry(&self, registry: &MetricsRegistry, engine: &str, node: u32) {
+        let labels = Labels::new().engine(engine).node(node);
+        *self.inner.counters.write() = DiskCounters {
+            read_bytes: registry.counter("disk_read_bytes_total", labels.clone()),
+            write_bytes: registry.counter("disk_write_bytes_total", labels.clone()),
+            read_ops: registry.counter("disk_read_ops_total", labels.clone()),
+            write_ops: registry.counter("disk_write_ops_total", labels),
+        };
+        self.inner.reg_on.store(true, Ordering::Release);
+    }
+
+    /// Stop counting IO into the registry.
+    pub fn detach_registry(&self) {
+        self.inner.reg_on.store(false, Ordering::Release);
+        *self.inner.counters.write() = DiskCounters::default();
+    }
+
+    fn registry_io(&self, read: bool, bytes: usize) {
+        if !self.inner.reg_on.load(Ordering::Acquire) {
+            return;
+        }
+        let counters = self.inner.counters.read();
+        if read {
+            counters.read_bytes.add(bytes as u64);
+            counters.read_ops.inc();
+        } else {
+            counters.write_bytes.add(bytes as u64);
+            counters.write_ops.inc();
+        }
     }
 
     fn trace_io(&self, read: bool, bytes: usize) {
@@ -259,6 +313,7 @@ impl Disk {
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.inner.metrics.read_ops.fetch_add(1, Ordering::Relaxed);
         self.trace_io(true, data.len());
+        self.registry_io(true, data.len());
         Ok(data)
     }
 
@@ -375,6 +430,7 @@ impl FileWriter {
             .write_ops
             .fetch_add(1, Ordering::Relaxed);
         self.disk.trace_io(false, bytes);
+        self.disk.registry_io(false, bytes);
     }
 
     /// Flush remaining bytes, publish the file, and return its size.
@@ -444,6 +500,7 @@ impl FileReader {
             .read_ops
             .fetch_add(1, Ordering::Relaxed);
         self.disk.trace_io(true, n);
+        self.disk.registry_io(true, n);
         n
     }
 
@@ -463,6 +520,7 @@ impl FileReader {
                 .read_ops
                 .fetch_add(1, Ordering::Relaxed);
             self.disk.trace_io(true, rest.len());
+            self.disk.registry_io(true, rest.len());
         }
         self.pos = self.data.len();
         rest
@@ -551,6 +609,45 @@ mod tests {
         assert_eq!(m.bytes_read, 100);
         assert!(m.write_ops >= 1);
         assert_eq!(m.read_ops, 1);
+    }
+
+    #[test]
+    fn attached_registry_counts_io() {
+        use hamr_trace::SampleValue;
+        let disk = Disk::new(DiskConfig::instant());
+        disk.write_all("before", &[0u8; 64]).unwrap(); // uncounted
+        let registry = MetricsRegistry::new();
+        disk.attach_registry(&registry, "hamr", 2);
+        disk.write_all("a", &[0u8; 100]).unwrap();
+        let _ = disk.read_all("a").unwrap();
+        let labels = Labels::new().engine("hamr").node(2);
+        let snap = registry.snapshot();
+        assert!(matches!(
+            snap.get("disk_write_bytes_total", &labels),
+            Some(SampleValue::Counter(100))
+        ));
+        assert!(matches!(
+            snap.get("disk_read_bytes_total", &labels),
+            Some(SampleValue::Counter(100))
+        ));
+        assert!(matches!(
+            snap.get("disk_read_ops_total", &labels),
+            Some(SampleValue::Counter(1))
+        ));
+        disk.detach_registry();
+        disk.write_all("after", &[0u8; 32]).unwrap();
+        assert_eq!(
+            registry.snapshot().counter_total("disk_write_bytes_total"),
+            100,
+            "detached IO is not counted"
+        );
+        // Re-attach resumes the same cumulative series.
+        disk.attach_registry(&registry, "hamr", 2);
+        disk.write_all("again", &[0u8; 10]).unwrap();
+        assert_eq!(
+            registry.snapshot().counter_total("disk_write_bytes_total"),
+            110
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The fabric itself: endpoints, send paths, shutdown.
 
-use crate::metrics::{MetricsInner, NetMetrics};
+use crate::metrics::{MetricsInner, NetMetrics, NetRegistry};
 use crate::timer::TimerThread;
 use crate::{NetConfig, NodeId, Payload};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -55,6 +55,9 @@ pub(crate) struct FabricInner<M: Payload> {
     inflight_gauge: Gauge,
     /// Bin custody ledger; the fabric owns the *deliver* tally.
     audit: Audit,
+    /// Live per-node traffic series in the unified registry, when the
+    /// cluster runs with an introspection plane attached.
+    net_registry: Option<NetRegistry>,
 }
 
 /// An in-process network connecting `n` nodes.
@@ -106,6 +109,20 @@ impl<M: Payload> Fabric<M> {
         telemetry: &Telemetry,
         audit: Audit,
     ) -> Self {
+        Fabric::new_instrumented(n, config, tracer, telemetry, audit, None)
+    }
+
+    /// Like [`new_audited`](Fabric::new_audited), and additionally
+    /// streams per-node sent/recv byte and message counters plus a
+    /// message-size histogram into `net_registry` on every send.
+    pub fn new_instrumented(
+        n: usize,
+        config: NetConfig,
+        tracer: Tracer,
+        telemetry: &Telemetry,
+        audit: Audit,
+        net_registry: Option<NetRegistry>,
+    ) -> Self {
         assert!(n > 0, "fabric needs at least one node");
         let endpoints: Vec<EndpointInner<M>> = (0..n)
             .map(|_| {
@@ -137,6 +154,7 @@ impl<M: Payload> Fabric<M> {
                 tracer,
                 inflight_gauge,
                 audit,
+                net_registry,
             }),
         }
     }
@@ -183,6 +201,9 @@ impl<M: Payload> Fabric<M> {
         }
         let size = msg.wire_size();
         self.inner.metrics.record(from, to, size);
+        if let Some(reg) = &self.inner.net_registry {
+            reg.record(from, to, size);
+        }
         self.inner.tracer.emit(
             from as u32,
             WORKER_NET,

@@ -5,7 +5,52 @@
 //! interest has quiesced.
 
 use crate::NodeId;
+use hamr_trace::{Counter, Histogram, Labels, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live per-node traffic series registered against the unified
+/// [`MetricsRegistry`]. Unlike the [`NetMetrics`] snapshot matrix
+/// (n² cells, read after quiescence), these are a handful of per-node
+/// counters plus one message-size histogram, bumped on the send path —
+/// which is per-bin, so a few relaxed atomic adds per message.
+///
+/// Counters are recorded at send/enqueue time (like the traffic
+/// matrix): `recv` series mean "bytes addressed to this node", which
+/// in the simulated fabric equals bytes delivered once traffic drains.
+pub struct NetRegistry {
+    sent_bytes: Vec<Counter>,
+    recv_bytes: Vec<Counter>,
+    sent_messages: Vec<Counter>,
+    message_bytes: Histogram,
+}
+
+impl NetRegistry {
+    /// Register the fabric's series for an `n`-node cluster under the
+    /// given engine label.
+    pub fn new(registry: &MetricsRegistry, engine: &str, n: usize) -> Self {
+        let labels = |node: usize| Labels::new().engine(engine).node(node as u32);
+        NetRegistry {
+            sent_bytes: (0..n)
+                .map(|i| registry.counter("net_sent_bytes_total", labels(i)))
+                .collect(),
+            recv_bytes: (0..n)
+                .map(|i| registry.counter("net_recv_bytes_total", labels(i)))
+                .collect(),
+            sent_messages: (0..n)
+                .map(|i| registry.counter("net_sent_messages_total", labels(i)))
+                .collect(),
+            message_bytes: registry.histogram("net_message_bytes", Labels::new().engine(engine)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, from: NodeId, to: NodeId, size: usize) {
+        self.sent_bytes[from].add(size as u64);
+        self.recv_bytes[to].add(size as u64);
+        self.sent_messages[from].inc();
+        self.message_bytes.record(size as u64);
+    }
+}
 
 pub(crate) struct MetricsInner {
     nodes: usize,
@@ -126,14 +171,20 @@ impl NetMetrics {
     /// Render every directed link as CSV (`from,to,messages,bytes`),
     /// header included, links in `(from, to)` order.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("from,to,messages,bytes\n");
+        let mut out = String::new();
+        hamr_trace::push_csv_row(&mut out, ["from", "to", "messages", "bytes"]);
         for from in 0..self.nodes {
             for to in 0..self.nodes {
                 let idx = from * self.nodes + to;
-                out.push_str(&format!(
-                    "{},{},{},{}\n",
-                    from, to, self.messages[idx], self.bytes[idx]
-                ));
+                hamr_trace::push_csv_row(
+                    &mut out,
+                    [
+                        from.to_string(),
+                        to.to_string(),
+                        self.messages[idx].to_string(),
+                        self.bytes[idx].to_string(),
+                    ],
+                );
             }
         }
         out
@@ -188,6 +239,38 @@ mod tests {
         assert_eq!(lines[2], "0,1,2,120");
         assert_eq!(lines[3], "1,0,1,7");
         assert_eq!(lines[4], "1,1,0,0");
+    }
+
+    #[test]
+    fn net_registry_streams_per_node_series() {
+        use hamr_trace::SampleValue;
+        let registry = MetricsRegistry::new();
+        let net = NetRegistry::new(&registry, "hamr", 2);
+        net.record(0, 1, 100);
+        net.record(0, 1, 50);
+        net.record(1, 0, 7);
+        let snap = registry.snapshot();
+        let node = |i: u32| Labels::new().engine("hamr").node(i);
+        assert!(matches!(
+            snap.get("net_sent_bytes_total", &node(0)),
+            Some(SampleValue::Counter(150))
+        ));
+        assert!(matches!(
+            snap.get("net_recv_bytes_total", &node(1)),
+            Some(SampleValue::Counter(150))
+        ));
+        assert!(matches!(
+            snap.get("net_sent_messages_total", &node(1)),
+            Some(SampleValue::Counter(1))
+        ));
+        assert_eq!(snap.counter_total("net_sent_bytes_total"), 157);
+        match snap.get("net_message_bytes", &Labels::new().engine("hamr")) {
+            Some(SampleValue::Histogram(h)) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum_us, 157);
+            }
+            other => panic!("expected size histogram, got {other:?}"),
+        }
     }
 
     #[test]

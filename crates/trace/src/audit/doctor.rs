@@ -48,6 +48,10 @@ pub struct FlightRecord {
     pub error: Option<String>,
     /// Last-K events from the trace ring, oldest first.
     pub events: Vec<RecordedEvent>,
+    /// Events the trace ring overflowed and lost before capture — a
+    /// nonzero value means `events` has gaps, which matters when a
+    /// diagnosis hinges on an event being absent.
+    pub dropped_events: u64,
     pub audit: AuditReport,
     pub gauges: Vec<GaugeValue>,
 }
@@ -196,6 +200,7 @@ impl FlightRecord {
         error: Option<String>,
         events: &[TraceEvent],
         keep_last: usize,
+        dropped_events: u64,
         audit: AuditReport,
         gauges: Vec<GaugeValue>,
     ) -> Self {
@@ -223,6 +228,7 @@ impl FlightRecord {
                     }
                 })
                 .collect(),
+            dropped_events,
             audit,
             gauges,
         }
@@ -265,7 +271,8 @@ impl FlightRecord {
             }
             out.push_str("}}");
         }
-        out.push_str("],\"audit\":");
+        out.push_str(&format!("],\"dropped_events\":{}", self.dropped_events));
+        out.push_str(",\"audit\":");
         out.push_str(&self.audit.to_json());
         out.push_str(",\"gauges\":[");
         for (i, g) in self.gauges.iter().enumerate() {
@@ -366,6 +373,8 @@ impl FlightRecord {
             trip,
             error,
             events,
+            // Absent in records written before drop accounting existed.
+            dropped_events: v.get("dropped_events").and_then(Json::as_u64).unwrap_or(0),
             audit: AuditReport::from_json(v.get("audit").ok_or("flight record missing audit")?)?,
             gauges,
         })
@@ -479,6 +488,12 @@ impl FlightRecord {
                 out.push_str(&format!("  {:<40} {}\n", g.name, g.value));
             }
         }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "\nWARNING: the trace ring overflowed and lost {} events; the event tail has gaps\n",
+                self.dropped_events
+            ));
+        }
         if !self.events.is_empty() {
             out.push_str(&format!(
                 "\nlast {} trace events (of the bounded black-box ring):\n",
@@ -571,6 +586,7 @@ mod tests {
             Some("aborted by watchdog".into()),
             &events,
             64,
+            3,
             audit.report(),
             vec![GaugeValue {
                 name: "node1/f2/queue_depth".into(),
@@ -618,6 +634,7 @@ mod tests {
             None,
             &events,
             16,
+            0,
             Audit::disabled().report(),
             Vec::new(),
         );
@@ -642,6 +659,7 @@ mod tests {
             None,
             &[],
             8,
+            0,
             Audit::new(1, 1).report(),
             Vec::new(),
         );

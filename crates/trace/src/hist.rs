@@ -10,6 +10,10 @@ use std::time::Duration;
 
 const BUCKETS: usize = 64;
 
+/// Bucket count shared with the registry's concurrent histograms so
+/// `LatencyHistogram`s merge into registry series loss-free.
+pub(crate) const HIST_BUCKETS: usize = BUCKETS;
+
 /// A mergeable histogram of microsecond latencies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
@@ -29,7 +33,7 @@ impl Default for LatencyHistogram {
 }
 
 #[inline]
-fn bucket_of(us: u64) -> usize {
+pub(crate) fn bucket_of(us: u64) -> usize {
     if us == 0 {
         0
     } else {
@@ -39,7 +43,7 @@ fn bucket_of(us: u64) -> usize {
 
 /// Inclusive upper bound of a bucket, used as its representative value.
 #[inline]
-fn bucket_upper(b: usize) -> u64 {
+pub(crate) fn bucket_upper(b: usize) -> u64 {
     if b == 0 {
         0
     } else if b >= BUCKETS - 1 {
@@ -111,6 +115,11 @@ impl LatencyHistogram {
 
     pub fn p99_us(&self) -> u64 {
         self.quantile_us(0.99)
+    }
+
+    /// Raw per-bucket counts, for export into the registry.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
     }
 
     /// Fold another histogram into this one.

@@ -18,8 +18,10 @@
 pub mod audit;
 pub mod causal;
 mod chrome;
+pub mod csv;
 mod hist;
 pub mod json;
+pub mod registry;
 mod summary;
 mod telemetry;
 
@@ -32,7 +34,12 @@ pub use causal::{
     CriticalPath, FlowletBuckets, NodeBuckets, StallEdge,
 };
 pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
+pub use csv::{csv_escape, push_csv_row};
 pub use hist::LatencyHistogram;
+pub use registry::{
+    http_get, parse_prometheus, Counter, HistSample, Histogram, HttpResponse, HttpServer, Labels,
+    MetricsRegistry, PromSample, RouteHandler, SampleValue, SeriesSample, Snapshot,
+};
 pub use summary::{
     render_occupancy, render_summary, worker_occupancy, FlowletSummaryRow, WorkerOccupancyRow,
 };
@@ -270,6 +277,9 @@ pub struct RingSink {
     lanes: Vec<Mutex<VecDeque<TraceEvent>>>,
     per_lane_capacity: usize,
     dropped: AtomicU64,
+    /// Optional registry counter bumped alongside `dropped`, so lost
+    /// trace events show up live in `/metrics` instead of warn-only.
+    drop_mirror: Mutex<Option<Counter>>,
 }
 
 /// Each OS thread gets a stable small integer used to pick its lane.
@@ -286,6 +296,7 @@ impl RingSink {
             lanes: (0..lanes).map(|_| Mutex::new(VecDeque::new())).collect(),
             per_lane_capacity,
             dropped: AtomicU64::new(0),
+            drop_mirror: Mutex::new(None),
         }
     }
 
@@ -299,12 +310,32 @@ impl RingSink {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Mirror future drops into a registry counter (typically
+    /// `trace_dropped_events_total`), making overflow visible in
+    /// `/metrics` while the run is still going.
+    pub fn mirror_drops(&self, counter: Counter) {
+        *self.drop_mirror.lock().unwrap_or_else(|p| p.into_inner()) = Some(counter);
+    }
+
     /// Remove and return all buffered events, sorted by timestamp.
     pub fn drain(&self) -> Vec<TraceEvent> {
         let mut all = Vec::new();
         for lane in &self.lanes {
             let mut q = lane.lock().unwrap_or_else(|p| p.into_inner());
             all.extend(q.drain(..));
+        }
+        all.sort_by_key(|e| e.t_us);
+        all
+    }
+
+    /// Copy out all buffered events without consuming them, sorted by
+    /// timestamp — what the live `/doctor` endpoint reads mid-run,
+    /// leaving the buffer intact for the post-mortem drain.
+    pub fn peek(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for lane in &self.lanes {
+            let q = lane.lock().unwrap_or_else(|p| p.into_inner());
+            all.extend(q.iter().cloned());
         }
         all.sort_by_key(|e| e.t_us);
         all
@@ -320,6 +351,9 @@ impl TraceSink for RingSink {
         if q.len() >= self.per_lane_capacity {
             q.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = &*self.drop_mirror.lock().unwrap_or_else(|p| p.into_inner()) {
+                counter.inc();
+            }
         }
         q.push_back(ev);
     }

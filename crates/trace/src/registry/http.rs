@@ -1,0 +1,283 @@
+//! Dependency-free embedded HTTP/1.1 server for the introspection
+//! plane, plus the matching tiny client.
+//!
+//! One background thread accepts on a nonblocking loopback listener
+//! and serves GET requests through a caller-supplied route handler.
+//! The server exists to expose `/metrics`, `/healthz` and `/doctor`
+//! while a job runs; it deliberately supports only what a scraper or
+//! `curl` needs — GET, `Connection: close`, no keep-alive, no TLS —
+//! and never touches the engine's hot path.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a route handler returns.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl HttpResponse {
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    pub fn text(body: impl Into<String>) -> Self {
+        // The content type Prometheus scrapers expect.
+        HttpResponse::ok("text/plain; version=0.0.4; charset=utf-8", body)
+    }
+
+    pub fn json(body: impl Into<String>) -> Self {
+        HttpResponse::ok("application/json", body)
+    }
+
+    pub fn status(mut self, status: u16) -> Self {
+        self.status = status;
+        self
+    }
+
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".into(),
+        }
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Maps a request path (query string stripped) to a response. Called
+/// on the server thread; must not block for long.
+pub type RouteHandler = Arc<dyn Fn(&str) -> HttpResponse + Send + Sync>;
+
+/// The embedded listener. Dropping (or [`HttpServer::stop`]) shuts the
+/// accept loop down within one poll interval.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Per-connection read/write budget: a stuck client cannot wedge the
+/// accept loop forever.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+impl HttpServer {
+    /// Bind `127.0.0.1:port` (0 picks an ephemeral port) and start
+    /// serving `handler` on a background thread.
+    pub fn bind(port: u16, handler: RouteHandler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("hamr-http".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: requests are tiny and the
+                            // handlers snapshot-and-render in memory.
+                            let _ = serve_connection(stream, &handler);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            })
+            .expect("spawn http server thread");
+        Ok(HttpServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: &RouteHandler) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; nothing in them matters for GET-only serving.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let response = if method != "GET" {
+        HttpResponse {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is supported\n".into(),
+        }
+    } else if target.is_empty() {
+        HttpResponse {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "bad request\n".into(),
+        }
+    } else {
+        let path = target.split('?').next().unwrap_or("/");
+        handler(path)
+    };
+    let mut stream = reader.into_inner();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking GET against a loopback introspection endpoint.
+/// Returns `(status, body)`. Used by `hamr top`, the CI scraper, and
+/// the integration tests — and kept here so client and server agree on
+/// the dialect.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> Result<(u16, String), String> {
+    let stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let mut stream = stream;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut sections = text.splitn(2, "\r\n\r\n");
+    let head = sections.next().unwrap_or("");
+    let body = sections.next().unwrap_or("").to_string();
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response head: {head:?}"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> HttpServer {
+        let handler: RouteHandler = Arc::new(|path| match path {
+            "/metrics" => HttpResponse::text("hamr_up 1\n"),
+            "/healthz" => HttpResponse::json("{\"status\":\"ok\"}"),
+            _ => HttpResponse::not_found(),
+        });
+        HttpServer::bind(0, handler).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn serves_routes_and_404s() {
+        let server = test_server();
+        let addr = server.addr();
+        let t = Duration::from_secs(2);
+        let (status, body) = http_get(addr, "/metrics", t).expect("GET /metrics");
+        assert_eq!(status, 200);
+        assert_eq!(body, "hamr_up 1\n");
+        let (status, body) = http_get(addr, "/healthz", t).expect("GET /healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"));
+        let (status, _) = http_get(addr, "/nope", t).expect("GET /nope");
+        assert_eq!(status, 404);
+        // Query strings are stripped before routing.
+        let (status, _) = http_get(addr, "/metrics?x=1", t).expect("GET with query");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = test_server();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("send");
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).expect("read");
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 405"), "{text}");
+    }
+
+    #[test]
+    fn stop_joins_the_thread() {
+        let mut server = test_server();
+        let addr = server.addr();
+        server.stop();
+        server.stop(); // idempotent
+        assert!(http_get(addr, "/metrics", Duration::from_millis(200)).is_err());
+    }
+}

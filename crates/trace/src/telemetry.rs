@@ -10,6 +10,7 @@
 //! that is `None`: `register` hands back a no-op gauge (one branch per
 //! update) and the sampler thread is never started.
 
+use crate::registry::{Labels, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -27,6 +28,12 @@ impl Gauge {
     /// [`Telemetry`] hands out).
     pub fn disabled() -> Self {
         Gauge { cell: None }
+    }
+
+    /// A gauge over an existing cell — how the registry hands out
+    /// gauges that share storage with telemetry-sampled ones.
+    pub(crate) fn from_cell(cell: Arc<AtomicI64>) -> Self {
+        Gauge { cell: Some(cell) }
     }
 
     #[inline]
@@ -80,10 +87,63 @@ pub struct Sample {
     pub values: Vec<i64>,
 }
 
+/// A registry this telemetry mirrors its gauges into: every registered
+/// gauge's *cell* is shared with a registry gauge series, so `/metrics`
+/// sees live values with zero extra hot-path cost.
+struct Bridge {
+    registry: MetricsRegistry,
+    engine: String,
+}
+
+impl Bridge {
+    fn bind(&self, slot: &GaugeSlot) {
+        let (metric, labels) = gauge_series(&slot.name, slot.node, &self.engine);
+        self.registry
+            .bind_gauge_cell(&metric, labels, Arc::clone(&slot.cell));
+    }
+}
+
+/// Map a slash-scoped gauge name (`node0/f1/queue_depth`,
+/// `net/inflight_bytes`) plus its owning node onto a registry series
+/// name and label set.
+fn gauge_series(name: &str, node: u32, engine: &str) -> (String, Labels) {
+    let parts: Vec<&str> = name.split('/').collect();
+    let mut labels = Labels::new().engine(engine);
+    if node != u32::MAX {
+        labels = labels.node(node);
+    }
+    let mut metric = String::new();
+    for part in &parts[..parts.len().saturating_sub(1)] {
+        if part
+            .strip_prefix("node")
+            .is_some_and(|n| !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()))
+        {
+            continue; // the slot's node field already carries this
+        }
+        if let Some(f) = part.strip_prefix('f') {
+            if !f.is_empty() && f.chars().all(|c| c.is_ascii_digit()) {
+                labels = labels.flowlet(f.parse().unwrap_or(0));
+                continue;
+            }
+        }
+        for c in part.chars() {
+            metric.push(if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            });
+        }
+        metric.push('_');
+    }
+    metric.push_str(parts.last().unwrap_or(&"gauge"));
+    (metric, labels)
+}
+
 struct Inner {
     epoch: Instant,
     interval: Duration,
     gauges: Mutex<Vec<GaugeSlot>>,
+    bridge: Mutex<Option<Bridge>>,
     samples: Mutex<Vec<Sample>>,
     stop: AtomicBool,
     /// Wakes the sampler out of its interval sleep so `stop` returns
@@ -108,6 +168,7 @@ impl Telemetry {
                 epoch: Instant::now(),
                 interval,
                 gauges: Mutex::new(Vec::new()),
+                bridge: Mutex::new(None),
                 samples: Mutex::new(Vec::new()),
                 stop: AtomicBool::new(false),
                 wake: Condvar::new(),
@@ -138,18 +199,44 @@ impl Telemetry {
             None => Gauge::disabled(),
             Some(inner) => {
                 let cell = Arc::new(AtomicI64::new(0));
+                let slot = GaugeSlot {
+                    name: name.into(),
+                    node,
+                    cell: Arc::clone(&cell),
+                };
+                if let Some(bridge) = &*inner.bridge.lock().unwrap_or_else(|p| p.into_inner()) {
+                    bridge.bind(&slot);
+                }
                 inner
                     .gauges
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
-                    .push(GaugeSlot {
-                        name: name.into(),
-                        node,
-                        cell: Arc::clone(&cell),
-                    });
+                    .push(slot);
                 Gauge { cell: Some(cell) }
             }
         }
+    }
+
+    /// Mirror every gauge — current and future — into `registry` as
+    /// live gauge series labeled `engine`. The registry series share
+    /// the telemetry cells, so updates cost nothing extra and
+    /// `/metrics` always reads current values. Re-binding (a fresh run
+    /// registering gauges under the same names) replaces the cells.
+    pub fn bind_registry(&self, registry: &MetricsRegistry, engine: &str) {
+        let Some(inner) = &self.inner else { return };
+        let bridge = Bridge {
+            registry: registry.clone(),
+            engine: engine.to_string(),
+        };
+        for slot in inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+        {
+            bridge.bind(slot);
+        }
+        *inner.bridge.lock().unwrap_or_else(|p| p.into_inner()) = Some(bridge);
     }
 
     /// Take one snapshot now. No-op when disabled. The sampler thread
@@ -306,19 +393,13 @@ impl TimeSeries {
 
     /// Wide CSV: one row per sample, one column per gauge.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("t_us");
-        for name in &self.names {
-            out.push(',');
-            out.push_str(name);
-        }
-        out.push('\n');
+        let mut out = String::new();
+        let header = std::iter::once("t_us".to_string()).chain(self.names.iter().cloned());
+        crate::csv::push_csv_row(&mut out, header);
         for sample in &self.samples {
-            out.push_str(&sample.t_us.to_string());
-            for g in 0..self.names.len() {
-                out.push(',');
-                out.push_str(&self.value(sample, g).to_string());
-            }
-            out.push('\n');
+            let row = std::iter::once(sample.t_us.to_string())
+                .chain((0..self.names.len()).map(|g| self.value(sample, g).to_string()));
+            crate::csv::push_csv_row(&mut out, row);
         }
         out
     }
@@ -386,7 +467,7 @@ impl TimeSeries {
 
 /// Escape a Prometheus label *value*: the exposition format requires
 /// `\`, `"` and newlines inside quoted label values to be escaped.
-fn prometheus_label_escape(value: &str) -> String {
+pub(crate) fn prometheus_label_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {
         match c {
@@ -607,6 +688,58 @@ mod tests {
         assert_eq!(s2.to_prometheus(), "");
         assert_eq!(s2.to_csv(), "t_us,node0/x\n");
         crate::json::parse(&s2.to_json()).expect("valid json");
+    }
+
+    #[test]
+    fn gauge_names_map_to_registry_series() {
+        let engine = "hamr";
+        let (m, l) = gauge_series("node0/f1/queue_depth", 0, engine);
+        assert_eq!(m, "queue_depth");
+        assert_eq!(l, Labels::new().engine("hamr").node(0).flowlet(1));
+        let (m, l) = gauge_series("net/inflight_bytes", u32::MAX, engine);
+        assert_eq!(m, "net_inflight_bytes");
+        assert_eq!(l, Labels::new().engine("hamr"));
+        let (m, l) = gauge_series("node3/disk_used_bytes", 3, engine);
+        assert_eq!(m, "disk_used_bytes");
+        assert_eq!(l, Labels::new().engine("hamr").node(3));
+    }
+
+    #[test]
+    fn bridge_mirrors_existing_and_future_gauges() {
+        use crate::registry::SampleValue;
+        let t = Telemetry::new(Duration::from_millis(1));
+        let early = t.register(0, "node0/deferred_bins");
+        early.set(4);
+        let registry = MetricsRegistry::new();
+        t.bind_registry(&registry, "hamr");
+        // Pre-existing gauge visible through the registry, live.
+        let labels = Labels::new().engine("hamr").node(0);
+        assert!(matches!(
+            registry.snapshot().get("deferred_bins", &labels),
+            Some(SampleValue::Gauge(4))
+        ));
+        early.add(2);
+        assert!(matches!(
+            registry.snapshot().get("deferred_bins", &labels),
+            Some(SampleValue::Gauge(6))
+        ));
+        // Gauges registered after binding are mirrored too.
+        let late = t.register(2, "node2/f1/queue_depth");
+        late.set(-9);
+        let late_labels = Labels::new().engine("hamr").node(2).flowlet(1);
+        assert!(matches!(
+            registry.snapshot().get("queue_depth", &late_labels),
+            Some(SampleValue::Gauge(-9))
+        ));
+        // A fresh run re-registering the same name replaces the cell.
+        let rerun = t.register(0, "node0/deferred_bins");
+        rerun.set(1);
+        assert!(matches!(
+            registry.snapshot().get("deferred_bins", &labels),
+            Some(SampleValue::Gauge(1))
+        ));
+        // Disabled telemetry binds nothing and doesn't panic.
+        Telemetry::disabled().bind_registry(&registry, "hamr");
     }
 
     #[test]

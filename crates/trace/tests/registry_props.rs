@@ -1,0 +1,119 @@
+//! Property tests for the unified metrics registry: hand-rolled
+//! generators (an LCG, not a proptest dependency) driving many random
+//! rounds per property.
+
+use hamr_trace::{Labels, MetricsRegistry, SampleValue};
+
+/// Deterministic pseudo-random stream.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Racing registrations of the same (name, labels) from many threads
+/// must converge on ONE shared cell: no increment may be lost to a
+/// stale duplicate handle, and exactly one series may exist.
+#[test]
+fn concurrent_registration_shares_one_cell() {
+    for round in 0..16u32 {
+        let registry = MetricsRegistry::new();
+        let threads = 8u64;
+        let per_thread = 500u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let registry = &registry;
+                scope.spawn(move || {
+                    // Register *inside* the thread so registrations race.
+                    let c = registry
+                        .counter("race_hits_total", Labels::new().engine("hamr").node(round));
+                    let h = registry
+                        .histogram("race_latency_us", Labels::new().engine("hamr").node(round));
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record_us(i);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("race_hits_total"), threads * per_thread);
+        let hist = snap
+            .get("race_latency_us", &Labels::new().engine("hamr").node(round))
+            .expect("histogram series exists");
+        match hist {
+            SampleValue::Histogram(h) => assert_eq!(h.count, threads * per_thread),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(registry.series_count(), 2, "one series per kind");
+        assert_eq!(registry.dropped_series(), 0);
+    }
+}
+
+/// Epoch deltas must tile the counter's history exactly: each delta
+/// equals what that epoch added, and the deltas sum to the final
+/// total (no loss, no double counting, regardless of the increment
+/// pattern).
+#[test]
+fn epoch_deltas_tile_counter_history() {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _round in 0..10 {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("delta_bytes_total", Labels::new().engine("hamr"));
+        let mut per_epoch = Vec::new();
+        let epochs = 3 + (lcg(&mut state) % 10) as usize;
+        for e in 0..epochs {
+            let mut added = 0u64;
+            for _ in 0..lcg(&mut state) % 50 {
+                let x = lcg(&mut state) % 1000;
+                c.add(x);
+                added += x;
+            }
+            per_epoch.push(added);
+            registry.epoch_snapshot(&format!("epoch{e}"));
+        }
+        let deltas = registry.epoch_deltas();
+        assert_eq!(deltas.len(), epochs);
+        let mut sum = 0u64;
+        for (i, delta) in deltas.iter().enumerate() {
+            let got = delta.counter_total("delta_bytes_total");
+            assert_eq!(got, per_epoch[i], "epoch {i} delta");
+            sum += got;
+        }
+        assert_eq!(sum, c.get(), "deltas tile the full history");
+    }
+}
+
+/// The registry must hold its cardinality bound under label floods:
+/// series_count stays <= the cap, every rejected registration is
+/// tallied, overflow handles are inert (no panic, no phantom series),
+/// and already-admitted series keep working.
+#[test]
+fn label_cardinality_stays_bounded() {
+    let cap = 32usize;
+    let flood = 100u32;
+    let registry = MetricsRegistry::with_capacity(cap);
+    for i in 0..flood {
+        let c = registry.counter("flood_total", Labels::new().engine("hamr").flowlet(i));
+        c.inc(); // inert for the overflow handles
+    }
+    assert_eq!(registry.series_count(), cap);
+    assert_eq!(registry.dropped_series(), flood as u64 - cap as u64);
+    assert_eq!(registry.snapshot().counter_total("flood_total"), cap as u64);
+    // Admitted series still accept both re-registration and traffic.
+    let again = registry.counter("flood_total", Labels::new().engine("hamr").flowlet(0));
+    assert!(again.enabled());
+    again.add(9);
+    assert_eq!(
+        registry.snapshot().counter_total("flood_total"),
+        cap as u64 + 9
+    );
+    // A kind clash neither replaces the series nor panics.
+    let clash = registry.histogram("flood_total", Labels::new().engine("hamr").flowlet(0));
+    clash.record_us(5);
+    assert_eq!(
+        registry.snapshot().counter_total("flood_total"),
+        cap as u64 + 9
+    );
+}

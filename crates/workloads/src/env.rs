@@ -112,6 +112,10 @@ impl Env {
             startup: params.startup,
         };
         let mr = MrCluster::new(mr_config, disks.clone(), dfs.clone());
+        // One introspection plane for the whole environment: the
+        // baseline publishes into the HAMR cluster's registry under
+        // engine="mapred", so a single /metrics scrape covers both.
+        mr.set_registry(hamr.registry().clone());
         Env {
             params,
             disks,
@@ -132,6 +136,9 @@ impl Env {
         let mut config = env.hamr.config().clone();
         config.runtime = runtime;
         env.hamr = Cluster::with_substrates(config, env.disks.clone(), env.dfs.clone());
+        // The replacement cluster brings a fresh registry; re-point the
+        // baseline at it so both engines stay on one plane.
+        env.mr.set_registry(env.hamr.registry().clone());
         env
     }
 

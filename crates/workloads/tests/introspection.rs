@@ -1,0 +1,81 @@
+//! Workload-level introspection: per-iteration epoch deltas for
+//! PageRank, and one `/metrics` scrape covering both engines.
+
+use hamr_trace::{http_get, parse_prometheus};
+use hamr_workloads::pagerank::PageRank;
+use hamr_workloads::wordcount::WordCount;
+use hamr_workloads::{Benchmark, Env};
+use std::time::Duration;
+
+/// The tentpole's acceptance check: an iterative workload reports
+/// per-iteration shuffle volume out of the box, because each HAMR job
+/// records one epoch snapshot and PageRank runs one job per iteration.
+#[test]
+fn pagerank_reports_per_iteration_shuffle_deltas() {
+    let env = Env::test(2, 2);
+    let pr = PageRank {
+        iterations: 3,
+        ..Default::default()
+    };
+    pr.seed(&env).expect("seed");
+    pr.run_hamr(&env).expect("run");
+    let deltas: Vec<_> = env
+        .hamr
+        .registry()
+        .epoch_deltas()
+        .into_iter()
+        .filter(|s| s.label.starts_with("pagerank-iter"))
+        .collect();
+    assert_eq!(deltas.len(), 3, "one epoch per iteration");
+    for (i, snap) in deltas.iter().enumerate() {
+        assert_eq!(snap.label, format!("pagerank-iter{i}"));
+        assert!(
+            snap.counter_total("shuffled_bytes_total") > 0,
+            "iteration {i} shuffled bytes"
+        );
+        assert!(
+            snap.counter_total("shuffled_messages_total") > 0,
+            "iteration {i} shuffled messages"
+        );
+    }
+}
+
+/// One scrape, both engines: the MapReduce baseline publishes into the
+/// HAMR cluster's registry (see `Env::new`), so `/metrics` carries
+/// `engine="hamr"` and `engine="mapred"` series side by side.
+#[test]
+fn one_scrape_covers_both_engines() {
+    let env = Env::test(2, 2);
+    let wc = WordCount::default();
+    wc.seed(&env).expect("seed");
+    let addr = env.hamr.serve_introspection(0).expect("bind");
+    wc.run_hamr(&env).expect("hamr run");
+    wc.run_mapred(&env).expect("mapred run");
+    let (status, body) = http_get(addr, "/metrics", Duration::from_secs(2)).expect("GET");
+    assert_eq!(status, 200);
+    let samples = parse_prometheus(&body).expect("valid Prometheus text");
+    for engine in ["hamr", "mapred"] {
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "hamr_shuffled_bytes_total"
+                    && s.label("engine") == Some(engine)
+                    && s.value > 0.0
+            }),
+            "shuffled bytes for engine={engine}: {body}"
+        );
+        assert!(
+            samples.iter().any(|s| {
+                s.name == "hamr_net_sent_bytes_total" && s.label("engine") == Some(engine)
+            }),
+            "net counters for engine={engine}"
+        );
+    }
+    // At least one histogram per engine.
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "hamr_flowlet_task_latency_us_count" && s.value > 0.0));
+    assert!(samples
+        .iter()
+        .any(|s| s.name == "hamr_mr_phase_us_count" && s.value > 0.0));
+    env.hamr.stop_introspection();
+}
