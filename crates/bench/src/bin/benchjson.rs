@@ -4,11 +4,14 @@
 //! plus skew-stressed PageRank/HistogramRatings variants that
 //! concentrate the work on a few hot keys — on the HAMR and MapReduce
 //! engines at fixed seeds and sizes, and writes a machine-readable
-//! `BENCH_pr4.json` (schema `hamr-benchjson/3`, documented in
+//! `BENCH_pr7.json` (schema `hamr-benchjson/4`, documented in
 //! EXPERIMENTS.md). HAMR runs twice: under the default work-stealing
 //! scheduler (`hamr`) and under the centralized scheduler it replaced
 //! (`hamr-central`), so every snapshot carries its own scheduler
-//! ablation.
+//! ablation. Every HAMR row also reports the skew-mitigation counters
+//! (`combined_records` / `splits_triggered` / `shards_migrated`) — the
+//! default runtime runs with combining and hot-key splitting on, so
+//! the headline rows measure the mitigated engine.
 //!
 //! The timing reps run untraced. Afterwards each (benchmark, engine)
 //! pair gets ONE extra run with the causal profiler attached (via the
@@ -38,7 +41,17 @@
 //! When the baseline was taken at the same shape (same `quick`/scale)
 //! rows gate on absolute records/s; otherwise absolute rates are
 //! meaningless across shapes, so each benchmark gates on its
-//! hamr/mapred throughput *ratio* — machine- and scale-invariant.
+//! hamr/mapred throughput *ratio* — machine- and scale-invariant. The
+//! gate additionally fails outright (independent of the baseline) when
+//! the skewed HistogramRatings row inverts: with the mitigations on by
+//! default, HAMR losing to the MapReduce baseline on its own headline
+//! skew case is a regression no threshold excuses.
+//!
+//! `--skew-ablation` runs the skewed HistogramRatings workload once
+//! per mitigation combination (off / combine / split / rebalance /
+//! all) plus a MapReduce reference, demands bit-identical checksums
+//! across every combination, and writes the per-combo walls and
+//! mitigation counters to a `skew_ablation` section of the snapshot.
 //!
 //! `--metrics-out FILE` runs WordCount once more with the cluster's
 //! introspection endpoint live, scrapes `/metrics` from a side thread
@@ -47,14 +60,14 @@
 //! the snapshot artifact CI uploads.
 //!
 //! ```text
-//! benchjson [--quick] [--reps N] [--out BENCH_pr4.json]
+//! benchjson [--quick] [--reps N] [--out BENCH_pr7.json]
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
 //!           [--profile-dir DIR] [--fail-on-overhead PCT] [--audited]
 //!           [--compare BENCH.json] [--compare-threshold PCT]
-//!           [--metrics-out FILE]
+//!           [--metrics-out FILE] [--skew-ablation]
 //! ```
 
-use hamr_core::{SchedMode, Supervision};
+use hamr_core::{RuntimeConfig, SchedMode, SkewConfig, Supervision};
 use hamr_trace::{analyze, http_get, parse_prometheus, RingSink, Telemetry, Tracer};
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::pagerank::PageRank;
@@ -114,6 +127,12 @@ struct Row {
     /// control / on the network (causal attribution buckets).
     stall_share: f64,
     net_share: f64,
+    /// Skew-mitigation counters: records folded away by combiners and
+    /// absorbers, hot reduce partitions split across nodes, and shards
+    /// migrated by the rebalance planner. All zero for mapred.
+    combined_records: u64,
+    splits_triggered: u64,
+    shards_migrated: u64,
 }
 
 /// Causal columns measured on the one profiled run per row.
@@ -162,6 +181,9 @@ impl Row {
             critical_path_ms: 0.0,
             stall_share: 0.0,
             net_share: 0.0,
+            combined_records: out.combined_records,
+            splits_triggered: out.splits_triggered,
+            shards_migrated: out.shards_migrated,
         }
     }
 
@@ -183,7 +205,9 @@ impl Row {
                 "\"steals\":{},\"park_seconds\":{:.6},",
                 "\"occupancy_imbalance\":{:.4},",
                 "\"critical_path_ms\":{:.3},\"stall_share\":{:.4},",
-                "\"net_share\":{:.4}}}"
+                "\"net_share\":{:.4},",
+                "\"combined_records\":{},\"splits_triggered\":{},",
+                "\"shards_migrated\":{}}}"
             ),
             self.benchmark,
             self.engine,
@@ -201,12 +225,15 @@ impl Row {
             self.critical_path_ms,
             self.stall_share,
             self.net_share,
+            self.combined_records,
+            self.splits_triggered,
+            self.shards_migrated,
         )
     }
 
     fn tsv(&self) -> String {
         format!(
-            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}\t{:.3}\t{:.4}\t{:.4}",
+            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}\t{:.3}\t{:.4}\t{:.4}\t{}\t{}\t{}",
             self.benchmark,
             self.engine,
             self.records_per_sec,
@@ -219,6 +246,9 @@ impl Row {
             self.critical_path_ms,
             self.stall_share,
             self.net_share,
+            self.combined_records,
+            self.splits_triggered,
+            self.shards_migrated,
         )
     }
 }
@@ -233,15 +263,16 @@ struct BaselineRow {
 }
 
 /// Parses the 6-column TSVs written before the scheduler columns
-/// existed, the 9-column form, and the current 12-column form (extra
-/// columns carry steal / park / occupancy and causal-profile figures
-/// the ratio report does not need).
+/// existed, the 9-column form, the 12-column form, and the current
+/// 15-column form (extra columns carry steal / park / occupancy,
+/// causal-profile, and skew-mitigation figures the ratio report does
+/// not need).
 fn parse_baseline(path: &str) -> Result<BTreeMap<(String, String), BaselineRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut rows = BTreeMap::new();
     for line in text.lines() {
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 6 && cols.len() != 9 && cols.len() != 12 {
+        if cols.len() != 6 && cols.len() != 9 && cols.len() != 12 && cols.len() != 15 {
             return Err(format!("{path}: malformed line {line:?}"));
         }
         let parse = |s: &str| s.parse::<f64>().map_err(|e| format!("{path}: {e}"));
@@ -326,9 +357,12 @@ fn parse_json_baseline(path: &str) -> Result<JsonBaseline, String> {
 /// percent was found. Same shape (quick + scale) as the baseline —
 /// gate absolute records/s per row; different shape — gate each
 /// benchmark's hamr/mapred throughput ratio, which survives both
-/// machine-speed and input-scale changes.
+/// machine-speed and input-scale changes. Independently of the
+/// baseline, the skewed HistogramRatings row must not invert: HAMR
+/// with its default mitigations ships fewer, pre-folded records, and
+/// falling behind mapred there means skew handling broke.
 fn compare_gate(base: &JsonBaseline, rows: &[Row], quick: bool, scale: f64, pct: f64) -> bool {
-    let mut failed = false;
+    let mut failed = skew_inversion_gate(rows);
     let same_shape = base.quick == quick && (base.scale - scale).abs() < 1e-9;
     if same_shape {
         for row in rows {
@@ -409,6 +443,169 @@ fn compare_gate(base: &JsonBaseline, rows: &[Row], quick: bool, scale: f64, pct:
     failed
 }
 
+/// Absolute floor on the headline skew case: the `HistogramRatings-skew`
+/// hamr/mapred throughput ratio must stay >= 1.0. Returns true on
+/// inversion. Needs no baseline fields, so it tolerates snapshots
+/// written before the mitigation counters existed.
+fn skew_inversion_gate(rows: &[Row]) -> bool {
+    let rps = |engine: &str| {
+        rows.iter()
+            .find(|r| r.benchmark == "HistogramRatings-skew" && r.engine == engine)
+            .map(|r| r.records_per_sec)
+    };
+    let (Some(hamr), Some(mr)) = (rps("hamr"), rps("mapred")) else {
+        return false;
+    };
+    if mr <= 0.0 {
+        return false;
+    }
+    let ratio = hamr / mr;
+    if ratio < 1.0 {
+        eprintln!(
+            "benchjson: REGRESSION: HistogramRatings-skew inverted: hamr/mapred \
+             throughput ratio {ratio:.3} < 1.0 — skew mitigations are not holding"
+        );
+        true
+    } else {
+        eprintln!("benchjson: skew-inversion gate ok: HistogramRatings-skew ratio {ratio:.3}");
+        false
+    }
+}
+
+/// The mitigation combinations the `--skew-ablation` mode sweeps. The
+/// default thresholds are used as-is: the skewed HistogramRatings
+/// shape concentrates far more than `split_threshold` records on its
+/// hot movies, so splitting engages at both `--quick` and full scale.
+fn skew_combos() -> Vec<(&'static str, SkewConfig)> {
+    vec![
+        ("off", SkewConfig::off()),
+        (
+            "combine",
+            SkewConfig {
+                combine: true,
+                split: false,
+                rebalance: false,
+                ..SkewConfig::default()
+            },
+        ),
+        (
+            "split",
+            SkewConfig {
+                combine: false,
+                split: true,
+                rebalance: false,
+                ..SkewConfig::default()
+            },
+        ),
+        (
+            "rebalance",
+            SkewConfig {
+                combine: false,
+                split: false,
+                rebalance: true,
+                rebalance_min_records: 64,
+                ..SkewConfig::default()
+            },
+        ),
+        ("all", SkewConfig::all()),
+    ]
+}
+
+/// One `--skew-ablation` row: the skewed HistogramRatings workload
+/// under a single mitigation combination (or the mapred reference).
+#[derive(Debug)]
+struct AblationRow {
+    combo: &'static str,
+    engine: &'static str,
+    wall_seconds: f64,
+    records_per_sec: f64,
+    checksum: u64,
+    combined_records: u64,
+    splits_triggered: u64,
+    shards_migrated: u64,
+}
+
+impl AblationRow {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"combo\":\"{}\",\"engine\":\"{}\",",
+                "\"wall_seconds\":{:.6},\"records_per_sec\":{:.1},",
+                "\"checksum\":\"{:016x}\",\"combined_records\":{},",
+                "\"splits_triggered\":{},\"shards_migrated\":{}}}"
+            ),
+            self.combo,
+            self.engine,
+            self.wall_seconds,
+            self.records_per_sec,
+            self.checksum,
+            self.combined_records,
+            self.splits_triggered,
+            self.shards_migrated,
+        )
+    }
+}
+
+/// The `--skew-ablation` sweep: skewed HistogramRatings once per
+/// mitigation combination plus a mapred reference, all on fresh
+/// environments. Every combination must reproduce the reference
+/// checksum bit-for-bit — an ablation that changes the answer is a
+/// fatal harness error, not a data point.
+fn skew_ablation(params: &SimParams) -> Result<Vec<AblationRow>, String> {
+    let bench = HistogramRatings {
+        movies: 16,
+        users: 50_000,
+        max_ratings_per_movie: 100_000,
+    };
+    let mut rows = Vec::new();
+    let env = Env::with_hamr_sched(params.clone(), SchedMode::WorkStealing);
+    bench.seed(&env)?;
+    let mr = bench.run_mapred(&env)?;
+    let row = |combo, engine, out: &BenchOutput| AblationRow {
+        combo,
+        engine,
+        wall_seconds: out.elapsed.as_secs_f64(),
+        records_per_sec: if out.elapsed.as_secs_f64() > 0.0 {
+            out.shuffle_records as f64 / out.elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        checksum: out.checksum,
+        combined_records: out.combined_records,
+        splits_triggered: out.splits_triggered,
+        shards_migrated: out.shards_migrated,
+    };
+    rows.push(row("reference", "mapred", &mr));
+    for (combo, skew) in skew_combos() {
+        let runtime = RuntimeConfig {
+            sched: SchedMode::WorkStealing,
+            skew,
+            ..Default::default()
+        };
+        let env = Env::with_hamr_runtime(params.clone(), runtime);
+        bench.seed(&env)?;
+        let out = bench.run_hamr(&env)?;
+        if out.checksum != mr.checksum {
+            return Err(format!(
+                "skew ablation '{combo}' changed the answer: checksum {:016x} vs \
+                 mapred {:016x}",
+                out.checksum, mr.checksum
+            ));
+        }
+        eprintln!(
+            "benchjson: skew-ablation {combo:<9} {:>12.0} rec/s ({:.3}s) \
+             combined={} splits={} migrated={}",
+            out.shuffle_records as f64 / out.elapsed.as_secs_f64().max(1e-9),
+            out.elapsed.as_secs_f64(),
+            out.combined_records,
+            out.splits_triggered,
+            out.shards_migrated,
+        );
+        rows.push(row(combo, "hamr", &out));
+    }
+    Ok(rows)
+}
+
 struct Args {
     quick: bool,
     reps: usize,
@@ -421,13 +618,14 @@ struct Args {
     compare: Option<String>,
     compare_threshold: f64,
     metrics_out: Option<String>,
+    skew_ablation: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         reps: 3,
-        out: "BENCH_pr4.json".to_string(),
+        out: "BENCH_pr7.json".to_string(),
         raw_out: None,
         baseline: None,
         profile_dir: None,
@@ -436,6 +634,7 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         compare_threshold: 10.0,
         metrics_out: None,
+        skew_ablation: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -462,6 +661,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--skew-ablation" => args.skew_ablation = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -803,8 +1003,22 @@ fn main() {
         None => None,
     };
 
+    // The skew-ablation sweep runs before the snapshot is written so a
+    // checksum divergence aborts without leaving a half-true artifact.
+    let ablation_rows = if args.skew_ablation {
+        match skew_ablation(&params) {
+            Ok(rows) => Some(rows),
+            Err(e) => {
+                eprintln!("benchjson: skew ablation: {e}");
+                std::process::exit(4);
+            }
+        }
+    } else {
+        None
+    };
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"hamr-benchjson/3\",\n");
+    json.push_str("{\n  \"schema\": \"hamr-benchjson/4\",\n");
     json.push_str(&format!(
         "  \"params\": {{\"nodes\": {nodes}, \"threads_per_node\": {threads}, \
          \"scale\": {scale}, \"seed\": 42, \"reps\": {}, \"quick\": {}}},\n",
@@ -816,6 +1030,14 @@ fn main() {
         json.push_str(&format!("    {}{sep}\n", row.json()));
     }
     json.push_str("  ]");
+    if let Some(ab) = &ablation_rows {
+        json.push_str(",\n  \"skew_ablation\": [\n");
+        for (i, row) in ab.iter().enumerate() {
+            let sep = if i + 1 == ab.len() { "" } else { "," };
+            json.push_str(&format!("    {}{sep}\n", row.json()));
+        }
+        json.push_str("  ]");
+    }
     if let Some(base) = &baseline {
         json.push_str(",\n  \"baseline\": [\n");
         let mut first = true;

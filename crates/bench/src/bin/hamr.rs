@@ -4,8 +4,9 @@
 //! `HAMR_HTTP` / `Cluster::serve_introspection`) and renders a
 //! per-node table each tick: worker occupancy, aggregate flowlet
 //! queue depth, deferred bins, flow-control window occupancy, stall
-//! share and network transmit rate — the live counterpart of
-//! `tracedump`'s post-mortem occupancy table.
+//! share, network transmit rate, and the skew-mitigation column
+//! (cumulative hot-partition splits / shard migrations per node) —
+//! the live counterpart of `tracedump`'s post-mortem occupancy table.
 //!
 //! ```text
 //! hamr top --addr 127.0.0.1:9099 [--engine hamr] [--interval-ms N] [--ticks N]
@@ -44,6 +45,11 @@ struct NodeStat {
     stall_us: f64,
     /// Cumulative bytes sent (counter).
     net_tx_bytes: f64,
+    /// Cumulative hot-partition splits flagged by this node's emitters.
+    splits: f64,
+    /// Cumulative reduce shards the rebalance planner moved onto this
+    /// node's scatter set.
+    migrated: f64,
 }
 
 /// Cluster-wide header figures.
@@ -77,6 +83,8 @@ fn collect(samples: &[PromSample], engine: &str) -> (BTreeMap<u32, NodeStat>, To
             "hamr_window_inflight" => stat.window = s.value,
             "hamr_stall_us_total" => stat.stall_us += s.value,
             "hamr_net_sent_bytes_total" => stat.net_tx_bytes = s.value,
+            "hamr_node_splits_triggered_total" => stat.splits = s.value,
+            "hamr_node_shards_migrated_total" => stat.migrated = s.value,
             _ => {}
         }
     }
@@ -106,7 +114,9 @@ fn render_tick(
         "tick {tick}  health {healthz}  jobs {:.0}  trace-drops {:.0}\n",
         totals.job_runs, totals.trace_drops
     );
-    out.push_str("node  workers  busy   occ%  queue  defer  window  stall%  net-tx\n");
+    out.push_str(
+        "node  workers  busy   occ%  queue  defer  window  stall%  skew(spl/mig)  net-tx\n",
+    );
     for (node, s) in nodes {
         let occ = if s.workers > 0.0 {
             100.0 * s.busy / s.workers
@@ -128,12 +138,13 @@ fn render_tick(
             _ => (0.0, 0.0),
         };
         out.push_str(&format!(
-            "{node:<4}  {:<7.0}  {:<4.0}  {occ:>5.1}  {:<5.0}  {:<5.0}  {:<6.0}  {stall_pct:>6.1}  {}\n",
+            "{node:<4}  {:<7.0}  {:<4.0}  {occ:>5.1}  {:<5.0}  {:<5.0}  {:<6.0}  {stall_pct:>6.1}  {:>13}  {}\n",
             s.workers,
             s.busy,
             s.queue,
             s.deferred,
             s.window,
+            format!("{:.0}/{:.0}", s.splits, s.migrated),
             fmt_rate(rate),
         ));
     }

@@ -14,6 +14,7 @@ use crate::introspect::{Health, Introspect, LiveRun};
 use crate::metrics::JobMetrics;
 use crate::node::{run_node, NetMsg};
 use crate::record::Record;
+use crate::skew::SkewRuntime;
 use crate::watchdog::{Watchdog, WatchdogAction, WatchdogConfig, WatchdogEvent};
 use hamr_codec::Codec;
 use hamr_dfs::Dfs;
@@ -27,6 +28,7 @@ use hamr_trace::{
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -554,6 +556,13 @@ impl Cluster {
             )
         });
         let start = Instant::now();
+        // Per-job skew mitigation state, shared by every node runtime
+        // and (when rebalancing is on) the planner thread.
+        let skew = Arc::new(SkewRuntime::new(
+            &graph,
+            self.config.runtime.skew.clone(),
+            n,
+        ));
         let mut handles = Vec::with_capacity(n);
         for node in 0..n {
             let inbox = fabric.receiver(node).expect("one receiver per node");
@@ -572,16 +581,38 @@ impl Cluster {
                 kv: self.kv.shard(node),
                 kv_store: self.kv.clone(),
             };
+            let skew = Arc::clone(&skew);
             let handle = std::thread::Builder::new()
                 .name(format!("hamr-node-{node}"))
                 .spawn(move || {
                     run_node(
                         node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit,
+                        skew,
                     )
                 })
                 .expect("spawn node runtime");
             handles.push(handle);
         }
+        // OS4M-style shard rebalancing: a planner thread watches the
+        // live emit tallies and migrates the heaviest reduce partition
+        // off an overloaded node (one-shot per edge). Producers pick
+        // the decision up at their next bin flush.
+        let planner = skew.planner_enabled().then(|| {
+            let skew = Arc::clone(&skew);
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let interval = self.config.runtime.skew.planner_interval;
+            let handle = std::thread::Builder::new()
+                .name("hamr-skew-planner".into())
+                .spawn(move || {
+                    while !flag.load(Ordering::Relaxed) {
+                        skew.plan_step();
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn skew planner");
+            (stop, handle)
+        });
         // Start the sampler (no-op when telemetry is disabled). Node
         // runtimes may still be registering gauges on their own threads;
         // late registrations are back-filled with zeros in the series.
@@ -616,6 +647,7 @@ impl Cluster {
                         agg.flow_control_stalls += fm.flow_control_stalls;
                         agg.stall_time += fm.stall_time;
                         agg.spilled_bytes += fm.spilled_bytes;
+                        agg.combined_records += fm.combined_records;
                         agg.busy += fm.busy;
                         agg.task_latency.merge(&fm.task_latency);
                     }
@@ -632,6 +664,18 @@ impl Cluster {
                         message: msg,
                     });
                 }
+            }
+        }
+        if let Some((stop, handle)) = planner {
+            stop.store(true, Ordering::Relaxed);
+            let _ = handle.join();
+        }
+        // Shard migrations are tallied in the shared runtime (the
+        // decision isn't owned by any single node); fold them into the
+        // per-node rollups now that every node has joined.
+        for (i, nm) in metrics.nodes.iter_mut().enumerate() {
+            if let Some(c) = skew.counters.get(i) {
+                nm.shards_migrated += c.shards_migrated.load(Ordering::Relaxed);
             }
         }
         // Every node has joined: stop the watchdog before tearing the

@@ -23,6 +23,10 @@ pub enum GraphError {
     ReduceOnStream(FlowletId),
     /// `capture_output` named a flowlet that does not exist.
     UnknownOutput(FlowletId),
+    /// `connect_combined` was used on an edge that is not a `Hash`
+    /// exchange into a `Reduce`/`PartialReduce` — pre-merging values
+    /// anywhere else would change the job's result.
+    InvalidCombinerEdge { src: FlowletId, dst: FlowletId },
 }
 
 impl fmt::Display for GraphError {
@@ -45,6 +49,11 @@ impl fmt::Display for GraphError {
             GraphError::UnknownOutput(id) => {
                 write!(f, "capture_output names unknown flowlet {id}")
             }
+            GraphError::InvalidCombinerEdge { src, dst } => write!(
+                f,
+                "combiner on edge {src} -> {dst}: combiners require a Hash \
+                 exchange into a reduce or partial-reduce flowlet"
+            ),
         }
     }
 }

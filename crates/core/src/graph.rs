@@ -8,6 +8,7 @@
 
 use crate::error::GraphError;
 use crate::flowlet::{Loader, MapFn, PartialReduceFn, ReduceFn, StreamSource};
+use crate::skew::Combiner;
 use std::sync::Arc;
 
 /// Index of a flowlet within its job graph.
@@ -95,6 +96,8 @@ pub struct JobBuilder {
     name: String,
     flowlets: Vec<FlowletDef>,
     edges: Vec<EdgeDef>,
+    /// `(edge, combiner)` registrations from `connect_combined`.
+    combiners: Vec<(EdgeId, Arc<dyn Combiner>)>,
 }
 
 impl JobBuilder {
@@ -103,6 +106,7 @@ impl JobBuilder {
             name: name.into(),
             flowlets: Vec::new(),
             edges: Vec::new(),
+            combiners: Vec::new(),
         }
     }
 
@@ -175,6 +179,26 @@ impl JobBuilder {
         src_port
     }
 
+    /// [`connect`](Self::connect), plus an associative [`Combiner`] for
+    /// the edge's values, enabling the skew-mitigation mechanisms on it
+    /// (in-node combining, hot-key splitting, shard rebalancing — see
+    /// `crate::skew`). The combiner must satisfy the Hadoop combiner
+    /// contract: its output is valid reducer input, and merging in any
+    /// grouping/order yields the same final result. `build` rejects
+    /// combiners on edges that are not `Hash` exchanges into a
+    /// `Reduce`/`PartialReduce`.
+    pub fn connect_combined(
+        &mut self,
+        src: FlowletId,
+        dst: FlowletId,
+        exchange: Exchange,
+        combiner: Arc<dyn Combiner>,
+    ) -> usize {
+        let port = self.connect(src, dst, exchange);
+        self.combiners.push((self.edges.len() - 1, combiner));
+        port
+    }
+
     /// Collect `Emitter::output` records of `flowlet` into the job result.
     pub fn capture_output(&mut self, flowlet: FlowletId) {
         if let Some(f) = self.flowlets.get_mut(flowlet) {
@@ -196,9 +220,28 @@ impl JobBuilder {
             name,
             flowlets,
             edges,
+            combiners,
         } = self;
         if flowlets.is_empty() {
             return Err(GraphError::Empty);
+        }
+        // Combiners only make sense on a shuffle into an aggregation:
+        // anywhere else, pre-merging values would change the result.
+        let mut edge_combiners: Vec<Option<Arc<dyn Combiner>>> = vec![None; edges.len()];
+        for (e, c) in combiners {
+            let def = &edges[e];
+            let aggregating = def.dst < flowlets.len()
+                && matches!(
+                    flowlets[def.dst].kind,
+                    FlowletKind::Reduce(_) | FlowletKind::PartialReduce(_)
+                );
+            if def.exchange != Exchange::Hash || !aggregating {
+                return Err(GraphError::InvalidCombinerEdge {
+                    src: def.src,
+                    dst: def.dst,
+                });
+            }
+            edge_combiners[e] = Some(c);
         }
         // Ids in range (including the capture_output sentinel).
         for e in &edges {
@@ -280,6 +323,7 @@ impl JobBuilder {
             name,
             flowlets,
             edges,
+            edge_combiners,
             topo,
             has_stream,
         })
@@ -292,6 +336,9 @@ pub struct JobGraph {
     pub name: String,
     pub flowlets: Vec<FlowletDef>,
     pub edges: Vec<EdgeDef>,
+    /// Per-edge combiner registered via
+    /// [`JobBuilder::connect_combined`], indexed by edge id.
+    pub edge_combiners: Vec<Option<Arc<dyn Combiner>>>,
     /// Topological order of flowlet ids.
     pub topo: Vec<FlowletId>,
     /// True when the graph contains a stream source (streaming job).
@@ -535,6 +582,51 @@ mod tests {
         ] {
             assert!(dot.contains(needle), "missing {needle} in:\n{dot}");
         }
+    }
+
+    struct AddCombiner;
+    impl Combiner for AddCombiner {
+        fn combine(&self, _key: &[u8], a: &[u8], _b: &[u8], out: &mut Vec<u8>) {
+            out.extend_from_slice(a);
+        }
+    }
+
+    #[test]
+    fn combiner_on_hash_reduce_accepted() {
+        let mut b = JobBuilder::new("cb");
+        let l = b.add_loader("l", NullLoader);
+        let m = b.add_map("m", IdMap);
+        let r = b.add_reduce("r", NullReduce);
+        b.connect(l, m, Exchange::Local);
+        let port = b.connect_combined(m, r, Exchange::Hash, Arc::new(AddCombiner));
+        assert_eq!(port, 0);
+        let g = b.build().unwrap();
+        assert!(g.edge_combiners[0].is_none());
+        assert!(g.edge_combiners[1].is_some());
+    }
+
+    #[test]
+    fn combiner_on_local_edge_rejected() {
+        let mut b = JobBuilder::new("cb-local");
+        let l = b.add_loader("l", NullLoader);
+        let r = b.add_reduce("r", NullReduce);
+        b.connect_combined(l, r, Exchange::Local, Arc::new(AddCombiner));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::InvalidCombinerEdge { src: l, dst: r }
+        );
+    }
+
+    #[test]
+    fn combiner_into_map_rejected() {
+        let mut b = JobBuilder::new("cb-map");
+        let l = b.add_loader("l", NullLoader);
+        let m = b.add_map("m", IdMap);
+        b.connect_combined(l, m, Exchange::Hash, Arc::new(AddCombiner));
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::InvalidCombinerEdge { src: l, dst: m }
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod outbuf;
 mod record;
 mod reduce_state;
 mod sched;
+pub mod skew;
 mod spill;
 pub mod stream;
 pub mod typed;
@@ -68,7 +69,7 @@ mod watchdog;
 pub use cluster::{Cluster, JobResult, Supervision};
 pub use config::{
     ClusterConfig, ContentionMode, FaultInjection, RuntimeConfig, SchedMode, SimClusterSpec,
-    PAPER_CLUSTER, SCALED_CLUSTER,
+    SkewConfig, PAPER_CLUSTER, SCALED_CLUSTER,
 };
 pub use error::{ConfigError, GraphError, RunError};
 pub use flowlet::{
@@ -77,7 +78,8 @@ pub use flowlet::{
 pub use graph::{Exchange, FlowletId, FlowletKind, JobBuilder, JobGraph};
 pub use introspect::{Health, HttpMode};
 pub use metrics::{FlowletMetrics, JobMetrics, NodeMetrics};
-pub use record::{FrameBin, Record};
+pub use record::{BinKind, FrameBin, Record};
+pub use skew::Combiner;
 pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};
 
 /// Node index within a cluster, shared with the substrates.

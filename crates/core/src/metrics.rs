@@ -23,6 +23,11 @@ pub struct FlowletMetrics {
     pub stall_time: Duration,
     /// Bytes spilled to local disk (reduce overflow).
     pub spilled_bytes: u64,
+    /// Records folded away by skew combiners (in-node pre-aggregation
+    /// plus scatter absorption) before reaching reduce state. These are
+    /// also restored into `records_out` on the producer side so output
+    /// counts stay comparable with the combiner-free path.
+    pub combined_records: u64,
     /// Total time workers spent inside this flowlet's tasks.
     pub busy: Duration,
     /// Distribution of per-task latencies.
@@ -49,6 +54,11 @@ pub struct NodeMetrics {
     pub tasks_per_worker: Vec<u64>,
     /// Time each worker spent parked waiting for work.
     pub park_per_worker: Vec<Duration>,
+    /// Hot reduce partitions this node's emitters started scattering
+    /// (one per key crossing the sketch threshold per task).
+    pub splits_triggered: u64,
+    /// Reduce shards the skew planner migrated off this node.
+    pub shards_migrated: u64,
 }
 
 impl NodeMetrics {
@@ -116,6 +126,21 @@ impl JobMetrics {
     /// Sum of flow-control stall events.
     pub fn total_stalls(&self) -> u64 {
         self.flowlets.values().map(|f| f.flow_control_stalls).sum()
+    }
+
+    /// Sum of combiner-folded records over all flowlets.
+    pub fn total_combined(&self) -> u64 {
+        self.flowlets.values().map(|f| f.combined_records).sum()
+    }
+
+    /// Sum of hot-key splits triggered over all nodes.
+    pub fn total_splits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.splits_triggered).sum()
+    }
+
+    /// Sum of planner shard migrations over all nodes.
+    pub fn total_migrated(&self) -> u64 {
+        self.nodes.iter().map(|n| n.shards_migrated).sum()
     }
 
     /// Sum of successful steal operations over all nodes.
@@ -224,6 +249,9 @@ impl JobMetrics {
                 .counter("flowlet_stall_us_total", labels())
                 .add(fm.stall_time.as_micros() as u64);
             registry
+                .counter("flowlet_combined_records_total", labels())
+                .add(fm.combined_records);
+            registry
                 .histogram("flowlet_task_latency_us", labels())
                 .merge_from(&fm.task_latency);
         }
@@ -238,6 +266,12 @@ impl JobMetrics {
             registry
                 .counter("node_busy_us_total", labels())
                 .add(nm.busy.as_micros() as u64);
+            registry
+                .counter("node_splits_triggered_total", labels())
+                .add(nm.splits_triggered);
+            registry
+                .counter("node_shards_migrated_total", labels())
+                .add(nm.shards_migrated);
         }
     }
 

@@ -6,9 +6,11 @@
 //! wired mismatched types together, which is a programming error.
 
 use crate::flowlet::{AccBox, Emitter, Loader, MapFn, PartialReduceFn, ReduceFn, TaskContext};
+use crate::skew::Combiner;
 use bytes::Bytes;
 use hamr_codec::Codec;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 fn dec<T: Codec>(what: &str, bytes: &[u8]) -> T {
     T::from_bytes(bytes).unwrap_or_else(|e| {
@@ -326,6 +328,45 @@ pub fn sum_f64_reducer<K: Codec>() -> impl PartialReduceFn {
             }
         },
     )
+}
+
+// ----------------------------------------------------------- combiners
+
+/// A [`Combiner`] from a typed merge closure over value type `V`.
+struct TypedCombiner<V, F> {
+    f: F,
+    _pd: PhantomData<fn(V)>,
+}
+
+impl<V, F> Combiner for TypedCombiner<V, F>
+where
+    V: Codec,
+    F: Fn(V, V) -> V + Send + Sync,
+{
+    fn combine(&self, _key: &[u8], a: &[u8], b: &[u8], out: &mut Vec<u8>) {
+        let merged = (self.f)(dec("combine value", a), dec("combine value", b));
+        merged.encode(out);
+    }
+}
+
+/// Build an edge [`Combiner`] from an associative, commutative
+/// `Fn(V, V) -> V` over the edge's value type (the key is untouched).
+/// Register it with `JobBuilder::connect_combined`.
+pub fn combine_fn<V, F>(f: F) -> Arc<dyn Combiner>
+where
+    V: Codec + 'static,
+    F: Fn(V, V) -> V + Send + Sync + 'static,
+{
+    Arc::new(TypedCombiner {
+        f,
+        _pd: PhantomData,
+    })
+}
+
+/// The combiner matching [`sum_reducer`]/[`count_reducer`]: adds `u64`
+/// partial sums.
+pub fn sum_combiner() -> Arc<dyn Combiner> {
+    combine_fn::<u64, _>(|a, b| a + b)
 }
 
 // ------------------------------------------------------------- loaders

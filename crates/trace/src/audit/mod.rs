@@ -80,6 +80,7 @@ pub struct AuditBin {
 }
 
 const FIELDS: usize = 3; // bins, records, bytes
+const COMBINE_FIELDS: usize = 2; // records in, records out
 
 /// The shared counter table behind an enabled [`Audit`] handle.
 struct Ledger {
@@ -88,6 +89,12 @@ struct Ledger {
     /// `[stage][edge][dst][field]` flattened; every cell a relaxed
     /// atomic, so custody tallies never take a lock.
     cells: Vec<AtomicU64>,
+    /// Per-edge combiner side-table: `[edge][records_in, records_out]`.
+    /// In-node combining happens *before* the Emit custody point, so
+    /// the four-stage rows still balance exactly; this table preserves
+    /// the pre-combine count so nothing silently disappears — the only
+    /// legal record loss is `records_out <= records_in` here.
+    combine_cells: Vec<AtomicU64>,
 }
 
 impl Ledger {
@@ -117,6 +124,9 @@ impl Audit {
                 edges,
                 nodes,
                 cells: (0..len).map(|_| AtomicU64::new(0)).collect(),
+                combine_cells: (0..edges as usize * COMBINE_FIELDS)
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
             })),
         }
     }
@@ -148,6 +158,21 @@ impl Audit {
             l.cells[i].fetch_add(1, Ordering::Relaxed);
             l.cells[i + 1].fetch_add(records, Ordering::Relaxed);
             l.cells[i + 2].fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Tally one combiner flush on `edge`: `records_in` pre-combine
+    /// records collapsed into `records_out` partials.
+    #[inline]
+    pub fn combined(&self, edge: u32, records_in: u64, records_out: u64) {
+        if let Some(l) = &self.inner {
+            if edge >= l.edges {
+                debug_assert!(false, "combine tally out of range: edge {edge}/{}", l.edges);
+                return;
+            }
+            let i = edge as usize * COMBINE_FIELDS;
+            l.combine_cells[i].fetch_add(records_in, Ordering::Relaxed);
+            l.combine_cells[i + 1].fetch_add(records_out, Ordering::Relaxed);
         }
     }
 
@@ -187,6 +212,7 @@ impl Audit {
                 edges: 0,
                 nodes: 0,
                 rows: Vec::new(),
+                combines: Vec::new(),
             };
         };
         let mut rows = Vec::new();
@@ -205,10 +231,24 @@ impl Audit {
                 }
             }
         }
+        let mut combines = Vec::new();
+        for edge in 0..l.edges {
+            let i = edge as usize * COMBINE_FIELDS;
+            let records_in = l.combine_cells[i].load(Ordering::Relaxed);
+            let records_out = l.combine_cells[i + 1].load(Ordering::Relaxed);
+            if records_in | records_out != 0 {
+                combines.push(CombineRow {
+                    edge,
+                    records_in,
+                    records_out,
+                });
+            }
+        }
         AuditReport {
             edges: l.edges,
             nodes: l.nodes,
             rows,
+            combines,
         }
     }
 }
@@ -247,19 +287,38 @@ impl AuditRow {
     }
 }
 
+/// Pre/post-combine record custody for one edge's in-node combiners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombineRow {
+    pub edge: u32,
+    /// Raw records offered to the edge's combine buffers.
+    pub records_in: u64,
+    /// Partials the buffers flushed into the emit path.
+    pub records_out: u64,
+}
+
 /// A conservation failure on one `(edge, dst)` row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditViolation {
     pub edge: u32,
     pub dst: u32,
-    /// Which quantity leaked: `"bins"`, `"records"` or `"bytes"`.
+    /// Which quantity leaked: `"bins"`, `"records"`, `"bytes"`, or
+    /// `"combined"` for a combiner that emitted more than it consumed.
     pub field: &'static str,
     /// The four stage values for that quantity, emit→consume order.
+    /// For `"combined"` the first two entries are records in/out.
     pub stages: [u64; 4],
 }
 
 impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.field == "combined" {
+            return write!(
+                f,
+                "edge {}: combiner emitted more than it consumed: in={} out={}",
+                self.edge, self.stages[0], self.stages[1]
+            );
+        }
         write!(
             f,
             "edge {} -> node {}: {} emit={} ship={} deliver={} consume={}",
@@ -280,6 +339,8 @@ pub struct AuditReport {
     pub edges: u32,
     pub nodes: u32,
     pub rows: Vec<AuditRow>,
+    /// Per-edge combiner custody (empty unless combiners ran).
+    pub combines: Vec<CombineRow>,
 }
 
 impl AuditReport {
@@ -317,6 +378,18 @@ impl AuditReport {
                         stages,
                     });
                 }
+            }
+        }
+        for c in &self.combines {
+            // A combiner may only shrink its input; growing it means
+            // records were minted out of thin air.
+            if c.records_out > c.records_in {
+                violations.push(AuditViolation {
+                    edge: c.edge,
+                    dst: 0,
+                    field: "combined",
+                    stages: [c.records_in, c.records_out, 0, 0],
+                });
             }
         }
         if violations.is_empty() {
@@ -381,6 +454,27 @@ impl AuditReport {
         if self.rows.is_empty() {
             out.push_str("  (no bins moved)\n");
         }
+        if !self.combines.is_empty() {
+            out.push_str("combiner custody (pre-combine -> post-combine records per edge)\n");
+            for c in &self.combines {
+                let pct = if c.records_in > 0 {
+                    100.0 * (1.0 - c.records_out as f64 / c.records_in as f64)
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "{:>5}        {:>12} -> {:>12}  ({pct:.1}% absorbed)  {}\n",
+                    c.edge,
+                    c.records_in,
+                    c.records_out,
+                    if c.records_out <= c.records_in {
+                        "ok"
+                    } else {
+                        "LEAK"
+                    }
+                ));
+            }
+        }
         out
     }
 
@@ -406,6 +500,16 @@ impl AuditReport {
                 ));
             }
             out.push('}');
+        }
+        out.push_str("],\"combines\":[");
+        for (i, c) in self.combines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"edge\":{},\"records_in\":{},\"records_out\":{}}}",
+                c.edge, c.records_in, c.records_out
+            ));
         }
         out.push_str("]}");
         out
@@ -440,10 +544,23 @@ impl AuditReport {
                 counts,
             });
         }
+        // `combines` is absent from pre-skew flight-recorder dumps;
+        // tolerate that rather than rejecting old doctor files.
+        let mut combines = Vec::new();
+        if let Some(arr) = v.get("combines").and_then(Json::as_arr) {
+            for cj in arr {
+                combines.push(CombineRow {
+                    edge: u(cj.get("edge"), "edge")? as u32,
+                    records_in: u(cj.get("records_in"), "records_in")?,
+                    records_out: u(cj.get("records_out"), "records_out")?,
+                });
+            }
+        }
         Ok(AuditReport {
             edges: u(v.get("edges"), "edges")? as u32,
             nodes: u(v.get("nodes"), "nodes")? as u32,
             rows,
+            combines,
         })
     }
 }
@@ -503,11 +620,48 @@ mod tests {
     }
 
     #[test]
+    fn combine_side_table_tracks_in_ge_out() {
+        let a = Audit::new(2, 2);
+        a.combined(1, 1000, 12);
+        a.combined(1, 500, 8);
+        let report = a.report();
+        assert!(report.check().is_ok());
+        assert_eq!(
+            report.combines,
+            vec![CombineRow {
+                edge: 1,
+                records_in: 1500,
+                records_out: 20
+            }]
+        );
+        assert!(report.render().contains("combiner custody"));
+    }
+
+    #[test]
+    fn combiner_minting_records_is_a_violation() {
+        let a = Audit::new(1, 1);
+        a.combined(0, 10, 11);
+        let violations = a.report().check().unwrap_err();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].field, "combined");
+        let msg = violations[0].to_string();
+        assert!(msg.contains("in=10 out=11"), "{msg}");
+    }
+
+    #[test]
+    fn old_reports_without_combines_still_parse() {
+        let json = r#"{"edges":1,"nodes":1,"rows":[]}"#;
+        let parsed = AuditReport::from_json(&json::parse(json).unwrap()).unwrap();
+        assert!(parsed.combines.is_empty());
+    }
+
+    #[test]
     fn report_json_round_trips() {
         let a = Audit::new(2, 2);
         move_bin(&a, 0, 0, 11, 1024);
         move_bin(&a, 1, 1, 2, 17);
         a.record(AuditStage::Emit, 1, 0, 1, 1);
+        a.combined(0, 64, 4);
         let report = a.report();
         let parsed =
             AuditReport::from_json(&json::parse(&report.to_json()).expect("valid json")).unwrap();

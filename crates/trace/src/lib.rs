@@ -26,8 +26,8 @@ mod summary;
 mod telemetry;
 
 pub use audit::{
-    Audit, AuditBin, AuditReport, AuditRow, AuditStage, AuditViolation, FlightRecord, GaugeValue,
-    RecordedEvent, StageCount, WatchdogTrip,
+    Audit, AuditBin, AuditReport, AuditRow, AuditStage, AuditViolation, CombineRow, FlightRecord,
+    GaugeValue, RecordedEvent, StageCount, WatchdogTrip,
 };
 pub use causal::{
     analyze, render_attribution, render_critical_path, render_stall_edges, Buckets, CausalReport,
@@ -90,6 +90,9 @@ pub enum TaskKind {
     FireReduce,
     /// One partial-reduce finish batch.
     FirePartial,
+    /// One scattered hot-key / migrated-shard bin folded into a skew
+    /// absorber's per-key partials.
+    SkewAbsorb,
     /// A MapReduce (baseline engine) map task.
     MrMap,
     /// A MapReduce (baseline engine) reduce task.
@@ -106,6 +109,7 @@ impl TaskKind {
             TaskKind::ReduceIngest => "reduce-ingest",
             TaskKind::FireReduce => "fire-reduce",
             TaskKind::FirePartial => "fire-partial",
+            TaskKind::SkewAbsorb => "skew-absorb",
             TaskKind::MrMap => "mr-map",
             TaskKind::MrReduce => "mr-reduce",
         }

@@ -105,7 +105,7 @@ impl Benchmark for Classification {
         let count = job.add_partial_reduce("ClusterCount", typed::sum_reducer::<u64>());
         job.connect(loader, classify, Exchange::Local);
         job.connect(classify, collect, Exchange::Local);
-        job.connect(collect, count, Exchange::Hash);
+        job.connect_combined(collect, count, Exchange::Hash, typed::sum_combiner());
         job.capture_output(count);
         let result = env
             .hamr

@@ -69,9 +69,9 @@ impl HistogramMovies {
         if combiner {
             let local = job.add_partial_reduce("LocalCombine", typed::sum_reducer::<u64>());
             job.connect(bin_map, local, Exchange::Local);
-            job.connect(local, sum, Exchange::Hash);
+            job.connect_combined(local, sum, Exchange::Hash, typed::sum_combiner());
         } else {
-            job.connect(bin_map, sum, Exchange::Hash);
+            job.connect_combined(bin_map, sum, Exchange::Hash, typed::sum_combiner());
         }
         job.capture_output(sum);
         let result = env

@@ -63,9 +63,12 @@ impl HistogramRatings {
         if combiner {
             let local = job.add_partial_reduce("LocalCombine", typed::sum_reducer::<u64>());
             job.connect(rating_map, local, Exchange::Local);
-            job.connect(local, sum, Exchange::Hash);
+            job.connect_combined(local, sum, Exchange::Hash, typed::sum_combiner());
         } else {
-            job.connect(rating_map, sum, Exchange::Hash);
+            // The skew layer's in-node combiner (when enabled) folds the
+            // per-rating counts before the shuffle; the registration is
+            // inert under `HAMR_SKEW=off`.
+            job.connect_combined(rating_map, sum, Exchange::Hash, typed::sum_combiner());
         }
         job.capture_output(sum);
         let result = env

@@ -137,8 +137,18 @@ impl Benchmark for NaiveBayes {
             ),
         );
         job.connect(loader, index, Exchange::Local);
-        job.connect(index, vector_sum, Exchange::Hash);
-        job.connect(vector_sum, weight_sum, Exchange::Hash);
+        job.connect_combined(
+            index,
+            vector_sum,
+            Exchange::Hash,
+            typed::combine_fn::<SparseVec, _>(merge_sparse),
+        );
+        job.connect_combined(
+            vector_sum,
+            weight_sum,
+            Exchange::Hash,
+            typed::sum_combiner(),
+        );
         job.capture_output(vector_sum);
         job.capture_output(weight_sum);
         let result = env

@@ -89,7 +89,7 @@ impl PageRank {
         );
         let diff_sum = job.add_partial_reduce("DiffSum", typed::sum_reducer::<u64>());
         job.connect(merge_red, cont_map, Exchange::Local);
-        job.connect(cont_map, diff_sum, Exchange::Hash);
+        job.connect_combined(cont_map, diff_sum, Exchange::Hash, typed::sum_combiner());
         job.capture_output(diff_sum);
         (merge_red, cont_map, diff_sum)
     }
@@ -148,7 +148,10 @@ impl Benchmark for PageRank {
                 let (merge_red, cont_map, _) = Self::add_iteration_tail(&mut job);
                 job.connect(loader, parse, Exchange::Local);
                 job.connect(parse, hash_join, Exchange::Hash);
-                job.connect(hash_join, merge_red, Exchange::Hash);
+                // Contributions to one page sum associatively, so the
+                // skew combiner can fold them before the shuffle; the
+                // zipfian link graph makes popular pages genuinely hot.
+                job.connect_combined(hash_join, merge_red, Exchange::Hash, typed::sum_combiner());
                 vec![parse, hash_join, cont_map]
             } else {
                 // Later iterations: everything from memory (Alg. 2 line 7).
@@ -182,7 +185,7 @@ impl Benchmark for PageRank {
                     ),
                 );
                 let (merge_red, cont_map, _) = Self::add_iteration_tail(&mut job);
-                job.connect(loader, merge_red, Exchange::Hash);
+                job.connect_combined(loader, merge_red, Exchange::Hash, typed::sum_combiner());
                 vec![loader, cont_map]
             };
             let result = env

@@ -70,7 +70,7 @@ impl WordCount {
             )
         };
         job.connect(loader, split, Exchange::Local);
-        job.connect(split, count, Exchange::Hash);
+        job.connect_combined(split, count, Exchange::Hash, typed::sum_combiner());
         job.capture_output(count);
         let result = env
             .hamr

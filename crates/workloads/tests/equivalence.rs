@@ -4,7 +4,7 @@
 //! speedups are meaningless if the engines disagree.
 
 use hamr_core::{Supervision, WatchdogConfig};
-use hamr_workloads::{all_benchmarks, Benchmark, Env};
+use hamr_workloads::{all_benchmarks, Benchmark, Env, SimParams};
 
 /// Every equivalence run doubles as a self-verification run: both
 /// engines execute under the audit ledger (HAMR additionally under the
@@ -158,6 +158,89 @@ fn pagerank_engines_agree_skewed() {
 #[test]
 fn kcliques_engines_agree_skewed() {
     check_skewed("KCliques");
+}
+
+// ---------------------------------------------------------------
+// Skew-mitigation ablation: every combination of combine / split /
+// rebalance must leave the answer untouched on every skewed workload.
+// The thresholds are lowered so splitting and rebalancing genuinely
+// engage at test scale instead of passing vacuously.
+// ---------------------------------------------------------------
+
+fn mitigation_combos() -> Vec<(&'static str, hamr_core::SkewConfig)> {
+    use hamr_core::SkewConfig;
+    let tuned = SkewConfig {
+        split_threshold: 16,
+        rebalance_factor: 1.2,
+        rebalance_min_records: 64,
+        ..SkewConfig::default()
+    };
+    vec![
+        ("off", SkewConfig::off()),
+        (
+            "combine",
+            SkewConfig {
+                combine: true,
+                split: false,
+                rebalance: false,
+                ..tuned.clone()
+            },
+        ),
+        (
+            "split",
+            SkewConfig {
+                combine: false,
+                split: true,
+                rebalance: false,
+                ..tuned.clone()
+            },
+        ),
+        (
+            "rebalance",
+            SkewConfig {
+                combine: false,
+                split: false,
+                rebalance: true,
+                ..tuned.clone()
+            },
+        ),
+        (
+            "all",
+            SkewConfig {
+                combine: true,
+                split: true,
+                rebalance: true,
+                ..tuned
+            },
+        ),
+    ]
+}
+
+#[test]
+fn skewed_workloads_agree_with_mapred_under_every_mitigation() {
+    use hamr_core::RuntimeConfig;
+    for bench in hamr_workloads::skewed_variants() {
+        // One mapred reference per workload; the baseline engine never
+        // sees the skew config.
+        let base_env = Env::test(3, 2);
+        bench.seed(&base_env).expect("seed");
+        let mr = bench.run_mapred(&base_env).expect("mapred run");
+        for (combo, skew) in mitigation_combos() {
+            let runtime = RuntimeConfig {
+                skew,
+                ..Default::default()
+            };
+            let env = Env::with_hamr_runtime(SimParams::test(3, 2), runtime);
+            bench.seed(&env).expect("seed");
+            let hamr = bench.run_hamr(&env).expect("hamr run");
+            assert_eq!(
+                (hamr.checksum, hamr.records),
+                (mr.checksum, mr.records),
+                "{}: mitigation combo '{combo}' disagrees with mapred",
+                bench.name()
+            );
+        }
+    }
 }
 
 #[test]

@@ -77,3 +77,82 @@ fn skewed_workloads_agree_across_schedulers() {
         check(bench.as_ref());
     }
 }
+
+/// Every scheduler × every skew-mitigation combination: the mitigations
+/// re-route and pre-fold records in ways that interact with task
+/// ordering (absorber stripes, redistribution barriers), so each
+/// scheduler gets the full ablation sweep. Thresholds are lowered so
+/// splitting and rebalancing actually engage at test scale.
+#[test]
+fn skewed_workloads_agree_across_schedulers_and_mitigations() {
+    use hamr_core::{RuntimeConfig, SkewConfig};
+    let tuned = SkewConfig {
+        split_threshold: 16,
+        rebalance_factor: 1.2,
+        rebalance_min_records: 64,
+        ..SkewConfig::default()
+    };
+    let combos: Vec<(&str, SkewConfig)> = vec![
+        ("off", SkewConfig::off()),
+        (
+            "combine",
+            SkewConfig {
+                combine: true,
+                split: false,
+                rebalance: false,
+                ..tuned.clone()
+            },
+        ),
+        (
+            "split",
+            SkewConfig {
+                combine: false,
+                split: true,
+                rebalance: false,
+                ..tuned.clone()
+            },
+        ),
+        (
+            "rebalance",
+            SkewConfig {
+                combine: false,
+                split: false,
+                rebalance: true,
+                ..tuned.clone()
+            },
+        ),
+        (
+            "all",
+            SkewConfig {
+                combine: true,
+                split: true,
+                rebalance: true,
+                ..tuned
+            },
+        ),
+    ];
+    for bench in skewed_variants() {
+        let mut baseline: Option<(u64, u64)> = None;
+        for mode in MODES {
+            for (combo, skew) in &combos {
+                let runtime = RuntimeConfig {
+                    sched: mode,
+                    skew: skew.clone(),
+                    ..Default::default()
+                };
+                let env = Env::with_hamr_runtime(SimParams::test(3, 2), runtime);
+                bench.seed(&env).expect("seed");
+                let out = bench.run_hamr(&env).expect("hamr run");
+                match baseline {
+                    None => baseline = Some((out.checksum, out.records)),
+                    Some(want) => assert_eq!(
+                        (out.checksum, out.records),
+                        want,
+                        "{}: {mode:?} with mitigation '{combo}' changed the answer",
+                        bench.name()
+                    ),
+                }
+            }
+        }
+    }
+}
