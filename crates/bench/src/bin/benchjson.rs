@@ -4,7 +4,7 @@
 //! plus skew-stressed PageRank/HistogramRatings variants that
 //! concentrate the work on a few hot keys — on the HAMR and MapReduce
 //! engines at fixed seeds and sizes, and writes a machine-readable
-//! `BENCH_pr7.json` (schema `hamr-benchjson/4`, documented in
+//! `BENCH_pr8.json` (schema `hamr-benchjson/5`, documented in
 //! EXPERIMENTS.md). HAMR runs twice: under the default work-stealing
 //! scheduler (`hamr`) and under the centralized scheduler it replaced
 //! (`hamr-central`), so every snapshot carries its own scheduler
@@ -12,6 +12,15 @@
 //! (`combined_records` / `splits_triggered` / `shards_migrated`) — the
 //! default runtime runs with combining and hot-key splitting on, so
 //! the headline rows measure the mitigated engine.
+//!
+//! Schema 5 adds per-iteration columns: every row carries an `iters`
+//! array (`iter_shuffled_bytes`, `iter_records_s`, `cache_hits`,
+//! `cache_bytes_saved` per iteration — empty for single-job workloads
+//! and for mapred), and the headline `PageRank` row (session chain,
+//! resident cache on) is paired with a `PageRank-nocache` ablation row
+//! that runs the same chain with the partition-resident frame cache
+//! disabled. That pair is the cross-iteration-reuse evidence: from
+//! iteration 2 the cache-on chain ships only the rank frontier.
 //!
 //! The timing reps run untraced. Afterwards each (benchmark, engine)
 //! pair gets ONE extra run with the causal profiler attached (via the
@@ -45,7 +54,10 @@
 //! gate additionally fails outright (independent of the baseline) when
 //! the skewed HistogramRatings row inverts: with the mitigations on by
 //! default, HAMR losing to the MapReduce baseline on its own headline
-//! skew case is a regression no threshold excuses.
+//! skew case is a regression no threshold excuses. It also fails when
+//! the chain cache stops collapsing the iterative shuffle: on every
+//! PageRank iteration >= 2 the cache-on chain must ship at most 20% of
+//! the `PageRank-nocache` full-shuffle bytes for that same iteration.
 //!
 //! `--skew-ablation` runs the skewed HistogramRatings workload once
 //! per mitigation combination (off / combine / split / rebalance /
@@ -60,7 +72,7 @@
 //! the snapshot artifact CI uploads.
 //!
 //! ```text
-//! benchjson [--quick] [--reps N] [--out BENCH_pr7.json]
+//! benchjson [--quick] [--reps N] [--out BENCH_pr8.json]
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
 //!           [--profile-dir DIR] [--fail-on-overhead PCT] [--audited]
 //!           [--compare BENCH.json] [--compare-threshold PCT]
@@ -72,7 +84,7 @@ use hamr_trace::{analyze, http_get, parse_prometheus, RingSink, Telemetry, Trace
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::pagerank::PageRank;
 use hamr_workloads::wordcount::WordCount;
-use hamr_workloads::{BenchOutput, Benchmark, Env, SimParams};
+use hamr_workloads::{BenchOutput, Benchmark, Env, IterStats, SimParams};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -133,6 +145,9 @@ struct Row {
     combined_records: u64,
     splits_triggered: u64,
     shards_migrated: u64,
+    /// Per-iteration shuffle and cache telemetry (first rep). Empty
+    /// for single-job workloads and for the mapred engine.
+    iters: Vec<IterStats>,
 }
 
 /// Causal columns measured on the one profiled run per row.
@@ -184,6 +199,7 @@ impl Row {
             combined_records: out.combined_records,
             splits_triggered: out.splits_triggered,
             shards_migrated: out.shards_migrated,
+            iters: out.iters.clone(),
         }
     }
 
@@ -192,6 +208,34 @@ impl Row {
         self.stall_share = p.stall_share;
         self.net_share = p.net_share;
         self
+    }
+
+    /// The schema-5 per-iteration array: one object per iteration of
+    /// an iterative workload, carrying that iteration's shuffle volume,
+    /// throughput, and resident-cache counters.
+    fn iters_json(&self) -> String {
+        let entries: Vec<String> = self
+            .iters
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                let secs = it.elapsed.as_secs_f64();
+                let rps = if secs > 0.0 {
+                    it.shuffle_records as f64 / secs
+                } else {
+                    0.0
+                };
+                format!(
+                    concat!(
+                        "{{\"iter\":{},\"iter_shuffled_bytes\":{},",
+                        "\"iter_records_s\":{:.1},\"cache_hits\":{},",
+                        "\"cache_bytes_saved\":{}}}"
+                    ),
+                    i, it.shuffled_bytes, rps, it.cache_hits, it.cache_bytes_saved
+                )
+            })
+            .collect();
+        format!("[{}]", entries.join(","))
     }
 
     fn json(&self) -> String {
@@ -207,7 +251,7 @@ impl Row {
                 "\"critical_path_ms\":{:.3},\"stall_share\":{:.4},",
                 "\"net_share\":{:.4},",
                 "\"combined_records\":{},\"splits_triggered\":{},",
-                "\"shards_migrated\":{}}}"
+                "\"shards_migrated\":{},\"iters\":{}}}"
             ),
             self.benchmark,
             self.engine,
@@ -228,6 +272,7 @@ impl Row {
             self.combined_records,
             self.splits_triggered,
             self.shards_migrated,
+            self.iters_json(),
         )
     }
 
@@ -363,6 +408,7 @@ fn parse_json_baseline(path: &str) -> Result<JsonBaseline, String> {
 /// falling behind mapred there means skew handling broke.
 fn compare_gate(base: &JsonBaseline, rows: &[Row], quick: bool, scale: f64, pct: f64) -> bool {
     let mut failed = skew_inversion_gate(rows);
+    failed |= chain_cache_gate(rows);
     let same_shape = base.quick == quick && (base.scale - scale).abs() < 1e-9;
     if same_shape {
         for row in rows {
@@ -470,6 +516,58 @@ fn skew_inversion_gate(rows: &[Row]) -> bool {
         eprintln!("benchjson: skew-inversion gate ok: HistogramRatings-skew ratio {ratio:.3}");
         false
     }
+}
+
+/// Absolute floor on cross-iteration reuse: on every PageRank
+/// iteration >= 2 the cache-on chain (`PageRank`, engine `hamr`) must
+/// shuffle at most 20% of what the cache-off chain
+/// (`PageRank-nocache`) shuffled on the same iteration, and must have
+/// served at least one resident partition. Returns true on failure.
+/// Needs no baseline fields — the full-shuffle reference rides in the
+/// same snapshot — so it tolerates pre-chain baselines.
+fn chain_cache_gate(rows: &[Row]) -> bool {
+    let iters = |benchmark: &str| {
+        rows.iter()
+            .find(|r| r.benchmark == benchmark && r.engine == "hamr")
+            .map(|r| &r.iters)
+    };
+    let (Some(served), Some(full)) = (iters("PageRank"), iters("PageRank-nocache")) else {
+        return false;
+    };
+    if served.len() < 3 || full.len() < 3 {
+        eprintln!(
+            "benchjson: REGRESSION: PageRank rows carry no iteration->=2 telemetry \
+             (served {} iters, full {}) — cannot prove cross-iteration reuse",
+            served.len(),
+            full.len()
+        );
+        return true;
+    }
+    let mut failed = false;
+    for (i, (s, f)) in served.iter().zip(full.iter()).enumerate().skip(2) {
+        if s.cache_hits == 0 {
+            eprintln!(
+                "benchjson: REGRESSION: PageRank iteration {i} served no resident \
+                 partition — the chain cache is not engaging"
+            );
+            failed = true;
+        }
+        if s.shuffled_bytes * 5 > f.shuffled_bytes {
+            eprintln!(
+                "benchjson: REGRESSION: PageRank iteration {i} shuffled {} bytes vs \
+                 {} full-shuffle bytes (> 20%) — cross-iteration reuse regressed",
+                s.shuffled_bytes, f.shuffled_bytes
+            );
+            failed = true;
+        }
+    }
+    if !failed {
+        eprintln!(
+            "benchjson: chain-cache gate ok: PageRank iterations >=2 ship <= 20% of \
+             the full-shuffle bytes"
+        );
+    }
+    failed
 }
 
 /// The mitigation combinations the `--skew-ablation` mode sweeps. The
@@ -625,7 +723,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         reps: 3,
-        out: "BENCH_pr7.json".to_string(),
+        out: "BENCH_pr8.json".to_string(),
         raw_out: None,
         baseline: None,
         profile_dir: None,
@@ -687,6 +785,18 @@ fn benchmarks() -> Vec<(&'static str, Box<dyn Benchmark>)> {
                 ..Default::default()
             }),
         ),
+        // Same chain, resident cache off: every iteration re-scans and
+        // re-ships the reverse adjacency. The PageRank/PageRank-nocache
+        // pair is the snapshot's cross-iteration-reuse ablation and
+        // feeds the chain-cache `--compare` gate.
+        (
+            "PageRank-nocache",
+            Box::new(PageRank {
+                iterations: 3,
+                resident: false,
+                ..Default::default()
+            }),
+        ),
         ("HistogramRatings", Box::new(HistogramRatings::default())),
         (
             "PageRank-skew",
@@ -694,6 +804,7 @@ fn benchmarks() -> Vec<(&'static str, Box<dyn Benchmark>)> {
                 pages: 2_000,
                 max_out_links: 400,
                 iterations: 3,
+                resident: true,
             }),
         ),
         (
@@ -1018,7 +1129,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"hamr-benchjson/4\",\n");
+    json.push_str("{\n  \"schema\": \"hamr-benchjson/5\",\n");
     json.push_str(&format!(
         "  \"params\": {{\"nodes\": {nodes}, \"threads_per_node\": {threads}, \
          \"scale\": {scale}, \"seed\": 42, \"reps\": {}, \"quick\": {}}},\n",

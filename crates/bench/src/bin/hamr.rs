@@ -7,6 +7,9 @@
 //! share, network transmit rate, and the skew-mitigation column
 //! (cumulative hot-partition splits / shard migrations per node) —
 //! the live counterpart of `tracedump`'s post-mortem occupancy table.
+//! The header line carries the cluster-wide partition-resident frame
+//! cache as `cache(hit/res MB)`: cumulative resident hits and the
+//! megabytes currently pinned.
 //!
 //! ```text
 //! hamr top --addr 127.0.0.1:9099 [--engine hamr] [--interval-ms N] [--ticks N]
@@ -52,11 +55,17 @@ struct NodeStat {
     migrated: f64,
 }
 
-/// Cluster-wide header figures.
+/// Cluster-wide header figures. The resident-cache series carry no
+/// node label — custody of a pinned frame is partition-stable, not
+/// per-scrape — so they aggregate here rather than in the node table.
 #[derive(Debug, Clone, Copy, Default)]
 struct Totals {
     job_runs: f64,
     trace_drops: f64,
+    /// Cumulative resident-cache hits (`hamr_cache_hits_total`).
+    cache_hits: f64,
+    /// Bytes currently pinned (`hamr_cache_resident_bytes`).
+    cache_resident_bytes: f64,
 }
 
 fn collect(samples: &[PromSample], engine: &str) -> (BTreeMap<u32, NodeStat>, Totals) {
@@ -69,6 +78,8 @@ fn collect(samples: &[PromSample], engine: &str) -> (BTreeMap<u32, NodeStat>, To
         match s.name.as_str() {
             "hamr_job_runs_total" => totals.job_runs += s.value,
             "hamr_trace_dropped_events_total" => totals.trace_drops += s.value,
+            "hamr_cache_hits_total" => totals.cache_hits += s.value,
+            "hamr_cache_resident_bytes" => totals.cache_resident_bytes += s.value,
             _ => {}
         }
         let Some(node) = s.label("node").and_then(|n| n.parse::<u32>().ok()) else {
@@ -111,8 +122,12 @@ fn render_tick(
     prev: Option<(&BTreeMap<u32, NodeStat>, Duration)>,
 ) -> String {
     let mut out = format!(
-        "tick {tick}  health {healthz}  jobs {:.0}  trace-drops {:.0}\n",
-        totals.job_runs, totals.trace_drops
+        "tick {tick}  health {healthz}  jobs {:.0}  trace-drops {:.0}  \
+         cache(hit/res MB) {:.0}/{:.1}\n",
+        totals.job_runs,
+        totals.trace_drops,
+        totals.cache_hits,
+        totals.cache_resident_bytes / 1e6,
     );
     out.push_str(
         "node  workers  busy   occ%  queue  defer  window  stall%  skew(spl/mig)  net-tx\n",

@@ -14,6 +14,7 @@ use crate::introspect::{Health, Introspect, LiveRun};
 use crate::metrics::JobMetrics;
 use crate::node::{run_node, NetMsg};
 use crate::record::Record;
+use crate::resident::{CacheMode, CachePlan, ResidentStore};
 use crate::skew::SkewRuntime;
 use crate::watchdog::{Watchdog, WatchdogAction, WatchdogConfig, WatchdogEvent};
 use hamr_codec::Codec;
@@ -105,6 +106,10 @@ pub struct Cluster {
     /// The introspection plane: unified metrics registry, run health,
     /// and the (optional, `HAMR_HTTP`-gated) embedded HTTP endpoint.
     introspect: Arc<Introspect>,
+    /// Partition-resident frame cache, shared by every job this
+    /// cluster runs (the cross-iteration reuse layer — see
+    /// [`crate::resident`]).
+    resident: Arc<ResidentStore>,
 }
 
 impl Cluster {
@@ -161,6 +166,11 @@ impl Cluster {
         let kv = KvStore::new(config.nodes);
         let introspect = Arc::new(Introspect::new());
         introspect.serve_from_env();
+        let resident = Arc::new(ResidentStore::new());
+        // Evictions spill to node 0's disk; counters accumulate into
+        // the cluster registry across every job in a chain.
+        resident.set_spill(disks[0].clone());
+        resident.bind_registry(&introspect.registry, "hamr");
         Ok(Cluster {
             config,
             disks,
@@ -171,6 +181,7 @@ impl Cluster {
             last_audit: Mutex::new(None),
             wd_events: Mutex::new(Vec::new()),
             introspect,
+            resident,
         })
     }
 
@@ -225,6 +236,18 @@ impl Cluster {
     /// The cluster's distributed key-value store (persists across jobs).
     pub fn kv(&self) -> &KvStore {
         &self.kv
+    }
+
+    /// The partition-resident frame cache (persists across jobs).
+    pub fn resident(&self) -> &ResidentStore {
+        &self.resident
+    }
+
+    /// Open a [`Session`]: the chain-of-jobs view of this cluster,
+    /// under which the KV store and resident frame cache deliberately
+    /// survive from one job to the next (M3R-style reuse).
+    pub fn session(&self) -> Session<'_> {
+        Session { cluster: self }
     }
 
     /// A node's local disk.
@@ -563,6 +586,29 @@ impl Cluster {
             self.config.runtime.skew.clone(),
             n,
         ));
+        // Resolve residency annotations once, centrally, before any
+        // node spawns: every node must agree on what is served from
+        // the cache and what fills it (partition-stable ownership).
+        let mut plan = CachePlan::empty(graph.edges.len());
+        if self.resident.enabled() {
+            for (f, def) in graph.flowlets.iter().enumerate() {
+                let Some(spec) = &def.cache else { continue };
+                if spec.mode == CacheMode::Serve {
+                    if let Some(hit) =
+                        self.resident
+                            .lookup(&spec.tag, spec.fingerprint, n, def.out_edges.len())
+                    {
+                        plan.serve.insert(f, hit);
+                        continue;
+                    }
+                }
+                plan.fill.insert(f, spec.clone());
+                for &e in &def.out_edges {
+                    plan.fill_edges[e] = true;
+                }
+            }
+        }
+        let plan = Arc::new(plan);
         let mut handles = Vec::with_capacity(n);
         for node in 0..n {
             let inbox = fabric.receiver(node).expect("one receiver per node");
@@ -582,12 +628,13 @@ impl Cluster {
                 kv_store: self.kv.clone(),
             };
             let skew = Arc::clone(&skew);
+            let plan = Arc::clone(&plan);
             let handle = std::thread::Builder::new()
                 .name(format!("hamr-node-{node}"))
                 .spawn(move || {
                     run_node(
                         node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit,
-                        skew,
+                        skew, plan,
                     )
                 })
                 .expect("spawn node runtime");
@@ -622,6 +669,7 @@ impl Cluster {
         let mut outputs: HashMap<FlowletId, Vec<Record>> = HashMap::new();
         let mut metrics = JobMetrics::default();
         let mut first_error: Option<RunError> = None;
+        let mut fill_frames: Vec<(usize, usize, hamr_codec::Frame)> = Vec::new();
         for handle in handles {
             match handle.join() {
                 Ok(outcome) => {
@@ -631,6 +679,7 @@ impl Cluster {
                             message: msg,
                         });
                     }
+                    fill_frames.extend(outcome.fill);
                     for (f, recs) in outcome.captured {
                         outputs.entry(f).or_default().extend(recs);
                     }
@@ -684,6 +733,33 @@ impl Cluster {
             Some(wd) => wd.stop(),
             None => (Vec::new(), None),
         };
+        // Pin captured fill frames under their tags — only for a clean
+        // run (a failed job may have emitted a partial partition set).
+        if first_error.is_none() && !plan.fill.is_empty() {
+            let mut per_flowlet: HashMap<usize, Vec<Vec<Vec<hamr_codec::Frame>>>> = plan
+                .fill
+                .keys()
+                .map(|&f| {
+                    let ports = graph.flowlets[f]
+                        .out_edges
+                        .iter()
+                        .map(|_| vec![Vec::new(); n])
+                        .collect();
+                    (f, ports)
+                })
+                .collect();
+            for (edge, dst, frame) in fill_frames {
+                let src = graph.edges[edge].src;
+                let port = graph.edges[edge].src_port;
+                if let Some(ports) = per_flowlet.get_mut(&src) {
+                    ports[port][dst].push(frame);
+                }
+            }
+            for (f, ports) in per_flowlet {
+                let spec = &plan.fill[&f];
+                self.resident.insert(&spec.tag, spec.fingerprint, n, ports);
+            }
+        }
         let net = fabric.metrics();
         metrics.shuffled_bytes = net.remote_bytes();
         metrics.shuffled_messages = net.remote_messages();
@@ -730,6 +806,76 @@ impl Cluster {
             }),
         };
         (result, wd_events, wd_trip)
+    }
+}
+
+/// A chain-of-jobs view of a [`Cluster`]: the M3R-style session under
+/// which node state, the KV store, and the resident frame cache
+/// deliberately survive from one job to the next.
+///
+/// A `Session` is how iterative workloads express "these jobs belong
+/// together": annotate the invariant source with
+/// [`JobBuilder::resident`](crate::JobBuilder::resident), run the
+/// iterations through [`run_chain`](Session::run_chain) (or repeated
+/// [`run`](Session::run) calls), and from the second job on the
+/// pinned partitions are served locally instead of re-loaded,
+/// re-encoded, and re-shuffled. [`reset_namespace`](Session::reset_namespace)
+/// gives reruns a clean slate without nuking unrelated tenants.
+pub struct Session<'a> {
+    cluster: &'a Cluster,
+}
+
+impl<'a> Session<'a> {
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &'a Cluster {
+        self.cluster
+    }
+
+    /// Run one job in this session (respects any ambient profiler or
+    /// supervisor, exactly like [`Cluster::run`]).
+    pub fn run(&self, graph: JobGraph) -> Result<JobResult, RunError> {
+        self.cluster.run(graph)
+    }
+
+    /// Run a chain of jobs in order, stopping at the first failure.
+    /// Residency annotations connect the links: a `cache_as`/missed
+    /// `resident` source in job *k* fills the store, and a matching
+    /// `resident` source in job *k+1…* is served from it.
+    pub fn run_chain(
+        &self,
+        graphs: impl IntoIterator<Item = JobGraph>,
+    ) -> Result<Vec<JobResult>, RunError> {
+        let mut results = Vec::new();
+        for graph in graphs {
+            results.push(self.cluster.run(graph)?);
+        }
+        Ok(results)
+    }
+
+    /// Reset one workload namespace for a rerun: drop every KV key and
+    /// every resident cache tag starting with `ns`. Returns the number
+    /// of KV entries removed. Convention: workloads prefix their keys
+    /// and tags `"<wl>/"` (e.g. `"pr/"`), so reruns are isolated
+    /// without clearing other tenants' state.
+    pub fn reset_namespace(&self, ns: &str) -> usize {
+        self.cluster.resident.invalidate_prefix(ns);
+        self.cluster.kv.remove_prefix(ns.as_bytes())
+    }
+
+    /// Fingerprint a DFS input for cache invalidation: hashes the
+    /// path plus the block layout (ids and lengths), so rewriting or
+    /// appending to the file yields a different fingerprint and
+    /// `resident(tag, fp)` recomputes instead of serving stale frames.
+    pub fn fingerprint(&self, path: &str) -> u64 {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(path.as_bytes());
+        if let Ok(blocks) = self.cluster.dfs.blocks(path) {
+            for b in &blocks {
+                buf.extend_from_slice(&b.id.to_le_bytes());
+                buf.extend_from_slice(&(b.len as u64).to_le_bytes());
+            }
+        }
+        hamr_codec::stable_hash(&buf)
     }
 }
 

@@ -27,6 +27,14 @@ pub enum GraphError {
     /// exchange into a `Reduce`/`PartialReduce` — pre-merging values
     /// anywhere else would change the job's result.
     InvalidCombinerEdge { src: FlowletId, dst: FlowletId },
+    /// A residency annotation that cannot work: `resident` on a
+    /// non-loader (serving replaces loader splits), an empty cache
+    /// tag, or a cache annotation on a stream source (streams never
+    /// complete, so their frames can never be pinned whole).
+    InvalidCacheAnnotation {
+        flowlet: FlowletId,
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -54,6 +62,9 @@ impl fmt::Display for GraphError {
                 "combiner on edge {src} -> {dst}: combiners require a Hash \
                  exchange into a reduce or partial-reduce flowlet"
             ),
+            GraphError::InvalidCacheAnnotation { flowlet, reason } => {
+                write!(f, "cache annotation on flowlet {flowlet}: {reason}")
+            }
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::error::GraphError;
 use crate::flowlet::{Loader, MapFn, PartialReduceFn, ReduceFn, StreamSource};
+use crate::resident::{CacheMode, CacheSpec};
 use crate::skew::Combiner;
 use std::sync::Arc;
 
@@ -79,6 +80,14 @@ pub struct FlowletDef {
     pub out_edges: Vec<EdgeId>,
     /// Incoming edges, unordered.
     pub in_edges: Vec<EdgeId>,
+    /// Partition-residency annotation: pin (or reuse) this flowlet's
+    /// post-shuffle frames across jobs in a session chain.
+    pub cache: Option<CacheSpec>,
+    /// Marks a frontier source — the small per-iteration delta (rank
+    /// copies, centroids) that *should* ship every iteration, as
+    /// opposed to the cached invariant partition. Documentation +
+    /// introspection metadata; carries no runtime behavior.
+    pub frontier: bool,
 }
 
 /// One edge in a built graph.
@@ -118,6 +127,8 @@ impl JobBuilder {
             capture: false,
             out_edges: Vec::new(),
             in_edges: Vec::new(),
+            cache: None,
+            frontier: false,
         });
         id
     }
@@ -199,6 +210,63 @@ impl JobBuilder {
         port
     }
 
+    /// Pin `flowlet`'s post-shuffle frames in the session's
+    /// [`ResidentStore`](crate::ResidentStore) under `tag` after this
+    /// job completes (fill-only: this job still runs the flowlet and
+    /// ships normally). `fingerprint` keys invalidation — derive it
+    /// from whatever identifies the input; a later `resident(tag)`
+    /// with a different fingerprint bypasses the cache.
+    pub fn cache_as(&mut self, flowlet: FlowletId, tag: impl Into<String>, fingerprint: u64) {
+        if let Some(f) = self.flowlets.get_mut(flowlet) {
+            f.cache = Some(CacheSpec {
+                tag: tag.into(),
+                fingerprint,
+                mode: CacheMode::Fill,
+            });
+        } else {
+            self.mark_unknown(flowlet);
+        }
+    }
+
+    /// Declare `flowlet` (a loader) partition-resident: when the
+    /// session's store holds `tag` with a matching `fingerprint` and
+    /// topology, the loader does not run at all — its downstream
+    /// frames are served locally from the cache (no re-encode, no
+    /// re-hash, no fabric ship). On a miss the loader runs normally
+    /// and fills the cache for the next job in the chain.
+    pub fn resident(&mut self, flowlet: FlowletId, tag: impl Into<String>, fingerprint: u64) {
+        if let Some(f) = self.flowlets.get_mut(flowlet) {
+            f.cache = Some(CacheSpec {
+                tag: tag.into(),
+                fingerprint,
+                mode: CacheMode::Serve,
+            });
+        } else {
+            self.mark_unknown(flowlet);
+        }
+    }
+
+    /// Mark `flowlet` as a frontier source: the small per-iteration
+    /// delta that legitimately ships every iteration (rank copies,
+    /// centroids). Metadata for introspection and DOT export.
+    pub fn frontier(&mut self, flowlet: FlowletId) {
+        if let Some(f) = self.flowlets.get_mut(flowlet) {
+            f.frontier = true;
+        } else {
+            self.mark_unknown(flowlet);
+        }
+    }
+
+    /// Remember a bad flowlet id so build() reports it.
+    fn mark_unknown(&mut self, flowlet: FlowletId) {
+        self.edges.push(EdgeDef {
+            src: flowlet,
+            dst: flowlet,
+            exchange: Exchange::Local,
+            src_port: usize::MAX,
+        });
+    }
+
     /// Collect `Emitter::output` records of `flowlet` into the job result.
     pub fn capture_output(&mut self, flowlet: FlowletId) {
         if let Some(f) = self.flowlets.get_mut(flowlet) {
@@ -270,6 +338,30 @@ impl JobBuilder {
                 }
             } else if f.in_edges.is_empty() {
                 return Err(GraphError::Unreachable(id));
+            }
+        }
+        // Residency annotations: tags must be non-empty, streams can
+        // never be pinned (no completion), and serving requires a
+        // loader (the serve path replaces loader splits).
+        for (id, f) in flowlets.iter().enumerate() {
+            let Some(spec) = &f.cache else { continue };
+            if spec.tag.is_empty() {
+                return Err(GraphError::InvalidCacheAnnotation {
+                    flowlet: id,
+                    reason: "cache tag is empty",
+                });
+            }
+            if matches!(f.kind, FlowletKind::Stream(_)) {
+                return Err(GraphError::InvalidCacheAnnotation {
+                    flowlet: id,
+                    reason: "stream sources cannot be cached",
+                });
+            }
+            if spec.mode == CacheMode::Serve && !matches!(f.kind, FlowletKind::Loader(_)) {
+                return Err(GraphError::InvalidCacheAnnotation {
+                    flowlet: id,
+                    reason: "resident() requires a loader source",
+                });
             }
         }
         // Kahn topological sort (cycle check).
@@ -366,12 +458,22 @@ impl JobGraph {
                 FlowletKind::Map(_) => "ellipse",
             };
             let capture = if f.capture { "\\n[captured]" } else { "" };
+            let cache = match &f.cache {
+                Some(spec) if spec.mode == CacheMode::Serve => {
+                    format!("\\n[resident {}]", spec.tag.replace('"', "'"))
+                }
+                Some(spec) => format!("\\n[cache_as {}]", spec.tag.replace('"', "'")),
+                None => String::new(),
+            };
+            let frontier = if f.frontier { "\\n[frontier]" } else { "" };
             let _ = writeln!(
                 out,
-                "  f{id} [label=\"{}\\n({}){}\" shape={shape}];",
+                "  f{id} [label=\"{}\\n({}){}{}{}\" shape={shape}];",
                 f.name.replace('"', "'"),
                 f.kind.kind_name(),
-                capture
+                capture,
+                cache,
+                frontier
             );
         }
         for e in &self.edges {
@@ -627,6 +729,78 @@ mod tests {
             b.build().unwrap_err(),
             GraphError::InvalidCombinerEdge { src: l, dst: m }
         );
+    }
+
+    #[test]
+    fn cache_annotations_build_and_render() {
+        let mut b = two_stage();
+        b.resident(0, "t/adj", 42);
+        b.frontier(1);
+        let g = b.build().unwrap();
+        let spec = g.flowlets[0].cache.as_ref().unwrap();
+        assert_eq!(spec.tag, "t/adj");
+        assert_eq!(spec.fingerprint, 42);
+        assert_eq!(spec.mode, crate::resident::CacheMode::Serve);
+        assert!(g.flowlets[1].frontier);
+        let dot = g.to_dot();
+        assert!(dot.contains("[resident t/adj]"), "{dot}");
+        assert!(dot.contains("[frontier]"), "{dot}");
+        let mut b = two_stage();
+        b.cache_as(0, "t/adj", 1);
+        assert!(b.build().unwrap().to_dot().contains("[cache_as t/adj]"));
+    }
+
+    #[test]
+    fn resident_on_non_loader_rejected() {
+        let mut b = two_stage();
+        b.resident(1, "t", 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::InvalidCacheAnnotation {
+                flowlet: 1,
+                reason: "resident() requires a loader source",
+            }
+        );
+        // Fill-only annotations are fine on a map.
+        let mut b = two_stage();
+        b.cache_as(1, "t", 0);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn empty_cache_tag_rejected() {
+        let mut b = two_stage();
+        b.resident(0, "", 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::InvalidCacheAnnotation {
+                flowlet: 0,
+                reason: "cache tag is empty",
+            }
+        );
+    }
+
+    #[test]
+    fn cached_stream_rejected() {
+        let mut b = JobBuilder::new("cs");
+        let s = b.add_stream("s", NullStream);
+        let m = b.add_map("m", IdMap);
+        b.connect(s, m, Exchange::Local);
+        b.cache_as(s, "t", 0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::InvalidCacheAnnotation {
+                flowlet: 0,
+                reason: "stream sources cannot be cached",
+            }
+        );
+    }
+
+    #[test]
+    fn cache_on_unknown_flowlet_rejected() {
+        let mut b = two_stage();
+        b.resident(99, "t", 0);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownOutput(99));
     }
 
     #[test]

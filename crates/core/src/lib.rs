@@ -59,6 +59,7 @@ mod node;
 mod outbuf;
 mod record;
 mod reduce_state;
+pub mod resident;
 mod sched;
 pub mod skew;
 mod spill;
@@ -66,7 +67,7 @@ pub mod stream;
 pub mod typed;
 mod watchdog;
 
-pub use cluster::{Cluster, JobResult, Supervision};
+pub use cluster::{Cluster, JobResult, Session, Supervision};
 pub use config::{
     ClusterConfig, ContentionMode, FaultInjection, RuntimeConfig, SchedMode, SimClusterSpec,
     SkewConfig, PAPER_CLUSTER, SCALED_CLUSTER,
@@ -79,6 +80,7 @@ pub use graph::{Exchange, FlowletId, FlowletKind, JobBuilder, JobGraph};
 pub use introspect::{Health, HttpMode};
 pub use metrics::{FlowletMetrics, JobMetrics, NodeMetrics};
 pub use record::{BinKind, FrameBin, Record};
+pub use resident::{CacheMode, CacheSpec, ResidentStats, ResidentStore};
 pub use skew::Combiner;
 pub use watchdog::{WatchdogAction, WatchdogConfig, WatchdogEvent};
 

@@ -48,9 +48,10 @@ use crate::config::{FaultInjection, RuntimeConfig, SchedMode};
 use crate::flowlet::{AccBox, TaskContext};
 use crate::graph::{EdgeId, FlowletId, FlowletKind, JobGraph};
 use crate::metrics::{FlowletMetrics, NodeMetrics};
-use crate::outbuf::{FlowControl, PortSpec, TaskOutput};
+use crate::outbuf::{FillSink, FlowControl, PortSpec, TaskOutput};
 use crate::record::{BinKind, FrameBin, Record};
 use crate::reduce_state::{FireShard, PartialState, ReduceState, SkewAbsorber};
+use crate::resident::CachePlan;
 use crate::sched::{Pool, Source};
 use crate::skew::SkewRuntime;
 use crate::NodeId;
@@ -253,6 +254,9 @@ struct WorkerShared {
     audit: Audit,
     /// Telemetry gauge: workers currently executing a task on this node.
     busy_gauge: Gauge,
+    /// Resident-cache fill sink; `Some` only when this job fills one or
+    /// more cache tags (see [`CachePlan`]).
+    fill: Option<Arc<FillSink>>,
 }
 
 impl WorkerShared {
@@ -264,7 +268,7 @@ impl WorkerShared {
             .into_iter()
             .map(|(edge, exchange)| PortSpec { edge, exchange })
             .collect();
-        TaskOutput::new(
+        let mut out = TaskOutput::new(
             ports,
             self.ctx.node,
             self.ctx.nodes,
@@ -276,7 +280,11 @@ impl WorkerShared {
             self.tracer.clone(),
             self.audit.clone(),
         )
-        .with_skew(&self.skew)
+        .with_skew(&self.skew);
+        if let Some(sink) = &self.fill {
+            out = out.with_fill(sink);
+        }
+        out
     }
 
     /// Tally consume custody for a bin about to be processed: the final
@@ -596,6 +604,10 @@ pub(crate) struct NodeOutcome {
     pub flowlets: Vec<FlowletMetrics>,
     pub node_metrics: NodeMetrics,
     pub error: Option<String>,
+    /// Pinned frame clones captured on cache-filling edges, keyed by
+    /// (edge, destination node). The driver groups them per flowlet and
+    /// inserts them into the cluster's [`crate::resident::ResidentStore`].
+    pub fill: Vec<(EdgeId, NodeId, hamr_codec::Frame)>,
 }
 
 /// Runs one node's runtime to completion. Called on its own thread.
@@ -612,9 +624,10 @@ pub(crate) fn run_node(
     telemetry: Telemetry,
     audit: Audit,
     skew: Arc<SkewRuntime>,
+    plan: Arc<CachePlan>,
 ) -> NodeOutcome {
     NodeRuntime::new(
-        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit, skew,
+        node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit, skew, plan,
     )
     .run()
 }
@@ -667,6 +680,9 @@ struct NodeRuntime {
     queue_gauges: Vec<Gauge>,
     /// Telemetry gauge: bytes resident in queued (pending + held) bins.
     pending_bytes_gauge: Gauge,
+    /// Resident-cache plan for this job: which flowlets serve from the
+    /// store and which edges fill it.
+    plan: Arc<CachePlan>,
 }
 
 impl NodeRuntime {
@@ -683,6 +699,7 @@ impl NodeRuntime {
         telemetry: Telemetry,
         audit: Audit,
         skew: Arc<SkewRuntime>,
+        plan: Arc<CachePlan>,
     ) -> Self {
         let nodes = ctx.nodes;
         let fire_shards = if cfg.fire_shards == 0 {
@@ -728,6 +745,8 @@ impl NodeRuntime {
                     .then(|| Arc::new(SkewAbsorber::new(threads)))
             })
             .collect();
+        let fill =
+            (!plan.fill.is_empty()).then(|| Arc::new(FillSink::new(plan.fill_edges.clone())));
         let shared = Arc::new(WorkerShared {
             graph: Arc::clone(&graph),
             ctx: ctx.clone(),
@@ -739,6 +758,7 @@ impl NodeRuntime {
             busy_gauge: telemetry.register(node as u32, format!("node{node}/workers_busy")),
             skew: Arc::clone(&skew),
             absorbers,
+            fill,
         });
         let flow = Arc::new(FlowControl::new(
             node,
@@ -810,9 +830,18 @@ impl NodeRuntime {
             .iter()
             .enumerate()
             .map(|(f, def)| {
-                let splits_total = match &def.kind {
-                    FlowletKind::Loader(l) => l.split_count(&ctx),
-                    _ => 0,
+                // A flowlet served from the resident store runs zero
+                // loader splits: its cached frames are injected into
+                // the local consumer queues before the loop starts, and
+                // the 0-split loader completes (broadcasting
+                // EdgeComplete) on the first pump pass.
+                let splits_total = if plan.serves(f) {
+                    0
+                } else {
+                    match &def.kind {
+                        FlowletKind::Loader(l) => l.split_count(&ctx),
+                        _ => 0,
+                    }
                 };
                 let skew_expected = skew.scatter_in_edges(&graph, f).len() * nodes;
                 Instance {
@@ -869,10 +898,65 @@ impl NodeRuntime {
             tracer,
             queue_gauges,
             pending_bytes_gauge,
+            plan,
+        }
+    }
+
+    /// Inject every served flowlet's cached frames into the local
+    /// consumer queues, with full ledger custody: a resident hit is a
+    /// local delivery, so Emit, Ship, and Deliver are recorded here at
+    /// this node (the consuming task records Consume as usual) and the
+    /// conservation check emit == ship == deliver == consume still
+    /// balances. No fabric send happens, so `shuffled_bytes` (remote
+    /// fabric traffic) drops to zero for these edges.
+    fn inject_served(&mut self) {
+        let graph = Arc::clone(&self.graph);
+        let plan = Arc::clone(&self.plan);
+        for (&f, hit) in &plan.serve {
+            for (port, &edge) in graph.flowlets[f].out_edges.iter().enumerate() {
+                let dst = graph.edges[edge].dst;
+                for frame in &hit.ports[port][self.node] {
+                    let mut bin = FrameBin::new(edge, frame.clone());
+                    for stage in [AuditStage::Emit, AuditStage::Ship, AuditStage::Deliver] {
+                        self.shared.audit.record(
+                            stage,
+                            edge as u32,
+                            self.node as u32,
+                            bin.len() as u64,
+                            bin.payload_bytes() as u64,
+                        );
+                    }
+                    if self.tracer.enabled() {
+                        bin.span = hamr_trace::next_span_id();
+                    }
+                    self.nmetrics.bins_in += 1;
+                    self.nmetrics.records_in += bin.len() as u64;
+                    self.tracer.emit(
+                        self.node as u32,
+                        WORKER_RUNTIME,
+                        EventKind::BinIngress {
+                            flowlet: dst as u32,
+                            edge: edge as u32,
+                            from: self.node as u32,
+                            span: bin.span,
+                        },
+                    );
+                    self.queue_gauges[dst].add(1);
+                    self.pending_bytes_gauge.add(bin.payload_bytes() as i64);
+                    // Pre-acked: nothing was shipped, so there is no
+                    // flow-control window slot to release.
+                    self.instances[dst].pending.push_back(Work::Bin {
+                        from: self.node,
+                        acked: true,
+                        bin,
+                    });
+                }
+            }
         }
     }
 
     fn run(mut self) -> NodeOutcome {
+        self.inject_served();
         let done_rx = self.done_rx.clone();
         let inbox = self.inbox.clone();
         let mut last_progress = Instant::now();
@@ -956,12 +1040,20 @@ impl NodeRuntime {
         self.flow.fold_into(&mut self.fmetrics);
         self.nmetrics.busy = self.busy;
         self.nmetrics.elapsed = self.start.elapsed();
+        // Workers are joined; the fill sink is no longer contended.
+        let fill = self
+            .shared
+            .fill
+            .as_ref()
+            .map(|s| s.drain())
+            .unwrap_or_default();
         NodeOutcome {
             node: self.node,
             captured: std::mem::take(&mut self.captured),
             flowlets: std::mem::take(&mut self.fmetrics),
             node_metrics: std::mem::take(&mut self.nmetrics),
             error: self.error.take(),
+            fill,
         }
     }
 

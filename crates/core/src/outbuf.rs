@@ -313,6 +313,37 @@ pub(crate) struct PortSpec {
     pub exchange: Exchange,
 }
 
+/// Shared sink collecting pinned clones of every `Normal`-kind frame
+/// closed on a cache-filling edge. The clone is a refcount bump on the
+/// frame's `Bytes`, taken *after* combining but *before* the bin ships,
+/// so a later serve replays byte-identical post-combine frames. Drained
+/// once per node at runtime teardown into [`NodeOutcome::fill`].
+pub(crate) struct FillSink {
+    /// Edge-indexed capture mask (true = edge fills the resident store).
+    pub mask: Vec<bool>,
+    pub frames: Mutex<Vec<(EdgeId, NodeId, hamr_codec::Frame)>>,
+}
+
+impl FillSink {
+    pub(crate) fn new(mask: Vec<bool>) -> Self {
+        FillSink {
+            mask,
+            frames: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn capture(&self, edge: EdgeId, dst: NodeId, frame: &hamr_codec::Frame) {
+        self.frames
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((edge, dst, frame.clone()));
+    }
+
+    pub(crate) fn drain(&self) -> Vec<(EdgeId, NodeId, hamr_codec::Frame)> {
+        std::mem::take(&mut *self.frames.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+}
+
 /// Per-port in-node combiner buffer: one partial per distinct key,
 /// folded in place as duplicates arrive. Flushed through normal
 /// routing once `bin_capacity` distinct keys accumulate (bounding
@@ -412,6 +443,9 @@ pub(crate) struct TaskOutput {
     /// Skew-mitigation state; `None` for unaffected flowlets, so the
     /// common emit path pays one branch.
     skew: Option<SkewState>,
+    /// Resident-cache fill sink; `None` unless some output edge is
+    /// annotated `cache_as`/`resident` and missed the store this run.
+    fill: Option<Arc<FillSink>>,
 }
 
 impl TaskOutput {
@@ -445,7 +479,21 @@ impl TaskOutput {
             tracer,
             audit,
             skew: None,
+            fill: None,
         }
+    }
+
+    /// Attach the node's fill sink (builder style). A no-op when none
+    /// of this task's output edges fills the resident store.
+    pub(crate) fn with_fill(mut self, sink: &Arc<FillSink>) -> Self {
+        if self
+            .ports
+            .iter()
+            .any(|p| sink.mask.get(p.edge).copied().unwrap_or(false))
+        {
+            self.fill = Some(Arc::clone(sink));
+        }
+        self
     }
 
     /// Attach skew-mitigation state (builder style). A no-op when no
@@ -495,6 +543,16 @@ impl TaskOutput {
         frame: hamr_codec::Frame,
         kind: BinKind,
     ) {
+        // Pin a clone for the resident store before the frame moves
+        // into the bin. Only Normal bins are cached: scatter/merged
+        // skew traffic is nondeterministic routing, not dataflow.
+        if kind == BinKind::Normal {
+            if let Some(sink) = &self.fill {
+                if sink.mask.get(edge).copied().unwrap_or(false) {
+                    sink.capture(edge, dst, &frame);
+                }
+            }
+        }
         let mut bin = FrameBin::new(edge, frame).with_kind(kind);
         // Emit custody is tallied regardless of tracing: the audit
         // ledger must balance even when the trace stream is off.

@@ -146,8 +146,16 @@ impl SkewRuntime {
             combiners[e] = Some(c);
             combine_on[e] = cfg.combine;
             // Scattering needs the completion barrier (batch only) and
-            // more than one node to scatter across.
-            scatter_on[e] = (cfg.split || cfg.rebalance) && nodes > 1 && !graph.has_stream;
+            // more than one node to scatter across. Cached edges are
+            // excluded entirely: the resident store replays pinned
+            // frames to their recorded home partitions, so ownership
+            // must stay partition-stable — no hot-key splitting, no
+            // shard migration. (In-node combining is fine: fills
+            // capture post-combine frames and replay identically.)
+            scatter_on[e] = (cfg.split || cfg.rebalance)
+                && nodes > 1
+                && !graph.has_stream
+                && graph.flowlets[def.src].cache.is_none();
         }
         let plan = SkewPlan::new(edges);
         let counters = (0..nodes).map(|_| SkewNodeCounters::default()).collect();

@@ -1,0 +1,192 @@
+//! Partition-resident frame cache, end to end: job chains through a
+//! `Session`, serve/fill round trips, shuffle collapse on cache hits,
+//! audit custody balance, invalidation, and scheduler-mode agreement.
+
+use hamr_core::{
+    typed, Cluster, ClusterConfig, Emitter, Exchange, JobBuilder, JobGraph, SchedMode,
+};
+
+fn pairs(n: u64, salt: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i, i * 3 + salt)).collect()
+}
+
+/// loader --Hash--> sum, with the loader annotated `resident(tag)`.
+/// The Hash edge crosses the fabric, so a cache hit must collapse
+/// `shuffled_bytes` to control-message noise.
+fn cached_sum_job(name: &str, data: Vec<(u64, u64)>, tag: &str, fp: u64) -> (JobGraph, usize) {
+    let mut job = JobBuilder::new(name);
+    let loader = job.add_loader("pairs", typed::pairs_loader(data));
+    let sum = job.add_reduce(
+        "sum",
+        typed::reduce_fn(|k: u64, vs: Vec<u64>, out: &mut Emitter| {
+            out.output_t(&k, &vs.iter().sum::<u64>());
+        }),
+    );
+    job.connect(loader, sum, Exchange::Hash);
+    job.capture_output(sum);
+    job.resident(loader, tag, fp);
+    (job.build().unwrap(), sum)
+}
+
+fn sorted_output(result: &hamr_core::JobResult, f: usize) -> Vec<(u64, u64)> {
+    let mut out = result.typed_output::<u64, u64>(f);
+    out.sort();
+    out
+}
+
+fn cluster_with(sched: SchedMode) -> Cluster {
+    let mut config = ClusterConfig::local(4, 2);
+    config.runtime.sched = sched;
+    let cluster = Cluster::new(config);
+    // Pinned on, so an ambient HAMR_RESIDENT=off cannot hollow out
+    // the serve assertions (the off path has its own test below).
+    cluster.resident().set_enabled(true);
+    cluster
+}
+
+#[test]
+fn chain_hit_serves_identical_output_and_collapses_shuffle() {
+    let cluster = cluster_with(SchedMode::WorkStealing);
+    let data = pairs(4000, 1);
+    let (job1, f1) = cached_sum_job("chain-a", data.clone(), "t/sum", 42);
+    let (job2, f2) = cached_sum_job("chain-b", data, "t/sum", 42);
+    let results = cluster.session().run_chain([job1, job2]).unwrap();
+    assert_eq!(results.len(), 2);
+    let first = sorted_output(&results[0], f1);
+    let second = sorted_output(&results[1], f2);
+    assert_eq!(first.len(), 4000);
+    assert_eq!(first, second, "served run must replay identical output");
+
+    let stats = cluster.resident().stats();
+    assert_eq!(stats.misses, 1, "first run misses and fills");
+    assert_eq!(stats.hits, 1, "second run serves from the store");
+    assert!(stats.bytes_saved > 0);
+    assert!(stats.resident_bytes > 0);
+
+    let full = results[0].metrics.shuffled_bytes;
+    let served = results[1].metrics.shuffled_bytes;
+    assert!(full > 0, "first run really shuffles");
+    assert!(
+        served * 10 <= full,
+        "cache hit must cut shuffled bytes >=10x (full={full}, served={served})"
+    );
+}
+
+#[test]
+fn chain_custody_balances_on_fill_and_serve() {
+    let cluster = cluster_with(SchedMode::WorkStealing);
+    let data = pairs(1500, 9);
+    let (job1, f1) = cached_sum_job("audit-a", data.clone(), "t/audit", 7);
+    let (job2, f2) = cached_sum_job("audit-b", data, "t/audit", 7);
+    let (r1, report1) = cluster.run_audited(job1).unwrap();
+    report1.check().expect("fill run custody balances");
+    let (r2, report2) = cluster.run_audited(job2).unwrap();
+    report2
+        .check()
+        .expect("served run custody balances: emit==ship==deliver==consume locally");
+    assert_eq!(cluster.resident().stats().hits, 1);
+    assert_eq!(sorted_output(&r1, f1), sorted_output(&r2, f2));
+}
+
+#[test]
+fn fingerprint_change_bypasses_and_recomputes() {
+    let cluster = cluster_with(SchedMode::WorkStealing);
+    let (job1, _) = cached_sum_job("fp-a", pairs(800, 1), "t/fp", 1);
+    let (job2, f2) = cached_sum_job("fp-b", pairs(800, 2), "t/fp", 2);
+    let results = cluster.session().run_chain([job1, job2]).unwrap();
+    let stats = cluster.resident().stats();
+    assert_eq!(stats.hits, 0, "changed fingerprint must not serve");
+    assert_eq!(stats.misses, 2);
+    // The recompute reflects the new input, not the pinned frames.
+    let expect: Vec<(u64, u64)> = pairs(800, 2);
+    assert_eq!(sorted_output(&results[1], f2), expect);
+}
+
+#[test]
+fn disabled_store_leaves_chain_unchanged() {
+    let cluster = cluster_with(SchedMode::WorkStealing);
+    cluster.resident().set_enabled(false);
+    let data = pairs(1000, 5);
+    let (job1, f1) = cached_sum_job("off-a", data.clone(), "t/off", 3);
+    let (job2, f2) = cached_sum_job("off-b", data, "t/off", 3);
+    let results = cluster.session().run_chain([job1, job2]).unwrap();
+    let stats = cluster.resident().stats();
+    assert_eq!((stats.hits, stats.misses), (0, 0));
+    assert_eq!(
+        sorted_output(&results[0], f1),
+        sorted_output(&results[1], f2)
+    );
+    // Both runs paid the full shuffle.
+    assert!(results[1].metrics.shuffled_bytes >= results[0].metrics.shuffled_bytes / 2);
+}
+
+#[test]
+fn serve_agrees_across_all_scheduler_modes() {
+    let mut baseline: Option<Vec<(u64, u64)>> = None;
+    for sched in [
+        SchedMode::WorkStealing,
+        SchedMode::Centralized,
+        SchedMode::Deterministic { seed: 7 },
+    ] {
+        let cluster = cluster_with(sched);
+        let data = pairs(1200, 4);
+        let (job1, _) = cached_sum_job("mode-a", data.clone(), "t/mode", 11);
+        let (job2, f2) = cached_sum_job("mode-b", data, "t/mode", 11);
+        let results = cluster.session().run_chain([job1, job2]).unwrap();
+        assert_eq!(cluster.resident().stats().hits, 1, "{sched:?} serves");
+        let out = sorted_output(&results[1], f2);
+        match &baseline {
+            None => baseline = Some(out),
+            Some(b) => assert_eq!(&out, b, "{sched:?} disagrees with baseline"),
+        }
+    }
+}
+
+#[test]
+fn session_reset_namespace_scopes_kv_and_cache() {
+    let cluster = cluster_with(SchedMode::WorkStealing);
+    let (job1, _) = cached_sum_job("ns-a", pairs(300, 1), "pr/adj", 5);
+    let (other, _) = cached_sum_job("ns-b", pairs(300, 1), "km/pts", 5);
+    let session = cluster.session();
+    session.run_chain([job1, other]).unwrap();
+    cluster.kv().put(
+        bytes::Bytes::from_static(b"pr/rank0"),
+        bytes::Bytes::from_static(b"x"),
+    );
+    cluster.kv().put(
+        bytes::Bytes::from_static(b"km/c0"),
+        bytes::Bytes::from_static(b"y"),
+    );
+    session.reset_namespace("pr/");
+    // The pr/ tag and keys are gone; km/ untouched.
+    assert_eq!(cluster.resident().stats().entries, 1);
+    assert!(cluster.kv().get(b"pr/rank0").is_none());
+    assert!(cluster.kv().get(b"km/c0").is_some());
+    // A rerun of the pr job must miss (recompute), km still hits.
+    let (job3, _) = cached_sum_job("ns-c", pairs(300, 1), "pr/adj", 5);
+    let (job4, _) = cached_sum_job("ns-d", pairs(300, 1), "km/pts", 5);
+    let before = cluster.resident().stats();
+    session.run_chain([job3, job4]).unwrap();
+    let after = cluster.resident().stats();
+    assert_eq!(after.hits - before.hits, 1, "km/ serves");
+    assert_eq!(after.misses - before.misses, 1, "pr/ recomputes");
+}
+
+#[test]
+fn eviction_under_budget_spills_and_still_serves() {
+    let cluster = cluster_with(SchedMode::WorkStealing);
+    // Budget far below one entry: every fill spills to simdisk, every
+    // serve reloads from the spill file.
+    cluster.resident().set_budget(64);
+    let data = pairs(2000, 3);
+    let (job1, f1) = cached_sum_job("ev-a", data.clone(), "t/ev", 13);
+    let (job2, f2) = cached_sum_job("ev-b", data, "t/ev", 13);
+    let results = cluster.session().run_chain([job1, job2]).unwrap();
+    let stats = cluster.resident().stats();
+    assert!(stats.evictions >= 1, "budget forces a spill");
+    assert_eq!(stats.hits, 1, "spilled entry reloads and serves");
+    assert_eq!(
+        sorted_output(&results[0], f1),
+        sorted_output(&results[1], f2)
+    );
+}

@@ -135,6 +135,28 @@ impl Shard {
         self.bytes.store(0, Ordering::Relaxed);
     }
 
+    /// Drop every key starting with `prefix` (namespaced reset: one
+    /// workload's rerun cleanup must not clear other tenants' state).
+    /// Returns the number of entries removed.
+    pub fn remove_prefix(&self, prefix: &[u8]) -> usize {
+        let mut removed = 0usize;
+        let mut freed = 0i64;
+        for m in &self.maps {
+            let mut map = m.write();
+            map.retain(|k, v| {
+                if k.starts_with(prefix) {
+                    removed += 1;
+                    freed += (k.len() + v.len()) as i64;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.add_bytes(-freed);
+        removed
+    }
+
     // --- typed conveniences ----------------------------------------
 
     /// Typed insert via [`Codec`].
@@ -201,6 +223,12 @@ impl KvStore {
         for s in &self.shards {
             s.clear();
         }
+    }
+
+    /// Drop every key starting with `prefix` on every shard. Returns
+    /// the total number of entries removed.
+    pub fn remove_prefix(&self, prefix: &[u8]) -> usize {
+        self.shards.iter().map(|s| s.remove_prefix(prefix)).sum()
     }
 
     /// Get from the owning shard (location-transparent read).
@@ -321,6 +349,21 @@ mod tests {
         store.clear();
         assert_eq!(store.total_len(), 0);
         assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_prefix_scopes_by_namespace() {
+        let store = KvStore::new(2);
+        store.put(Bytes::from("pr/r1"), Bytes::from("a"));
+        store.put(Bytes::from("pr/r2"), Bytes::from("bb"));
+        store.put(Bytes::from("km/c1"), Bytes::from("c"));
+        assert_eq!(store.remove_prefix(b"pr/"), 2);
+        assert_eq!(store.total_len(), 1);
+        assert!(store.get(b"km/c1").is_some());
+        assert!(store.get(b"pr/r1").is_none());
+        // Byte accounting survives the retain pass.
+        assert_eq!(store.total_bytes(), "km/c1".len() as u64 + 1);
+        assert_eq!(store.remove_prefix(b"pr/"), 0);
     }
 
     #[test]

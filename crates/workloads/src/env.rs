@@ -154,6 +154,24 @@ impl Env {
 }
 
 impl Env {
+    /// Session over the HAMR cluster: job chains, residency, and
+    /// namespaced resets. Workloads should run through this rather
+    /// than `hamr.run` directly so chained jobs share the KV store
+    /// and the partition-resident frame cache.
+    pub fn session(&self) -> hamr_core::Session<'_> {
+        self.hamr.session()
+    }
+
+    /// Reset one workload's rerun state: every KV key and every
+    /// resident cache tag prefixed `ns` (convention: `"<wl>/"`, e.g.
+    /// `"pr/"`). Centralizes the cleanup each iterative workload used
+    /// to hand-roll with `kv().clear()` — which nuked *every* tenant's
+    /// state, not just its own. Returns the number of KV entries
+    /// dropped.
+    pub fn reset_namespace(&self, ns: &str) -> usize {
+        self.hamr.session().reset_namespace(ns)
+    }
+
     /// Idempotently write a text file into the DFS.
     pub fn seed_text(&self, path: &str, lines: &[String]) -> Result<(), String> {
         if self.dfs.exists(path) {
@@ -178,6 +196,24 @@ pub fn unique_path(prefix: &str) -> String {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT: AtomicU64 = AtomicU64::new(0);
     format!("{prefix}-{}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Per-iteration shuffle and cache telemetry for iterative
+/// workloads. Entry `i` covers iteration `i` (iteration 0 is the
+/// setup/build iteration).
+#[derive(Debug, Clone, Default)]
+pub struct IterStats {
+    /// Wall-clock time of this iteration's job(s).
+    pub elapsed: Duration,
+    /// Bytes that crossed node boundaries during this iteration.
+    pub shuffled_bytes: u64,
+    /// Records emitted into this iteration's shuffles (pre-combiner;
+    /// 0 on a resident-cache serve, because the loader never runs).
+    pub shuffle_records: u64,
+    /// Resident-cache serves during this iteration.
+    pub cache_hits: u64,
+    /// Shuffle bytes the resident cache absorbed this iteration.
+    pub cache_bytes_saved: u64,
 }
 
 /// One engine's result on one benchmark.
@@ -217,6 +253,9 @@ pub struct BenchOutput {
     /// Reduce shards the skew planner migrated off overloaded nodes.
     /// 0 for mapred.
     pub shards_migrated: u64,
+    /// Per-iteration telemetry (empty for single-job workloads and
+    /// for the MapReduce engine).
+    pub iters: Vec<IterStats>,
 }
 
 impl BenchOutput {

@@ -202,7 +202,7 @@ impl KMeans {
         let update = job.add_map(
             "CentroidUpdate",
             typed::map_ctx_fn(|ctx, cluster: u64, line: String, out: &mut Emitter| {
-                let mut key = b"kmc".to_vec();
+                let mut key = b"km/c".to_vec();
                 cluster.encode(&mut key);
                 ctx.kv.put(key.into(), bytes::Bytes::from(line.clone()));
                 if let Some((movie, _)) = parse_vector(&line) {
@@ -214,8 +214,11 @@ impl KMeans {
         job.connect(cluster_gen, new_centroid_gen, Exchange::Hash);
         job.connect(new_centroid_gen, update, Exchange::Broadcast);
         job.capture_output(update);
+        // Same resident tag as `run_hamr`: the parsed input lines are
+        // identical in both variants, so either fills for the other.
+        job.resident(loader, "km/lines", env.session().fingerprint(INPUT));
         let result = env
-            .hamr
+            .session()
             .run(job.build().map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
         let mut unique: BTreeMap<u64, u64> = BTreeMap::new();
@@ -305,7 +308,7 @@ impl Benchmark for KMeans {
             typed::map_ctx_fn(|ctx, cluster: u64, line: String, out: &mut Emitter| {
                 // Every node stores the new centroid locally (Alg. 1
                 // step 6); one representative output per node.
-                let mut key = b"kmc".to_vec();
+                let mut key = b"km/c".to_vec();
                 cluster.encode(&mut key);
                 ctx.kv.put(key.into(), bytes::Bytes::from(line.clone()));
                 if let Some((movie, _)) = parse_vector(&line) {
@@ -318,8 +321,14 @@ impl Benchmark for KMeans {
         job.connect(new_centroid_gen, info_get, Exchange::KeyNode);
         job.connect(info_get, update, Exchange::Broadcast);
         job.capture_output(update);
+        // M3R-style de-duplicated input loading: the split text lines
+        // are input-invariant, so pin them. A rerun in the same
+        // session (or the ship-data ablation, which shares the tag)
+        // serves the lines from memory instead of re-reading the DFS —
+        // the assignment map still runs against fresh centroids.
+        job.resident(loader, "km/lines", env.session().fingerprint(INPUT));
         let result = env
-            .hamr
+            .session()
             .run(job.build().map_err(|e| e.to_string())?)
             .map_err(|e| e.to_string())?;
         // Every node captured a copy of each (cluster, movie); dedupe.

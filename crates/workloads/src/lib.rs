@@ -22,7 +22,7 @@ pub mod wordcount;
 
 mod env;
 
-pub use env::{BenchOutput, Env, SimParams};
+pub use env::{BenchOutput, Env, IterStats, SimParams};
 
 /// Uniform interface over the eight benchmarks (used by the harness).
 pub trait Benchmark: Send + Sync {
@@ -79,6 +79,7 @@ pub fn skewed_variants() -> Vec<Box<dyn Benchmark>> {
             pages: 12,
             max_out_links: 10,
             iterations: 3,
+            resident: true,
         }),
         // Dense RMAT corner: 2^3 vertices with many edges piles the
         // adjacency onto the RMAT hot quadrant.

@@ -1,12 +1,21 @@
 //! PageRank (§4, Alg. 2) — the multi-phase + in-memory benchmark
 //! (13.6x in Table 2).
 //!
-//! * HAMR: **one job per iteration**. The first iteration's
-//!   `EdgeFileLoader → HashJoinRed` builds each page's adjacency list
-//!   into the node-local slice of the distributed KV store; later
-//!   iterations load adjacency and ranks straight from memory
-//!   (`EdgeLoader`), feed `MergeRed`, and check convergence in
-//!   `ContMap` — no disk IO between iterations.
+//! * HAMR: a **session-chained job sequence** with M3R-style
+//!   partition residency. Iteration 0 (`EdgeFileLoader → HashJoinRed`)
+//!   builds each page's adjacency list into the node-local slice of
+//!   the distributed KV store and computes the first update. Every
+//!   later iteration is two chained jobs:
+//!   - **rank-ship** (`RankShip → RankGather`, Broadcast): each node
+//!     packs its rank shard into one delta-varint blob — the frontier
+//!     that must travel is O(pages), not O(edges);
+//!   - **update** (`RAdjSrc → PRUpdateRed`, Hash): the reverse
+//!     adjacency `(dst, (src, deg))` is iteration-*invariant*, so the
+//!     loader is annotated `resident("pr/radj")` — iteration 1 fills
+//!     the partition-resident frame cache and iterations ≥2 are
+//!     served pinned frames locally: no re-scan, no re-encode, no
+//!     fabric ship. That collapses the per-iteration shuffle from
+//!     O(edges) to the rank frontier.
 //! * Hadoop: an adjacency-build job, then **two chained jobs per
 //!   iteration** (contributions, then rank update), every link paying
 //!   job startup, a sort/spill/shuffle, and a DFS round trip.
@@ -14,13 +23,15 @@
 //! Ranks are fixed-point (units of 1e-6) so integer arithmetic makes
 //! both engines' results identical regardless of reduction order:
 //! `new = 0.15 + 0.85 * Σ contrib`, `contrib = rank / outdegree`.
+//! The cached frames carry `(src, deg)` pairs, never ranks, so the
+//! served iterations compute bit-identical results to a cache-off run.
 
-use crate::env::{scaled, unique_path, BenchOutput, Env};
+use crate::env::{scaled, unique_path, BenchOutput, Env, IterStats};
 use crate::gen::webgraph::{link_lines, zipfian_links};
 use crate::{pair_checksum, Benchmark};
 use bytes::Bytes;
 use hamr_codec::Codec;
-use hamr_core::{typed, Emitter, Exchange, JobBuilder};
+use hamr_core::{typed, Emitter, Exchange, JobBuilder, JobGraph};
 use hamr_mapred::{decode_kv, line_map_fn, map_fn, reduce_fn, InputFormat, JobConf, ReduceOutput};
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,14 +46,26 @@ fn damped(sum: u64) -> u64 {
     150_000 + (sum * 85) / 100
 }
 
+// KV keys live under the `pr/` namespace so `reset_namespace("pr/")`
+// isolates reruns without touching other tenants. `pr/a` = adjacency
+// at the src's home shard, `pr/r` = authoritative rank at the page's
+// home shard, `pr/c` = the per-node rank copy the rank-ship job
+// refreshes every iteration. The resident cache tag `pr/radj` shares
+// the prefix so a namespace reset drops the pinned frames too.
 fn adj_key(page: u64) -> Bytes {
-    let mut k = b"a".to_vec();
+    let mut k = b"pr/a".to_vec();
     page.encode(&mut k);
     k.into()
 }
 
 fn rank_key(page: u64) -> Bytes {
-    let mut k = b"r".to_vec();
+    let mut k = b"pr/r".to_vec();
+    page.encode(&mut k);
+    k.into()
+}
+
+fn copy_key(page: u64) -> Bytes {
+    let mut k = b"pr/c".to_vec();
     page.encode(&mut k);
     k.into()
 }
@@ -51,6 +74,10 @@ pub struct PageRank {
     pub pages: usize,
     pub max_out_links: usize,
     pub iterations: usize,
+    /// Serve the invariant reverse adjacency from the partition-
+    /// resident cache on iterations ≥2 (false = ablation: the same
+    /// chain pays the full reverse-adjacency shuffle every iteration).
+    pub resident: bool,
 }
 
 impl Default for PageRank {
@@ -60,15 +87,54 @@ impl Default for PageRank {
             pages: 20_000,
             max_out_links: 16,
             iterations: 4,
+            resident: true,
         }
     }
 }
 
 impl PageRank {
-    /// Build the shared per-iteration tail: MergeRed → ContMap →
-    /// DiffSum. Returns (entry flowlet = MergeRed, ContMap, capture
-    /// flowlet).
-    fn add_iteration_tail(job: &mut JobBuilder) -> (usize, usize, usize) {
+    /// Convergence tail shared by every iteration's final reduce:
+    /// `from → ContMap → DiffSum` (the captured output is the total
+    /// rank movement this iteration). Returns the ContMap id — its
+    /// `records_out` crosses the DiffSum shuffle.
+    fn add_convergence_tail(job: &mut JobBuilder, from: usize) -> usize {
+        let cont_map = job.add_map(
+            "ContMap",
+            typed::map_fn(|k: u64, diff: u64, out: &mut Emitter| out.emit_t(0, &k, &diff)),
+        );
+        let diff_sum = job.add_partial_reduce("DiffSum", typed::sum_reducer::<u64>());
+        job.connect(from, cont_map, Exchange::Local);
+        job.connect_combined(cont_map, diff_sum, Exchange::Hash, typed::sum_combiner());
+        job.capture_output(diff_sum);
+        cont_map
+    }
+
+    /// Iteration 0: build the adjacency partition in memory while
+    /// computing the first rank update (Alg. 2 lines 3–5).
+    fn setup_job(&self) -> Result<(JobGraph, Vec<usize>), String> {
+        let mut job = JobBuilder::new("pagerank-iter0");
+        let loader = job.add_loader("EdgeFileLoader", typed::dfs_line_loader(INPUT));
+        let parse = job.add_map(
+            "ParseMap",
+            typed::map_fn(|_off: u64, line: String, out: &mut Emitter| {
+                if let Some((src, dst)) = crate::gen::rmat::parse_edge_line(&line) {
+                    out.emit_t(0, &src, &dst);
+                }
+            }),
+        );
+        let hash_join = job.add_reduce(
+            "HashJoinRed",
+            typed::reduce_ctx_fn(|ctx, src: u64, dsts: Vec<u64>, out: &mut Emitter| {
+                // Save the dst list into memory (the KV store).
+                ctx.kv.put(adj_key(src), dsts.to_bytes());
+                let contrib = UNIT / dsts.len() as u64;
+                for dst in &dsts {
+                    out.emit_t(0, dst, &contrib);
+                }
+                // Ensure the src itself appears in the rank map.
+                out.emit_t(0, &src, &0u64);
+            }),
+        );
         let merge_red = job.add_reduce(
             "MergeRed",
             typed::reduce_ctx_fn(|ctx, page: u64, contribs: Vec<u64>, out: &mut Emitter| {
@@ -83,15 +149,140 @@ impl PageRank {
                 out.emit_t(0, &0u64, &new.abs_diff(old));
             }),
         );
-        let cont_map = job.add_map(
-            "ContMap",
-            typed::map_fn(|k: u64, diff: u64, out: &mut Emitter| out.emit_t(0, &k, &diff)),
+        job.connect(loader, parse, Exchange::Local);
+        job.connect(parse, hash_join, Exchange::Hash);
+        // Contributions to one page sum associatively, so the skew
+        // combiner can fold them before the shuffle; the zipfian link
+        // graph makes popular pages genuinely hot.
+        job.connect_combined(hash_join, merge_red, Exchange::Hash, typed::sum_combiner());
+        let cont_map = Self::add_convergence_tail(&mut job, merge_red);
+        let graph = job.build().map_err(|e| e.to_string())?;
+        Ok((graph, vec![parse, hash_join, cont_map]))
+    }
+
+    /// Iterations ≥1, job A — **rank-ship**: every node packs its
+    /// authoritative `pr/r` shard into one sorted delta-varint blob
+    /// and broadcasts it; `RankGather` unpacks the blobs into the
+    /// node-local `pr/c` rank copy. This is the only per-iteration
+    /// traffic once the reverse adjacency is resident: O(pages) of
+    /// frontier, not O(edges) of contributions.
+    fn rank_ship_job(&self, iter: usize) -> Result<(JobGraph, Vec<usize>), String> {
+        let mut job = JobBuilder::new(format!("pagerank-ship{iter}"));
+        let ship = job.add_loader(
+            "RankShip",
+            typed::gen_loader(
+                |_ctx| 1,
+                |ctx, _split, out: &mut Emitter| {
+                    let mut ranks: Vec<(u64, u64)> = Vec::new();
+                    ctx.kv.for_each(|k, v| {
+                        if k.starts_with(b"pr/r") {
+                            let mut rest = &k[4..];
+                            let page = u64::decode(&mut rest).expect("rank key");
+                            ranks.push((page, u64::from_bytes(v).expect("rank")));
+                        }
+                    });
+                    ranks.sort_unstable();
+                    let mut blob = Vec::with_capacity(ranks.len() * 6);
+                    let mut prev = 0u64;
+                    for &(page, rank) in &ranks {
+                        hamr_codec::write_varint(page - prev, &mut blob);
+                        hamr_codec::write_varint(rank, &mut blob);
+                        prev = page;
+                    }
+                    out.emit_t(0, &(ctx.node as u64), &Bytes::from(blob));
+                },
+            ),
         );
-        let diff_sum = job.add_partial_reduce("DiffSum", typed::sum_reducer::<u64>());
-        job.connect(merge_red, cont_map, Exchange::Local);
-        job.connect_combined(cont_map, diff_sum, Exchange::Hash, typed::sum_combiner());
-        job.capture_output(diff_sum);
-        (merge_red, cont_map, diff_sum)
+        let gather = job.add_map(
+            "RankGather",
+            typed::map_ctx_fn(|ctx, _from: u64, blob: Bytes, _out: &mut Emitter| {
+                let mut input = &blob[..];
+                let mut page = 0u64;
+                while !input.is_empty() {
+                    page += hamr_codec::read_varint(&mut input).expect("page delta");
+                    let rank = hamr_codec::read_varint(&mut input).expect("rank");
+                    ctx.kv.put(copy_key(page), rank.to_bytes());
+                }
+            }),
+        );
+        job.connect(ship, gather, Exchange::Broadcast);
+        // Mark the rank blobs as the iteration frontier (what must
+        // still travel when everything invariant is resident).
+        job.frontier(ship);
+        let graph = job.build().map_err(|e| e.to_string())?;
+        Ok((graph, vec![ship]))
+    }
+
+    /// Iterations ≥1, job B — **update**: `RAdjSrc` emits the reverse
+    /// adjacency `(dst, (src, deg))` plus a `(page, (MAX, 0))`
+    /// presence sentinel per known page. Both are iteration-invariant,
+    /// so the loader is `resident("pr/radj")`: the first update fills
+    /// the cache (full shuffle), later updates are served pinned
+    /// frames with no fabric traffic. `PRUpdateRed` joins against the
+    /// `pr/c` rank copy — the only per-iteration input — so served
+    /// iterations stay bit-identical to recomputed ones.
+    fn update_job(&self, iter: usize, fp: u64) -> Result<(JobGraph, Vec<usize>), String> {
+        let mut job = JobBuilder::new(format!("pagerank-update{iter}"));
+        let radj = job.add_loader(
+            "RAdjSrc",
+            typed::gen_loader(
+                |_ctx| 1,
+                |ctx, _split, out: &mut Emitter| {
+                    ctx.kv.for_each(|k, v| {
+                        if k.starts_with(b"pr/a") {
+                            let mut rest = &k[4..];
+                            let src = u64::decode(&mut rest).expect("adj key");
+                            let dsts = Vec::<u64>::from_bytes(v).expect("adj value");
+                            let deg = dsts.len() as u64;
+                            for dst in &dsts {
+                                out.emit_t(0, dst, &(src, deg));
+                            }
+                        } else if k.starts_with(b"pr/r") {
+                            // Presence sentinel: keep every known page
+                            // in the rank map (deg 0 contributes
+                            // nothing, mirroring the mapred marker).
+                            let mut rest = &k[4..];
+                            let page = u64::decode(&mut rest).expect("rank key");
+                            out.emit_t(0, &page, &(u64::MAX, 0u64));
+                        }
+                    });
+                },
+            ),
+        );
+        job.resident(radj, "pr/radj", fp);
+        let update = job.add_reduce(
+            "PRUpdateRed",
+            typed::reduce_ctx_fn(|ctx, page: u64, ins: Vec<(u64, u64)>, out: &mut Emitter| {
+                let mut sum = 0u64;
+                for &(src, deg) in &ins {
+                    if deg == 0 {
+                        continue;
+                    }
+                    let rank = ctx
+                        .kv
+                        .get(&copy_key(src))
+                        .map(|b| u64::from_bytes(&b).expect("rank copy"))
+                        .unwrap_or(UNIT);
+                    sum += rank / deg;
+                }
+                let new = damped(sum);
+                let old = ctx
+                    .kv
+                    .get(&rank_key(page))
+                    .map(|b| u64::from_bytes(&b).expect("rank"))
+                    .unwrap_or(UNIT);
+                ctx.kv.put(rank_key(page), new.to_bytes());
+                out.emit_t(0, &0u64, &new.abs_diff(old));
+            }),
+        );
+        // No combiner: the values are (src, deg) references, not
+        // summable contributions — and the cache captures the
+        // post-combine frames anyway, so a combiner here would bake
+        // rank values into the pinned partition.
+        job.connect(radj, update, Exchange::Hash);
+        let cont_map = Self::add_convergence_tail(&mut job, update);
+        let graph = job.build().map_err(|e| e.to_string())?;
+        Ok((graph, vec![radj, cont_map]))
     }
 }
 
@@ -111,101 +302,66 @@ impl Benchmark for PageRank {
 
     fn run_hamr(&self, env: &Env) -> Result<BenchOutput, String> {
         let start = Instant::now();
-        // Clear any prior PageRank state in the KV store (reruns).
-        env.hamr.kv().clear();
+        let session = env.session();
+        // Namespaced rerun isolation: drop pr/ KV keys and the pr/
+        // cache tags, leave other tenants' state alone.
+        env.reset_namespace("pr/");
+        let store = env.hamr.resident();
+        let ambient = store.enabled();
+        store.set_enabled(ambient && self.resident);
+        let fp = session.fingerprint(INPUT);
+
         let mut shuffle_records = 0u64;
         let mut shuffled_bytes = 0u64;
         let mut sched = BenchOutput::default();
-        for iter in 0..self.iterations {
-            let mut job = JobBuilder::new(format!("pagerank-iter{iter}"));
-            // Flowlets whose output edge is a Hash exchange — their
-            // records_out is what crosses the shuffle this iteration.
-            let hash_sources = if iter == 0 {
-                // Iteration 1: build adjacency in memory while computing
-                // the first contributions (Alg. 2 lines 3–5).
-                let loader = job.add_loader("EdgeFileLoader", typed::dfs_line_loader(INPUT));
-                let parse = job.add_map(
-                    "ParseMap",
-                    typed::map_fn(|_off: u64, line: String, out: &mut Emitter| {
-                        if let Some((src, dst)) = crate::gen::rmat::parse_edge_line(&line) {
-                            out.emit_t(0, &src, &dst);
+        let mut iters: Vec<IterStats> = Vec::with_capacity(self.iterations);
+        let mut jobs_done = 0u64;
+        let mut cache_mark = store.stats();
+        let run = (|| -> Result<(), String> {
+            for iter in 0..self.iterations {
+                // One chain link per iteration: the setup job alone,
+                // then rank-ship + update pairs. Cross-job state flows
+                // through the session's KV store and resident cache.
+                let (batch, sources): (Vec<JobGraph>, Vec<Vec<usize>>) = if iter == 0 {
+                    let (job, srcs) = self.setup_job()?;
+                    (vec![job], vec![srcs])
+                } else {
+                    let (ship, ship_srcs) = self.rank_ship_job(iter)?;
+                    let (update, update_srcs) = self.update_job(iter, fp)?;
+                    (vec![ship, update], vec![ship_srcs, update_srcs])
+                };
+                let results = session.run_chain(batch).map_err(|e| e.to_string())?;
+                let mut stat = IterStats::default();
+                for (result, srcs) in results.iter().zip(&sources) {
+                    stat.elapsed += result.elapsed;
+                    stat.shuffled_bytes += result.metrics.shuffled_bytes;
+                    for &f in srcs {
+                        if let Some(m) = result.metrics.flowlets.get(&f) {
+                            stat.shuffle_records += m.records_out;
                         }
-                    }),
-                );
-                let hash_join = job.add_reduce(
-                    "HashJoinRed",
-                    typed::reduce_ctx_fn(|ctx, src: u64, dsts: Vec<u64>, out: &mut Emitter| {
-                        // Save the dst list into memory (the KV store).
-                        ctx.kv.put(adj_key(src), dsts.to_bytes());
-                        let contrib = UNIT / dsts.len() as u64;
-                        for dst in &dsts {
-                            out.emit_t(0, dst, &contrib);
-                        }
-                        // Ensure the src itself appears in the rank map.
-                        out.emit_t(0, &src, &0u64);
-                    }),
-                );
-                let (merge_red, cont_map, _) = Self::add_iteration_tail(&mut job);
-                job.connect(loader, parse, Exchange::Local);
-                job.connect(parse, hash_join, Exchange::Hash);
-                // Contributions to one page sum associatively, so the
-                // skew combiner can fold them before the shuffle; the
-                // zipfian link graph makes popular pages genuinely hot.
-                job.connect_combined(hash_join, merge_red, Exchange::Hash, typed::sum_combiner());
-                vec![parse, hash_join, cont_map]
-            } else {
-                // Later iterations: everything from memory (Alg. 2 line 7).
-                let loader = job.add_loader(
-                    "EdgeLoader",
-                    typed::gen_loader(
-                        |_ctx| 1,
-                        |ctx, _split, out: &mut Emitter| {
-                            ctx.kv.for_each(|k, v| {
-                                if k.first() == Some(&b'a') {
-                                    let mut rest = &k[1..];
-                                    let src = u64::decode(&mut rest).expect("adj key");
-                                    let dsts = Vec::<u64>::from_bytes(v).expect("adj value");
-                                    let rank = ctx
-                                        .kv
-                                        .get(&rank_key(src))
-                                        .map(|b| u64::from_bytes(&b).expect("rank"))
-                                        .unwrap_or(UNIT);
-                                    let contrib = rank / dsts.len() as u64;
-                                    for dst in &dsts {
-                                        out.emit_t(0, dst, &contrib);
-                                    }
-                                } else if k.first() == Some(&b'r') {
-                                    // Keep every known page in the rank map.
-                                    let mut rest = &k[1..];
-                                    let page = u64::decode(&mut rest).expect("rank key");
-                                    out.emit_t(0, &page, &0u64);
-                                }
-                            });
-                        },
-                    ),
-                );
-                let (merge_red, cont_map, _) = Self::add_iteration_tail(&mut job);
-                job.connect_combined(loader, merge_red, Exchange::Hash, typed::sum_combiner());
-                vec![loader, cont_map]
-            };
-            let result = env
-                .hamr
-                .run(job.build().map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
-            shuffled_bytes += result.metrics.shuffled_bytes;
-            for f in hash_sources {
-                if let Some(m) = result.metrics.flowlets.get(&f) {
-                    shuffle_records += m.records_out;
+                    }
+                    sched.fold_sched_metrics(&result.metrics, jobs_done);
+                    jobs_done += 1;
                 }
+                let now = store.stats();
+                stat.cache_hits = now.hits - cache_mark.hits;
+                stat.cache_bytes_saved = now.bytes_saved - cache_mark.bytes_saved;
+                cache_mark = now;
+                shuffled_bytes += stat.shuffled_bytes;
+                shuffle_records += stat.shuffle_records;
+                iters.push(stat);
             }
-            sched.fold_sched_metrics(&result.metrics, iter as u64);
-        }
+            Ok(())
+        })();
+        store.set_enabled(ambient);
+        run?;
+
         // Final ranks live in the KV store, distributed by page.
         let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
         for node in 0..env.params.nodes {
             env.hamr.kv().shard(node).for_each(|k, v| {
-                if k.first() == Some(&b'r') {
-                    pairs.push((k[1..].to_vec(), v.to_vec()));
+                if k.starts_with(b"pr/r") {
+                    pairs.push((k[4..].to_vec(), v.to_vec()));
                 }
             });
         }
@@ -215,6 +371,7 @@ impl Benchmark for PageRank {
             records: pairs.len() as u64,
             shuffle_records,
             shuffled_bytes,
+            iters,
             ..sched
         })
     }
@@ -344,9 +501,11 @@ mod tests {
     }
 
     #[test]
-    fn kv_key_prefixes_distinct() {
+    fn kv_key_prefixes_distinct_and_namespaced() {
         assert_ne!(adj_key(5), rank_key(5));
-        assert_eq!(adj_key(5)[0], b'a');
-        assert_eq!(rank_key(5)[0], b'r');
+        assert_ne!(rank_key(5), copy_key(5));
+        assert!(adj_key(5).starts_with(b"pr/a"));
+        assert!(rank_key(5).starts_with(b"pr/r"));
+        assert!(copy_key(5).starts_with(b"pr/c"));
     }
 }

@@ -243,6 +243,95 @@ fn skewed_workloads_agree_with_mapred_under_every_mitigation() {
     }
 }
 
+// ---------------------------------------------------------------
+// Chain mode (partition residency): the session chain must give the
+// same answer with the resident cache on, off, and as the mapred
+// reference — and the custody ledger must balance even when delivery
+// is a local resident hit instead of a fabric ship.
+// ---------------------------------------------------------------
+
+#[test]
+fn pagerank_chain_cache_on_off_and_mapred_agree() {
+    use hamr_workloads::pagerank::PageRank;
+    let env = Env::test(3, 2);
+    // Pinned on, so an ambient HAMR_RESIDENT=off cannot hollow out
+    // the serve assertions.
+    env.hamr.resident().set_enabled(true);
+    let on = PageRank::default();
+    on.seed(&env).expect("seed");
+    audited(&env);
+    let served = on.run_hamr(&env).expect("cache-on run");
+    // The last chained job was a served update: emit==ship==deliver==
+    // consume must still balance when delivery is a resident hit.
+    env.hamr
+        .last_audit()
+        .expect("audit ran")
+        .check()
+        .unwrap_or_else(|v| panic!("served chain custody violated: {v:?}"));
+    let hits: u64 = served.iters.iter().map(|i| i.cache_hits).sum();
+    assert!(hits >= 2, "iterations >=2 must serve (hits={hits})");
+
+    let off = PageRank {
+        resident: false,
+        ..Default::default()
+    };
+    let recomputed = off.run_hamr(&env).expect("cache-off run");
+    let mr = on.run_mapred(&env).expect("mapred run");
+    assert_eq!(
+        (served.checksum, served.records),
+        (recomputed.checksum, recomputed.records),
+        "cache on/off disagree"
+    );
+    assert_eq!(
+        (served.checksum, served.records),
+        (mr.checksum, mr.records),
+        "chain mode disagrees with mapred"
+    );
+    // The ablation really measures something: the cache-off chain
+    // pays the reverse-adjacency shuffle every iteration.
+    assert!(served.shuffled_bytes < recomputed.shuffled_bytes);
+}
+
+/// M3R-style de-duplicated input loading across *separate* jobs in
+/// one session: KMeans and NaiveBayes rerun out of the resident line
+/// cache with identical results.
+#[test]
+fn kmeans_and_naive_bayes_serve_lines_on_rerun() {
+    use hamr_workloads::kmeans::KMeans;
+    use hamr_workloads::naive_bayes::NaiveBayes;
+    let env = Env::test(3, 2);
+    env.hamr.resident().set_enabled(true);
+    let km = KMeans::default();
+    km.seed(&env).expect("seed kmeans");
+    let first = km.run_hamr(&env).expect("kmeans fill");
+    let mark = env.hamr.resident().stats();
+    let replay = km.run_hamr(&env).expect("kmeans rerun");
+    assert_eq!(
+        env.hamr.resident().stats().hits - mark.hits,
+        1,
+        "km/lines served"
+    );
+    assert_eq!(
+        (first.checksum, first.records),
+        (replay.checksum, replay.records)
+    );
+
+    let nb = NaiveBayes::default();
+    nb.seed(&env).expect("seed nb");
+    let first = nb.run_hamr(&env).expect("nb fill");
+    let mark = env.hamr.resident().stats();
+    let replay = nb.run_hamr(&env).expect("nb rerun");
+    assert_eq!(
+        env.hamr.resident().stats().hits - mark.hits,
+        1,
+        "nb/lines served"
+    );
+    assert_eq!(
+        (first.checksum, first.records),
+        (replay.checksum, replay.records)
+    );
+}
+
 #[test]
 fn all_benchmarks_have_distinct_inputs() {
     // Seeding everything into one environment must not clash.

@@ -7,12 +7,19 @@ use hamr_workloads::wordcount::WordCount;
 use hamr_workloads::{Benchmark, Env};
 use std::time::Duration;
 
-/// The tentpole's acceptance check: an iterative workload reports
-/// per-iteration shuffle volume out of the box, because each HAMR job
-/// records one epoch snapshot and PageRank runs one job per iteration.
+/// An iterative workload reports per-iteration shuffle volume out of
+/// the box: each HAMR job records one epoch snapshot, and the PageRank
+/// session chain runs a setup job plus a (rank-ship, update) pair per
+/// later iteration. The update epochs also expose the tentpole's
+/// collapse: update1 fills the resident cache (full reverse-adjacency
+/// shuffle), update2 is served pinned frames and ships only the
+/// convergence tail.
 #[test]
 fn pagerank_reports_per_iteration_shuffle_deltas() {
     let env = Env::test(2, 2);
+    // Pinned on, so an ambient HAMR_RESIDENT=off cannot hollow out
+    // the served-collapse assertion.
+    env.hamr.resident().set_enabled(true);
     let pr = PageRank {
         iterations: 3,
         ..Default::default()
@@ -24,20 +31,38 @@ fn pagerank_reports_per_iteration_shuffle_deltas() {
         .registry()
         .epoch_deltas()
         .into_iter()
-        .filter(|s| s.label.starts_with("pagerank-iter"))
+        .filter(|s| s.label.starts_with("pagerank-"))
         .collect();
-    assert_eq!(deltas.len(), 3, "one epoch per iteration");
-    for (i, snap) in deltas.iter().enumerate() {
-        assert_eq!(snap.label, format!("pagerank-iter{i}"));
+    let labels: Vec<&str> = deltas.iter().map(|s| s.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        [
+            "pagerank-iter0",
+            "pagerank-ship1",
+            "pagerank-update1",
+            "pagerank-ship2",
+            "pagerank-update2"
+        ],
+        "setup, then one (ship, update) pair per later iteration"
+    );
+    for snap in &deltas {
         assert!(
             snap.counter_total("shuffled_bytes_total") > 0,
-            "iteration {i} shuffled bytes"
+            "{} shuffled bytes",
+            snap.label
         );
         assert!(
             snap.counter_total("shuffled_messages_total") > 0,
-            "iteration {i} shuffled messages"
+            "{} shuffled messages",
+            snap.label
         );
     }
+    let filled = deltas[2].counter_total("shuffled_bytes_total");
+    let served = deltas[4].counter_total("shuffled_bytes_total");
+    assert!(
+        served * 5 <= filled,
+        "served update must collapse the shuffle (fill={filled}, serve={served})"
+    );
 }
 
 /// One scrape, both engines: the MapReduce baseline publishes into the

@@ -64,6 +64,50 @@ fn check(bench: &dyn Benchmark) {
     }
 }
 
+/// Chain mode: the PageRank session chain serves its resident
+/// partition under every scheduler — partition-stable ownership is
+/// asserted against the scheduler, so a steal or a replay must never
+/// change which frames are pinned where — and the served answer must
+/// match both a cache-off chain and the other modes bit-for-bit.
+#[test]
+fn pagerank_chain_cache_agrees_across_schedulers() {
+    use hamr_workloads::pagerank::PageRank;
+    let mut baseline: Option<(u64, u64)> = None;
+    for mode in MODES {
+        let env = Env::with_hamr_sched(SimParams::test(3, 2), mode);
+        // Pinned on, so an ambient HAMR_RESIDENT=off cannot hollow
+        // out the serve assertion.
+        env.hamr.resident().set_enabled(true);
+        let on = PageRank::default();
+        on.seed(&env).expect("seed");
+        let served = on.run_hamr(&env).expect("cache-on run");
+        let hits: u64 = served.iters.iter().map(|i| i.cache_hits).sum();
+        assert!(
+            hits >= 2,
+            "{mode:?}: iterations >=2 must serve the resident partition (hits={hits})"
+        );
+        let off = PageRank {
+            resident: false,
+            ..Default::default()
+        };
+        let recomputed = off.run_hamr(&env).expect("cache-off run");
+        assert_eq!(
+            (served.checksum, served.records),
+            (recomputed.checksum, recomputed.records),
+            "{mode:?}: resident serving changed the answer"
+        );
+        match baseline {
+            None => baseline = Some((served.checksum, served.records)),
+            Some(want) => assert_eq!(
+                (served.checksum, served.records),
+                want,
+                "{mode:?} disagrees with {:?} in chain mode",
+                MODES[0]
+            ),
+        }
+    }
+}
+
 #[test]
 fn default_workloads_agree_across_schedulers() {
     for bench in all_benchmarks() {

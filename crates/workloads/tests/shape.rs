@@ -156,6 +156,7 @@ fn pagerank_state_lives_where_each_engine_puts_it() {
         pages: 500,
         max_out_links: 5,
         iterations: 2,
+        resident: true,
     };
     bench.seed(&env).unwrap();
     let hamr = bench.run_hamr(&env).unwrap();

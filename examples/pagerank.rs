@@ -17,6 +17,7 @@ fn main() {
         pages: 2_000,
         max_out_links: 6,
         iterations: 4,
+        resident: true,
     };
     bench.seed(&env).expect("seed web graph");
 

@@ -77,6 +77,7 @@ fn evaluation_shape_holds_at_small_scale() {
         pages: 3_000,
         max_out_links: 8,
         iterations: 3,
+        resident: true,
     };
     pr.seed(&env).unwrap();
     let hamr_t = pr.run_hamr(&env).unwrap();
