@@ -76,8 +76,14 @@
 //!           [--raw-out FILE.tsv] [--baseline FILE.tsv]
 //!           [--profile-dir DIR] [--fail-on-overhead PCT] [--audited]
 //!           [--compare BENCH.json] [--compare-threshold PCT]
-//!           [--metrics-out FILE] [--skew-ablation]
+//!           [--metrics-out FILE] [--skew-ablation] [--journal DIR]
 //! ```
+//!
+//! `--journal DIR` adds one quick WordCount row with the durable
+//! flight journal writing into DIR; its wall joins the
+//! `--fail-on-overhead` gate as `hamr-journal` and the journal is
+//! read back into a timeline (a completed `wordcount` job must be
+//! reconstructable) before the gate passes.
 
 use hamr_core::{RuntimeConfig, SchedMode, SkewConfig, Supervision};
 use hamr_trace::{analyze, http_get, parse_prometheus, RingSink, Telemetry, Tracer};
@@ -717,6 +723,7 @@ struct Args {
     compare_threshold: f64,
     metrics_out: Option<String>,
     skew_ablation: bool,
+    journal: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -733,6 +740,7 @@ fn parse_args() -> Result<Args, String> {
         compare_threshold: 10.0,
         metrics_out: None,
         skew_ablation: false,
+        journal: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -760,6 +768,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--skew-ablation" => args.skew_ablation = true,
+            "--journal" => args.journal = Some(value("--journal")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -912,6 +921,38 @@ fn audited_run(
     env.hamr.detach_supervisor();
     env.mr.detach_audit();
     Ok(out.elapsed.as_secs_f64())
+}
+
+/// One journal-enabled quick row for the overhead gate: WordCount
+/// untraced, then WordCount supervised with the durable flight
+/// journal writing into `dir`. The journaled wall joins
+/// `--fail-on-overhead` as `hamr-journal`, and the journal must read
+/// back into a timeline naming a completed `wordcount` job — a
+/// journal that costs real throughput or corrupts its own artifact
+/// fails CI here, not in a production post-mortem.
+fn journal_run(params: &SimParams, dir: &str) -> Result<(f64, f64), String> {
+    let bench = WordCount::default();
+    let env = Env::with_hamr_sched(params.clone(), SchedMode::WorkStealing);
+    bench.seed(&env)?;
+    let untraced = bench.run_hamr(&env)?.elapsed.as_secs_f64();
+    let env = Env::with_hamr_sched(params.clone(), SchedMode::WorkStealing);
+    bench.seed(&env)?;
+    env.hamr
+        .enable_journal(dir)
+        .map_err(|e| format!("enable journal: {e}"))?;
+    env.hamr.attach_supervisor(Supervision::default());
+    let journaled = bench.run_hamr(&env)?.elapsed.as_secs_f64();
+    env.hamr.detach_supervisor();
+    let timeline = hamr_trace::Timeline::load(std::path::Path::new(dir))
+        .map_err(|e| format!("re-read journal: {e}"))?;
+    if !timeline
+        .jobs
+        .iter()
+        .any(|j| j.job == "wordcount" && j.ok == Some(true))
+    {
+        return Err("journal timeline records no completed wordcount job".into());
+    }
+    Ok((untraced, journaled))
 }
 
 /// One introspected run for the `--metrics-out` artifact: WordCount on
@@ -1213,6 +1254,24 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("benchjson: metrics snapshot: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // One journal-enabled row: the durable flight journal's wall cost
+    // enters the same overhead gate as the sampler's.
+    if let Some(dir) = &args.journal {
+        match journal_run(&params, dir) {
+            Ok((untraced, journaled)) => {
+                eprintln!(
+                    "benchjson: journal run: WordCount untraced {untraced:.3}s, \
+                     journaled {journaled:.3}s -> {dir}"
+                );
+                overheads.push(("WordCount".to_string(), "hamr-journal", untraced, journaled));
+            }
+            Err(e) => {
+                eprintln!("benchjson: journal run: {e}");
                 std::process::exit(1);
             }
         }

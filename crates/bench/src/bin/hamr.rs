@@ -14,7 +14,21 @@
 //! ```text
 //! hamr top --addr 127.0.0.1:9099 [--engine hamr] [--interval-ms N] [--ticks N]
 //! hamr top --demo [--ticks N]
+//! hamr timeline <journal-dir>
+//! hamr timeline --diff <journal-dir-a> <journal-dir-b>
 //! ```
+//!
+//! `hamr top` also renders a cluster-wide task-latency quantile line
+//! (p50/p95/p99 in µs, aggregated from the published log2 latency
+//! histograms) and an alert line polled from `/alerts`.
+//!
+//! `hamr timeline` is the offline post-mortem: point it at a
+//! `HAMR_JOURNAL` directory (or a parent holding several per-cluster
+//! journals) and it reconstructs the run — per-job spans with
+//! shuffled-bytes / cache-hit / stall / p99 deltas, watchdog
+//! incidents, stuck edges from the audit ledger, alert firings, and
+//! the final state of a run killed mid-flight. `--diff` compares two
+//! journals job by job.
 //!
 //! Occupancy and queue columns come from telemetry gauges, which are
 //! live while the target run has telemetry attached (supervised runs,
@@ -26,11 +40,13 @@
 //! Exit codes: 0 ok, 1 endpoint/scrape failure, 2 bad arguments.
 
 use hamr_core::SchedMode;
-use hamr_trace::{http_get, parse_prometheus, PromSample, RingSink, Telemetry, Tracer};
+use hamr_trace::json::{self, Json};
+use hamr_trace::{http_get, parse_prometheus, PromSample, RingSink, Telemetry, Timeline, Tracer};
 use hamr_workloads::histogram_ratings::HistogramRatings;
 use hamr_workloads::{Benchmark, Env, SimParams};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,6 +118,99 @@ fn collect(samples: &[PromSample], engine: &str) -> (BTreeMap<u32, NodeStat>, To
     (nodes, totals)
 }
 
+/// Merge every `hamr_flowlet_task_latency_us_bucket` series in a
+/// scrape into one cluster-wide log2 bucket map: bucket upper bound
+/// in µs → count landing in that bucket (`u64::MAX` is `+Inf`).
+/// Cumulatives are un-stacked per series (full label set minus `le`)
+/// before merging, so flowlets never contaminate each other.
+fn latency_buckets(samples: &[PromSample], engine: &str) -> BTreeMap<u64, u64> {
+    let mut series: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    for s in samples {
+        if s.name != "hamr_flowlet_task_latency_us_bucket"
+            || s.label("engine").is_some_and(|e| e != engine)
+        {
+            continue;
+        }
+        let Some(le) = s.label("le") else { continue };
+        let le = if le == "+Inf" {
+            u64::MAX
+        } else {
+            match le.parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            }
+        };
+        let key: String = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v};"))
+            .collect();
+        series.entry(key).or_default().push((le, s.value as u64));
+    }
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, mut cum) in series {
+        cum.sort_by_key(|&(le, _)| le);
+        let mut prev = 0u64;
+        for (le, c) in cum {
+            let n = c.saturating_sub(prev);
+            prev = prev.max(c);
+            if n > 0 {
+                *merged.entry(le).or_default() += n;
+            }
+        }
+    }
+    merged
+}
+
+/// Smallest bucket upper bound covering quantile `q` (0..1].
+fn bucket_quantile(buckets: &BTreeMap<u64, u64>, q: f64) -> Option<u64> {
+    let total: u64 = buckets.values().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (&le, &n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return Some(le);
+        }
+    }
+    None
+}
+
+fn fmt_us(us: u64) -> String {
+    if us == u64::MAX {
+        "inf".into()
+    } else {
+        us.to_string()
+    }
+}
+
+/// Boil a `/alerts` JSON body down to one console line.
+fn alerts_line(body: &str) -> String {
+    let Ok(doc) = json::parse(body) else {
+        return "alerts: (unparseable response)".into();
+    };
+    let firing = doc.get("firing").and_then(Json::as_u64).unwrap_or(0);
+    if firing == 0 {
+        return "alerts: none firing".into();
+    }
+    let names: Vec<&str> = doc
+        .get("rules")
+        .and_then(Json::as_arr)
+        .map(|rules| {
+            rules
+                .iter()
+                .filter(|r| matches!(r.get("firing"), Some(Json::Bool(true))))
+                .filter_map(|r| r.get("rule").and_then(Json::as_str))
+                .collect()
+        })
+        .unwrap_or_default();
+    format!("alerts: {firing} FIRING [{}]", names.join(", "))
+}
+
 fn fmt_rate(bytes_per_sec: f64) -> String {
     if bytes_per_sec >= 1e6 {
         format!("{:.1}MB/s", bytes_per_sec / 1e6)
@@ -119,6 +228,8 @@ fn render_tick(
     healthz: &str,
     nodes: &BTreeMap<u32, NodeStat>,
     totals: &Totals,
+    latency: &BTreeMap<u64, u64>,
+    alerts: &str,
     prev: Option<(&BTreeMap<u32, NodeStat>, Duration)>,
 ) -> String {
     let mut out = format!(
@@ -129,6 +240,21 @@ fn render_tick(
         totals.cache_hits,
         totals.cache_resident_bytes / 1e6,
     );
+    match (
+        bucket_quantile(latency, 0.50),
+        bucket_quantile(latency, 0.95),
+        bucket_quantile(latency, 0.99),
+    ) {
+        (Some(p50), Some(p95), Some(p99)) => out.push_str(&format!(
+            "task-lat us p50/p95/p99 {}/{}/{}  {alerts}\n",
+            fmt_us(p50),
+            fmt_us(p95),
+            fmt_us(p99),
+        )),
+        _ => out.push_str(&format!(
+            "task-lat us p50/p95/p99 -/-/- (no completed job yet)  {alerts}\n"
+        )),
+    }
     out.push_str(
         "node  workers  busy   occ%  queue  defer  window  stall%  skew(spl/mig)  net-tx\n",
     );
@@ -186,11 +312,17 @@ fn top_loop(addr: SocketAddr, engine: &str, interval: Duration, ticks: u64) -> R
             Ok((code, _)) => format!("INCIDENT ({code})"),
             Err(e) => format!("unreachable ({e})"),
         };
+        let alerts = match http_get(addr, "/alerts", timeout) {
+            Ok((200, body)) => alerts_line(&body),
+            Ok((code, _)) => format!("alerts: HTTP {code}"),
+            Err(e) => format!("alerts: unreachable ({e})"),
+        };
         let (nodes, totals) = collect(&samples, engine);
+        let latency = latency_buckets(&samples, engine);
         let prev_view = prev.as_ref().map(|(stats, at)| (stats, at.elapsed()));
         println!(
             "{}",
-            render_tick(tick, &healthz, &nodes, &totals, prev_view)
+            render_tick(tick, &healthz, &nodes, &totals, &latency, &alerts, prev_view)
         );
         prev = Some((nodes, Instant::now()));
         tick += 1;
@@ -249,13 +381,56 @@ fn run_demo(interval: Duration, ticks: u64) -> Result<(), String> {
 fn usage() -> ! {
     eprintln!(
         "usage: hamr top --addr HOST:PORT [--engine hamr|mapred] \
-         [--interval-ms N] [--ticks N]\n       hamr top --demo [--ticks N]"
+         [--interval-ms N] [--ticks N]\n       hamr top --demo [--ticks N]\n       \
+         hamr timeline <journal-dir>\n       \
+         hamr timeline --diff <journal-dir-a> <journal-dir-b>"
     );
     std::process::exit(2);
 }
 
+/// `hamr timeline`: offline post-mortem reconstruction from a
+/// durable journal directory. Exit 0 on a rendered timeline, 1 on an
+/// unreadable/absent journal, 2 on bad arguments.
+fn timeline_main(args: &[String]) -> ! {
+    let code = match args {
+        [flag, a, b] if flag == "--diff" => {
+            match (Timeline::load(Path::new(a)), Timeline::load(Path::new(b))) {
+                (Ok(ta), Ok(tb)) => {
+                    println!("{}", Timeline::render_diff(&ta, &tb));
+                    0
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("hamr timeline: {e}");
+                    1
+                }
+            }
+        }
+        [dir] => match Timeline::load(Path::new(dir)) {
+            Ok(t) => {
+                println!("{}", t.render());
+                0
+            }
+            Err(e) => {
+                eprintln!("hamr timeline: {e}");
+                1
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: hamr timeline <journal-dir>\n       \
+                 hamr timeline --diff <journal-dir-a> <journal-dir-b>"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("timeline") {
+        timeline_main(&argv[1..]);
+    }
     if argv.first().map(String::as_str) != Some("top") {
         usage();
     }

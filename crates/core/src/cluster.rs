@@ -23,7 +23,8 @@ use hamr_kvstore::KvStore;
 use hamr_simdisk::Disk;
 use hamr_simnet::{Fabric, NetRegistry};
 use hamr_trace::{
-    Audit, AuditReport, FlightRecord, GaugeValue, Labels, MetricsRegistry, RingSink, Telemetry,
+    AlertEvent, AlertRule, AlertState, Audit, AuditReport, FlightRecord, GaugeValue, Journal,
+    JournalConfig, JournalRecord, Labels, MetricsRegistry, RecordedEvent, RingSink, Telemetry,
     Tracer, WatchdogClass, WatchdogTrip,
 };
 use std::collections::HashMap;
@@ -59,6 +60,31 @@ impl Default for Supervision {
             doctor_dir: Some(PathBuf::from(".")),
         }
     }
+}
+
+/// Hang an opened journal off the introspection plane: byte/record
+/// counters into the registry, sealed segments mirrored into node 0's
+/// simulated disk (so the journal is "written through simdisk" in the
+/// cluster's own model of durable storage, while the host-FS copy is
+/// what `hamr timeline` reads offline).
+fn wire_journal(introspect: &Arc<Introspect>, disks: &[Disk], journal: Journal) -> Arc<Journal> {
+    journal.set_metrics(
+        introspect
+            .registry
+            .counter("journal_bytes_total", Labels::new().engine("hamr")),
+        introspect
+            .registry
+            .counter("journal_records_total", Labels::new().engine("hamr")),
+    );
+    if let Some(disk) = disks.first() {
+        let disk = disk.clone();
+        journal.set_segment_mirror(Some(Box::new(move |name, data| {
+            let _ = disk.write_all(&format!("journal/{name}"), data);
+        })));
+    }
+    let journal = Arc::new(journal);
+    introspect.set_journal(Some(Arc::clone(&journal)));
+    journal
 }
 
 /// Make a job name safe as a file-name fragment.
@@ -166,6 +192,16 @@ impl Cluster {
         let kv = KvStore::new(config.nodes);
         let introspect = Arc::new(Introspect::new());
         introspect.serve_from_env();
+        // `HAMR_JOURNAL=auto|<dir>` turns the durable flight journal on
+        // for the cluster's whole lifetime; a broken directory degrades
+        // to "no journal" with one stderr line, never a failed run.
+        match Journal::from_env() {
+            Ok(Some(journal)) => {
+                wire_journal(&introspect, &disks, journal);
+            }
+            Ok(None) => {}
+            Err(err) => eprintln!("hamr: journal disabled: {err}"),
+        }
         let resident = Arc::new(ResidentStore::new());
         // Evictions spill to node 0's disk; counters accumulate into
         // the cluster registry across every job in a chain.
@@ -201,6 +237,39 @@ impl Cluster {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .clone()
+    }
+
+    /// Turn the durable flight journal on for this cluster, writing
+    /// into `dir` (created if needed; an existing journal is recovered
+    /// and appended to). Equivalent to launching under
+    /// `HAMR_JOURNAL=<dir>`. Returns the journal directory.
+    pub fn enable_journal(&self, dir: impl Into<PathBuf>) -> std::io::Result<PathBuf> {
+        let journal = Journal::open(JournalConfig::new(dir))?;
+        let journal = wire_journal(&self.introspect, &self.disks, journal);
+        Ok(journal.dir())
+    }
+
+    /// Directory of the active journal, if one is attached.
+    pub fn journal_dir(&self) -> Option<PathBuf> {
+        self.introspect.journal().map(|j| j.dir())
+    }
+
+    /// Replace the alert rule set evaluated each watchdog epoch and on
+    /// every `/alerts` scrape. The default set (queue-depth high-water,
+    /// stall-share ceiling, p99 task-latency SLO) applies until this is
+    /// called; pass an empty vec to disable alerting.
+    pub fn alert_rules(&self, rules: Vec<AlertRule>) {
+        self.introspect.alerts.set_rules(rules);
+    }
+
+    /// Current per-rule alert states (one entry per configured rule).
+    pub fn alert_states(&self) -> Vec<AlertState> {
+        self.introspect.alerts.states()
+    }
+
+    /// Every alert transition (fired/resolved) observed so far.
+    pub fn alert_log(&self) -> Vec<AlertEvent> {
+        self.introspect.alerts.log()
     }
 
     /// Start the embedded introspection endpoint on
@@ -499,7 +568,7 @@ impl Cluster {
             *live = LiveRun {
                 job: graph.name.clone(),
                 engine: "hamr",
-                ring,
+                ring: ring.clone(),
                 telemetry: Some(telemetry.clone()),
                 audit: Some(audit.clone()),
             };
@@ -508,6 +577,23 @@ impl Cluster {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .running_jobs += 1;
+        // Durable journal: mark the job boundary, and tap the flight
+        // ring so events about to be overwritten are persisted instead
+        // of lost — the journal keeps history the bounded ring cannot.
+        let journal = self.introspect.journal();
+        if let Some(j) = &journal {
+            j.append(&JournalRecord::JobStart {
+                job: graph.name.clone(),
+                engine: "hamr".into(),
+                t_us: j.now_us(),
+            });
+            if let Some(ring) = &ring {
+                let tap = Arc::clone(j);
+                ring.set_overflow_tap(Some(Arc::new(move |ev| {
+                    tap.append(&JournalRecord::Event(RecordedEvent::from_event(ev)));
+                })));
+            }
+        }
         // Live gauge series: every telemetry gauge this run registers
         // also shows up in /metrics, sharing the same atomic cells.
         telemetry.bind_registry(registry, "hamr");
@@ -552,21 +638,48 @@ impl Cluster {
                 });
             });
             // Post incidents into /healthz as they are classified —
-            // a wedged job reports itself while still wedged.
+            // a wedged job reports itself while still wedged — and
+            // persist each one to the journal so a killed run still
+            // carries its diagnosis.
             let notify_health = Arc::clone(&health);
+            let notify_intro = Arc::clone(&self.introspect);
+            let notify_journal = journal.clone();
+            let notify_job = graph.name.clone();
             let notify = Box::new(move |event: &WatchdogEvent| {
-                let mut h = notify_health.lock().unwrap_or_else(|p| p.into_inner());
-                if event.class == WatchdogClass::Straggler {
-                    h.warnings += 1;
-                } else {
-                    h.incident = Some(format!(
-                        "watchdog {} at epoch {}: {}",
-                        event.class.name(),
-                        event.epoch,
-                        event.detail
-                    ));
+                {
+                    let mut h = notify_health.lock().unwrap_or_else(|p| p.into_inner());
+                    if event.class == WatchdogClass::Straggler {
+                        h.warnings += 1;
+                    } else {
+                        h.incident = Some(format!(
+                            "watchdog {} at epoch {}: {}",
+                            event.class.name(),
+                            event.epoch,
+                            event.detail
+                        ));
+                        if h.incident_since_us.is_none() {
+                            h.incident_since_us = Some(notify_intro.now_us());
+                        }
+                    }
+                }
+                if event.class != WatchdogClass::Straggler {
+                    if let Some(j) = &notify_journal {
+                        j.append(&JournalRecord::Incident {
+                            job: notify_job.clone(),
+                            class: event.class.name().to_string(),
+                            epoch: event.epoch,
+                            detail: event.detail.clone(),
+                        });
+                    }
+                    notify_intro.eval_alerts();
                 }
             });
+            // Alert rules see fresh gauges every monitoring epoch, so
+            // an SLO burn or a stuck queue fires *during* the run.
+            let epoch_intro = Arc::clone(&self.introspect);
+            let on_epoch: Option<Box<dyn Fn(u64) + Send>> = Some(Box::new(move |_| {
+                epoch_intro.eval_alerts();
+            }));
             Watchdog::spawn(
                 cfg,
                 audit.clone(),
@@ -574,6 +687,7 @@ impl Cluster {
                 tracer.clone(),
                 n,
                 drive_ticks,
+                on_epoch,
                 notify,
                 abort,
             )
@@ -784,7 +898,46 @@ impl Cluster {
         // iterative workloads (one job per iteration) thereby get
         // per-iteration deltas from `registry.epoch_deltas()` for free.
         metrics.publish(&self.introspect.registry, &graph.name, "hamr");
-        self.introspect.registry.epoch_snapshot(&graph.name);
+        let epoch_snap = self.introspect.registry.epoch_snapshot(&graph.name);
+        if let Some(j) = &journal {
+            // The epoch snapshot gives the offline timeline its per-job
+            // deltas (shuffled bytes, cache hits, latency histograms);
+            // the audit ledger names any still-stuck edge.
+            j.append(&JournalRecord::Epoch(epoch_snap));
+            if audit.enabled() {
+                j.append(&JournalRecord::AuditEpoch {
+                    job: graph.name.clone(),
+                    report_json: audit.report().to_json(),
+                });
+            }
+            if first_error.is_some() || wd_trip.is_some() {
+                // A failed run's freshest evidence is still in the
+                // flight ring — persist the tail before it is dropped
+                // with the run.
+                if let Some(ring) = &ring {
+                    for ev in ring.peek() {
+                        j.append(&JournalRecord::Event(RecordedEvent::from_event(&ev)));
+                    }
+                }
+            }
+            j.append(&JournalRecord::JobEnd {
+                job: graph.name.clone(),
+                ok: first_error.is_none(),
+                t_us: j.now_us(),
+                elapsed_us: start.elapsed().as_micros() as u64,
+                shuffled_bytes: metrics.shuffled_bytes,
+            });
+        }
+        if let Some(ring) = &ring {
+            ring.set_overflow_tap(None);
+        }
+        // One final alert evaluation over the completed job's published
+        // totals (also journals any transition), then make everything
+        // appended so far durable.
+        self.introspect.eval_alerts();
+        if let Some(j) = &journal {
+            j.flush();
+        }
         {
             let mut h = health.lock().unwrap_or_else(|p| p.into_inner());
             h.running_jobs = h.running_jobs.saturating_sub(1);
@@ -795,6 +948,8 @@ impl Cluster {
                 // A cleanly completing job resolves any outstanding
                 // liveness incident.
                 h.incident = None;
+                h.incident_since_us = None;
+                h.last_clean_completion_us = Some(self.introspect.now_us());
             }
         }
         let result = match first_error {

@@ -21,11 +21,26 @@
 //! `HAMR_HTTP=<port>`, or [`Cluster::serve_introspection`].
 
 use hamr_trace::{
-    Audit, FlightRecord, GaugeValue, HttpResponse, HttpServer, MetricsRegistry, RingSink,
-    RouteHandler, Telemetry,
+    AlertEngine, AlertEvent, AlertRule, AlertState, Audit, FlightRecord, GaugeValue, HttpResponse,
+    HttpServer, Journal, JournalRecord, MetricsRegistry, RingSink, RouteHandler, Snapshot,
+    Telemetry,
 };
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Escape a string for embedding in a JSON value.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
 
 /// How the embedded endpoint is configured, usually via `HAMR_HTTP`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +81,12 @@ pub struct Health {
     /// cleared by a cleanly completing job. `/healthz` serves 503
     /// while this is set.
     pub incident: Option<String>,
+    /// When `incident` was posted, on the introspection clock
+    /// ([`Introspect::now_us`]) — lets `/healthz` report how long the
+    /// cluster has been wedged.
+    pub incident_since_us: Option<u64>,
+    /// When a job last completed cleanly, on the same clock.
+    pub last_clean_completion_us: Option<u64>,
 }
 
 impl Health {
@@ -74,30 +95,146 @@ impl Health {
         self.incident.is_none()
     }
 
-    pub fn to_json(&self) -> String {
+    /// Render for `/healthz`, computing ages against `now_us` (the
+    /// introspection clock at request time).
+    pub fn to_json_at(&self, now_us: u64) -> String {
         let mut out = format!(
             "{{\"status\":\"{}\",\"running_jobs\":{},\"jobs_completed\":{},\
-             \"jobs_failed\":{},\"warnings\":{}",
+             \"jobs_failed\":{},\"warnings\":{},\"now_us\":{}",
             if self.healthy() { "ok" } else { "incident" },
             self.running_jobs,
             self.jobs_completed,
             self.jobs_failed,
             self.warnings,
+            now_us,
         );
         if let Some(incident) = &self.incident {
-            let escaped: String = incident
-                .chars()
-                .flat_map(|c| match c {
-                    '"' => vec!['\\', '"'],
-                    '\\' => vec!['\\', '\\'],
-                    '\n' => vec!['\\', 'n'],
-                    c if (c as u32) < 0x20 => vec![' '],
-                    c => vec![c],
-                })
-                .collect();
-            out.push_str(&format!(",\"incident\":\"{escaped}\""));
+            out.push_str(&format!(",\"incident\":\"{}\"", json_escape(incident)));
+        }
+        match self.incident_since_us {
+            Some(since) => out.push_str(&format!(
+                ",\"incident_age_us\":{}",
+                now_us.saturating_sub(since)
+            )),
+            None => out.push_str(",\"incident_age_us\":null"),
+        }
+        match self.last_clean_completion_us {
+            Some(at) => out.push_str(&format!(
+                ",\"last_clean_completion_us\":{},\"last_clean_completion_age_us\":{}",
+                at,
+                now_us.saturating_sub(at)
+            )),
+            None => out.push_str(
+                ",\"last_clean_completion_us\":null,\"last_clean_completion_age_us\":null",
+            ),
         }
         out.push('}');
+        out
+    }
+}
+
+/// Alert-rule evaluation shared between the watchdog epoch hook, job
+/// completion, and the `/alerts` endpoint: one engine, a transition
+/// log, and journaling of every transition.
+#[derive(Default)]
+pub(crate) struct AlertCenter {
+    engine: Mutex<AlertEngine>,
+    log: Mutex<Vec<AlertEvent>>,
+}
+
+impl AlertCenter {
+    fn new() -> Self {
+        AlertCenter {
+            engine: Mutex::new(AlertEngine::with_default_rules()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Replace the rule set (resets all rule state; the transition log
+    /// is kept).
+    pub fn set_rules(&self, rules: Vec<AlertRule>) {
+        self.engine
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .set_rules(rules);
+    }
+
+    /// Evaluate against a snapshot; journal and log any transitions.
+    pub fn evaluate(
+        &self,
+        snap: &Snapshot,
+        t_us: u64,
+        journal: Option<&Arc<Journal>>,
+    ) -> Vec<AlertEvent> {
+        let events = self
+            .engine
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .evaluate(snap, t_us);
+        if events.is_empty() {
+            return events;
+        }
+        if let Some(journal) = journal {
+            for ev in &events {
+                journal.append(&JournalRecord::Alert {
+                    rule: ev.rule.clone(),
+                    firing: ev.firing,
+                    t_us: ev.t_us,
+                    value: ev.value,
+                    threshold: ev.threshold,
+                    detail: ev.detail.clone(),
+                });
+            }
+        }
+        self.log
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .extend(events.iter().cloned());
+        events
+    }
+
+    pub fn states(&self) -> Vec<AlertState> {
+        self.engine
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .states()
+    }
+
+    /// Every transition observed since the cluster was built.
+    pub fn log(&self) -> Vec<AlertEvent> {
+        self.log.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Render for `/alerts`.
+    pub fn to_json(&self, now_us: u64) -> String {
+        let states = self.states();
+        let mut out = format!(
+            "{{\"firing\":{},\"now_us\":{now_us},\"rules\":[",
+            states.iter().filter(|s| s.firing).count()
+        );
+        for (i, s) in states.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"firing\":{},\"since_us\":{},\"value\":{},\
+                 \"threshold\":{},\"fired_total\":{},\"detail\":\"{}\"}}",
+                json_escape(&s.rule),
+                s.firing,
+                s.since_us
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "null".into()),
+                if s.last_value.is_finite() {
+                    format!("{:.6}", s.last_value)
+                } else {
+                    "null".into()
+                },
+                format_args!("{:.6}", s.threshold),
+                s.fired_total,
+                json_escape(&s.detail),
+            ));
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -122,6 +259,14 @@ pub(crate) struct Introspect {
     pub registry: MetricsRegistry,
     pub health: Arc<Mutex<Health>>,
     pub live: Arc<Mutex<LiveRun>>,
+    pub alerts: Arc<AlertCenter>,
+    /// The flight journal, when enabled (`HAMR_JOURNAL` or
+    /// `Cluster::enable_journal`).
+    journal: Arc<Mutex<Option<Arc<Journal>>>>,
+    /// The introspection clock's origin: `/healthz` ages,
+    /// `incident_since_us`, and alert timestamps all count
+    /// microseconds from here.
+    epoch: Instant,
     server: Mutex<Option<HttpServer>>,
 }
 
@@ -131,8 +276,40 @@ impl Introspect {
             registry: MetricsRegistry::new(),
             health: Arc::new(Mutex::new(Health::default())),
             live: Arc::new(Mutex::new(LiveRun::default())),
+            alerts: Arc::new(AlertCenter::new()),
+            journal: Arc::new(Mutex::new(None)),
+            epoch: Instant::now(),
             server: Mutex::new(None),
         }
+    }
+
+    /// Microseconds since this cluster's introspection plane came up.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Install (or replace) the flight journal.
+    pub fn set_journal(&self, journal: Option<Arc<Journal>>) {
+        *self.journal.lock().unwrap_or_else(|p| p.into_inner()) = journal;
+    }
+
+    /// The current journal handle, if one is enabled.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Evaluate the alert rules against the live registry, journaling
+    /// and logging any transitions. Called from the watchdog epoch
+    /// hook, at job completion, and on every `/alerts` scrape.
+    pub fn eval_alerts(&self) -> Vec<AlertEvent> {
+        self.alerts.evaluate(
+            &self.registry.snapshot(),
+            self.now_us(),
+            self.journal().as_ref(),
+        )
     }
 
     /// Start serving per [`HttpMode::from_env`]. A bind failure is
@@ -155,17 +332,29 @@ impl Introspect {
     }
 
     /// Bind `127.0.0.1:port` (0 = ephemeral) and serve `/metrics`,
-    /// `/healthz`, `/doctor`. Replaces any previous server.
+    /// `/healthz`, `/alerts`, `/doctor`. Replaces any previous server.
     pub fn serve(&self, port: u16) -> std::io::Result<SocketAddr> {
         let registry = self.registry.clone();
         let health = Arc::clone(&self.health);
         let live = Arc::clone(&self.live);
+        let alerts = Arc::clone(&self.alerts);
+        let journal = Arc::clone(&self.journal);
+        let epoch = self.epoch;
         let handler: RouteHandler = Arc::new(move |path| match path {
             "/metrics" | "/metrics/" => HttpResponse::text(registry.snapshot().to_prometheus()),
             "/healthz" | "/healthz/" => {
+                let now_us = epoch.elapsed().as_micros() as u64;
                 let health = health.lock().unwrap_or_else(|p| p.into_inner()).clone();
                 let status = if health.healthy() { 200 } else { 503 };
-                HttpResponse::json(health.to_json()).status(status)
+                HttpResponse::json(health.to_json_at(now_us)).status(status)
+            }
+            "/alerts" | "/alerts/" => {
+                // Scrapes evaluate too, so `/alerts` is live even when
+                // no supervised run is driving epochs.
+                let now_us = epoch.elapsed().as_micros() as u64;
+                let j = journal.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                alerts.evaluate(&registry.snapshot(), now_us, j.as_ref());
+                HttpResponse::json(alerts.to_json(now_us))
             }
             "/doctor" | "/doctor/" => {
                 let live = live.lock().unwrap_or_else(|p| p.into_inner());
@@ -231,7 +420,7 @@ impl Introspect {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hamr_trace::{http_get, parse_prometheus, Labels};
+    use hamr_trace::{http_get, parse_prometheus, AlertRule, Labels};
     use std::time::Duration;
 
     #[test]
@@ -248,15 +437,26 @@ mod tests {
     }
 
     #[test]
-    fn health_json_reports_incidents() {
+    fn health_json_reports_incidents_with_ages() {
         let mut h = Health::default();
         assert!(h.healthy());
-        assert!(h.to_json().contains("\"status\":\"ok\""));
+        let json = h.to_json_at(500);
+        assert!(json.contains("\"status\":\"ok\""), "{json}");
+        assert!(json.contains("\"incident_age_us\":null"), "{json}");
+        assert!(json.contains("\"last_clean_completion_us\":null"), "{json}");
+        h.last_clean_completion_us = Some(400);
         h.incident = Some("backpressure on \"edge 1\"".into());
+        h.incident_since_us = Some(100);
         assert!(!h.healthy());
-        let json = h.to_json();
+        let json = h.to_json_at(500);
         assert!(json.contains("\"status\":\"incident\""), "{json}");
         assert!(json.contains("backpressure"), "{json}");
+        assert!(json.contains("\"incident_age_us\":400"), "{json}");
+        assert!(json.contains("\"last_clean_completion_us\":400"), "{json}");
+        assert!(
+            json.contains("\"last_clean_completion_age_us\":100"),
+            "{json}"
+        );
     }
 
     #[test]
@@ -293,7 +493,43 @@ mod tests {
         let (status, body) = http_get(addr, "/doctor", t).expect("GET /doctor");
         assert_eq!(status, 200);
         assert!(body.contains("\"dropped_events\""), "{body}");
+        // /alerts serves the default rule set, silent on this registry.
+        let (status, body) = http_get(addr, "/alerts", t).expect("GET /alerts");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"firing\":0"), "{body}");
+        assert!(body.contains("queue-depth-high-water"), "{body}");
+        assert!(body.contains("task-p99-latency-slo"), "{body}");
         intro.stop();
+        intro.stop();
+    }
+
+    #[test]
+    fn alerts_endpoint_reports_a_firing_rule() {
+        let intro = Introspect::new();
+        intro.alerts.set_rules(vec![AlertRule::gauge_high_water(
+            "stuck-gauge",
+            "deferred_bins",
+            1,
+            2,
+        )]);
+        let g = intro
+            .registry
+            .gauge("deferred_bins", Labels::new().node(0).flowlet(1));
+        g.add(5);
+        // Two evaluations over threshold: the rule fires and the
+        // transition lands in the log.
+        assert!(intro.eval_alerts().is_empty());
+        let fired = intro.eval_alerts();
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].firing);
+        assert_eq!(intro.alerts.states().iter().filter(|s| s.firing).count(), 1);
+        let addr = intro.serve(0).expect("bind");
+        let (status, body) =
+            http_get(addr, "/alerts", Duration::from_secs(2)).expect("GET /alerts");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"firing\":1"), "{body}");
+        assert!(body.contains("stuck-gauge"), "{body}");
+        assert_eq!(intro.alerts.log().len(), 1);
         intro.stop();
     }
 }

@@ -289,10 +289,12 @@ impl Watchdog {
     /// Start monitoring. When `drive_ticks` is set the watchdog also
     /// advances `telemetry`'s deterministic clock (`tick_at`) once per
     /// epoch — used when the supervised run owns the telemetry and no
-    /// sampler thread is running. `notify` fires on *every* classified
-    /// incident (the cluster posts it into `/healthz` state); `abort`
-    /// is invoked (once) when an abort-worthy incident fires under
-    /// [`WatchdogAction::Abort`].
+    /// sampler thread is running. `on_epoch` (when set) fires once per
+    /// monitoring epoch before classification — the cluster hangs
+    /// alert-rule evaluation off it. `notify` fires on *every*
+    /// classified incident (the cluster posts it into `/healthz`
+    /// state); `abort` is invoked (once) when an abort-worthy incident
+    /// fires under [`WatchdogAction::Abort`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         cfg: WatchdogConfig,
@@ -301,6 +303,7 @@ impl Watchdog {
         tracer: Tracer,
         nodes: usize,
         drive_ticks: bool,
+        on_epoch: Option<Box<dyn Fn(u64) + Send>>,
         notify: Box<dyn Fn(&WatchdogEvent) + Send>,
         abort: Box<dyn Fn(&WatchdogEvent) + Send>,
     ) -> Self {
@@ -322,6 +325,7 @@ impl Watchdog {
                     tracer,
                     nodes,
                     drive_ticks,
+                    on_epoch,
                     notify,
                     abort,
                 )
@@ -359,6 +363,7 @@ fn run_watchdog(
     tracer: Tracer,
     nodes: usize,
     drive_ticks: bool,
+    on_epoch: Option<Box<dyn Fn(u64) + Send>>,
     notify: Box<dyn Fn(&WatchdogEvent) + Send>,
     abort: Box<dyn Fn(&WatchdogEvent) + Send>,
 ) {
@@ -380,6 +385,9 @@ fn run_watchdog(
         epoch_idx += 1;
         if drive_ticks {
             telemetry.tick_at(epoch_idx * epoch_us);
+        }
+        if let Some(on_epoch) = &on_epoch {
+            on_epoch(epoch_idx);
         }
         let snap = EpochSnapshot::capture(&audit, &telemetry, nodes);
         if let Some(mut event) = monitor.observe(snap) {

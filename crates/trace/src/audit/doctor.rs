@@ -31,6 +31,26 @@ pub struct RecordedEvent {
     pub args: Vec<(String, u64)>,
 }
 
+impl RecordedEvent {
+    /// Flatten a live [`TraceEvent`](crate::TraceEvent) into the
+    /// recorded form. Keys are sorted so round-trips (JSON args parse
+    /// back out of an ordered map; the journal's binary codec) are
+    /// identities.
+    pub fn from_event(ev: &crate::TraceEvent) -> RecordedEvent {
+        let (name, args) = event_fields(&ev.kind);
+        let mut args: Vec<(String, u64)> =
+            args.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        args.sort();
+        RecordedEvent {
+            t_us: ev.t_us,
+            node: ev.node,
+            worker: ev.worker,
+            name: name.to_string(),
+            args,
+        }
+    }
+}
+
 /// Why the watchdog fired, as recorded in the black box.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchdogTrip {
@@ -212,21 +232,7 @@ impl FlightRecord {
             error,
             events: events[skip..]
                 .iter()
-                .map(|ev| {
-                    let (name, args) = event_fields(&ev.kind);
-                    // Keys sorted so the JSON round-trip (args parse
-                    // back out of an ordered map) is an identity.
-                    let mut args: Vec<(String, u64)> =
-                        args.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-                    args.sort();
-                    RecordedEvent {
-                        t_us: ev.t_us,
-                        node: ev.node,
-                        worker: ev.worker,
-                        name: name.to_string(),
-                        args,
-                    }
-                })
+                .map(RecordedEvent::from_event)
                 .collect(),
             dropped_events,
             audit,

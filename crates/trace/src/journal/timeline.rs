@@ -1,0 +1,670 @@
+//! Offline run reconstruction from a journal directory.
+//!
+//! [`Timeline::load`] walks the journal records in order and folds
+//! them into per-job spans: when the job started, whether (and how) it
+//! ended, how many bytes it shuffled, what the resident cache served,
+//! the p99 task latency for its epoch, which watchdog incidents and
+//! stuck edges it left behind, and which alerts fired while it ran. A
+//! `JobStart` with no matching `JobEnd` is a run killed mid-flight —
+//! exactly the case the journal exists for.
+//!
+//! `hamr timeline <dir>` renders this; `hamr timeline --diff a b`
+//! compares two reconstructions job by job.
+
+use super::{read_journal, JournalRecord};
+use crate::audit::AuditReport;
+use crate::hist::bucket_upper;
+use crate::json;
+use crate::registry::{HistSample, SampleValue, Snapshot};
+use std::path::Path;
+
+/// A watchdog incident attached to the job it interrupted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentNote {
+    pub class: String,
+    pub epoch: u64,
+    pub detail: String,
+}
+
+/// One alert transition (fired or resolved), with the job that was
+/// open when it happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertNote {
+    pub rule: String,
+    pub firing: bool,
+    pub t_us: u64,
+    pub value: f64,
+    pub threshold: f64,
+    pub detail: String,
+    pub job: Option<String>,
+}
+
+/// One job's reconstructed span.
+#[derive(Debug, Clone, Default)]
+pub struct JobSpan {
+    pub job: String,
+    pub engine: String,
+    pub start_us: u64,
+    /// `None` when the journal ends before the job did — the process
+    /// was killed mid-job.
+    pub end_us: Option<u64>,
+    pub ok: Option<bool>,
+    pub elapsed_us: Option<u64>,
+    pub shuffled_bytes: Option<u64>,
+    /// Resident-cache hits served during this job's epoch delta.
+    pub cache_hits: u64,
+    /// Flow-control stall time accumulated during this job's epoch.
+    pub stall_us: u64,
+    /// p99 task latency over this job's epoch delta histogram.
+    pub task_p99_us: Option<u64>,
+    /// Trace events journaled while this job was open (ring-overflow
+    /// tap plus the post-mortem tail of a failed run).
+    pub events: u64,
+    pub incidents: Vec<IncidentNote>,
+    /// Stuck custody edges from the audit epoch, rendered as
+    /// `edge E -> node N (K bins in flight)`.
+    pub stuck_edges: Vec<String>,
+    /// Alert *firings* (not resolutions) while this job was open.
+    pub alerts_fired: u64,
+}
+
+impl JobSpan {
+    /// Wall time: explicit elapsed from `JobEnd`, else span width.
+    pub fn wall_us(&self) -> Option<u64> {
+        self.elapsed_us
+            .or_else(|| self.end_us.map(|e| e.saturating_sub(self.start_us)))
+    }
+}
+
+/// The reconstruction of everything a journal directory recorded.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    pub jobs: Vec<JobSpan>,
+    pub alerts: Vec<AlertNote>,
+    /// Total records decoded across all merged journals.
+    pub records: usize,
+    pub truncated_frames: u64,
+    pub unknown_records: u64,
+    /// Journal directories merged (an `auto` parent holds one per
+    /// cluster).
+    pub sources: usize,
+}
+
+/// p-th quantile of a histogram sample, mirroring
+/// [`LatencyHistogram::quantile_us`](crate::LatencyHistogram):
+/// smallest bucket whose cumulative count reaches `ceil(q * count)`.
+pub fn hist_quantile_us(h: &HistSample, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let target = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
+    let mut cum = 0u64;
+    for (b, &n) in h.buckets.iter().enumerate() {
+        cum += n;
+        if cum >= target {
+            return bucket_upper(b);
+        }
+    }
+    bucket_upper(h.buckets.len().saturating_sub(1))
+}
+
+/// Sum every `flowlet_task_latency_us` series in a snapshot into one
+/// aggregate histogram.
+fn aggregate_latency(snap: &Snapshot) -> Option<HistSample> {
+    let mut agg: Option<HistSample> = None;
+    for s in &snap.series {
+        if s.name != "flowlet_task_latency_us" {
+            continue;
+        }
+        if let SampleValue::Histogram(h) = &s.value {
+            let agg = agg.get_or_insert_with(|| HistSample {
+                count: 0,
+                sum_us: 0,
+                buckets: vec![0; h.buckets.len()],
+            });
+            agg.count += h.count;
+            agg.sum_us += h.sum_us;
+            if agg.buckets.len() < h.buckets.len() {
+                agg.buckets.resize(h.buckets.len(), 0);
+            }
+            for (i, n) in h.buckets.iter().enumerate() {
+                agg.buckets[i] += n;
+            }
+        }
+    }
+    agg
+}
+
+impl Timeline {
+    /// Load a journal directory. If `dir` itself has no segments but
+    /// its immediate subdirectories do (the `HAMR_JOURNAL=auto`
+    /// layout, one subjournal per cluster), every subjournal is loaded
+    /// and merged in name order.
+    pub fn load(dir: &Path) -> Result<Timeline, String> {
+        let direct = read_journal(dir)?;
+        if !direct.records.is_empty() || direct.truncated_frames > 0 {
+            let mut t = Timeline::from_records(&direct.records);
+            t.truncated_frames = direct.truncated_frames;
+            t.unknown_records = direct.unknown_records;
+            t.sources = 1;
+            return Ok(t);
+        }
+        let mut subs: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .map(|e| e.path())
+            .collect();
+        subs.sort();
+        let mut all = Vec::new();
+        let mut out = Timeline::default();
+        for sub in subs {
+            if let Ok(read) = read_journal(&sub) {
+                if read.records.is_empty() && read.truncated_frames == 0 {
+                    continue;
+                }
+                out.sources += 1;
+                out.truncated_frames += read.truncated_frames;
+                out.unknown_records += read.unknown_records;
+                all.extend(read.records);
+            }
+        }
+        if out.sources == 0 {
+            return Err(format!(
+                "no journal segments under {} (or its subdirectories)",
+                dir.display()
+            ));
+        }
+        let folded = Timeline::from_records(&all);
+        out.jobs = folded.jobs;
+        out.alerts = folded.alerts;
+        out.records = folded.records;
+        Ok(out)
+    }
+
+    /// Fold an ordered record stream into spans.
+    pub fn from_records(records: &[JournalRecord]) -> Timeline {
+        let mut t = Timeline {
+            records: records.len(),
+            ..Timeline::default()
+        };
+        let mut open: Option<usize> = None;
+        let mut prev_epoch: Option<Snapshot> = None;
+        for rec in records {
+            match rec {
+                JournalRecord::JobStart { job, engine, t_us } => {
+                    t.jobs.push(JobSpan {
+                        job: job.clone(),
+                        engine: engine.clone(),
+                        start_us: *t_us,
+                        ..JobSpan::default()
+                    });
+                    open = Some(t.jobs.len() - 1);
+                }
+                JournalRecord::JobEnd {
+                    job,
+                    ok,
+                    t_us,
+                    elapsed_us,
+                    shuffled_bytes,
+                } => {
+                    // Close the open span if it matches; otherwise find
+                    // the newest unclosed span with this name (a tap
+                    // record may interleave oddly across reopens).
+                    let idx = open.filter(|&i| t.jobs[i].job == *job).or_else(|| {
+                        t.jobs
+                            .iter()
+                            .rposition(|s| s.job == *job && s.end_us.is_none())
+                    });
+                    if let Some(i) = idx {
+                        let span = &mut t.jobs[i];
+                        span.end_us = Some(*t_us);
+                        span.ok = Some(*ok);
+                        span.elapsed_us = Some(*elapsed_us);
+                        if span.shuffled_bytes.is_none() {
+                            span.shuffled_bytes = Some(*shuffled_bytes);
+                        }
+                    }
+                    open = None;
+                }
+                JournalRecord::Event(_) => {
+                    if let Some(i) = open {
+                        t.jobs[i].events += 1;
+                    }
+                }
+                JournalRecord::Epoch(snap) => {
+                    let delta = match &prev_epoch {
+                        Some(prev) => snap.delta(prev),
+                        None => snap.clone(),
+                    };
+                    let target = open.or_else(|| (!t.jobs.is_empty()).then(|| t.jobs.len() - 1));
+                    if let Some(i) = target {
+                        let span = &mut t.jobs[i];
+                        span.shuffled_bytes = Some(delta.counter_total("shuffled_bytes_total"));
+                        span.cache_hits = delta.counter_total("hamr_cache_hits_total");
+                        span.stall_us = delta.counter_total("flowlet_stall_us_total");
+                        if let Some(h) = aggregate_latency(&delta) {
+                            if h.count > 0 {
+                                span.task_p99_us = Some(hist_quantile_us(&h, 0.99));
+                            }
+                        }
+                    }
+                    prev_epoch = Some(snap.clone());
+                }
+                JournalRecord::AuditEpoch { job, report_json } => {
+                    let stuck = parse_stuck_edges(report_json);
+                    let idx = open
+                        .filter(|&i| t.jobs[i].job == *job)
+                        .or_else(|| t.jobs.iter().rposition(|s| s.job == *job));
+                    if let Some(i) = idx {
+                        t.jobs[i].stuck_edges = stuck;
+                    }
+                }
+                JournalRecord::Incident {
+                    job,
+                    class,
+                    epoch,
+                    detail,
+                } => {
+                    let note = IncidentNote {
+                        class: class.clone(),
+                        epoch: *epoch,
+                        detail: detail.clone(),
+                    };
+                    let idx = open
+                        .filter(|&i| t.jobs[i].job == *job)
+                        .or_else(|| t.jobs.iter().rposition(|s| s.job == *job));
+                    if let Some(i) = idx {
+                        t.jobs[i].incidents.push(note);
+                    }
+                }
+                JournalRecord::Alert {
+                    rule,
+                    firing,
+                    t_us,
+                    value,
+                    threshold,
+                    detail,
+                } => {
+                    let job = open.map(|i| t.jobs[i].job.clone());
+                    if *firing {
+                        if let Some(i) = open {
+                            t.jobs[i].alerts_fired += 1;
+                        }
+                    }
+                    t.alerts.push(AlertNote {
+                        rule: rule.clone(),
+                        firing: *firing,
+                        t_us: *t_us,
+                        value: *value,
+                        threshold: *threshold,
+                        detail: detail.clone(),
+                        job,
+                    });
+                }
+            }
+        }
+        t
+    }
+
+    /// Jobs that never saw a `JobEnd` — killed mid-flight.
+    pub fn unfinished(&self) -> Vec<&JobSpan> {
+        self.jobs.iter().filter(|s| s.end_us.is_none()).collect()
+    }
+
+    /// Render the reconstruction as an operator-facing report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "journal: {} job(s), {} record(s), {} source(s)",
+            self.jobs.len(),
+            self.records,
+            self.sources
+        ));
+        if self.truncated_frames > 0 {
+            out.push_str(&format!(
+                " — {} truncated frame(s) recovered past",
+                self.truncated_frames
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>12} {:>10} {:>10} {:>9}  status\n",
+            "job", "wall ms", "shuffled B", "cache hit", "stall ms", "p99 us"
+        ));
+        for span in &self.jobs {
+            let wall = span
+                .wall_us()
+                .map(|us| format!("{:.1}", us as f64 / 1000.0))
+                .unwrap_or_else(|| "?".into());
+            let shuffled = span
+                .shuffled_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "?".into());
+            let p99 = span
+                .task_p99_us
+                .map(|us| us.to_string())
+                .unwrap_or_else(|| "-".into());
+            let status = match span.ok {
+                Some(true) => "ok".to_string(),
+                Some(false) => "FAILED".to_string(),
+                None => "KILLED MID-FLIGHT".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>12} {:>10} {:>10.1} {:>9}  {}\n",
+                span.job,
+                wall,
+                shuffled,
+                span.cache_hits,
+                span.stall_us as f64 / 1000.0,
+                p99,
+                status
+            ));
+            for inc in &span.incidents {
+                out.push_str(&format!(
+                    "    incident: {} at watchdog epoch {} — {}\n",
+                    inc.class, inc.epoch, inc.detail
+                ));
+            }
+            for edge in &span.stuck_edges {
+                out.push_str(&format!("    stuck: {edge}\n"));
+            }
+        }
+        let firings: Vec<&AlertNote> = self.alerts.iter().filter(|a| a.firing).collect();
+        if firings.is_empty() {
+            out.push_str("alerts: none fired\n");
+        } else {
+            out.push_str(&format!("alerts: {} firing transition(s)\n", firings.len()));
+            for a in &firings {
+                out.push_str(&format!(
+                    "    ALERT {} during {}: {} (value {:.1}, threshold {:.1})\n",
+                    a.rule,
+                    a.job.as_deref().unwrap_or("<between jobs>"),
+                    a.detail,
+                    a.value,
+                    a.threshold
+                ));
+            }
+        }
+        for span in self.unfinished() {
+            out.push_str(&format!(
+                "final state: job {} was open when the journal ends — last completed epoch is the span above it\n",
+                span.job
+            ));
+        }
+        out
+    }
+
+    /// Compare two reconstructions job by job (matched by name, first
+    /// occurrence).
+    pub fn render_diff(a: &Timeline, b: &Timeline) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "diff: {} job(s) vs {} job(s)\n",
+            a.jobs.len(),
+            b.jobs.len()
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>7} {:>13} {:>13}  status a/b\n",
+            "job", "wall a ms", "wall b ms", "ratio", "shuffled a", "shuffled b"
+        ));
+        for sa in &a.jobs {
+            let sb = b.jobs.iter().find(|s| s.job == sa.job);
+            match sb {
+                Some(sb) => {
+                    let wa = sa.wall_us().unwrap_or(0) as f64 / 1000.0;
+                    let wb = sb.wall_us().unwrap_or(0) as f64 / 1000.0;
+                    let ratio = if wb > 0.0 { wa / wb } else { f64::NAN };
+                    out.push_str(&format!(
+                        "{:<28} {:>10.1} {:>10.1} {:>7.2} {:>13} {:>13}  {}/{}\n",
+                        sa.job,
+                        wa,
+                        wb,
+                        ratio,
+                        sa.shuffled_bytes.unwrap_or(0),
+                        sb.shuffled_bytes.unwrap_or(0),
+                        status_ch(sa),
+                        status_ch(sb)
+                    ));
+                }
+                None => out.push_str(&format!("{:<28} only in first journal\n", sa.job)),
+            }
+        }
+        for sb in &b.jobs {
+            if !a.jobs.iter().any(|s| s.job == sb.job) {
+                out.push_str(&format!("{:<28} only in second journal\n", sb.job));
+            }
+        }
+        let fa = a.alerts.iter().filter(|x| x.firing).count();
+        let fb = b.alerts.iter().filter(|x| x.firing).count();
+        out.push_str(&format!("alert firings: {fa} vs {fb}\n"));
+        out
+    }
+}
+
+fn status_ch(s: &JobSpan) -> &'static str {
+    match s.ok {
+        Some(true) => "ok",
+        Some(false) => "FAIL",
+        None => "KILLED",
+    }
+}
+
+/// Parse an audit-epoch JSON payload back into stuck-edge lines.
+fn parse_stuck_edges(report_json: &str) -> Vec<String> {
+    let Ok(v) = json::parse(report_json) else {
+        return Vec::new();
+    };
+    let Ok(report) = AuditReport::from_json(&v) else {
+        return Vec::new();
+    };
+    report
+        .stuck_rows()
+        .into_iter()
+        .map(|(row, gap)| {
+            format!(
+                "edge {} -> node {} ({} bins in flight)",
+                row.edge, row.dst, gap
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::JournalRecord;
+    use super::*;
+    use crate::audit::RecordedEvent;
+    use crate::registry::{Labels, SeriesSample};
+
+    fn snap(label: &str, seq: u64, shuffled: u64, lat_bucket: usize, lat_n: u64) -> Snapshot {
+        let mut buckets = vec![0u64; 64];
+        buckets[lat_bucket] = lat_n;
+        Snapshot {
+            label: label.into(),
+            seq,
+            series: vec![
+                SeriesSample {
+                    name: "shuffled_bytes_total".into(),
+                    labels: Labels::new().engine("hamr"),
+                    value: SampleValue::Counter(shuffled),
+                },
+                SeriesSample {
+                    name: "flowlet_task_latency_us".into(),
+                    labels: Labels::new().engine("hamr").flowlet(0),
+                    value: SampleValue::Histogram(HistSample {
+                        count: lat_n,
+                        sum_us: lat_n * 100,
+                        buckets,
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reconstructs_completed_and_killed_spans() {
+        let records = vec![
+            JournalRecord::JobStart {
+                job: "wc".into(),
+                engine: "hamr".into(),
+                t_us: 0,
+            },
+            JournalRecord::Epoch(snap("wc", 1, 1000, 7, 10)),
+            JournalRecord::JobEnd {
+                job: "wc".into(),
+                ok: true,
+                t_us: 5000,
+                elapsed_us: 5000,
+                shuffled_bytes: 1000,
+            },
+            JournalRecord::JobStart {
+                job: "pr".into(),
+                engine: "hamr".into(),
+                t_us: 6000,
+            },
+            JournalRecord::Event(RecordedEvent {
+                t_us: 6500,
+                node: 0,
+                worker: 0,
+                name: "bin-shipped".into(),
+                args: vec![],
+            }),
+            JournalRecord::Incident {
+                job: "pr".into(),
+                class: "backpressure".into(),
+                epoch: 4,
+                detail: "deferred>0".into(),
+            },
+            JournalRecord::Alert {
+                rule: "queue-depth-high-water".into(),
+                firing: true,
+                t_us: 6600,
+                value: 8.0,
+                threshold: 1.0,
+                detail: "deferred_bins=8".into(),
+            },
+        ];
+        let t = Timeline::from_records(&records);
+        assert_eq!(t.jobs.len(), 2);
+        assert_eq!(t.jobs[0].ok, Some(true));
+        assert_eq!(t.jobs[0].shuffled_bytes, Some(1000));
+        assert_eq!(t.jobs[0].task_p99_us, Some(127), "p99 = upper of bucket 7");
+        assert_eq!(t.jobs[1].ok, None, "killed mid-flight");
+        assert_eq!(t.jobs[1].events, 1);
+        assert_eq!(t.jobs[1].incidents.len(), 1);
+        assert_eq!(t.jobs[1].alerts_fired, 1);
+        assert_eq!(t.unfinished().len(), 1);
+        let rendered = t.render();
+        assert!(rendered.contains("wc"));
+        assert!(rendered.contains("KILLED MID-FLIGHT"));
+        assert!(rendered.contains("backpressure"));
+        assert!(rendered.contains("queue-depth-high-water"));
+    }
+
+    #[test]
+    fn epoch_deltas_are_per_job_not_cumulative() {
+        let records = vec![
+            JournalRecord::JobStart {
+                job: "a".into(),
+                engine: "hamr".into(),
+                t_us: 0,
+            },
+            JournalRecord::Epoch(snap("a", 1, 1000, 5, 4)),
+            JournalRecord::JobEnd {
+                job: "a".into(),
+                ok: true,
+                t_us: 100,
+                elapsed_us: 100,
+                shuffled_bytes: 1000,
+            },
+            JournalRecord::JobStart {
+                job: "b".into(),
+                engine: "hamr".into(),
+                t_us: 200,
+            },
+            // Cumulative counter reads 1500: job b shuffled only 500.
+            JournalRecord::Epoch(snap("b", 2, 1500, 5, 8)),
+            JournalRecord::JobEnd {
+                job: "b".into(),
+                ok: true,
+                t_us: 300,
+                elapsed_us: 100,
+                shuffled_bytes: 500,
+            },
+        ];
+        let t = Timeline::from_records(&records);
+        assert_eq!(t.jobs[0].shuffled_bytes, Some(1000));
+        assert_eq!(t.jobs[1].shuffled_bytes, Some(500), "delta, not cumulative");
+    }
+
+    #[test]
+    fn diff_pairs_jobs_by_name() {
+        let a = Timeline::from_records(&[
+            JournalRecord::JobStart {
+                job: "wc".into(),
+                engine: "hamr".into(),
+                t_us: 0,
+            },
+            JournalRecord::JobEnd {
+                job: "wc".into(),
+                ok: true,
+                t_us: 1000,
+                elapsed_us: 1000,
+                shuffled_bytes: 10,
+            },
+        ]);
+        let b = Timeline::from_records(&[
+            JournalRecord::JobStart {
+                job: "wc".into(),
+                engine: "hamr".into(),
+                t_us: 0,
+            },
+            JournalRecord::JobEnd {
+                job: "wc".into(),
+                ok: true,
+                t_us: 2000,
+                elapsed_us: 2000,
+                shuffled_bytes: 20,
+            },
+            JournalRecord::JobStart {
+                job: "extra".into(),
+                engine: "hamr".into(),
+                t_us: 3000,
+            },
+        ]);
+        let diff = Timeline::render_diff(&a, &b);
+        assert!(diff.contains("wc"));
+        assert!(diff.contains("0.50"), "wall ratio 1000/2000: {diff}");
+        assert!(diff.contains("only in second journal"));
+    }
+
+    #[test]
+    fn hist_quantile_matches_latency_histogram_convention() {
+        let h = HistSample {
+            count: 100,
+            sum_us: 0,
+            buckets: {
+                let mut b = vec![0u64; 64];
+                b[3] = 50;
+                b[10] = 49;
+                b[20] = 1;
+                b
+            },
+        };
+        assert_eq!(hist_quantile_us(&h, 0.5), bucket_upper(3));
+        assert_eq!(hist_quantile_us(&h, 0.99), bucket_upper(10));
+        assert_eq!(hist_quantile_us(&h, 1.0), bucket_upper(20));
+        assert_eq!(
+            hist_quantile_us(
+                &HistSample {
+                    count: 0,
+                    sum_us: 0,
+                    buckets: vec![0; 64]
+                },
+                0.99
+            ),
+            0
+        );
+    }
+}

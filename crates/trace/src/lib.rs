@@ -20,6 +20,7 @@ pub mod causal;
 mod chrome;
 pub mod csv;
 mod hist;
+pub mod journal;
 pub mod json;
 pub mod registry;
 mod summary;
@@ -36,9 +37,14 @@ pub use causal::{
 pub use chrome::{chrome_trace_json, chrome_trace_json_with_counters};
 pub use csv::{csv_escape, push_csv_row};
 pub use hist::LatencyHistogram;
+pub use journal::{
+    read_journal, JobSpan, Journal, JournalConfig, JournalMode, JournalRead, JournalRecord,
+    Timeline,
+};
 pub use registry::{
-    http_get, parse_prometheus, Counter, HistSample, Histogram, HttpResponse, HttpServer, Labels,
-    MetricsRegistry, PromSample, RouteHandler, SampleValue, SeriesSample, Snapshot,
+    http_get, parse_prometheus, AlertEngine, AlertEvent, AlertKind, AlertRule, AlertState, Counter,
+    HistSample, Histogram, HttpResponse, HttpServer, Labels, MetricsRegistry, PromSample,
+    RouteHandler, SampleValue, SeriesSample, Snapshot,
 };
 pub use summary::{
     render_occupancy, render_summary, worker_occupancy, FlowletSummaryRow, WorkerOccupancyRow,
@@ -284,7 +290,17 @@ pub struct RingSink {
     /// Optional registry counter bumped alongside `dropped`, so lost
     /// trace events show up live in `/metrics` instead of warn-only.
     drop_mirror: Mutex<Option<Counter>>,
+    /// Optional callback handed each event the ring is about to
+    /// overwrite — the flight journal's continuous-persistence hook.
+    /// Follows the `drop_mirror` shape: unset, overflow costs one
+    /// mutex probe; set, the evicted event is offered to the tap
+    /// before it is lost.
+    overflow_tap: Mutex<Option<OverflowTap>>,
 }
+
+/// Callback offered each event the ring evicts on overflow — the
+/// flight journal's continuous-persistence hook.
+pub type OverflowTap = Arc<dyn Fn(&TraceEvent) + Send + Sync>;
 
 /// Each OS thread gets a stable small integer used to pick its lane.
 static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
@@ -301,6 +317,7 @@ impl RingSink {
             per_lane_capacity,
             dropped: AtomicU64::new(0),
             drop_mirror: Mutex::new(None),
+            overflow_tap: Mutex::new(None),
         }
     }
 
@@ -319,6 +336,15 @@ impl RingSink {
     /// `/metrics` while the run is still going.
     pub fn mirror_drops(&self, counter: Counter) {
         *self.drop_mirror.lock().unwrap_or_else(|p| p.into_inner()) = Some(counter);
+    }
+
+    /// Install (or clear) the overflow tap: every event the ring
+    /// evicts to make room is offered to `tap` before it is lost. The
+    /// tap is called with no sink locks held, so it may itself emit
+    /// trace events (the journal's segment mirror writes through
+    /// traced simdisk) without re-entering a held lane lock.
+    pub fn set_overflow_tap(&self, tap: Option<OverflowTap>) {
+        *self.overflow_tap.lock().unwrap_or_else(|p| p.into_inner()) = tap;
     }
 
     /// Remove and return all buffered events, sorted by timestamp.
@@ -349,17 +375,34 @@ impl RingSink {
 impl TraceSink for RingSink {
     fn record(&self, ev: TraceEvent) {
         let slot = THREAD_SLOT.with(|s| *s);
-        let mut q = self.lanes[slot % self.lanes.len()]
-            .lock()
-            .unwrap_or_else(|p| p.into_inner());
-        if q.len() >= self.per_lane_capacity {
-            q.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            if let Some(counter) = &*self.drop_mirror.lock().unwrap_or_else(|p| p.into_inner()) {
-                counter.inc();
+        let mut evicted = None;
+        {
+            let mut q = self.lanes[slot % self.lanes.len()]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if q.len() >= self.per_lane_capacity {
+                evicted = q.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(counter) = &*self.drop_mirror.lock().unwrap_or_else(|p| p.into_inner())
+                {
+                    counter.inc();
+                }
+            }
+            q.push_back(ev);
+        }
+        // The tap runs with no lock held (lane or tap registration): a
+        // journal tap may rotate a segment, whose mirror write into a
+        // traced simdisk re-enters `record` on this same thread.
+        if let Some(evicted) = evicted {
+            let tap = self
+                .overflow_tap
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone();
+            if let Some(tap) = tap {
+                tap(&evicted);
             }
         }
-        q.push_back(ev);
     }
 }
 

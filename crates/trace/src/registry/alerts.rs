@@ -1,0 +1,647 @@
+//! Declarative alert rules evaluated over registry snapshots.
+//!
+//! An [`AlertEngine`] holds a set of [`AlertRule`]s and is fed
+//! [`Snapshot`]s (typically once per watchdog epoch and once at job
+//! completion). Each evaluation returns the *transitions* — a rule
+//! that just started or just stopped firing — so callers can journal
+//! and log them without deduplicating; the full current state is
+//! always available from [`AlertEngine::states`] for the `/alerts`
+//! endpoint.
+//!
+//! Three rule shapes cover the operator questions the live plane
+//! could not answer over time:
+//!
+//! * [`AlertKind::GaugeHighWater`] — an instantaneous gauge (max
+//!   across its label sets) has sat at or above a threshold for N
+//!   consecutive evaluations. Queue depth, deferred bins.
+//! * [`AlertKind::StallShareCeiling`] — the fraction of wall time the
+//!   flow-control lanes spent stalled, measured between consecutive
+//!   evaluations from the cumulative stall-time series, exceeded a
+//!   ceiling for N evaluations.
+//! * [`AlertKind::LatencySlo`] — a burn-rate SLO over a log2 latency
+//!   histogram: the fraction of samples above the latency threshold,
+//!   windowed short and long, both burning error budget faster than
+//!   `burn_factor`. The two windows make it robust: the short window
+//!   reacts fast, the long window keeps a transient spike from
+//!   paging.
+
+use super::snapshot::{SampleValue, Snapshot};
+use crate::hist::bucket_upper;
+use std::collections::VecDeque;
+
+/// How one alert decides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertKind {
+    /// Fires after the max of gauge `metric` across all label sets has
+    /// been `>= threshold` for `hold_evals` consecutive evaluations;
+    /// resolves on the first evaluation below.
+    GaugeHighWater {
+        metric: String,
+        threshold: i64,
+        hold_evals: u32,
+    },
+    /// Fires when `delta(stall)/ (delta(t) * lanes)` — the share of
+    /// wall time spent stalled per flow-control lane — exceeds
+    /// `ceiling` for `hold_evals` consecutive evaluations. `metric` is
+    /// a cumulative microsecond series (gauge or counter); lanes =
+    /// number of label sets carrying it.
+    StallShareCeiling {
+        metric: String,
+        ceiling: f64,
+        hold_evals: u32,
+    },
+    /// p-latency SLO with burn-rate windows over histogram `metric`
+    /// (all label sets aggregated). A sample is *bad* when it lands in
+    /// a bucket whose upper bound exceeds `threshold_us`. With error
+    /// budget `1 - objective`, the rule fires when the bad fraction
+    /// over BOTH the short and long windows exceeds
+    /// `burn_factor * (1 - objective)`, and resolves when the short
+    /// window drops back under.
+    LatencySlo {
+        metric: String,
+        /// e.g. `0.99` — the fraction of samples that must be fast.
+        objective: f64,
+        threshold_us: u64,
+        short_evals: usize,
+        long_evals: usize,
+        burn_factor: f64,
+    },
+}
+
+/// A named rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    pub name: String,
+    pub kind: AlertKind,
+}
+
+impl AlertRule {
+    pub fn gauge_high_water(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        threshold: i64,
+        hold_evals: u32,
+    ) -> Self {
+        AlertRule {
+            name: name.into(),
+            kind: AlertKind::GaugeHighWater {
+                metric: metric.into(),
+                threshold,
+                hold_evals,
+            },
+        }
+    }
+
+    pub fn stall_share_ceiling(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        ceiling: f64,
+        hold_evals: u32,
+    ) -> Self {
+        AlertRule {
+            name: name.into(),
+            kind: AlertKind::StallShareCeiling {
+                metric: metric.into(),
+                ceiling,
+                hold_evals,
+            },
+        }
+    }
+
+    pub fn latency_slo(
+        name: impl Into<String>,
+        metric: impl Into<String>,
+        objective: f64,
+        threshold_us: u64,
+        short_evals: usize,
+        long_evals: usize,
+        burn_factor: f64,
+    ) -> Self {
+        AlertRule {
+            name: name.into(),
+            kind: AlertKind::LatencySlo {
+                metric: metric.into(),
+                objective,
+                threshold_us,
+                short_evals,
+                long_evals,
+                burn_factor,
+            },
+        }
+    }
+}
+
+/// A transition: `firing = true` is a page, `false` a resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    pub rule: String,
+    pub firing: bool,
+    pub t_us: u64,
+    pub value: f64,
+    pub threshold: f64,
+    pub detail: String,
+}
+
+/// Queryable state of one rule, served at `/alerts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertState {
+    pub rule: String,
+    pub firing: bool,
+    pub since_us: Option<u64>,
+    pub last_value: f64,
+    pub threshold: f64,
+    /// Firing transitions over the engine's lifetime.
+    pub fired_total: u64,
+    pub detail: String,
+}
+
+/// Cumulative (total, bad) histogram counts at one evaluation.
+#[derive(Debug, Clone, Copy)]
+struct SloPoint {
+    count: u64,
+    bad: u64,
+}
+
+#[derive(Debug, Default)]
+struct RuleState {
+    consecutive: u32,
+    firing: bool,
+    since_us: Option<u64>,
+    last_value: f64,
+    fired_total: u64,
+    detail: String,
+    /// `StallShareCeiling`: previous `(t_us, cumulative stall)`.
+    prev_stall: Option<(u64, u64)>,
+    /// `LatencySlo`: cumulative points, newest last.
+    slo_window: VecDeque<(u64, SloPoint)>,
+}
+
+/// The rule evaluator. Feed it snapshots; it hands back transitions.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: Vec<(AlertRule, RuleState)>,
+}
+
+impl AlertEngine {
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        AlertEngine {
+            rules: rules
+                .into_iter()
+                .map(|r| (r, RuleState::default()))
+                .collect(),
+        }
+    }
+
+    /// The stock rule set: queue-depth high-water, stall-share
+    /// ceiling, and a p99 task-latency SLO with 2x burn-rate windows.
+    /// Thresholds are conservative — a healthy benchmark run stays
+    /// silent.
+    pub fn with_default_rules() -> Self {
+        AlertEngine::new(vec![
+            AlertRule::gauge_high_water("queue-depth-high-water", "queue_depth", 4096, 5),
+            AlertRule::stall_share_ceiling("stall-share-ceiling", "stall_us_total", 0.5, 3),
+            AlertRule::latency_slo(
+                "task-p99-latency-slo",
+                "flowlet_task_latency_us",
+                0.99,
+                100_000,
+                3,
+                12,
+                2.0,
+            ),
+        ])
+    }
+
+    /// Replace the rule set, resetting all state.
+    pub fn set_rules(&mut self, rules: Vec<AlertRule>) {
+        *self = AlertEngine::new(rules);
+    }
+
+    pub fn rules(&self) -> Vec<&AlertRule> {
+        self.rules.iter().map(|(r, _)| r).collect()
+    }
+
+    pub fn firing_count(&self) -> usize {
+        self.rules.iter().filter(|(_, s)| s.firing).count()
+    }
+
+    pub fn states(&self) -> Vec<AlertState> {
+        self.rules
+            .iter()
+            .map(|(rule, s)| AlertState {
+                rule: rule.name.clone(),
+                firing: s.firing,
+                since_us: s.since_us,
+                last_value: s.last_value,
+                threshold: rule_threshold(rule),
+                fired_total: s.fired_total,
+                detail: s.detail.clone(),
+            })
+            .collect()
+    }
+
+    /// Evaluate every rule against `snap` at time `t_us`, returning
+    /// only the transitions.
+    pub fn evaluate(&mut self, snap: &Snapshot, t_us: u64) -> Vec<AlertEvent> {
+        let mut events = Vec::new();
+        for (rule, state) in &mut self.rules {
+            let decision = match &rule.kind {
+                AlertKind::GaugeHighWater {
+                    metric,
+                    threshold,
+                    hold_evals,
+                } => eval_gauge(snap, metric, *threshold, *hold_evals, state),
+                AlertKind::StallShareCeiling {
+                    metric,
+                    ceiling,
+                    hold_evals,
+                } => eval_stall_share(snap, metric, *ceiling, *hold_evals, state, t_us),
+                AlertKind::LatencySlo {
+                    metric,
+                    objective,
+                    threshold_us,
+                    short_evals,
+                    long_evals,
+                    burn_factor,
+                } => eval_latency_slo(
+                    snap,
+                    metric,
+                    *objective,
+                    *threshold_us,
+                    *short_evals,
+                    *long_evals,
+                    *burn_factor,
+                    state,
+                    t_us,
+                ),
+            };
+            let Some(should_fire) = decision else {
+                continue; // no data this round; keep current state
+            };
+            if should_fire && !state.firing {
+                state.firing = true;
+                state.since_us = Some(t_us);
+                state.fired_total += 1;
+                events.push(AlertEvent {
+                    rule: rule.name.clone(),
+                    firing: true,
+                    t_us,
+                    value: state.last_value,
+                    threshold: rule_threshold(rule),
+                    detail: state.detail.clone(),
+                });
+            } else if !should_fire && state.firing {
+                state.firing = false;
+                state.since_us = None;
+                events.push(AlertEvent {
+                    rule: rule.name.clone(),
+                    firing: false,
+                    t_us,
+                    value: state.last_value,
+                    threshold: rule_threshold(rule),
+                    detail: state.detail.clone(),
+                });
+            }
+        }
+        events
+    }
+}
+
+fn rule_threshold(rule: &AlertRule) -> f64 {
+    match &rule.kind {
+        AlertKind::GaugeHighWater { threshold, .. } => *threshold as f64,
+        AlertKind::StallShareCeiling { ceiling, .. } => *ceiling,
+        AlertKind::LatencySlo {
+            objective,
+            burn_factor,
+            ..
+        } => burn_factor * (1.0 - objective),
+    }
+}
+
+/// `Some(fire?)` once the rule has data; `None` keeps current state.
+fn eval_gauge(
+    snap: &Snapshot,
+    metric: &str,
+    threshold: i64,
+    hold_evals: u32,
+    state: &mut RuleState,
+) -> Option<bool> {
+    let max = snap
+        .series
+        .iter()
+        .filter(|s| s.name == metric)
+        .filter_map(|s| match &s.value {
+            SampleValue::Gauge(v) => Some(*v),
+            SampleValue::Counter(v) => Some(*v as i64),
+            _ => None,
+        })
+        .max()?;
+    state.last_value = max as f64;
+    if max >= threshold {
+        state.consecutive += 1;
+        state.detail = format!(
+            "{metric}={max} >= {threshold} for {} eval(s)",
+            state.consecutive
+        );
+    } else {
+        state.consecutive = 0;
+        state.detail = format!("{metric}={max}");
+    }
+    Some(state.consecutive >= hold_evals)
+}
+
+fn eval_stall_share(
+    snap: &Snapshot,
+    metric: &str,
+    ceiling: f64,
+    hold_evals: u32,
+    state: &mut RuleState,
+    t_us: u64,
+) -> Option<bool> {
+    let mut lanes = 0u64;
+    let mut total = 0u64;
+    for s in &snap.series {
+        if s.name != metric {
+            continue;
+        }
+        let v = match &s.value {
+            SampleValue::Gauge(v) => (*v).max(0) as u64,
+            SampleValue::Counter(v) => *v,
+            _ => continue,
+        };
+        lanes += 1;
+        total += v;
+    }
+    if lanes == 0 {
+        return None;
+    }
+    let Some((prev_t, prev_total)) = state.prev_stall.replace((t_us, total)) else {
+        return None; // first observation establishes the baseline
+    };
+    let dt = t_us.saturating_sub(prev_t);
+    if dt == 0 {
+        return None;
+    }
+    let share = total.saturating_sub(prev_total) as f64 / (dt as f64 * lanes as f64);
+    state.last_value = share;
+    if share > ceiling {
+        state.consecutive += 1;
+        state.detail = format!(
+            "stall share {share:.2} > {ceiling:.2} across {lanes} lane(s) for {} eval(s)",
+            state.consecutive
+        );
+    } else {
+        state.consecutive = 0;
+        state.detail = format!("stall share {share:.2} across {lanes} lane(s)");
+    }
+    Some(state.consecutive >= hold_evals)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_latency_slo(
+    snap: &Snapshot,
+    metric: &str,
+    objective: f64,
+    threshold_us: u64,
+    short_evals: usize,
+    long_evals: usize,
+    burn_factor: f64,
+    state: &mut RuleState,
+    t_us: u64,
+) -> Option<bool> {
+    // Aggregate every label set of the histogram into cumulative
+    // (total, bad-above-threshold) counts.
+    let mut point = SloPoint { count: 0, bad: 0 };
+    let mut seen = false;
+    for s in &snap.series {
+        if s.name != metric {
+            continue;
+        }
+        if let SampleValue::Histogram(h) = &s.value {
+            seen = true;
+            point.count += h.count;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if bucket_upper(b) > threshold_us {
+                    point.bad += n;
+                }
+            }
+        }
+    }
+    if !seen {
+        return None;
+    }
+    state.slo_window.push_back((t_us, point));
+    while state.slo_window.len() > long_evals + 1 {
+        state.slo_window.pop_front();
+    }
+    let budget = 1.0 - objective;
+    let burn = |window: usize, state: &RuleState| -> Option<f64> {
+        let n = state.slo_window.len();
+        if n < 2 {
+            return None;
+        }
+        let newest = state.slo_window[n - 1].1;
+        let base = state.slo_window[n.saturating_sub(window + 1)].1;
+        let d_count = newest.count.saturating_sub(base.count);
+        if d_count == 0 {
+            return Some(0.0);
+        }
+        let d_bad = newest.bad.saturating_sub(base.bad);
+        Some((d_bad as f64 / d_count as f64) / budget)
+    };
+    let short = burn(short_evals, state)?;
+    let long = burn(long_evals, state)?;
+    state.last_value = short;
+    let over = short >= burn_factor && long >= burn_factor;
+    state.detail = format!(
+        "p{} > {}us burn short {:.1}x / long {:.1}x (budget {:.3})",
+        (objective * 100.0) as u32,
+        threshold_us,
+        short,
+        long,
+        budget
+    );
+    // Firing needs both windows hot; resolution needs the short
+    // window back under the factor.
+    if state.firing {
+        Some(short >= burn_factor)
+    } else {
+        Some(over)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::snapshot::{HistSample, SeriesSample};
+    use super::*;
+    use crate::registry::Labels;
+
+    fn gauge_snap(metric: &str, values: &[i64]) -> Snapshot {
+        Snapshot {
+            label: "t".into(),
+            seq: 0,
+            series: values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| SeriesSample {
+                    name: metric.into(),
+                    labels: Labels::new().node(i as u32),
+                    value: SampleValue::Gauge(*v),
+                })
+                .collect(),
+        }
+    }
+
+    fn hist_snap(metric: &str, fast: u64, slow: u64) -> Snapshot {
+        let mut buckets = vec![0u64; 64];
+        buckets[5] = fast; // upper 31us — always under threshold
+        buckets[30] = slow; // upper ~1073s — always over
+        Snapshot {
+            label: "t".into(),
+            seq: 0,
+            series: vec![SeriesSample {
+                name: metric.into(),
+                labels: Labels::new().flowlet(0),
+                value: SampleValue::Histogram(HistSample {
+                    count: fast + slow,
+                    sum_us: 0,
+                    buckets,
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn gauge_high_water_needs_the_hold_and_resolves_below() {
+        let mut eng =
+            AlertEngine::new(vec![AlertRule::gauge_high_water("q", "queue_depth", 10, 3)]);
+        // Two evals over threshold: still silent (hold is 3).
+        assert!(eng
+            .evaluate(&gauge_snap("queue_depth", &[5, 12]), 100)
+            .is_empty());
+        assert!(eng
+            .evaluate(&gauge_snap("queue_depth", &[5, 12]), 200)
+            .is_empty());
+        // Third: fires.
+        let ev = eng.evaluate(&gauge_snap("queue_depth", &[5, 12]), 300);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].firing);
+        assert_eq!(ev[0].rule, "q");
+        assert_eq!(ev[0].value, 12.0);
+        // Still over: no duplicate transition.
+        assert!(eng
+            .evaluate(&gauge_snap("queue_depth", &[5, 12]), 400)
+            .is_empty());
+        assert_eq!(eng.firing_count(), 1);
+        // Dip below: resolves immediately.
+        let ev = eng.evaluate(&gauge_snap("queue_depth", &[5, 2]), 500);
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].firing);
+        assert_eq!(eng.firing_count(), 0);
+        assert_eq!(eng.states()[0].fired_total, 1);
+    }
+
+    #[test]
+    fn gauge_dip_resets_the_hold_counter() {
+        let mut eng = AlertEngine::new(vec![AlertRule::gauge_high_water("q", "g", 10, 2)]);
+        assert!(eng.evaluate(&gauge_snap("g", &[12]), 1).is_empty());
+        assert!(eng.evaluate(&gauge_snap("g", &[3]), 2).is_empty());
+        assert!(eng.evaluate(&gauge_snap("g", &[12]), 3).is_empty());
+        let ev = eng.evaluate(&gauge_snap("g", &[12]), 4);
+        assert_eq!(ev.len(), 1, "fires only after 2 consecutive");
+    }
+
+    #[test]
+    fn missing_metric_keeps_state_untouched() {
+        let mut eng = AlertEngine::new(vec![AlertRule::gauge_high_water("q", "absent", 1, 1)]);
+        assert!(eng.evaluate(&gauge_snap("other", &[99]), 1).is_empty());
+        assert_eq!(eng.firing_count(), 0);
+    }
+
+    #[test]
+    fn stall_share_fires_on_sustained_stall_and_stays_quiet_when_idle() {
+        let mut eng = AlertEngine::new(vec![AlertRule::stall_share_ceiling(
+            "s",
+            "stall_us_total",
+            0.5,
+            2,
+        )]);
+        // Cumulative stall across 2 lanes; evals 1000us apart. Share =
+        // delta / (dt * lanes).
+        let s = |a: i64, b: i64| gauge_snap("stall_us_total", &[a, b]);
+        assert!(eng.evaluate(&s(0, 0), 0).is_empty(), "baseline");
+        // 1600us of stall over 2000 lane-us: share 0.8 (1st over).
+        assert!(eng.evaluate(&s(800, 800), 1000).is_empty());
+        // Again: 2nd consecutive → fires.
+        let ev = eng.evaluate(&s(1600, 1600), 2000);
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].firing);
+        // Stall flatlines: share 0 → resolves.
+        let ev = eng.evaluate(&s(1600, 1600), 3000);
+        assert_eq!(ev.len(), 1);
+        assert!(!ev[0].firing);
+        // Healthy light stall never fires: share 0.1.
+        assert!(eng.evaluate(&s(1700, 1700), 4000).is_empty());
+        assert!(eng.evaluate(&s(1800, 1800), 5000).is_empty());
+        assert_eq!(eng.firing_count(), 0);
+    }
+
+    #[test]
+    fn latency_slo_fires_on_sustained_burn_and_not_on_a_blip() {
+        let rule = AlertRule::latency_slo("slo", "lat", 0.99, 1000, 2, 4, 2.0);
+        // Sustained badness: 10% of new samples slow each eval, budget
+        // is 1% → burn 10x in both windows.
+        let mut eng = AlertEngine::new(vec![rule.clone()]);
+        let mut fired = false;
+        for i in 1..=6u64 {
+            let ev = eng.evaluate(&hist_snap("lat", 90 * i, 10 * i), i * 1000);
+            if ev.iter().any(|e| e.firing) {
+                fired = true;
+            }
+        }
+        assert!(fired, "sustained 10x burn must fire");
+        assert_eq!(eng.firing_count(), 1);
+
+        // Healthy: all samples fast. Never fires.
+        let mut eng = AlertEngine::new(vec![rule.clone()]);
+        for i in 1..=6u64 {
+            assert!(eng
+                .evaluate(&hist_snap("lat", 100 * i, 0), i * 1000)
+                .is_empty());
+        }
+        assert_eq!(eng.firing_count(), 0);
+
+        // A short blip against a healthy history: the short window
+        // burns hot (2x) but the long window dilutes it to 1x, so the
+        // rule never pages.
+        let mut eng = AlertEngine::new(vec![rule]);
+        let mut transitions = Vec::new();
+        for i in 1..=4u64 {
+            transitions.extend(eng.evaluate(&hist_snap("lat", 100 * i, 0), i * 1000));
+        }
+        transitions.extend(eng.evaluate(&hist_snap("lat", 496, 4), 5000));
+        for i in 6..=8u64 {
+            transitions.extend(eng.evaluate(&hist_snap("lat", 100 * i - 4, 4), i * 1000));
+        }
+        assert!(
+            transitions.iter().all(|e| !e.firing),
+            "blip must not page: {transitions:?}"
+        );
+    }
+
+    #[test]
+    fn default_rules_stay_silent_on_an_empty_registry_snapshot() {
+        let mut eng = AlertEngine::with_default_rules();
+        let empty = Snapshot {
+            label: "t".into(),
+            seq: 0,
+            series: Vec::new(),
+        };
+        for i in 0..10 {
+            assert!(eng.evaluate(&empty, i * 100_000).is_empty());
+        }
+        assert_eq!(eng.firing_count(), 0);
+        assert_eq!(eng.states().len(), 3);
+    }
+}

@@ -28,9 +28,11 @@
 //! one cell, so concurrent registration from many worker threads is
 //! safe and idempotent.
 
+pub mod alerts;
 mod http;
 mod snapshot;
 
+pub use alerts::{AlertEngine, AlertEvent, AlertKind, AlertRule, AlertState};
 pub use http::{http_get, HttpResponse, HttpServer, RouteHandler};
 pub use snapshot::{parse_prometheus, HistSample, PromSample, SampleValue, SeriesSample, Snapshot};
 
