@@ -4,7 +4,7 @@
 //! plus skew-stressed PageRank/HistogramRatings variants that
 //! concentrate the work on a few hot keys — on the HAMR and MapReduce
 //! engines at fixed seeds and sizes, and writes a machine-readable
-//! `BENCH_pr8.json` (schema `hamr-benchjson/5`, documented in
+//! `BENCH_pr8.json` (schema `hamr-benchjson/6`, documented in
 //! EXPERIMENTS.md). HAMR runs twice: under the default work-stealing
 //! scheduler (`hamr`) and under the centralized scheduler it replaced
 //! (`hamr-central`), so every snapshot carries its own scheduler
@@ -21,6 +21,15 @@
 //! that runs the same chain with the partition-resident frame cache
 //! disabled. That pair is the cross-iteration-reuse evidence: from
 //! iteration 2 the cache-on chain ships only the rank frontier.
+//!
+//! Schema 6 adds the data-plane sketch columns: every row carries
+//! `distinct_keys` (estimated distinct shuffle keys, HLL) and
+//! `hot_key_share` (hottest key's record share, SpaceSaving), zero
+//! when `HAMR_STATS=off`. The run doubles as an accuracy check: each
+//! engine's estimate must land within 5% of the exact count the
+//! MapReduce baseline derives from its reduce groups, or the harness
+//! exits 6 (the HLL's 3-sigma band at 2^12 registers is 4.9%, so a
+//! healthy sketch always clears the bar).
 //!
 //! The timing reps run untraced. Afterwards each (benchmark, engine)
 //! pair gets ONE extra run with the causal profiler attached (via the
@@ -68,8 +77,11 @@
 //! `--metrics-out FILE` runs WordCount once more with the cluster's
 //! introspection endpoint live, scrapes `/metrics` from a side thread
 //! while the run is in flight, and writes the final (both-engines)
-//! scrape — validated as parseable Prometheus text — to FILE. That is
-//! the snapshot artifact CI uploads.
+//! scrape — validated as parseable Prometheus text — to FILE. The
+//! `/stats` data-plane snapshot from the same run (per-edge sketches,
+//! lineage samples in full mode) lands beside it as
+//! `FILE[-.prom].stats.json`. Those are the snapshot artifacts CI
+//! uploads.
 //!
 //! ```text
 //! benchjson [--quick] [--reps N] [--out BENCH_pr8.json]
@@ -151,6 +163,15 @@ struct Row {
     combined_records: u64,
     splits_triggered: u64,
     shards_migrated: u64,
+    /// Data-plane sketch figures (schema 6): estimated distinct
+    /// shuffle keys and the hottest key's record share. Zero when
+    /// `HAMR_STATS=off`.
+    distinct_keys: u64,
+    hot_key_share: f64,
+    /// Exact distinct shuffle keys when the engine counts them (the
+    /// mapred reduce-group total). Anchors the sketch-accuracy gate;
+    /// not serialized.
+    exact_distinct: u64,
     /// Per-iteration shuffle and cache telemetry (first rep). Empty
     /// for single-job workloads and for the mapred engine.
     iters: Vec<IterStats>,
@@ -205,6 +226,9 @@ impl Row {
             combined_records: out.combined_records,
             splits_triggered: out.splits_triggered,
             shards_migrated: out.shards_migrated,
+            distinct_keys: out.distinct_keys,
+            hot_key_share: out.hot_key_share,
+            exact_distinct: out.exact_distinct_keys,
             iters: out.iters.clone(),
         }
     }
@@ -257,7 +281,9 @@ impl Row {
                 "\"critical_path_ms\":{:.3},\"stall_share\":{:.4},",
                 "\"net_share\":{:.4},",
                 "\"combined_records\":{},\"splits_triggered\":{},",
-                "\"shards_migrated\":{},\"iters\":{}}}"
+                "\"shards_migrated\":{},",
+                "\"distinct_keys\":{},\"hot_key_share\":{:.4},",
+                "\"iters\":{}}}"
             ),
             self.benchmark,
             self.engine,
@@ -278,13 +304,15 @@ impl Row {
             self.combined_records,
             self.splits_triggered,
             self.shards_migrated,
+            self.distinct_keys,
+            self.hot_key_share,
             self.iters_json(),
         )
     }
 
     fn tsv(&self) -> String {
         format!(
-            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}\t{:.3}\t{:.4}\t{:.4}\t{}\t{}\t{}",
+            "{}\t{}\t{:.1}\t{:.6}\t{}\t{:.3}\t{}\t{:.6}\t{:.4}\t{:.3}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\t{:.4}",
             self.benchmark,
             self.engine,
             self.records_per_sec,
@@ -300,6 +328,8 @@ impl Row {
             self.combined_records,
             self.splits_triggered,
             self.shards_migrated,
+            self.distinct_keys,
+            self.hot_key_share,
         )
     }
 }
@@ -314,16 +344,16 @@ struct BaselineRow {
 }
 
 /// Parses the 6-column TSVs written before the scheduler columns
-/// existed, the 9-column form, the 12-column form, and the current
-/// 15-column form (extra columns carry steal / park / occupancy,
-/// causal-profile, and skew-mitigation figures the ratio report does
-/// not need).
+/// existed, the 9-column form, the 12-column form, the 15-column
+/// form, and the current 17-column form (extra columns carry steal /
+/// park / occupancy, causal-profile, skew-mitigation, and data-plane
+/// sketch figures the ratio report does not need).
 fn parse_baseline(path: &str) -> Result<BTreeMap<(String, String), BaselineRow>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut rows = BTreeMap::new();
     for line in text.lines() {
         let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 6 && cols.len() != 9 && cols.len() != 12 && cols.len() != 15 {
+        if ![6, 9, 12, 15, 17].contains(&cols.len()) {
             return Err(format!("{path}: malformed line {line:?}"));
         }
         let parse = |s: &str| s.parse::<f64>().map_err(|e| format!("{path}: {e}"));
@@ -958,10 +988,11 @@ fn journal_run(params: &SimParams, dir: &str) -> Result<(f64, f64), String> {
 /// One introspected run for the `--metrics-out` artifact: WordCount on
 /// both engines with the HAMR cluster's endpoint live, a side thread
 /// scraping `/metrics` while the run is in flight (proving the
-/// endpoint answers mid-run). Returns the final post-run scrape —
-/// which carries both engines' series — plus the count of successful
-/// mid-run scrapes.
-fn metrics_snapshot_run(params: &SimParams) -> Result<(String, u64), String> {
+/// endpoint answers mid-run). Returns the final post-run `/metrics`
+/// scrape — which carries both engines' series — the `/stats`
+/// data-plane snapshot (per-edge sketches, lineage samples in full
+/// mode), and the count of successful mid-run scrapes.
+fn metrics_snapshot_run(params: &SimParams) -> Result<(String, String, u64), String> {
     let bench = WordCount::default();
     let env = Env::with_hamr_sched(params.clone(), SchedMode::WorkStealing);
     bench.seed(&env)?;
@@ -1000,8 +1031,52 @@ fn metrics_snapshot_run(params: &SimParams) -> Result<(String, u64), String> {
             return Err(format!("snapshot carries no engine=\"{engine}\" series"));
         }
     }
+    let (status, stats) = http_get(addr, "/stats", Duration::from_secs(2))
+        .map_err(|e| format!("/stats scrape: {e}"))?;
+    if status != 200 {
+        return Err(format!("/stats scrape: HTTP {status}"));
+    }
+    if !stats.contains("\"job\":\"wordcount\"") || !stats.contains("\"edges\":[") {
+        return Err(format!("/stats snapshot missing wordcount edges: {stats}"));
+    }
     env.hamr.stop_introspection();
-    Ok((body, mid_scrapes))
+    Ok((body, stats, mid_scrapes))
+}
+
+/// Sketch-accuracy gate (schema 6): every row's estimated distinct
+/// shuffle keys must land within 5% of the exact count the MapReduce
+/// baseline derives from its reduce groups for the same benchmark
+/// (disjoint reducer key ranges make that total exact). Rows with no
+/// sketch figure (stats off) and benchmarks with no exact anchor are
+/// skipped. Returns true when any row misses the band.
+fn sketch_accuracy_gate(rows: &[Row]) -> bool {
+    let exact: BTreeMap<&str, u64> = rows
+        .iter()
+        .filter(|r| r.engine == "mapred" && r.exact_distinct > 0)
+        .map(|r| (r.benchmark.as_str(), r.exact_distinct))
+        .collect();
+    let mut failed = false;
+    for row in rows.iter().filter(|r| r.distinct_keys > 0) {
+        let Some(&truth) = exact.get(row.benchmark.as_str()) else {
+            continue;
+        };
+        let err = 100.0 * (row.distinct_keys as f64 - truth as f64).abs() / truth as f64;
+        if err > 5.0 {
+            eprintln!(
+                "benchjson: SKETCH: {} ({}): distinct_keys {} vs exact {truth} \
+                 ({err:.2}% off > 5%)",
+                row.benchmark, row.engine, row.distinct_keys
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "benchjson: sketch ok: {} ({}): distinct_keys {} vs exact {truth} \
+                 ({err:.2}% off)",
+                row.benchmark, row.engine, row.distinct_keys
+            );
+        }
+    }
+    failed
 }
 
 fn main() {
@@ -1170,7 +1245,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"hamr-benchjson/5\",\n");
+    json.push_str("{\n  \"schema\": \"hamr-benchjson/6\",\n");
     json.push_str(&format!(
         "  \"params\": {{\"nodes\": {nodes}, \"threads_per_node\": {threads}, \
          \"scale\": {scale}, \"seed\": 42, \"reps\": {}, \"quick\": {}}},\n",
@@ -1245,12 +1320,18 @@ fn main() {
 
     if let Some(path) = &args.metrics_out {
         match metrics_snapshot_run(&params) {
-            Ok((body, mid_scrapes)) => {
+            Ok((body, stats, mid_scrapes)) => {
                 if let Err(e) = std::fs::write(path, &body) {
                     eprintln!("benchjson: write {path}: {e}");
                     std::process::exit(1);
                 }
                 eprintln!("wrote {path} ({mid_scrapes} successful mid-run scrapes)");
+                let stats_path = format!("{}.stats.json", path.trim_end_matches(".prom"));
+                if let Err(e) = std::fs::write(&stats_path, &stats) {
+                    eprintln!("benchjson: write {stats_path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {stats_path}");
             }
             Err(e) => {
                 eprintln!("benchjson: metrics snapshot: {e}");
@@ -1303,6 +1384,12 @@ fn main() {
         if failed {
             std::process::exit(3);
         }
+    }
+
+    // Sketch-accuracy gate: the estimates the snapshot just published
+    // must agree with the exact reduce-group counts.
+    if sketch_accuracy_gate(&rows) {
+        std::process::exit(6);
     }
 
     // Perf-regression gate, last so all diagnostics above still print.

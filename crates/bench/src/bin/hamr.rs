@@ -16,7 +16,14 @@
 //! hamr top --demo [--ticks N]
 //! hamr timeline <journal-dir>
 //! hamr timeline --diff <journal-dir-a> <journal-dir-b>
+//! hamr explain <journal-dir> <job> <key>|--any|--list
 //! ```
+//!
+//! `hamr explain` reads the data-plane stats snapshots the journal
+//! persists per job (`HAMR_STATS=full` runs sample record lineage)
+//! and reconstructs a sampled key's path through the dataflow:
+//! emitting flowlets and edges, scatter/absorb/re-emit decisions made
+//! by the skew layer, and the final reducer.
 //!
 //! `hamr top` also renders a cluster-wide task-latency quantile line
 //! (p50/p95/p99 in µs, aggregated from the published log2 latency
@@ -69,6 +76,12 @@ struct NodeStat {
     /// Cumulative reduce shards the rebalance planner moved onto this
     /// node's scatter set.
     migrated: f64,
+    /// Estimated distinct keys routed to this node over shuffle edges
+    /// (data-plane sketches, latest job; summed across edges).
+    distinct: f64,
+    /// Hottest key's share of this node's shuffle traffic, in permille
+    /// (max across edges).
+    hot_permille: f64,
 }
 
 /// Cluster-wide header figures. The resident-cache series carry no
@@ -112,6 +125,10 @@ fn collect(samples: &[PromSample], engine: &str) -> (BTreeMap<u32, NodeStat>, To
             "hamr_net_sent_bytes_total" => stat.net_tx_bytes = s.value,
             "hamr_node_splits_triggered_total" => stat.splits = s.value,
             "hamr_node_shards_migrated_total" => stat.migrated = s.value,
+            "hamr_stats_node_distinct_keys" => stat.distinct += s.value,
+            "hamr_stats_node_hot_key_permille" => {
+                stat.hot_permille = stat.hot_permille.max(s.value)
+            }
             _ => {}
         }
     }
@@ -256,7 +273,8 @@ fn render_tick(
         )),
     }
     out.push_str(
-        "node  workers  busy   occ%  queue  defer  window  stall%  skew(spl/mig)  net-tx\n",
+        "node  workers  busy   occ%  queue  defer  window  stall%  skew(spl/mig)  \
+         keys(distinct/hot%)  net-tx\n",
     );
     for (node, s) in nodes {
         let occ = if s.workers > 0.0 {
@@ -278,8 +296,13 @@ fn render_tick(
             }
             _ => (0.0, 0.0),
         };
+        let keys = if s.distinct > 0.0 {
+            format!("{:.0}/{:.1}%", s.distinct, s.hot_permille / 10.0)
+        } else {
+            "-".to_string()
+        };
         out.push_str(&format!(
-            "{node:<4}  {:<7.0}  {:<4.0}  {occ:>5.1}  {:<5.0}  {:<5.0}  {:<6.0}  {stall_pct:>6.1}  {:>13}  {}\n",
+            "{node:<4}  {:<7.0}  {:<4.0}  {occ:>5.1}  {:<5.0}  {:<5.0}  {:<6.0}  {stall_pct:>6.1}  {:>13}  {keys:>19}  {}\n",
             s.workers,
             s.busy,
             s.queue,
@@ -383,9 +406,128 @@ fn usage() -> ! {
         "usage: hamr top --addr HOST:PORT [--engine hamr|mapred] \
          [--interval-ms N] [--ticks N]\n       hamr top --demo [--ticks N]\n       \
          hamr timeline <journal-dir>\n       \
-         hamr timeline --diff <journal-dir-a> <journal-dir-b>"
+         hamr timeline --diff <journal-dir-a> <journal-dir-b>\n       \
+         hamr explain <journal-dir> <job> <key>|--any|--list"
     );
     std::process::exit(2);
+}
+
+/// Collect every persisted stats snapshot for `job` (oldest first)
+/// from a journal directory, following the same single-dir /
+/// one-subdir-per-cluster layout as `hamr timeline`.
+fn load_stats_snapshots(dir: &Path, job: &str) -> Result<Vec<hamr_trace::StatsSnapshot>, String> {
+    let mut records = Vec::new();
+    let direct = hamr_trace::read_journal(dir)?;
+    if direct.records.is_empty() && direct.truncated_frames == 0 {
+        let mut subs: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .map(|e| e.path())
+            .collect();
+        subs.sort();
+        for sub in subs {
+            if let Ok(read) = hamr_trace::read_journal(&sub) {
+                records.extend(read.records);
+            }
+        }
+    } else {
+        records = direct.records;
+    }
+    Ok(records
+        .into_iter()
+        .filter_map(|r| match r {
+            hamr_trace::JournalRecord::Stats(s) if s.job == job => Some(s),
+            _ => None,
+        })
+        .collect())
+}
+
+/// `hamr explain <journal-dir> <job> <key>|--any|--list`: reconstruct
+/// a sampled record's path — flowlets, edges, scatter/absorb/re-emit
+/// decisions, final reducer — from the journal's stats snapshots.
+/// Requires the run to have had `HAMR_STATS=full` (lineage sampling).
+/// Exit 0 on a rendered path, 1 when the key/journal yields nothing,
+/// 2 on bad arguments.
+fn explain_main(args: &[String]) -> ! {
+    let (dir, job, query) = match args {
+        [dir, job, query] => (Path::new(dir), job.as_str(), query.as_str()),
+        _ => {
+            eprintln!("usage: hamr explain <journal-dir> <job> <key>|--any|--list");
+            std::process::exit(2);
+        }
+    };
+    let snaps = match load_stats_snapshots(dir, job) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hamr explain: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The last snapshot for the job wins: iterative workloads persist
+    // one per job run and the freshest has the complete picture.
+    let Some(snap) = snaps.last() else {
+        eprintln!(
+            "hamr explain: no stats snapshot for job '{job}' in {} \
+             (was the run made with HAMR_STATS set?)",
+            dir.display()
+        );
+        std::process::exit(1);
+    };
+    if snap.samples.is_empty() {
+        eprintln!(
+            "hamr explain: job '{job}' has per-edge sketches but no lineage samples \
+             (rerun with HAMR_STATS=full to sample records)"
+        );
+        std::process::exit(1);
+    }
+    let code = match query {
+        "--list" => {
+            println!("sampled keys in job '{job}':");
+            for s in &snap.samples {
+                println!(
+                    "  {} (hash {:#018x}, {} hops)",
+                    hamr_trace::stats::format_key(&s.key),
+                    s.hash,
+                    s.hops.len()
+                );
+            }
+            0
+        }
+        "--any" => {
+            // Deepest path first: the most informative demo of the hop
+            // chain, and deterministic for smoke tests.
+            let sample = snap
+                .samples
+                .iter()
+                .max_by_key(|s| (s.hops.len(), s.hash))
+                .expect("samples non-empty");
+            print!("{}", hamr_trace::stats::render_explain(job, sample));
+            0
+        }
+        key => {
+            let needles = hamr_trace::stats::key_query_encodings(key);
+            let hash = key
+                .strip_prefix("hash:")
+                .and_then(|h| u64::from_str_radix(h.trim_start_matches("0x"), 16).ok());
+            match snap.find_sample(&needles, hash) {
+                Some(sample) => {
+                    print!("{}", hamr_trace::stats::render_explain(job, sample));
+                    0
+                }
+                None => {
+                    eprintln!(
+                        "hamr explain: key '{key}' was not sampled in job '{job}' \
+                         ({} sampled keys; try --list, or lower the sampling \
+                         stride with HAMR_STATS=full:1)",
+                        snap.samples.len()
+                    );
+                    1
+                }
+            }
+        }
+    };
+    std::process::exit(code);
 }
 
 /// `hamr timeline`: offline post-mortem reconstruction from a
@@ -430,6 +572,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("timeline") {
         timeline_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("explain") {
+        explain_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) != Some("top") {
         usage();

@@ -24,8 +24,8 @@ use hamr_simdisk::Disk;
 use hamr_simnet::{Fabric, NetRegistry};
 use hamr_trace::{
     AlertEvent, AlertRule, AlertState, Audit, AuditReport, FlightRecord, GaugeValue, Journal,
-    JournalConfig, JournalRecord, Labels, MetricsRegistry, RecordedEvent, RingSink, Telemetry,
-    Tracer, WatchdogClass, WatchdogTrip,
+    JournalConfig, JournalRecord, Labels, MetricsRegistry, RecordedEvent, RingSink, StatsPlane,
+    Telemetry, Tracer, WatchdogClass, WatchdogTrip,
 };
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -700,6 +700,22 @@ impl Cluster {
             self.config.runtime.skew.clone(),
             n,
         ));
+        // Per-job data-plane statistics: one sketch set per (edge,
+        // destination node), folded by every node as bins close and
+        // merged into one snapshot at teardown. Lineage sampling is
+        // confined to hash-exchange edges so loader keys (synthetic
+        // line offsets) cannot crowd out shuffle keys.
+        let shuffle_edges: Vec<bool> = graph
+            .edges
+            .iter()
+            .map(|e| matches!(e.exchange, crate::graph::Exchange::Hash))
+            .collect();
+        let stats_plane = self.config.runtime.stats.enabled().then(|| {
+            Arc::new(
+                StatsPlane::new(graph.edges.len(), n, self.config.runtime.stats)
+                    .with_sampled_edges(&shuffle_edges),
+            )
+        });
         // Resolve residency annotations once, centrally, before any
         // node spawns: every node must agree on what is served from
         // the cache and what fills it (partition-stable ownership).
@@ -743,12 +759,13 @@ impl Cluster {
             };
             let skew = Arc::clone(&skew);
             let plan = Arc::clone(&plan);
+            let stats = stats_plane.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("hamr-node-{node}"))
                 .spawn(move || {
                     run_node(
                         node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit,
-                        skew, plan,
+                        skew, plan, stats,
                     )
                 })
                 .expect("spawn node runtime");
@@ -877,6 +894,47 @@ impl Cluster {
         let net = fabric.metrics();
         metrics.shuffled_bytes = net.remote_bytes();
         metrics.shuffled_messages = net.remote_messages();
+        // Merge every node's per-destination sketches into one job
+        // snapshot. Hash-exchange edges are flagged as shuffle edges:
+        // their cardinality is comparable across engines (Local loader
+        // edges carry synthetic keys like line offsets).
+        if let Some(plane) = &stats_plane {
+            let snap = plane.snapshot(&graph.name, "hamr", &shuffle_edges);
+            // Per-destination gauges for the live console: node N's
+            // series describe the keys routed *to* N on each shuffle
+            // edge (`hamr top`'s keys column).
+            for (e, &is_shuffle) in shuffle_edges.iter().enumerate() {
+                if !is_shuffle {
+                    continue;
+                }
+                for dst in 0..n {
+                    let Some((_, distinct, hot)) = plane.slot_stats(e as u32, dst as u32) else {
+                        continue;
+                    };
+                    let labels = || {
+                        Labels::new()
+                            .engine("hamr")
+                            .job(graph.name.clone())
+                            .node(dst as u32)
+                            .edge(e as u32)
+                    };
+                    self.introspect
+                        .registry
+                        .gauge("stats_node_distinct_keys", labels())
+                        .set(distinct.min(i64::MAX as u64) as i64);
+                    self.introspect
+                        .registry
+                        .gauge("stats_node_hot_key_permille", labels())
+                        .set((hot * 1000.0).round() as i64);
+                }
+            }
+            *self
+                .introspect
+                .stats
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()) = Some(snap.clone());
+            metrics.stats = Some(snap);
+        }
         if start_sampler {
             telemetry.stop();
         }
@@ -909,6 +967,11 @@ impl Cluster {
                     job: graph.name.clone(),
                     report_json: audit.report().to_json(),
                 });
+            }
+            if let Some(snap) = &metrics.stats {
+                // Sketches and lineage samples outlive the run: `hamr
+                // explain` and the timeline read them back from here.
+                j.append(&JournalRecord::Stats(snap.clone()));
             }
             if first_error.is_some() || wd_trip.is_some() {
                 // A failed run's freshest evidence is still in the

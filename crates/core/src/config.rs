@@ -207,6 +207,11 @@ pub struct RuntimeConfig {
     pub fault: FaultInjection,
     /// Skew mitigation switches (see [`SkewConfig`] and `crate::skew`).
     pub skew: SkewConfig,
+    /// Data-plane statistics mode (see [`hamr_trace::StatsMode`]):
+    /// per-edge streaming sketches and, in `Full`, sampled record
+    /// lineage. Sketches observe frames as bins close; they never
+    /// influence routing or scheduling.
+    pub stats: hamr_trace::StatsMode,
 }
 
 impl Default for RuntimeConfig {
@@ -234,6 +239,10 @@ impl Default for RuntimeConfig {
                 .ok()
                 .and_then(|s| SkewConfig::from_env_str(&s))
                 .unwrap_or_default(),
+            // HAMR_STATS=off|edges|full[:N] — same env-gate idiom as
+            // HAMR_SCHED/HAMR_SKEW. Defaults to `edges` (sketches on,
+            // lineage sampling off).
+            stats: hamr_trace::StatsMode::from_env_str(std::env::var("HAMR_STATS").ok().as_deref()),
         }
     }
 }

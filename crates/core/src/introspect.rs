@@ -23,7 +23,7 @@
 use hamr_trace::{
     AlertEngine, AlertEvent, AlertRule, AlertState, Audit, FlightRecord, GaugeValue, HttpResponse,
     HttpServer, Journal, JournalRecord, MetricsRegistry, RingSink, RouteHandler, Snapshot,
-    Telemetry,
+    StatsSnapshot, Telemetry,
 };
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
@@ -260,6 +260,9 @@ pub(crate) struct Introspect {
     pub health: Arc<Mutex<Health>>,
     pub live: Arc<Mutex<LiveRun>>,
     pub alerts: Arc<AlertCenter>,
+    /// Data-plane statistics of the most recently completed job
+    /// (per-edge sketches + lineage samples), served at `/stats`.
+    pub stats: Arc<Mutex<Option<StatsSnapshot>>>,
     /// The flight journal, when enabled (`HAMR_JOURNAL` or
     /// `Cluster::enable_journal`).
     journal: Arc<Mutex<Option<Arc<Journal>>>>,
@@ -277,6 +280,7 @@ impl Introspect {
             health: Arc::new(Mutex::new(Health::default())),
             live: Arc::new(Mutex::new(LiveRun::default())),
             alerts: Arc::new(AlertCenter::new()),
+            stats: Arc::new(Mutex::new(None)),
             journal: Arc::new(Mutex::new(None)),
             epoch: Instant::now(),
             server: Mutex::new(None),
@@ -332,13 +336,15 @@ impl Introspect {
     }
 
     /// Bind `127.0.0.1:port` (0 = ephemeral) and serve `/metrics`,
-    /// `/healthz`, `/alerts`, `/doctor`. Replaces any previous server.
+    /// `/healthz`, `/alerts`, `/doctor`, `/stats`. Replaces any
+    /// previous server.
     pub fn serve(&self, port: u16) -> std::io::Result<SocketAddr> {
         let registry = self.registry.clone();
         let health = Arc::clone(&self.health);
         let live = Arc::clone(&self.live);
         let alerts = Arc::clone(&self.alerts);
         let journal = Arc::clone(&self.journal);
+        let stats = Arc::clone(&self.stats);
         let epoch = self.epoch;
         let handler: RouteHandler = Arc::new(move |path| match path {
             "/metrics" | "/metrics/" => HttpResponse::text(registry.snapshot().to_prometheus()),
@@ -391,6 +397,13 @@ impl Introspect {
                     gauges,
                 );
                 HttpResponse::json(record.to_json())
+            }
+            "/stats" | "/stats/" => {
+                let stats = stats.lock().unwrap_or_else(|p| p.into_inner());
+                match &*stats {
+                    Some(snap) => HttpResponse::json(snap.to_json()),
+                    None => HttpResponse::json("{\"stats\":null}".to_string()),
+                }
             }
             _ => HttpResponse::not_found(),
         });

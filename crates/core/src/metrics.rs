@@ -115,6 +115,9 @@ pub struct JobMetrics {
     pub shuffled_bytes: u64,
     /// Messages that crossed node boundaries.
     pub shuffled_messages: u64,
+    /// Data-plane statistics snapshot (per-edge sketches + lineage
+    /// samples); `None` when `HAMR_STATS=off`.
+    pub stats: Option<hamr_trace::StatsSnapshot>,
 }
 
 impl JobMetrics {
@@ -272,6 +275,33 @@ impl JobMetrics {
             registry
                 .counter("node_shards_migrated_total", labels())
                 .add(nm.shards_migrated);
+        }
+        if let Some(snap) = &self.stats {
+            // Per-edge sketch results as gauges (latest run of this job
+            // wins — sketches describe one run, not a cumulative total),
+            // plus job-level shuffle rollups so dashboards and `hamr
+            // top` can read cardinality without walking edges.
+            for es in &snap.edges {
+                let labels = || eng().job(job).edge(es.edge);
+                registry
+                    .gauge("stats_edge_records", labels())
+                    .set(es.records.min(i64::MAX as u64) as i64);
+                registry
+                    .gauge("stats_edge_distinct_keys", labels())
+                    .set(es.distinct.min(i64::MAX as u64) as i64);
+                registry
+                    .gauge("stats_edge_hot_key_permille", labels())
+                    .set((es.hot_share * 1000.0).round() as i64);
+                registry
+                    .gauge("stats_edge_p99_value_bytes", labels())
+                    .set(es.p99.min(i64::MAX as u64) as i64);
+            }
+            registry
+                .gauge("stats_shuffle_distinct_keys", eng().job(job))
+                .set(snap.shuffle_distinct().min(i64::MAX as u64) as i64);
+            registry
+                .gauge("stats_shuffle_hot_key_permille", eng().job(job))
+                .set((snap.shuffle_hot_share() * 1000.0).round() as i64);
         }
     }
 

@@ -60,8 +60,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use hamr_codec::FrameBuilder;
 use hamr_simnet::{Endpoint, Envelope, Payload};
 use hamr_trace::{
-    Audit, AuditBin, AuditStage, EventKind, Gauge, TaskKind, Telemetry, Tracer, NO_SPAN,
-    WORKER_RUNTIME,
+    Audit, AuditBin, AuditStage, EventKind, Gauge, HopKind, StatsPlane, TaskKind, Telemetry,
+    Tracer, NO_SPAN, WORKER_RUNTIME,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -257,6 +257,8 @@ struct WorkerShared {
     /// Resident-cache fill sink; `Some` only when this job fills one or
     /// more cache tags (see [`CachePlan`]).
     fill: Option<Arc<FillSink>>,
+    /// Data-plane statistics plane; `None` when `HAMR_STATS=off`.
+    stats: Option<Arc<StatsPlane>>,
 }
 
 impl WorkerShared {
@@ -280,11 +282,32 @@ impl WorkerShared {
             self.tracer.clone(),
             self.audit.clone(),
         )
-        .with_skew(&self.skew);
+        .with_skew(&self.skew)
+        .with_stats(&self.stats);
         if let Some(sink) = &self.fill {
             out = out.with_fill(sink);
         }
         out
+    }
+
+    /// Record a terminal lineage hop for a consumed bin (reduce ingest
+    /// or skew absorb). Only samples already in flight are touched, so
+    /// this is free for unsampled traffic and entirely off outside
+    /// `HAMR_STATS=full`.
+    fn stats_consume(&self, bin: &FrameBin, flowlet: FlowletId, kind: HopKind) {
+        if let Some(plane) = &self.stats {
+            if plane.lineage_on() {
+                plane.consume_bin(
+                    bin.edge as u32,
+                    self.ctx.node as u32,
+                    kind,
+                    flowlet as u32,
+                    &self.graph.flowlets[flowlet].name,
+                    self.ctx.node as u32,
+                    bin.frame.iter().map(|(h, _, _)| h),
+                );
+            }
+        }
     }
 
     /// Tally consume custody for a bin about to be processed: the final
@@ -374,6 +397,17 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
                 };
                 records_in = bin.len() as u64;
                 shared.audit_consume(&bin);
+                // Partial reduce IS the reduce stage for partial-only
+                // topologies (the histogram family): record the
+                // consume hop so sampled lineage ends at a reducer.
+                // Local-edge folds (pre-shuffle combines) are not a
+                // reduce ingest and stay hop-free.
+                if matches!(
+                    shared.graph.edges[bin.edge].exchange,
+                    crate::graph::Exchange::Hash
+                ) {
+                    shared.stats_consume(&bin, flowlet, HopKind::Reduce);
+                }
                 let state = shared.partial[flowlet]
                     .as_ref()
                     .expect("partial state exists");
@@ -383,6 +417,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
             Task::ReduceIngest { ack, bin, .. } => {
                 records_in = bin.len() as u64;
                 shared.audit_consume(&bin);
+                shared.stats_consume(&bin, flowlet, HopKind::Reduce);
                 let state = shared.reduce[flowlet]
                     .lock()
                     .clone()
@@ -415,6 +450,7 @@ fn execute_task(shared: &WorkerShared, worker_id: usize, task: Task) -> TaskDone
             Task::SkewAbsorb { ack, bin, .. } => {
                 records_in = bin.len() as u64;
                 shared.audit_consume(&bin);
+                shared.stats_consume(&bin, flowlet, HopKind::Absorb);
                 let abs = shared.absorbers[bin.edge]
                     .as_ref()
                     .expect("absorber exists for scatter edge");
@@ -625,9 +661,11 @@ pub(crate) fn run_node(
     audit: Audit,
     skew: Arc<SkewRuntime>,
     plan: Arc<CachePlan>,
+    stats: Option<Arc<StatsPlane>>,
 ) -> NodeOutcome {
     NodeRuntime::new(
         node, graph, cfg, threads, ctx, endpoint, inbox, tracer, telemetry, audit, skew, plan,
+        stats,
     )
     .run()
 }
@@ -700,6 +738,7 @@ impl NodeRuntime {
         audit: Audit,
         skew: Arc<SkewRuntime>,
         plan: Arc<CachePlan>,
+        stats: Option<Arc<StatsPlane>>,
     ) -> Self {
         let nodes = ctx.nodes;
         let fire_shards = if cfg.fire_shards == 0 {
@@ -759,6 +798,7 @@ impl NodeRuntime {
             skew: Arc::clone(&skew),
             absorbers,
             fill,
+            stats,
         });
         let flow = Arc::new(FlowControl::new(
             node,
@@ -1758,7 +1798,22 @@ impl NodeRuntime {
     /// fresh Emit+Ship leg on (edge, home) — the fabric adds Deliver
     /// and the home node's ingest adds Consume.
     fn ship_merged(&mut self, edge: EdgeId, home: NodeId, builder: FrameBuilder) {
-        let mut bin = FrameBin::new(edge, builder.freeze()).with_kind(BinKind::Merged);
+        let frame = builder.freeze();
+        // Merged bins bypass TaskOutput, so the stats plane folds them
+        // here — the re-emit leg is a distinct lineage hop.
+        if let Some(plane) = &self.shared.stats {
+            let src_flowlet = self.graph.edges[edge].src;
+            plane.fold_bin(
+                edge as u32,
+                home as u32,
+                HopKind::Merged,
+                src_flowlet as u32,
+                &self.graph.flowlets[src_flowlet].name,
+                self.node as u32,
+                frame.iter().map(|(h, k, v)| (h, k, v.len())),
+            );
+        }
+        let mut bin = FrameBin::new(edge, frame).with_kind(BinKind::Merged);
         for stage in [AuditStage::Emit, AuditStage::Ship] {
             self.shared.audit.record(
                 stage,

@@ -24,7 +24,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use hamr_codec::{stable_hash, FrameBuilder};
 use hamr_simnet::Endpoint;
-use hamr_trace::{Audit, AuditStage, EventKind, Gauge, Telemetry, Tracer};
+use hamr_trace::{Audit, AuditStage, EventKind, Gauge, HopKind, StatsPlane, Telemetry, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -446,6 +446,10 @@ pub(crate) struct TaskOutput {
     /// Resident-cache fill sink; `None` unless some output edge is
     /// annotated `cache_as`/`resident` and missed the store this run.
     fill: Option<Arc<FillSink>>,
+    /// Data-plane statistics; `None` when `HAMR_STATS=off`. Sketches
+    /// fold closed frames using the hashes already in them — pure
+    /// observation, never routing.
+    stats: Option<Arc<StatsPlane>>,
 }
 
 impl TaskOutput {
@@ -480,7 +484,17 @@ impl TaskOutput {
             audit,
             skew: None,
             fill: None,
+            stats: None,
         }
+    }
+
+    /// Attach the job's statistics plane (builder style). A no-op when
+    /// stats are off.
+    pub(crate) fn with_stats(mut self, plane: &Option<Arc<StatsPlane>>) -> Self {
+        if let Some(p) = plane {
+            self.stats = Some(Arc::clone(p));
+        }
+        self
     }
 
     /// Attach the node's fill sink (builder style). A no-op when none
@@ -552,6 +566,22 @@ impl TaskOutput {
                     sink.capture(edge, dst, &frame);
                 }
             }
+        }
+        if let Some(plane) = &self.stats {
+            let hop = match kind {
+                BinKind::Normal => HopKind::Emit,
+                BinKind::Scatter => HopKind::Scatter,
+                BinKind::Merged => HopKind::Merged,
+            };
+            plane.fold_bin(
+                edge as u32,
+                dst as u32,
+                hop,
+                self.flowlet_id,
+                &self.flowlet_name,
+                self.node as u32,
+                frame.iter().map(|(h, k, v)| (h, k, v.len())),
+            );
         }
         let mut bin = FrameBin::new(edge, frame).with_kind(kind);
         // Emit custody is tallied regardless of tracing: the audit

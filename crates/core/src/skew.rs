@@ -34,7 +34,6 @@
 
 use crate::config::SkewConfig;
 use crate::graph::{Exchange, FlowletKind, JobGraph};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -284,14 +283,17 @@ impl SkewRuntime {
     }
 }
 
-/// A cheap per-task top-key sketch: exact counts for up to `CAP`
-/// distinct hashes (abundant for real reduce key spaces at bin
-/// granularity; a task that overflows it simply stops learning new
-/// candidates, which only ever under-splits). A key becomes *hot* the
-/// moment its in-task count crosses `threshold`.
+/// A cheap per-task top-key sketch, backed by the shared
+/// [`SpaceSaving`] heavy-hitter summary from `hamr_trace::stats`. A
+/// key becomes *hot* the moment its guaranteed in-task count — the
+/// portion of its SpaceSaving count observed since insertion, which
+/// never over-counts — crosses `threshold`. While a task sees at most
+/// `CAP` distinct hashes the sketch is exact and behaves identically
+/// to a plain counter table; past that, evictions can only delay a
+/// hot flag (under-split), never fabricate one.
 #[derive(Debug)]
 pub struct KeySketch {
-    counts: HashMap<u64, u32>,
+    sketch: hamr_trace::SpaceSaving,
     hot: Vec<u64>,
     threshold: u32,
 }
@@ -301,30 +303,20 @@ impl KeySketch {
 
     pub fn new(threshold: u32) -> Self {
         KeySketch {
-            counts: HashMap::new(),
+            sketch: hamr_trace::SpaceSaving::new(Self::CAP),
             hot: Vec::new(),
             threshold: threshold.max(1),
         }
     }
 
     /// Count one emission of `hash`; returns true exactly once per
-    /// hash, when it crosses the hot threshold.
+    /// hash, when its guaranteed count crosses the hot threshold.
     #[inline]
     pub fn observe(&mut self, hash: u64) -> bool {
-        if let Some(c) = self.counts.get_mut(&hash) {
-            *c += 1;
-            if *c == self.threshold {
-                self.hot.push(hash);
-                return true;
-            }
-            return false;
-        }
-        if self.counts.len() < Self::CAP {
-            self.counts.insert(hash, 1);
-            if self.threshold == 1 {
-                self.hot.push(hash);
-                return true;
-            }
+        self.sketch.observe(hash, None, 1);
+        if self.sketch.guaranteed(hash) >= self.threshold as u64 && !self.hot.contains(&hash) {
+            self.hot.push(hash);
+            return true;
         }
         false
     }

@@ -42,6 +42,7 @@ pub use timeline::{JobSpan, Timeline};
 
 use crate::audit::RecordedEvent;
 use crate::registry::{Counter, HistSample, Labels, SampleValue, SeriesSample, Snapshot};
+use crate::stats::{EdgeStatsSummary, HopKind, LineageHop, LineageSample, StatsSnapshot, TopKey};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -140,6 +141,9 @@ pub enum JournalRecord {
         threshold: f64,
         detail: String,
     },
+    /// The data-plane statistics snapshot at a job boundary: merged
+    /// per-edge sketches plus sampled record lineage.
+    Stats(StatsSnapshot),
 }
 
 // --------------------------------------------------------------------------
@@ -248,6 +252,7 @@ const TAG_EPOCH: u8 = 4;
 const TAG_AUDIT: u8 = 5;
 const TAG_INCIDENT: u8 = 6;
 const TAG_ALERT: u8 = 7;
+const TAG_STATS: u8 = 8;
 
 /// Frames claiming to be larger than this are corruption, not data.
 const MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;
@@ -376,6 +381,137 @@ fn decode_snapshot(cur: &mut Cursor) -> Result<Snapshot, String> {
     Ok(Snapshot { label, seq, series })
 }
 
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn take_bytes(cur: &mut Cursor) -> Result<Vec<u8>, String> {
+    let n = cur.u32()? as usize;
+    if n > 4096 {
+        return Err("byte-string length out of range".into());
+    }
+    Ok(cur.take(n)?.to_vec())
+}
+
+fn encode_stats(buf: &mut Vec<u8>, snap: &StatsSnapshot) {
+    put_str(buf, &snap.job);
+    put_str(buf, &snap.engine);
+    put_u32(buf, snap.edges.len() as u32);
+    for e in &snap.edges {
+        put_u32(buf, e.edge);
+        buf.push(u8::from(e.shuffle));
+        put_u64(buf, e.records);
+        put_u64(buf, e.bytes);
+        put_u64(buf, e.distinct);
+        put_u64(buf, e.hot_share.to_bits());
+        put_u64(buf, e.p50);
+        put_u64(buf, e.p90);
+        put_u64(buf, e.p99);
+        put_u32(buf, e.top.len() as u32);
+        for t in &e.top {
+            put_u64(buf, t.hash);
+            put_u64(buf, t.count);
+            put_u64(buf, t.err);
+            put_bytes(buf, &t.key);
+        }
+    }
+    put_u32(buf, snap.samples.len() as u32);
+    for s in &snap.samples {
+        put_u64(buf, s.hash);
+        put_bytes(buf, &s.key);
+        put_u32(buf, s.hops.len() as u32);
+        for h in &s.hops {
+            buf.push(h.kind.as_u8());
+            put_u32(buf, h.flowlet);
+            put_str(buf, &h.flowlet_name);
+            put_u32(buf, h.edge);
+            put_u32(buf, h.src);
+            put_u32(buf, h.dst);
+            put_u32(buf, h.records);
+        }
+    }
+}
+
+fn decode_stats(cur: &mut Cursor) -> Result<StatsSnapshot, String> {
+    let job = cur.str()?;
+    let engine = cur.str()?;
+    let ne = cur.u32()? as usize;
+    if ne > 65_536 {
+        return Err("stats edge count out of range".into());
+    }
+    let mut edges = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let edge = cur.u32()?;
+        let shuffle = cur.u8()? != 0;
+        let records = cur.u64()?;
+        let bytes = cur.u64()?;
+        let distinct = cur.u64()?;
+        let hot_share = f64::from_bits(cur.u64()?);
+        let p50 = cur.u64()?;
+        let p90 = cur.u64()?;
+        let p99 = cur.u64()?;
+        let nt = cur.u32()? as usize;
+        if nt > 1024 {
+            return Err("stats top-key count out of range".into());
+        }
+        let mut top = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            top.push(TopKey {
+                hash: cur.u64()?,
+                count: cur.u64()?,
+                err: cur.u64()?,
+                key: take_bytes(cur)?,
+            });
+        }
+        edges.push(EdgeStatsSummary {
+            edge,
+            shuffle,
+            records,
+            bytes,
+            distinct,
+            hot_share,
+            top,
+            p50,
+            p90,
+            p99,
+        });
+    }
+    let ns = cur.u32()? as usize;
+    if ns > 65_536 {
+        return Err("stats sample count out of range".into());
+    }
+    let mut samples = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let hash = cur.u64()?;
+        let key = take_bytes(cur)?;
+        let nh = cur.u32()? as usize;
+        if nh > 4096 {
+            return Err("stats hop count out of range".into());
+        }
+        let mut hops = Vec::with_capacity(nh);
+        for _ in 0..nh {
+            let kind = HopKind::from_u8(cur.u8()?).ok_or("unknown lineage hop kind")?;
+            hops.push(LineageHop {
+                kind,
+                flowlet: cur.u32()?,
+                flowlet_name: cur.str()?,
+                edge: cur.u32()?,
+                src: cur.u32()?,
+                dst: cur.u32()?,
+                records: cur.u32()?,
+            });
+        }
+        samples.push(LineageSample { hash, key, hops });
+    }
+    Ok(StatsSnapshot {
+        job,
+        engine,
+        edges,
+        samples,
+    })
+}
+
 impl JournalRecord {
     fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
@@ -449,6 +585,10 @@ impl JournalRecord {
                 put_u64(&mut buf, threshold.to_bits());
                 put_str(&mut buf, detail);
             }
+            JournalRecord::Stats(snap) => {
+                buf.push(TAG_STATS);
+                encode_stats(&mut buf, snap);
+            }
         }
         buf
     }
@@ -510,6 +650,7 @@ impl JournalRecord {
                 threshold: f64::from_bits(cur.u64()?),
                 detail: cur.str()?,
             },
+            TAG_STATS => JournalRecord::Stats(decode_stats(&mut cur)?),
             other => return Err(format!("unknown record tag {other}")),
         };
         Ok(rec)
@@ -993,6 +1134,40 @@ mod tests {
                 threshold: 1.0,
                 detail: "deferred_bins=9".into(),
             },
+            JournalRecord::Stats(StatsSnapshot {
+                job: "wc".into(),
+                engine: "hamr".into(),
+                edges: vec![EdgeStatsSummary {
+                    edge: 1,
+                    shuffle: true,
+                    records: 100,
+                    bytes: 2048,
+                    distinct: 42,
+                    hot_share: 0.25,
+                    top: vec![TopKey {
+                        hash: 7,
+                        count: 25,
+                        err: 1,
+                        key: b"the".to_vec(),
+                    }],
+                    p50: 15,
+                    p90: 63,
+                    p99: 127,
+                }],
+                samples: vec![LineageSample {
+                    hash: 7,
+                    key: b"the".to_vec(),
+                    hops: vec![LineageHop {
+                        kind: HopKind::Scatter,
+                        flowlet: 2,
+                        flowlet_name: "mapper".into(),
+                        edge: 1,
+                        src: 0,
+                        dst: 3,
+                        records: 9,
+                    }],
+                }],
+            }),
             JournalRecord::JobEnd {
                 job: "wc".into(),
                 ok: false,

@@ -66,6 +66,10 @@ pub struct JobSpan {
     pub stuck_edges: Vec<String>,
     /// Alert *firings* (not resolutions) while this job was open.
     pub alerts_fired: u64,
+    /// Per-edge data-plane cardinality lines from the job's
+    /// `StatsSnapshot` record, rendered as
+    /// `edge E: N records, ~D distinct keys, hot K%, p99 val B bytes`.
+    pub edge_stats: Vec<String>,
 }
 
 impl JobSpan {
@@ -302,6 +306,34 @@ impl Timeline {
                         job,
                     });
                 }
+                JournalRecord::Stats(snap) => {
+                    let idx = open
+                        .filter(|&i| t.jobs[i].job == snap.job)
+                        .or_else(|| t.jobs.iter().rposition(|s| s.job == snap.job));
+                    if let Some(i) = idx {
+                        // Each job's StatsSnapshot is built from a
+                        // fresh per-job plane, so these per-edge counts
+                        // are already deltas, not running totals.
+                        t.jobs[i].edge_stats = snap
+                            .edges
+                            .iter()
+                            .map(|e| {
+                                let mut line = format!(
+                                    "edge {}: {} records, ~{} distinct keys, hot {:.0}%, p99 val {}B",
+                                    e.edge,
+                                    e.records,
+                                    e.distinct,
+                                    e.hot_share * 100.0,
+                                    e.p99
+                                );
+                                if e.shuffle {
+                                    line.push_str(" [shuffle]");
+                                }
+                                line
+                            })
+                            .collect();
+                    }
+                }
             }
         }
         t
@@ -368,6 +400,9 @@ impl Timeline {
             }
             for edge in &span.stuck_edges {
                 out.push_str(&format!("    stuck: {edge}\n"));
+            }
+            for line in &span.edge_stats {
+                out.push_str(&format!("    keys: {line}\n"));
             }
         }
         let firings: Vec<&AlertNote> = self.alerts.iter().filter(|a| a.firing).collect();

@@ -23,6 +23,7 @@ mod hist;
 pub mod journal;
 pub mod json;
 pub mod registry;
+pub mod stats;
 mod summary;
 mod telemetry;
 
@@ -45,6 +46,10 @@ pub use registry::{
     http_get, parse_prometheus, AlertEngine, AlertEvent, AlertKind, AlertRule, AlertState, Counter,
     HistSample, Histogram, HttpResponse, HttpServer, Labels, MetricsRegistry, PromSample,
     RouteHandler, SampleValue, SeriesSample, Snapshot,
+};
+pub use stats::{
+    EdgeStatsSummary, HopKind, LineageHop, LineageSample, SketchSet, SpaceSaving, StatsMode,
+    StatsPlane, StatsSnapshot,
 };
 pub use summary::{
     render_occupancy, render_summary, worker_occupancy, FlowletSummaryRow, WorkerOccupancyRow,

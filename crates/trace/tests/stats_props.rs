@@ -1,0 +1,223 @@
+//! Property tests for the data-plane statistics sketches.
+//!
+//! The contracts the rest of the system leans on:
+//!
+//! - the HLL distinct estimate stays inside its 3-sigma error band
+//!   (sigma = 1.04/sqrt(2^12) ~ 1.63%) on random, skewed, and
+//!   adversarially ordered streams — duplicates and ordering must not
+//!   move the estimate at all, since the register fold is a pure max;
+//! - SpaceSaving never under-reports a tracked key (`count` is an
+//!   upper bound on the true count) and never over-reports its
+//!   guaranteed floor (`count - err` is a lower bound) — the skew
+//!   layer's split decisions ride on that floor;
+//! - size quantiles are monotone in `q` and bounded by the observed
+//!   extremes;
+//! - sketch merge is associative and commutative, so partition-level
+//!   sketches can be folded in any order the teardown happens to run.
+//!
+//! Streams are generated as *keys* and hashed with a splitmix64
+//! finalizer — the sketches' accuracy contract assumes uniform hashes
+//! (production feeds them `stable_hash` output), so adversarial here
+//! means adversarial key patterns and orderings, not broken hashes.
+
+use hamr_trace::stats::{Hll, SizeHist};
+use hamr_trace::{SketchSet, SpaceSaving};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// splitmix64 finalizer: the uniform hash the sketches assume.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn assert_hll_in_band(hll: &Hll, truth: u64) {
+    let band = 3.0 * Hll::standard_error() * truth as f64 + 1.0;
+    let est = hll.estimate();
+    assert!(
+        (est - truth as f64).abs() <= band,
+        "HLL estimate {est:.1} outside 3-sigma band of true {truth} (+/-{band:.1})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random stream of distinct keys: estimate within 3 sigma.
+    #[test]
+    fn hll_random_stream_within_band(n in 1u64..20_000, seed in any::<u64>()) {
+        let mut hll = Hll::new();
+        for i in 0..n {
+            hll.insert(mix(seed ^ i));
+        }
+        assert_hll_in_band(&hll, n);
+    }
+
+    /// Skewed stream: heavy duplication must not move the estimate —
+    /// the register fold only sees the set of hashes.
+    #[test]
+    fn hll_skewed_stream_counts_distinct_only(
+        n in 1u64..5_000,
+        seed in any::<u64>(),
+        reps in 1u64..8,
+    ) {
+        let mut hll = Hll::new();
+        for i in 0..n {
+            // Key i appears 1 + (i % reps^2) times: a deterministic
+            // skew ramp with a handful of very hot keys.
+            for _ in 0..=(i % (reps * reps)) {
+                hll.insert(mix(seed ^ i));
+            }
+        }
+        let mut once = Hll::new();
+        for i in 0..n {
+            once.insert(mix(seed ^ i));
+        }
+        prop_assert_eq!(hll.distinct(), once.distinct());
+        assert_hll_in_band(&hll, n);
+    }
+
+    /// Adversarial ordering: reversed, interleaved, and shard-merged
+    /// presentations of the same key set agree exactly.
+    #[test]
+    fn hll_order_and_merge_invariant(n in 1u64..8_000, seed in any::<u64>()) {
+        let mut fwd = Hll::new();
+        let mut rev = Hll::new();
+        let mut shards = [Hll::new(), Hll::new(), Hll::new()];
+        for i in 0..n {
+            fwd.insert(mix(seed ^ i));
+        }
+        for i in (0..n).rev() {
+            rev.insert(mix(seed ^ i));
+        }
+        for i in 0..n {
+            shards[(i % 3) as usize].insert(mix(seed ^ i));
+        }
+        let mut merged = Hll::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(fwd.distinct(), rev.distinct());
+        prop_assert_eq!(fwd.distinct(), merged.distinct());
+        assert_hll_in_band(&fwd, n);
+    }
+
+    /// SpaceSaving bracketing invariant under eviction pressure: for
+    /// every tracked key, `count - err <= true <= count`, and the
+    /// sketch's total equals the stream's total weight.
+    #[test]
+    fn space_saving_brackets_true_counts(
+        stream in prop::collection::vec((0u64..64, 1u64..16), 1..2_000),
+        cap in 4usize..24,
+    ) {
+        let mut ss = SpaceSaving::new(cap);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (key, w) in &stream {
+            let h = mix(*key);
+            ss.observe(h, None, *w);
+            *truth.entry(h).or_insert(0) += *w;
+            total += *w;
+        }
+        prop_assert_eq!(ss.total(), total);
+        for e in ss.top() {
+            let t = truth[&e.hash];
+            prop_assert!(e.count >= t, "count {} under-reports true {}", e.count, t);
+            prop_assert!(
+                e.count - e.err <= t,
+                "guaranteed {} over-reports true {}", e.count - e.err, t
+            );
+            prop_assert_eq!(ss.guaranteed(e.hash), e.count - e.err);
+        }
+    }
+
+    /// With fewer distinct keys than capacity nothing is ever evicted:
+    /// counts are exact and the guaranteed floor equals the count.
+    #[test]
+    fn space_saving_exact_below_capacity(
+        stream in prop::collection::vec((0u64..16, 1u64..16), 1..1_000),
+    ) {
+        let mut ss = SpaceSaving::new(16);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (key, w) in &stream {
+            let h = mix(*key);
+            ss.observe(h, None, *w);
+            *truth.entry(h).or_insert(0) += *w;
+        }
+        for (h, t) in &truth {
+            prop_assert_eq!(ss.get(*h), Some((*t, 0)));
+            prop_assert_eq!(ss.guaranteed(*h), *t);
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the observed extremes.
+    #[test]
+    fn size_quantiles_monotone_and_bounded(
+        sizes in prop::collection::vec(0u64..1_000_000, 1..500),
+    ) {
+        let mut hist = SizeHist::new();
+        for s in &sizes {
+            hist.record(*s);
+        }
+        let qs: Vec<u64> = [0.0, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|q| hist.quantile(*q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+        }
+        // Log2 buckets round up to the bucket's upper bound: the p100
+        // answer may exceed the true max by at most 2x (next power of
+        // two), and can never fall below the true minimum's bucket.
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(qs[4] >= max, "p100 {} below true max {max}", qs[4]);
+        prop_assert!(qs[4] <= max.next_power_of_two().max(1) * 2);
+        prop_assert_eq!(hist.count(), sizes.len() as u64);
+        prop_assert_eq!(hist.sum(), sizes.iter().sum::<u64>());
+    }
+
+    /// Sketch merge is associative and commutative. Top-K stays in the
+    /// no-eviction regime (key space <= K) where SpaceSaving merge is
+    /// exact; HLL and size-histogram merges are exact in any regime.
+    #[test]
+    fn sketch_merge_assoc_comm(
+        a in prop::collection::vec((0u64..32, 0usize..4_000), 0..300),
+        b in prop::collection::vec((0u64..32, 0usize..4_000), 0..300),
+        c in prop::collection::vec((0u64..32, 0usize..4_000), 0..300),
+    ) {
+        let build = |stream: &[(u64, usize)]| {
+            let mut s = SketchSet::new(32);
+            for (key, len) in stream {
+                s.observe(mix(*key), &key.to_le_bytes(), *len);
+            }
+            s
+        };
+        let fold = |parts: &[&[(u64, usize)]]| {
+            let mut acc = SketchSet::new(32);
+            for p in parts {
+                acc.merge(&build(p));
+            }
+            acc
+        };
+        let fingerprint = |s: &SketchSet| {
+            let mut top: Vec<(u64, u64, u64)> =
+                s.topk.top().iter().map(|e| (e.hash, e.count, e.err)).collect();
+            top.sort_unstable();
+            (
+                s.records,
+                s.bytes,
+                s.distinct(),
+                s.sizes.quantile(0.5),
+                s.sizes.quantile(0.99),
+                top,
+            )
+        };
+        let ab_c = fingerprint(&fold(&[&a, &b, &c]));
+        let c_ba = fingerprint(&fold(&[&c, &b, &a]));
+        let b_ac = fingerprint(&fold(&[&b, &a, &c]));
+        prop_assert_eq!(&ab_c, &c_ba);
+        prop_assert_eq!(&ab_c, &b_ac);
+    }
+}

@@ -256,6 +256,18 @@ pub struct BenchOutput {
     /// Per-iteration telemetry (empty for single-job workloads and
     /// for the MapReduce engine).
     pub iters: Vec<IterStats>,
+    /// Estimated distinct shuffle keys from the data-plane sketches
+    /// (HAMR: max over hash-exchange edges; mapred: merged reduce-side
+    /// HLL). 0 when `HAMR_STATS=off` or not plumbed by the workload.
+    pub distinct_keys: u64,
+    /// Share of shuffled records carried by the hottest key, from the
+    /// SpaceSaving sketch's guaranteed count. 0.0 when stats are off.
+    pub hot_key_share: f64,
+    /// Exact distinct shuffle keys when the engine can count them
+    /// (mapred: reduce-group total — disjoint reducer key ranges make
+    /// the sum exact). 0 for HAMR, whose figure is always a sketch;
+    /// benchjson's sketch-accuracy gate anchors on this.
+    pub exact_distinct_keys: u64,
 }
 
 impl BenchOutput {
@@ -273,6 +285,20 @@ impl BenchOutput {
         let n = jobs_so_far as f64;
         self.occupancy_imbalance =
             (self.occupancy_imbalance * n + m.mean_occupancy_imbalance()) / (n + 1.0);
+        if let Some(snap) = &m.stats {
+            // Multi-job benchmarks keep the widest shuffle: key spaces
+            // repeat across iterations, so max beats sum.
+            self.distinct_keys = self.distinct_keys.max(snap.shuffle_distinct());
+            self.hot_key_share = self.hot_key_share.max(snap.shuffle_hot_share());
+        }
+    }
+
+    /// Fold a MapReduce run's sketch results into this output (the
+    /// baseline counterpart of [`fold_sched_metrics`]'s stats fold).
+    pub fn fold_mr_stats(&mut self, s: &hamr_mapred::JobStats) {
+        self.distinct_keys = self.distinct_keys.max(s.distinct_keys);
+        self.hot_key_share = self.hot_key_share.max(s.hot_key_share);
+        self.exact_distinct_keys = self.exact_distinct_keys.max(s.groups);
     }
 }
 

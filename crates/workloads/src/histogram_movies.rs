@@ -110,14 +110,16 @@ impl HistogramMovies {
         if combiner {
             conf = conf.with_combiner(reducer);
         }
-        env.mr.run(&conf).map_err(|e| e.to_string())?;
+        let stats = env.mr.run(&conf).map_err(|e| e.to_string())?;
         let (checksum, records) = mr_output_checksum(env, &output)?;
-        Ok(BenchOutput {
+        let mut out = BenchOutput {
             elapsed: start.elapsed(),
             checksum,
             records,
             ..Default::default()
-        })
+        };
+        out.fold_mr_stats(&stats);
+        Ok(out)
     }
 }
 

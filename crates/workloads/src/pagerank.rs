@@ -401,6 +401,9 @@ impl Benchmark for PageRank {
         let stats = env.mr.run(&adj_job).map_err(|e| e.to_string())?;
         shuffle_records += stats.map_records_out;
         shuffled_bytes += stats.shuffled_bytes;
+        // Sketch results of the most recent job; the final rank-update
+        // shuffle is the one comparable to HAMR's iterated hash edge.
+        let mut last_stats = stats;
 
         let mut ranks_path: Option<String> = None;
         for iter in 0..self.iterations {
@@ -462,6 +465,7 @@ impl Benchmark for PageRank {
             let stats = env.mr.run(&update_job).map_err(|e| e.to_string())?;
             shuffle_records += stats.map_records_out;
             shuffled_bytes += stats.shuffled_bytes;
+            last_stats = stats;
             ranks_path = Some(new_ranks);
         }
 
@@ -476,14 +480,16 @@ impl Benchmark for PageRank {
                 pairs.push((k.to_vec(), ranks[0].to_bytes().to_vec()));
             }
         }
-        Ok(BenchOutput {
+        let mut out = BenchOutput {
             elapsed: start.elapsed(),
             checksum: pair_checksum(pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
             records: pairs.len() as u64,
             shuffle_records,
             shuffled_bytes,
             ..Default::default()
-        })
+        };
+        out.fold_mr_stats(&last_stats);
+        Ok(out)
     }
 }
 

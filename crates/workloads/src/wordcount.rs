@@ -121,14 +121,16 @@ impl WordCount {
         }
         let stats = env.mr.run(&conf).map_err(|e| e.to_string())?;
         let (checksum, records) = mr_output_checksum(env, &output)?;
-        Ok(BenchOutput {
+        let mut out = BenchOutput {
             elapsed: start.elapsed(),
             checksum,
             records,
             shuffle_records: stats.map_records_out,
             shuffled_bytes: stats.shuffled_bytes,
             ..Default::default()
-        })
+        };
+        out.fold_mr_stats(&stats);
+        Ok(out)
     }
 }
 
